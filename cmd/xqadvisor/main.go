@@ -1,0 +1,67 @@
+// Command xqadvisor analyzes a query against a schema-and-index setup
+// script and prints the eligibility report: every candidate predicate,
+// each index's verdict with the paper's failure-mode diagnosis
+// (structure / type / context), and tip warnings.
+//
+// Usage:
+//
+//	xqadvisor -setup setup.sql 'for $i in db2-fn:xmlcolumn(...)...'
+//	echo "SELECT ..." | xqadvisor -setup setup.sql
+//
+// The setup script holds CREATE TABLE / CREATE INDEX statements separated
+// by semicolons; no data is needed for analysis.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/xqdb/xqdb"
+)
+
+func main() {
+	setup := flag.String("setup", "", "path to a DDL script (CREATE TABLE / CREATE INDEX)")
+	flag.Parse()
+
+	db := xqdb.Open()
+	if *setup != "" {
+		data, err := os.ReadFile(*setup)
+		if err != nil {
+			fatal(err)
+		}
+		for _, stmt := range strings.Split(string(data), ";") {
+			stmt = strings.TrimSpace(stmt)
+			if stmt == "" {
+				continue
+			}
+			if _, _, err := db.ExecSQL(stmt); err != nil {
+				fatal(fmt.Errorf("setup: %s: %w", stmt, err))
+			}
+		}
+	}
+
+	query := strings.Join(flag.Args(), " ")
+	if strings.TrimSpace(query) == "" {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		query = string(data)
+	}
+	if strings.TrimSpace(query) == "" {
+		fatal(fmt.Errorf("no query given (argument or stdin)"))
+	}
+	rep, err := db.Explain(query)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xqadvisor:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,42 @@
+// Command xqbench runs the paper-reproduction experiments (E0-E12, see
+// DESIGN.md §3 and EXPERIMENTS.md) and prints their tables.
+//
+// Usage:
+//
+//	xqbench                 run every experiment at the default scale
+//	xqbench -experiment E7  run one experiment
+//	xqbench -docs 10000     scale the corpora
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/xqdb/xqdb/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("experiment", "", "experiment id (E0..E12); empty = all")
+	docs := flag.Int("docs", 2000, "base corpus size in documents")
+	flag.Parse()
+
+	cfg := experiments.Config{Docs: *docs}
+	if *exp != "" {
+		t, err := experiments.Run(*exp, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xqbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(t.Format())
+		return
+	}
+	tables, err := experiments.All(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xqbench:", err)
+		os.Exit(1)
+	}
+	for _, t := range tables {
+		fmt.Println(t.Format())
+	}
+}

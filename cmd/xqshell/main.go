@@ -1,0 +1,138 @@
+// Command xqshell is an interactive shell for xqdb. It accepts SQL/XML
+// statements and stand-alone XQuery expressions, with meta-commands:
+//
+//	\explain <query>   analyze a query without running it
+//	\stats on|off      print planner statistics after each query
+//	\noindex on|off    disable index pre-filtering (full scans)
+//	\load <file>       run statements from a file (separated by ;)
+//	\quit
+//
+// Lines are dispatched by first keyword: CREATE/INSERT/SELECT/VALUES go to
+// the SQL engine, everything else to XQuery.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/xqdb/xqdb"
+)
+
+func main() {
+	db := xqdb.Open()
+	showStats := true
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Println("xqdb shell — SQL/XML and XQuery. \\quit to exit.")
+	fmt.Print("xqdb> ")
+	var buf strings.Builder
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "\\") {
+			if !meta(db, trimmed, &showStats) {
+				return
+			}
+			fmt.Print("xqdb> ")
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			if strings.TrimSpace(buf.String()) == "" {
+				fmt.Print("xqdb> ")
+				buf.Reset()
+				continue
+			}
+			fmt.Print("   -> ")
+			continue
+		}
+		stmt := strings.TrimSuffix(strings.TrimSpace(buf.String()), ";")
+		buf.Reset()
+		runStatement(db, stmt, showStats)
+		fmt.Print("xqdb> ")
+	}
+}
+
+func meta(db *xqdb.DB, cmd string, showStats *bool) bool {
+	return metaTo(os.Stdout, db, cmd, showStats)
+}
+
+func metaTo(w io.Writer, db *xqdb.DB, cmd string, showStats *bool) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\quit", "\\q":
+		return false
+	case "\\stats":
+		*showStats = len(fields) > 1 && fields[1] == "on"
+	case "\\noindex":
+		db.UseIndexes = !(len(fields) > 1 && fields[1] == "on")
+	case "\\explain":
+		query := strings.TrimSpace(strings.TrimPrefix(cmd, "\\explain"))
+		rep, err := db.Explain(query)
+		if err != nil {
+			fmt.Fprintln(w, "error:", err)
+		} else {
+			fmt.Fprint(w, rep)
+		}
+	case "\\load":
+		if len(fields) < 2 {
+			fmt.Println("usage: \\load <file>")
+			break
+		}
+		data, err := os.ReadFile(fields[1])
+		if err != nil {
+			fmt.Fprintln(w, "error:", err)
+			break
+		}
+		for _, stmt := range strings.Split(string(data), ";") {
+			stmt = strings.TrimSpace(stmt)
+			if stmt != "" {
+				runStatementTo(w, db, stmt, false)
+			}
+		}
+	default:
+		fmt.Fprintln(w, "commands: \\explain <q>, \\stats on|off, \\noindex on|off, \\load <file>, \\quit")
+	}
+	return true
+}
+
+// runStatement dispatches SQL vs XQuery by leading keyword.
+func runStatement(db *xqdb.DB, stmt string, showStats bool) {
+	runStatementTo(os.Stdout, db, stmt, showStats)
+}
+
+func runStatementTo(w io.Writer, db *xqdb.DB, stmt string, showStats bool) {
+	first := strings.ToLower(strings.Fields(stmt)[0])
+	var (
+		res   *xqdb.Result
+		stats *xqdb.Stats
+		err   error
+	)
+	switch first {
+	case "create", "insert", "select", "values", "drop", "delete":
+		res, stats, err = db.ExecSQL(stmt)
+	default:
+		res, stats, err = db.QueryXQuery(stmt)
+	}
+	if err != nil {
+		fmt.Fprintln(w, "error:", err)
+		return
+	}
+	if len(res.Columns) > 0 && res.Len() > 0 {
+		fmt.Fprintln(w, strings.Join(res.Columns, " | "))
+	}
+	for i, row := range res.Rows() {
+		fmt.Fprintf(w, "row %d: %s\n", i+1, strings.Join(row, " | "))
+	}
+	if showStats && stats != nil {
+		fmt.Fprintf(w, "-- %d rows", res.Len())
+		if len(stats.IndexesUsed) > 0 {
+			fmt.Fprintf(w, "; indexes: %s; docs %d/%d", strings.Join(stats.IndexesUsed, ", "), stats.DocsScanned, stats.DocsTotal)
+		}
+		fmt.Fprintln(w)
+	}
+}

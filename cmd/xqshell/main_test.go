@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/xqdb/xqdb"
+)
+
+func TestRunStatementDispatch(t *testing.T) {
+	db := xqdb.Open()
+	var out strings.Builder
+	runStatementTo(&out, db, `create table t (a integer, d xml)`, false)
+	runStatementTo(&out, db, `insert into t values (1, '<x><y>7</y></x>')`, false)
+	runStatementTo(&out, db, `select a from t`, true)
+	runStatementTo(&out, db, `db2-fn:xmlcolumn("T.D")//y`, true)
+	runStatementTo(&out, db, `select bogus syntax here`, false)
+	got := out.String()
+	for _, want := range []string{"row 1: 1", "row 1: <y>7</y>", "-- 1 rows", "error:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestMetaCommands(t *testing.T) {
+	db := xqdb.Open()
+	db.MustExecSQL(`create table t (a integer, d xml)`)
+	show := true
+	var out strings.Builder
+	if metaTo(&out, db, `\quit`, &show) {
+		t.Error("\\quit should stop the loop")
+	}
+	if !metaTo(&out, db, `\stats off`, &show) || show {
+		t.Error("\\stats off failed")
+	}
+	if !metaTo(&out, db, `\noindex on`, &show) || db.UseIndexes {
+		t.Error("\\noindex on failed")
+	}
+	metaTo(&out, db, `\explain db2-fn:xmlcolumn("T.D")//y[z > 1]`, &show)
+	if !strings.Contains(out.String(), "no XML indexes") {
+		t.Errorf("explain output:\n%s", out.String())
+	}
+	out.Reset()
+	metaTo(&out, db, `\help`, &show)
+	if !strings.Contains(out.String(), "commands:") {
+		t.Error("unknown meta should print help")
+	}
+}
+
+func TestLoadScript(t *testing.T) {
+	dir := t.TempDir()
+	script := filepath.Join(dir, "setup.sql")
+	if err := os.WriteFile(script, []byte(`
+		create table t (a integer, d xml);
+		insert into t values (1, '<x/>');
+	`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db := xqdb.Open()
+	show := false
+	var out strings.Builder
+	metaTo(&out, db, `\load `+script, &show)
+	runStatementTo(&out, db, `select a from t`, false)
+	if !strings.Contains(out.String(), "row 1: 1") {
+		t.Errorf("load script failed:\n%s", out.String())
+	}
+}

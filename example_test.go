@@ -1,0 +1,67 @@
+package xqdb_test
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/xqdb/xqdb"
+)
+
+// Example shows the core flow: DDL, documents, an XML index, and an
+// index-accelerated XQuery.
+func Example() {
+	db := xqdb.Open()
+	db.MustExecSQL(`create table orders (ordid integer, orddoc xml)`)
+	db.MustExecSQL(`insert into orders values
+		(1, '<order><lineitem price="150"/></order>'),
+		(2, '<order><lineitem price="50"/></order>')`)
+	db.MustExecSQL(`create index li_price on orders(orddoc)
+		using xmlpattern '//lineitem/@price' as double`)
+
+	res, stats, err := db.QueryXQuery(`db2-fn:xmlcolumn("ORDERS.ORDDOC")//lineitem[@price > 100]`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Rows()[0][0])
+	fmt.Printf("scanned %d of %d documents\n", stats.DocsScanned, stats.DocsTotal)
+	// Output:
+	// <lineitem price="150"/>
+	// scanned 1 of 2 documents
+}
+
+// ExampleDB_ExecSQL runs SQL/XML with an embedded XQuery predicate.
+func ExampleDB_ExecSQL() {
+	db := xqdb.Open()
+	db.MustExecSQL(`create table orders (ordid integer, orddoc xml)`)
+	db.MustExecSQL(`insert into orders values
+		(1, '<order><custid>7</custid></order>'),
+		(2, '<order><custid>9</custid></order>')`)
+	res, _, err := db.ExecSQL(`select ordid from orders
+		where XMLExists('$o/order[custid = 9]' passing orddoc as "o")
+		order by ordid`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Rows())
+	// Output: [[2]]
+}
+
+// ExampleDB_Explain prints the eligibility report for a query that looks
+// indexable but is not (the paper's Query 3 pitfall).
+func ExampleDB_Explain() {
+	db := xqdb.Open()
+	db.MustExecSQL(`create table orders (ordid integer, orddoc xml)`)
+	db.MustExecSQL(`create index li_price on orders(orddoc)
+		using xmlpattern '//lineitem/@price' as double`)
+	report, err := db.Explain(`db2-fn:xmlcolumn("ORDERS.ORDDOC")//lineitem[@price > "100"]`)
+	if err != nil {
+		panic(err)
+	}
+	for _, line := range strings.SplitN(report, "\n", 4)[:3] {
+		fmt.Println(line)
+	}
+	// Output:
+	// predicate: orders.orddoc: //lineitem/@price > 100 [string]
+	//   index li_price [//lineitem/@price AS double]: not eligible
+	//     - type: string comparison cannot use a double index: non-castable values are missing from it
+}

@@ -1,0 +1,70 @@
+// Feeds: the paper's flexible-schema motivation — RSS-style documents
+// with extension elements from arbitrary namespaces anywhere. Shows why
+// namespace wildcards in index patterns (Tip 10) are what makes broad
+// indexes useful on such data, and how default-namespace confusion breaks
+// seemingly correct queries.
+package main
+
+import (
+	"fmt"
+
+	"github.com/xqdb/xqdb"
+	"github.com/xqdb/xqdb/internal/workload"
+)
+
+func main() {
+	db := xqdb.Open()
+	db.MustExecSQL(`create table feeds (fid integer, doc xml)`)
+
+	const n = 2000
+	fmt.Printf("loading %d feed documents with mixed-namespace extensions...\n", n)
+	for i, doc := range workload.Feeds(n, 42) {
+		db.MustExecSQL(fmt.Sprintf(`insert into feeds values (%d, '%s')`, i, doc))
+	}
+
+	// A broad numeric index over every element (the bare * name test is
+	// namespace-wildcarded): it covers core RSS elements and foreign
+	// extension elements alike.
+	db.MustExecSQL(`create index any_elem on feeds(doc) using xmlpattern '//*' as double`)
+	// And the views counter specifically.
+	db.MustExecSQL(`create index views_ix on feeds(doc) using xmlpattern '//views' as double`)
+
+	query := func(label, q string) {
+		res, stats, err := db.QueryXQuery(q)
+		if err != nil {
+			fmt.Printf("%-52s error: %v\n", label, err)
+			return
+		}
+		idx := "full scan"
+		if len(stats.IndexesUsed) > 0 {
+			idx = fmt.Sprintf("index (%d/%d docs)", stats.DocsScanned, stats.DocsTotal)
+		}
+		fmt.Printf("%-52s %5d rows  via %s\n", label, res.Len(), idx)
+	}
+
+	fmt.Println("\n-- popular items (plain element, both indexes apply) --")
+	query("items with views > 9000",
+		`db2-fn:xmlcolumn("FEEDS.DOC")//item[views > 9000]`)
+
+	fmt.Println("\n-- extension elements (foreign namespaces) --")
+	query("media:rating > 80 (needs the *:* index)",
+		`declare namespace media="http://search.yahoo.com/mrss/";
+		 db2-fn:xmlcolumn("FEEDS.DOC")//item[media:rating > 80]`)
+	query("*:rating > 80 (namespace wildcard in the query)",
+		`db2-fn:xmlcolumn("FEEDS.DOC")//item[*:rating > 80]`)
+
+	fmt.Println("\n-- the Tip 10 trap --")
+	// Without the namespace declaration, `rating` means the *empty*
+	// namespace and matches nothing: feeds' ratings are in the media
+	// namespace.
+	query("rating > 80 without declaring the namespace",
+		`db2-fn:xmlcolumn("FEEDS.DOC")//item[rating > 80]`)
+
+	rep, err := db.Explain(`declare namespace media="http://search.yahoo.com/mrss/";
+		db2-fn:xmlcolumn("FEEDS.DOC")//item[media:rating > 80]`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("\n-- advisor on the namespaced query --")
+	fmt.Print(rep)
+}

@@ -1,0 +1,61 @@
+// Quickstart: create a table with an XML column, load documents, create a
+// path-specific XML index, and watch the eligibility analyzer decide when
+// the index may pre-filter documents.
+package main
+
+import (
+	"fmt"
+
+	"github.com/xqdb/xqdb"
+)
+
+func main() {
+	db := xqdb.Open()
+
+	db.MustExecSQL(`create table orders (ordid integer, orddoc xml)`)
+	db.MustExecSQL(`insert into orders values
+		(1, '<order date="2006-09-12"><lineitem price="150"><name>Coat</name></lineitem><custid>7</custid></order>'),
+		(2, '<order date="2006-09-13"><lineitem price="99.50"><name>Dress</name></lineitem><custid>8</custid></order>'),
+		(3, '<order date="2006-09-14"><lineitem price="120"><name>Hat</name></lineitem><lineitem price="80"><name>Tie</name></lineitem><custid>9</custid></order>')`)
+
+	// The paper's li_price index: one entry per lineitem price that casts
+	// to double.
+	db.MustExecSQL(`create index li_price on orders(orddoc)
+		using xmlpattern '//lineitem/@price' as double`)
+
+	// A stand-alone XQuery (paper Query 7): one row per qualifying
+	// lineitem; the index pre-filters documents (Definition 1).
+	res, stats, err := db.QueryXQuery(
+		`db2-fn:xmlcolumn("ORDERS.ORDDOC")//lineitem[@price > 100]`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("== lineitems over 100 ==")
+	for _, row := range res.Rows() {
+		fmt.Println(" ", row[0])
+	}
+	fmt.Printf("indexes used: %v; documents scanned: %d of %d\n\n",
+		stats.IndexesUsed, stats.DocsScanned, stats.DocsTotal)
+
+	// SQL/XML with XMLExists (paper Query 8): whole documents plus
+	// relational columns.
+	sqlRes, _, err := db.ExecSQL(`select ordid, orddoc from orders
+		where XMLExists('$o//lineitem[@price > 100]' passing orddoc as "o")`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("== orders with a lineitem over 100 ==")
+	for _, row := range sqlRes.Rows() {
+		fmt.Printf("  ordid=%s %s\n", row[0], row[1])
+	}
+
+	// The advisor explains why a seemingly equivalent query cannot use
+	// the index (paper Query 3: "100" is a string).
+	report, err := db.Explain(
+		`for $i in db2-fn:xmlcolumn("ORDERS.ORDDOC")//order[lineitem/@price > "100"] return $i`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("\n== advisor on the string-literal variant ==")
+	fmt.Print(report)
+}

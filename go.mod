@@ -1,0 +1,3 @@
+module github.com/xqdb/xqdb
+
+go 1.22

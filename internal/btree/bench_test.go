@@ -1,0 +1,52 @@
+package btree
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func benchKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		k := make([]byte, 8)
+		binary.BigEndian.PutUint64(k, uint64(i*2654435761)) // scrambled
+		keys[i] = k
+	}
+	return keys
+}
+
+func BenchmarkInsert(b *testing.B) {
+	keys := benchKeys(b.N)
+	tr := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(keys[i], nil)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	keys := benchKeys(100000)
+	tr := New()
+	for _, k := range keys {
+		tr.Insert(k, nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkScan1000(b *testing.B) {
+	tr := New()
+	for _, k := range benchKeys(100000) {
+		tr.Insert(k, nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		tr.Scan(nil, nil, func(_, _ []byte) bool {
+			count++
+			return count < 1000
+		})
+	}
+}

@@ -1,0 +1,239 @@
+// Package btree implements an in-memory B+Tree over byte-string keys with
+// linked leaves for range scans. XML value indexes (internal/xmlindex)
+// store one order-preserving encoded key per indexed node; relational
+// indexes reuse the same structure.
+package btree
+
+import "bytes"
+
+// degree is the maximum number of keys per node. 64 keeps nodes around a
+// cache-line-friendly size for 16-40 byte keys.
+const degree = 64
+
+// Tree is a B+Tree mapping keys to opaque values. Keys are unique;
+// inserting an existing key overwrites its value. The zero value is not
+// usable; call New.
+type Tree struct {
+	root *node
+	size int
+}
+
+// node is either an interior node (children non-nil) or a leaf.
+type node struct {
+	keys     [][]byte
+	vals     [][]byte // leaves only; vals[i] belongs to keys[i]
+	children []*node  // interior only; len(children) == len(keys)+1
+	next     *node    // leaf chain
+}
+
+func (n *node) leaf() bool { return n.children == nil }
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &node{}}
+}
+
+// Len returns the number of keys.
+func (t *Tree) Len() int { return t.size }
+
+// search returns the index of the first key in n >= key.
+func search(n *node, key []byte) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(n.keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Get returns the value stored at key.
+func (t *Tree) Get(key []byte) ([]byte, bool) {
+	n := t.root
+	for !n.leaf() {
+		i := search(n, key)
+		if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+			i++
+		}
+		n = n.children[i]
+	}
+	i := search(n, key)
+	if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+		return n.vals[i], true
+	}
+	return nil, false
+}
+
+// Insert stores value at key, replacing any existing value. The key and
+// value slices are retained; callers must not mutate them afterwards.
+func (t *Tree) Insert(key, value []byte) {
+	grew, splitKey, sibling := t.insert(t.root, key, value)
+	if grew {
+		t.root = &node{
+			keys:     [][]byte{splitKey},
+			children: []*node{t.root, sibling},
+		}
+	}
+}
+
+func (t *Tree) insert(n *node, key, value []byte) (bool, []byte, *node) {
+	if n.leaf() {
+		i := search(n, key)
+		if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+			n.vals[i] = value
+			return false, nil, nil
+		}
+		n.keys = append(n.keys, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.vals = append(n.vals, nil)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = value
+		t.size++
+		if len(n.keys) <= degree {
+			return false, nil, nil
+		}
+		// Split leaf: right half moves to a new sibling.
+		mid := len(n.keys) / 2
+		sib := &node{
+			keys: append([][]byte(nil), n.keys[mid:]...),
+			vals: append([][]byte(nil), n.vals[mid:]...),
+			next: n.next,
+		}
+		n.keys = n.keys[:mid:mid]
+		n.vals = n.vals[:mid:mid]
+		n.next = sib
+		return true, sib.keys[0], sib
+	}
+
+	i := search(n, key)
+	if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+		i++
+	}
+	grew, splitKey, sibling := t.insert(n.children[i], key, value)
+	if !grew {
+		return false, nil, nil
+	}
+	n.keys = append(n.keys, nil)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = splitKey
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = sibling
+	if len(n.keys) <= degree {
+		return false, nil, nil
+	}
+	// Split interior node: middle key moves up.
+	mid := len(n.keys) / 2
+	upKey := n.keys[mid]
+	sib := &node{
+		keys:     append([][]byte(nil), n.keys[mid+1:]...),
+		children: append([]*node(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return true, upKey, sib
+}
+
+// Delete removes key, reporting whether it was present. Deletion uses
+// lazy rebalancing: leaves may underflow, which keeps the implementation
+// simple while preserving correctness and O(log n) search; the tree
+// compacts on Rebuild.
+func (t *Tree) Delete(key []byte) bool {
+	n := t.root
+	for !n.leaf() {
+		i := search(n, key)
+		if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+			i++
+		}
+		n = n.children[i]
+	}
+	i := search(n, key)
+	if i >= len(n.keys) || !bytes.Equal(n.keys[i], key) {
+		return false
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.vals = append(n.vals[:i], n.vals[i+1:]...)
+	t.size--
+	return true
+}
+
+// firstLeaf returns the leftmost leaf.
+func (t *Tree) firstLeaf() *node {
+	n := t.root
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n
+}
+
+// leafFor returns the leaf that would contain key.
+func (t *Tree) leafFor(key []byte) *node {
+	n := t.root
+	for !n.leaf() {
+		i := search(n, key)
+		if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+			i++
+		}
+		n = n.children[i]
+	}
+	return n
+}
+
+// Scan visits all entries with lo <= key < hi in key order. A nil lo
+// starts at the beginning; a nil hi scans to the end. It stops early if f
+// returns false. Scan returns the number of entries visited.
+func (t *Tree) Scan(lo, hi []byte, f func(key, value []byte) bool) int {
+	var n *node
+	if lo == nil {
+		n = t.firstLeaf()
+	} else {
+		n = t.leafFor(lo)
+	}
+	visited := 0
+	for ; n != nil; n = n.next {
+		for i := range n.keys {
+			if lo != nil && bytes.Compare(n.keys[i], lo) < 0 {
+				continue
+			}
+			if hi != nil && bytes.Compare(n.keys[i], hi) >= 0 {
+				return visited
+			}
+			visited++
+			if !f(n.keys[i], n.vals[i]) {
+				return visited
+			}
+		}
+	}
+	return visited
+}
+
+// ScanPrefix visits all entries whose key begins with prefix.
+func (t *Tree) ScanPrefix(prefix []byte, f func(key, value []byte) bool) int {
+	return t.Scan(prefix, prefixEnd(prefix), f)
+}
+
+// prefixEnd returns the smallest key greater than every key with the
+// given prefix, or nil if no such key exists.
+func prefixEnd(prefix []byte) []byte {
+	end := append([]byte(nil), prefix...)
+	for i := len(end) - 1; i >= 0; i-- {
+		if end[i] != 0xff {
+			end[i]++
+			return end[:i+1]
+		}
+	}
+	return nil
+}
+
+// Height returns the tree height (1 for a single leaf).
+func (t *Tree) Height() int {
+	h := 1
+	for n := t.root; !n.leaf(); n = n.children[0] {
+		h++
+	}
+	return h
+}

@@ -1,0 +1,214 @@
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func key(i int) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, uint64(i))
+	return b
+}
+
+func TestInsertGet(t *testing.T) {
+	tr := New()
+	for i := 0; i < 10000; i++ {
+		tr.Insert(key(i*7%10000), []byte(fmt.Sprint(i*7%10000)))
+	}
+	if tr.Len() != 10000 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	for i := 0; i < 10000; i++ {
+		v, ok := tr.Get(key(i))
+		if !ok || string(v) != fmt.Sprint(i) {
+			t.Fatalf("Get(%d) = %q,%v", i, v, ok)
+		}
+	}
+	if _, ok := tr.Get(key(10001)); ok {
+		t.Error("found missing key")
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	tr := New()
+	tr.Insert(key(1), []byte("a"))
+	tr.Insert(key(1), []byte("b"))
+	if tr.Len() != 1 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	v, _ := tr.Get(key(1))
+	if string(v) != "b" {
+		t.Fatalf("v = %q", v)
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		tr.Insert(key(i), nil)
+	}
+	var got []int
+	tr.Scan(key(100), key(200), func(k, _ []byte) bool {
+		got = append(got, int(binary.BigEndian.Uint64(k)))
+		return true
+	})
+	if len(got) != 100 || got[0] != 100 || got[99] != 199 {
+		t.Fatalf("scan = %d items, first %d last %d", len(got), got[0], got[len(got)-1])
+	}
+	// Full scan in order.
+	prev := -1
+	n := tr.Scan(nil, nil, func(k, _ []byte) bool {
+		cur := int(binary.BigEndian.Uint64(k))
+		if cur <= prev {
+			t.Fatalf("out of order: %d after %d", cur, prev)
+		}
+		prev = cur
+		return true
+	})
+	if n != 1000 {
+		t.Fatalf("full scan = %d", n)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Insert(key(i), nil)
+	}
+	count := 0
+	tr.Scan(nil, nil, func(_, _ []byte) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestScanPrefix(t *testing.T) {
+	tr := New()
+	for _, s := range []string{"app", "apple", "apply", "banana", "apricot"} {
+		tr.Insert([]byte(s), nil)
+	}
+	var got []string
+	tr.ScanPrefix([]byte("appl"), func(k, _ []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if len(got) != 2 || got[0] != "apple" || got[1] != "apply" {
+		t.Fatalf("prefix scan = %v", got)
+	}
+	// Prefix of 0xff bytes exercises prefixEnd overflow.
+	tr2 := New()
+	tr2.Insert([]byte{0xff, 0xff, 1}, nil)
+	n := tr2.ScanPrefix([]byte{0xff, 0xff}, func(_, _ []byte) bool { return true })
+	if n != 1 {
+		t.Fatalf("0xff prefix scan = %d", n)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		tr.Insert(key(i), nil)
+	}
+	for i := 0; i < 1000; i += 2 {
+		if !tr.Delete(key(i)) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Delete(key(0)) {
+		t.Error("double delete succeeded")
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		_, ok := tr.Get(key(i))
+		if ok != (i%2 == 1) {
+			t.Fatalf("Get(%d) = %v", i, ok)
+		}
+	}
+}
+
+func TestRandomizedAgainstMap(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	tr := New()
+	ref := map[string]string{}
+	for op := 0; op < 20000; op++ {
+		k := key(r.Intn(2000))
+		switch r.Intn(3) {
+		case 0, 1:
+			v := fmt.Sprint(r.Intn(1000))
+			tr.Insert(k, []byte(v))
+			ref[string(k)] = v
+		case 2:
+			got := tr.Delete(k)
+			_, want := ref[string(k)]
+			if got != want {
+				t.Fatalf("delete mismatch at op %d", op)
+			}
+			delete(ref, string(k))
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("len %d != %d", tr.Len(), len(ref))
+	}
+	var keys []string
+	for k := range ref {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	i := 0
+	tr.Scan(nil, nil, func(k, v []byte) bool {
+		if string(k) != keys[i] || string(v) != ref[keys[i]] {
+			t.Fatalf("scan mismatch at %d", i)
+		}
+		i++
+		return true
+	})
+	if i != len(keys) {
+		t.Fatalf("scan visited %d of %d", i, len(keys))
+	}
+}
+
+func TestSortedScanProperty(t *testing.T) {
+	f := func(keys [][]byte) bool {
+		tr := New()
+		for _, k := range keys {
+			tr.Insert(append([]byte(nil), k...), nil)
+		}
+		var prev []byte
+		ok := true
+		tr.Scan(nil, nil, func(k, _ []byte) bool {
+			if prev != nil && bytes.Compare(prev, k) >= 0 {
+				ok = false
+			}
+			prev = k
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeightGrows(t *testing.T) {
+	tr := New()
+	if tr.Height() != 1 {
+		t.Fatal("empty height")
+	}
+	for i := 0; i < 100000; i++ {
+		tr.Insert(key(i), nil)
+	}
+	if h := tr.Height(); h < 3 || h > 5 {
+		t.Fatalf("height = %d for 100k keys", h)
+	}
+}

@@ -1,0 +1,321 @@
+// Package core implements the paper's primary contribution: the XML index
+// eligibility analysis of Definition 1 and the pitfall detection behind
+// Tips 1-12. The analyzer extracts candidate predicates from XQuery and
+// SQL/XML statements, decides for each (predicate, index) pair whether the
+// index may pre-filter documents, and explains ineligibility in terms of
+// the paper's three failure modes:
+//
+//  1. structure — the index pattern is more restrictive than the query
+//     path (§2.2, §3.7 namespaces, §3.8 text() alignment, §3.9 attributes);
+//  2. type — the comparison's type is unknown at compile time or
+//     incompatible with the index data type (§3.1, §3.3, §3.6);
+//  3. context — the predicate does not eliminate rows or documents
+//     (§3.2 SQL/XML functions, §3.4 let-clauses, §3.6 construction).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/xqdb/xqdb/internal/pattern"
+	"github.com/xqdb/xqdb/internal/xdm"
+	"github.com/xqdb/xqdb/internal/xmlindex"
+)
+
+// CompType is the compile-time comparison type of a predicate.
+type CompType uint8
+
+// Comparison types. Unknown means the analyzer could not prove a type —
+// per §3.1 the per-document schema model forbids guessing, so Unknown
+// predicates are never index-eligible.
+const (
+	CompUnknown CompType = iota
+	CompString
+	CompDouble
+	CompDate
+	CompTimestamp
+)
+
+var compTypeNames = [...]string{"unknown", "string", "double", "date", "timestamp"}
+
+func (t CompType) String() string { return compTypeNames[t] }
+
+// xdmToComp maps an XDM type to its comparison family.
+func xdmToComp(t xdm.Type) CompType {
+	switch {
+	case t.IsNumeric():
+		return CompDouble
+	case t == xdm.String:
+		return CompString
+	case t == xdm.Date:
+		return CompDate
+	case t == xdm.DateTime:
+		return CompTimestamp
+	}
+	return CompUnknown
+}
+
+// Predicate is one candidate predicate extracted from a query.
+type Predicate struct {
+	// Collection identifies the document source: "table.column"
+	// (lower-case) for both db2-fn:xmlcolumn references and SQL-passed
+	// XML columns.
+	Collection string
+	// FromIndex is the SQL FROM-item position the predicate restricts
+	// (-1 for standalone XQuery).
+	FromIndex int
+	// Occurrence distinguishes independent bindings of the same
+	// collection. Predicates of one occurrence constrain the same
+	// document and may be intersected; across occurrences only the
+	// union of document sets is a sound pre-filter.
+	Occurrence int
+	// Steps is the navigation from the document root to the compared
+	// node; Pattern is its compiled form.
+	Steps   []pattern.Step
+	Pattern *pattern.Pattern
+	// Op and Value describe the comparison; Value is nil for joins and
+	// structural predicates.
+	Op    xdm.CompareOp
+	Value *xdm.Value
+	// ValueComp records whether the query used a value comparison
+	// (eq/lt/...), which guarantees singleton operands (§3.10).
+	ValueComp bool
+	// JoinTable/JoinColumn are set when the comparison's other side is a
+	// SQL scalar column (e.g. Query 13's `id eq $pid`): the engine may
+	// then run an index semi-join, probing once per distinct value.
+	JoinTable  string
+	JoinColumn string
+	// CompType is the comparison's compile-time type.
+	CompType CompType
+	// Filtering reports whether an empty result eliminates the
+	// row/document (the context condition). Non-filtering predicates
+	// are never eligible; Reason says why.
+	Filtering bool
+	Reason    string
+	// SingletonItem is true when the compared item is provably at most
+	// one per context node (attribute step, self/data() form, or value
+	// comparison), enabling between detection.
+	SingletonItem bool
+	// Between links this predicate to its partner bound when a between
+	// pair was detected (index into Analysis.Predicates), else -1.
+	Between int
+	// Source is a human-readable rendering for reports.
+	Source string
+}
+
+// Warning is one pitfall detection, keyed to the paper's tip numbers.
+type Warning struct {
+	Tip     int // 1..12; 0 = general remark
+	Message string
+}
+
+// tipTitles gives the short titles used in reports.
+var tipTitles = [...]string{
+	0:  "general",
+	1:  "use type casts in XQuery join predicates",
+	2:  "use stand-alone XQuery to retrieve XML fragments",
+	3:  "use XMLExists for document selection; don't let it wrap a boolean",
+	4:  "put predicates in the XMLTable row-producer",
+	5:  "express the join on the side that has the index",
+	6:  "always express XML joins on the XQuery side",
+	7:  "don't bury predicates inside element constructors",
+	8:  "mind document vs element nodes in path expressions",
+	9:  "write predicates on the data before construction",
+	10: "align namespaces between data, queries, and indexes",
+	11: "align /text() steps between query and index",
+	12: "index attributes with //@*, not //* or //node()",
+}
+
+// TipTitle returns the short title of a tip.
+func TipTitle(tip int) string {
+	if tip >= 0 && tip < len(tipTitles) {
+		return tipTitles[tip]
+	}
+	return ""
+}
+
+// RelPredicate is a relational-index opportunity found on the SQL side
+// (e.g. Query 14's p.id = XMLCast(...), or a plain col = literal).
+type RelPredicate struct {
+	Table  string
+	Column string
+	Op     xdm.CompareOp
+	// Value is the comparison constant when one side is a literal; nil
+	// for joins and extracted-value comparisons.
+	Value *xdm.Value
+	// FromIndex is the FROM position of the column's table.
+	FromIndex int
+	// Filtering mirrors Predicate.Filtering: only top-level conjuncts
+	// may install row filters.
+	Filtering bool
+}
+
+// Analysis is the analyzer output for one statement.
+type Analysis struct {
+	Predicates    []Predicate
+	RelPredicates []RelPredicate
+	Warnings      []Warning
+}
+
+func (a *Analysis) warnf(tip int, format string, args ...any) {
+	a.Warnings = append(a.Warnings, Warning{Tip: tip, Message: fmt.Sprintf(format, args...)})
+}
+
+// Verdict is the eligibility decision for one (predicate, index) pair.
+type Verdict struct {
+	IndexName string
+	Eligible  bool
+	// Reasons lists the failed conditions when ineligible, phrased in
+	// the paper's terms.
+	Reasons []string
+}
+
+// typeCompatible decides the §3.1 condition: the index type must be able
+// to answer the comparison exactly.
+func typeCompatible(idx xmlindex.Type, comp CompType) (bool, string) {
+	switch comp {
+	case CompUnknown:
+		return false, "comparison type unknown at compile time: add explicit casts (Tip 1)"
+	case CompString:
+		if idx == xmlindex.Varchar {
+			return true, ""
+		}
+		return false, fmt.Sprintf("string comparison cannot use a %s index: non-castable values are missing from it", idx)
+	case CompDouble:
+		if idx == xmlindex.Double {
+			return true, ""
+		}
+		if idx == xmlindex.Varchar {
+			return false, "numeric comparison cannot use a varchar index: it cannot enforce numeric equality rules such as 1E3 = 1000"
+		}
+		return false, fmt.Sprintf("numeric comparison cannot use a %s index", idx)
+	case CompDate:
+		if idx == xmlindex.Date {
+			return true, ""
+		}
+		return false, fmt.Sprintf("date comparison cannot use a %s index", idx)
+	case CompTimestamp:
+		if idx == xmlindex.Timestamp {
+			return true, ""
+		}
+		return false, fmt.Sprintf("timestamp comparison cannot use a %s index", idx)
+	}
+	return false, "unsupported comparison type"
+}
+
+// CheckIndex decides whether one index is eligible to answer one
+// predicate, and diagnoses failures with the relevant tips.
+func CheckIndex(idxName string, idxPattern *pattern.Pattern, idxType xmlindex.Type, p Predicate) Verdict {
+	v := Verdict{IndexName: idxName}
+	if !p.Filtering {
+		reason := p.Reason
+		if reason == "" {
+			reason = "the predicate does not eliminate any rows or documents"
+		}
+		v.Reasons = append(v.Reasons, "context: "+reason)
+	}
+	if p.Pattern == nil {
+		v.Reasons = append(v.Reasons, "structure: the predicate path could not be derived")
+		return v
+	}
+	if !pattern.Contains(idxPattern, p.Pattern) {
+		msg := fmt.Sprintf("structure: index pattern %s does not contain query path %s", idxPattern, p.Pattern)
+		msg += structuralHint(idxPattern, p.Pattern)
+		v.Reasons = append(v.Reasons, msg)
+	}
+	if p.Value != nil || p.CompType != CompUnknown {
+		if ok, reason := typeCompatible(idxType, p.CompType); !ok {
+			v.Reasons = append(v.Reasons, "type: "+reason)
+		}
+	} else if p.Op == 0 && p.Value == nil {
+		// Structural predicate: only a varchar index holds every node.
+		if idxType != xmlindex.Varchar {
+			v.Reasons = append(v.Reasons, fmt.Sprintf("type: a structural predicate needs a varchar index (all values are castable to string), not %s", idxType))
+		}
+	}
+	v.Eligible = len(v.Reasons) == 0
+	return v
+}
+
+// structuralHint diagnoses *why* containment failed in terms of the
+// paper's tips: namespace mismatch (Tip 10), text() misalignment (Tip
+// 11), or attribute-axis mismatch (Tip 12).
+func structuralHint(idx, query *pattern.Pattern) string {
+	if pattern.Contains(wildcardNamespaces(idx), wildcardNamespaces(query)) {
+		return " (hint: namespace mismatch — Tip 10)"
+	}
+	if pattern.Contains(dropTextSteps(idx), dropTextSteps(query)) {
+		return " (hint: /text() steps are not aligned — Tip 11)"
+	}
+	qs := query.Steps
+	is := idx.Steps
+	if len(qs) > 0 && len(is) > 0 {
+		qLast, iLast := qs[len(qs)-1], is[len(is)-1]
+		if qLast.Axis == pattern.Attribute && iLast.Axis != pattern.Attribute {
+			return " (hint: the index pattern reaches no attribute nodes — Tip 12)"
+		}
+	}
+	return ""
+}
+
+// wildcardNamespaces rewrites every name test to a namespace wildcard.
+func wildcardNamespaces(p *pattern.Pattern) *pattern.Pattern {
+	steps := append([]pattern.Step(nil), p.Steps...)
+	for i := range steps {
+		if steps[i].Test == pattern.NameTest {
+			steps[i].Space = "*"
+		}
+	}
+	out, err := pattern.FromSteps(steps)
+	if err != nil {
+		return p
+	}
+	return out
+}
+
+// dropTextSteps removes trailing text() steps.
+func dropTextSteps(p *pattern.Pattern) *pattern.Pattern {
+	steps := append([]pattern.Step(nil), p.Steps...)
+	for len(steps) > 0 && steps[len(steps)-1].Test == pattern.TextTest {
+		steps = steps[:len(steps)-1]
+	}
+	if len(steps) == len(p.Steps) || len(steps) == 0 {
+		return p
+	}
+	out, err := pattern.FromSteps(steps)
+	if err != nil {
+		return p
+	}
+	return out
+}
+
+// describeSteps renders a step list for predicate Source strings.
+func describeSteps(steps []pattern.Step) string {
+	p, err := pattern.FromSteps(steps)
+	if err != nil {
+		return "?"
+	}
+	return p.String()
+}
+
+// opString renders the comparison of a predicate.
+func (p Predicate) opString() string {
+	if p.Value == nil {
+		return ""
+	}
+	op := p.Op.GeneralSymbol()
+	if p.ValueComp {
+		op = p.Op.String()
+	}
+	return fmt.Sprintf(" %s %s", op, p.Value.Lexical())
+}
+
+// Describe renders a predicate for reports.
+func (p Predicate) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s%s [%s]", p.Collection, describeSteps(p.Steps), p.opString(), p.CompType)
+	if !p.Filtering {
+		b.WriteString(" (non-filtering: " + p.Reason + ")")
+	}
+	return b.String()
+}

@@ -1,0 +1,554 @@
+package core
+
+import (
+	"github.com/xqdb/xqdb/internal/pattern"
+	"github.com/xqdb/xqdb/internal/xdm"
+	"github.com/xqdb/xqdb/internal/xquery"
+)
+
+// pathInfo is the analyzer's abstraction of a navigation: where it starts
+// (a collection's documents) and the pattern steps taken so far.
+type pathInfo struct {
+	known        bool
+	collection   string
+	fromIndex    int
+	occurrence   int
+	steps        []pattern.Step
+	cast         CompType // trailing xs:TYPE(.) cast, if any
+	constructed  bool
+	consName     xdm.QName
+	scalar       CompType // when the operand resolved to a SQL scalar
+	scalarTable  string
+	scalarColumn string
+	isScalar     bool
+	// contextSelf is true when the operand is "." inside a predicate —
+	// a provably singleton item (§3.10 self-axis form).
+	contextSelf bool
+}
+
+func (pi pathInfo) lastStepIsAttribute() bool {
+	for i := len(pi.steps) - 1; i >= 0; i-- {
+		s := pi.steps[i]
+		if s.Axis == pattern.Self {
+			continue
+		}
+		return s.Axis == pattern.Attribute
+	}
+	return false
+}
+
+// convertStep lowers an xquery axis step to a pattern step.
+func convertStep(s xquery.Step) (pattern.Step, bool) {
+	var ax pattern.Axis
+	switch s.Axis {
+	case xquery.AxisChild:
+		ax = pattern.Child
+	case xquery.AxisAttribute:
+		ax = pattern.Attribute
+	case xquery.AxisSelf:
+		ax = pattern.Self
+	case xquery.AxisDescendant:
+		ax = pattern.Descendant
+	case xquery.AxisDescendantOrSelf:
+		ax = pattern.DescendantOrSelf
+	default:
+		return pattern.Step{}, false // parent and filter steps end pattern tracking
+	}
+	ps := pattern.Step{Axis: ax}
+	switch s.Test.Kind {
+	case xquery.NameTest:
+		ps.Test = pattern.NameTest
+		ps.Space = s.Test.Space
+		ps.Local = s.Test.Local
+	case xquery.AnyKindTest:
+		ps.Test = pattern.AnyKindTest
+	case xquery.TextTest:
+		ps.Test = pattern.TextTest
+	case xquery.CommentTest:
+		ps.Test = pattern.CommentTest
+	case xquery.PITest:
+		ps.Test = pattern.PITest
+		ps.PITarget = s.Test.PITarget
+	default:
+		return pattern.Step{}, false
+	}
+	return ps, true
+}
+
+// castTypeOfFilterStep recognizes trailing cast/atomization filter steps:
+// xs:double(.) → CompDouble, fn:data(.) / fn:data() → pass-through.
+func castTypeOfFilterStep(e xquery.Expr) (CompType, bool, bool) {
+	switch x := e.(type) {
+	case *xquery.CastExpr:
+		if isContextArg(x.Operand) {
+			return xdmToComp(x.Target), true, false
+		}
+	case *xquery.FunctionCall:
+		if x.Space == "fn" && x.Local == "data" && (len(x.Args) == 0 || isContextArg(x.Args[0])) {
+			return CompUnknown, false, true
+		}
+		if x.Space == "fn" && x.Local == "string" && (len(x.Args) == 0 || isContextArg(x.Args[0])) {
+			return CompString, true, false
+		}
+	}
+	return CompUnknown, false, false
+}
+
+func isContextArg(e xquery.Expr) bool {
+	_, ok := e.(*xquery.ContextItem)
+	return ok
+}
+
+// resolvePath walks a PathExpr: it resolves the start to a pathInfo,
+// lowers the axis steps, analyzes every step predicate under ctx, and —
+// when emit is true and the path is in filtering position — records a
+// structural candidate for the full navigation.
+func (an *analyzer) resolvePath(p *xquery.PathExpr, e env, ctx walkCtx, emit bool) (pathInfo, bool) {
+	var info pathInfo
+	steps := p.Steps
+	switch {
+	case p.Rooted:
+		// Rooted paths need a document-rooted context; resolvable only
+		// when analyzed relative to a known base (predicates handle
+		// this in resolveOperand).
+		info.known = false
+	case p.Start != nil:
+		info = an.resolveStart(p.Start, e, ctx)
+	case len(steps) > 0 && steps[0].Axis == xquery.AxisNone:
+		info = an.resolveStart(steps[0].Filter, e, ctx)
+		// Predicates on the leading filter step apply to the start.
+		an.analyzeStepPredicates(info, steps[0].Predicates, e, ctx)
+		steps = steps[1:]
+	default:
+		// A context-relative path: resolvable only when the module's
+		// context item carries a known navigation (XMLTable columns).
+		info = an.ctxBase
+	}
+	return an.continueSteps(info, steps, e, ctx, emit)
+}
+
+// continueSteps lowers steps onto info, analyzing predicates.
+func (an *analyzer) continueSteps(info pathInfo, steps []xquery.Step, e env, ctx walkCtx, emit bool) (pathInfo, bool) {
+	for si, s := range steps {
+		if s.Axis == xquery.AxisNone {
+			// A filter step: a trailing cast keeps the path analyzable;
+			// anything else ends pattern tracking.
+			if ct, isCast, isData := castTypeOfFilterStep(s.Filter); isCast || isData {
+				if isCast {
+					info.cast = ct
+				}
+				an.analyzeStepPredicates(info, s.Predicates, e, ctx)
+				continue
+			}
+			an.walk(s.Filter, e, walkCtx{filtering: false, reason: "nested expression"})
+			info.known = false
+			an.analyzeStepPredicates(pathInfo{}, s.Predicates, e, ctx)
+			continue
+		}
+		if info.constructed && si == 0 {
+			an.tip8ChildOfConstructed(info, s)
+		}
+		ps, ok := convertStep(s)
+		if ok && info.known {
+			info.steps = append(append([]pattern.Step(nil), info.steps...), ps)
+		} else if !ok {
+			info.known = false
+		}
+		an.analyzeStepPredicates(info, s.Predicates, e, ctx)
+	}
+	if emit && info.known && info.collection != "" && len(info.steps) > 0 && ctx.filtering {
+		an.addStructural(info, ctx)
+	}
+	return info, info.known
+}
+
+// resolveStart resolves a path's start expression.
+func (an *analyzer) resolveStart(start xquery.Expr, e env, ctx walkCtx) pathInfo {
+	switch x := start.(type) {
+	case *xquery.FunctionCall:
+		if vi, ok := an.collectionCall(x); ok {
+			return pathInfo{known: true, collection: vi.collection, fromIndex: vi.fromIndex, occurrence: vi.occurrence}
+		}
+	case *xquery.VarRef:
+		if vi, ok := e[x.Name]; ok {
+			switch vi.kind {
+			case varDoc:
+				return pathInfo{known: true, collection: vi.collection, fromIndex: vi.fromIndex, occurrence: vi.occurrence, steps: append([]pattern.Step(nil), vi.steps...)}
+			case varConstructed:
+				return pathInfo{constructed: true, consName: vi.consName}
+			case varScalar:
+				return pathInfo{isScalar: true, scalar: vi.scalar, scalarTable: vi.scalarTable, scalarColumn: vi.scalarColumn}
+			}
+		}
+	case *xquery.ElementConstructor:
+		an.walk(x, e, ctx)
+		return pathInfo{constructed: true, consName: x.Name}
+	default:
+		an.walk(start, e, walkCtx{filtering: false, reason: "path start"})
+	}
+	return pathInfo{}
+}
+
+// tip8ChildOfConstructed warns when a child step under a constructed
+// element repeats the constructor's own name — the Query 24 confusion
+// (there is an extra navigation level only under document nodes).
+func (an *analyzer) tip8ChildOfConstructed(info pathInfo, s xquery.Step) {
+	if s.Test.Kind == xquery.NameTest && s.Test.Local == info.consName.Local {
+		an.a.warnf(8, "the child step %q navigates below the constructed <%s> element and will not match the element itself; unlike document nodes, constructed elements add no extra navigation level (§3.5)", s.Test.Local, info.consName.Local)
+	}
+}
+
+// analyzeStepPredicates analyzes the predicate list of one step, with the
+// step's pathInfo as comparison base, and pairs up between bounds.
+func (an *analyzer) analyzeStepPredicates(base pathInfo, preds []xquery.Expr, e env, ctx walkCtx) {
+	for _, pred := range preds {
+		before := len(an.a.Predicates)
+		an.walkPredicateExpr(pred, base, e, ctx)
+		an.pairBetween(before)
+	}
+}
+
+// walkPredicateExpr analyzes a boolean-position expression: predicates,
+// where clauses, XMLExists bodies.
+func (an *analyzer) walkPredicateExpr(ex xquery.Expr, base pathInfo, e env, ctx walkCtx) {
+	switch x := ex.(type) {
+	case *xquery.BinaryExpr:
+		switch x.Op {
+		case "and":
+			before := len(an.a.Predicates)
+			an.walkPredicateExpr(x.Left, base, e, ctx)
+			an.walkPredicateExpr(x.Right, base, e, ctx)
+			an.pairBetween(before)
+		case "or":
+			octx := walkCtx{filtering: false, reason: "the predicate is one branch of a disjunction; the index alone cannot decide it"}
+			an.walkPredicateExpr(x.Left, base, e, octx)
+			an.walkPredicateExpr(x.Right, base, e, octx)
+		default:
+			an.walk(ex, e, walkCtx{filtering: false, reason: "arithmetic expression"})
+		}
+	case *xquery.Comparison:
+		an.extractComparison(x, base, e, ctx)
+	case *xquery.Quantified:
+		an.walkQuantified(x, e, ctx)
+	case *xquery.FunctionCall:
+		if x.Space == "fn" && (x.Local == "exists" || x.Local == "boolean") && len(x.Args) == 1 {
+			if p, ok := x.Args[0].(*xquery.PathExpr); ok {
+				info, ok := an.resolveOperand(p, base, e, ctx)
+				if ok && info.collection != "" && len(info.steps) > 0 {
+					an.addStructural(info, ctx)
+					return
+				}
+			}
+			an.walk(x.Args[0], e, ctx)
+			return
+		}
+		if x.Space == "fn" && x.Local == "not" {
+			// Negation inverts emptiness: nothing inside filters.
+			an.walk(ex, e, walkCtx{filtering: false, reason: "negated predicate"})
+			return
+		}
+		an.walk(ex, e, walkCtx{filtering: false, reason: "function call predicate"})
+	case *xquery.PathExpr:
+		// A bare path used as a predicate is an existence test.
+		info, ok := an.resolveOperand(x, base, e, ctx)
+		if ok && info.collection != "" && len(info.steps) > 0 && ctx.filtering {
+			an.addStructural(info, ctx)
+		}
+	case *xquery.FLWOR:
+		an.walkFLWOR(x, e, ctx)
+	default:
+		an.walk(ex, e, walkCtx{filtering: false, reason: "predicate expression"})
+	}
+}
+
+// addStructural records a structural (existence) candidate.
+func (an *analyzer) addStructural(info pathInfo, ctx walkCtx) {
+	pat, err := pattern.FromSteps(info.steps)
+	if err != nil {
+		return
+	}
+	an.a.Predicates = append(an.a.Predicates, Predicate{
+		Collection: info.collection,
+		FromIndex:  info.fromIndex,
+		Occurrence: info.occurrence,
+		Steps:      info.steps,
+		Pattern:    pat,
+		Filtering:  ctx.filtering,
+		Reason:     ctx.reason,
+		Between:    -1,
+		Source:     describeSteps(info.steps),
+	})
+}
+
+// resolveOperand resolves a comparison operand relative to base.
+func (an *analyzer) resolveOperand(ex xquery.Expr, base pathInfo, e env, ctx walkCtx) (pathInfo, bool) {
+	switch x := ex.(type) {
+	case *xquery.ContextItem:
+		out := base
+		out.contextSelf = true
+		return out, base.known
+	case *xquery.PathExpr:
+		if x.Rooted {
+			// An absolute path inside a predicate resolves against the
+			// context document. On constructed trees it is a type
+			// error (§3.5 Query 25).
+			if base.constructed {
+				an.a.warnf(8, "absolute path inside a predicate on the constructed <%s> element: fn:root(.) treat as document-node() raises a type error for trees rooted at element nodes (§3.5)", base.consName.Local)
+				return pathInfo{}, false
+			}
+			root := pathInfo{known: base.known, collection: base.collection, fromIndex: base.fromIndex}
+			return an.continueSteps(root, x.Steps, e, ctx, false)
+		}
+		if x.Start == nil {
+			// Relative to the predicate context.
+			if len(x.Steps) > 0 && x.Steps[0].Axis == xquery.AxisNone {
+				if _, ok := x.Steps[0].Filter.(*xquery.ContextItem); ok {
+					out := base
+					out.contextSelf = true
+					return an.continueSteps(out, x.Steps[1:], e, ctx, false)
+				}
+			}
+			return an.continueSteps(base, x.Steps, e, ctx, false)
+		}
+		return an.resolvePath(x, e, ctx, false)
+	case *xquery.CastExpr:
+		info, ok := an.resolveOperand(x.Operand, base, e, ctx)
+		if ok {
+			info.cast = xdmToComp(x.Target)
+		}
+		return info, ok
+	case *xquery.FunctionCall:
+		if x.Space == "fn" && x.Local == "data" && len(x.Args) == 1 {
+			return an.resolveOperand(x.Args[0], base, e, ctx)
+		}
+		if vi, ok := an.collectionCall(x); ok {
+			return pathInfo{known: true, collection: vi.collection, fromIndex: vi.fromIndex, occurrence: vi.occurrence}, true
+		}
+	case *xquery.VarRef:
+		if vi, ok := e[x.Name]; ok {
+			switch vi.kind {
+			case varScalar:
+				return pathInfo{isScalar: true, scalar: vi.scalar, scalarTable: vi.scalarTable, scalarColumn: vi.scalarColumn}, true
+			case varDoc:
+				return pathInfo{known: true, collection: vi.collection, fromIndex: vi.fromIndex, occurrence: vi.occurrence, steps: append([]pattern.Step(nil), vi.steps...)}, true
+			case varConstructed:
+				return pathInfo{constructed: true, consName: vi.consName}, true
+			}
+		}
+	}
+	return pathInfo{}, false
+}
+
+// literalOperand extracts a constant from an operand, if it is one.
+func literalOperand(ex xquery.Expr) (xdm.Value, CompType, bool) {
+	switch x := ex.(type) {
+	case *xquery.Literal:
+		return x.Value, xdmToComp(x.Value.T), true
+	case *xquery.CastExpr:
+		if lit, ok := x.Operand.(*xquery.Literal); ok {
+			v, err := lit.Value.Cast(x.Target)
+			if err != nil {
+				return xdm.Value{}, CompUnknown, false
+			}
+			return v, xdmToComp(x.Target), true
+		}
+	case *xquery.UnaryExpr:
+		if lit, ok := x.Operand.(*xquery.Literal); ok && lit.Value.T.IsNumeric() {
+			return xdm.NewDouble(-lit.Value.Number()), CompDouble, true
+		}
+	}
+	return xdm.Value{}, CompUnknown, false
+}
+
+// extractComparison turns one comparison into candidate predicates.
+func (an *analyzer) extractComparison(c *xquery.Comparison, base pathInfo, e env, ctx walkCtx) {
+	if c.Kind == xquery.NodeComp {
+		an.walk(c.Left, e, walkCtx{filtering: false, reason: "node comparison"})
+		an.walk(c.Right, e, walkCtx{filtering: false, reason: "node comparison"})
+		return
+	}
+	resolve := func(ex xquery.Expr) side {
+		if v, t, ok := literalOperand(ex); ok {
+			return side{lit: v, litType: t, isLit: true, hasValue: true}
+		}
+		info, _ := an.resolveOperand(ex, base, e, ctx)
+		if info.isScalar {
+			return side{litType: info.scalar, isLit: true, joinTable: info.scalarTable, joinColumn: info.scalarColumn}
+		}
+		if info.constructed {
+			an.a.warnf(9, "the comparison applies to content of the constructed <%s> element; write the predicate on the base data before construction so indexes can be used (§3.6)", info.consName.Local)
+			return side{}
+		}
+		return side{path: info, isPath: info.known && info.collection != ""}
+	}
+	l, r := resolve(c.Left), resolve(c.Right)
+	op := c.Op
+
+	emit := func(pathSide, otherSide side, op xdm.CompareOp) {
+		compType := comparisonType(c.Kind, pathSide, otherSide)
+		info := pathSide.path
+		pat, err := pattern.FromSteps(info.steps)
+		if err != nil || len(info.steps) == 0 {
+			return
+		}
+		var valPtr *xdm.Value
+		if otherSide.hasValue {
+			v := otherSide.lit
+			valPtr = &v
+		}
+		p := Predicate{
+			Collection:    info.collection,
+			FromIndex:     info.fromIndex,
+			Occurrence:    info.occurrence,
+			Steps:         info.steps,
+			Pattern:       pat,
+			Op:            op,
+			Value:         valPtr,
+			JoinTable:     otherSide.joinTable,
+			JoinColumn:    otherSide.joinColumn,
+			ValueComp:     c.Kind == xquery.ValueComp,
+			CompType:      compType,
+			Filtering:     ctx.filtering,
+			Reason:        ctx.reason,
+			SingletonItem: c.Kind == xquery.ValueComp || info.contextSelf || info.lastStepIsAttribute(),
+			Between:       -1,
+		}
+		p.Source = p.Describe()
+		an.a.Predicates = append(an.a.Predicates, p)
+	}
+
+	switch {
+	case l.isPath && r.isLit:
+		emit(l, r, op)
+	case r.isPath && l.isLit:
+		emit(r, l, mirrorOp(op))
+	case l.isPath && r.isPath:
+		// An XML-to-XML join: each side is a candidate without a value.
+		emit(l, r, op)
+		emit(r, l, mirrorOp(op))
+		if comparisonType(c.Kind, l, r) == CompUnknown {
+			an.a.warnf(1, "the join predicate %s %s %s has no compile-time type: with per-document schemas the comparison type cannot be derived, so no index is eligible; add xs:TYPE(.) casts to both sides (Tip 1)",
+				describeSteps(l.path.steps), c.Op.GeneralSymbol(), describeSteps(r.path.steps))
+		}
+	}
+}
+
+// side is one resolved comparison operand.
+type side struct {
+	path     pathInfo
+	isPath   bool
+	lit      xdm.Value
+	litType  CompType
+	isLit    bool // literal or SQL-typed scalar variable
+	hasValue bool // a concrete constant is available for probing
+	// joinTable/joinColumn reference the SQL column behind a scalar
+	// variable operand (for index semi-joins).
+	joinTable  string
+	joinColumn string
+}
+
+// comparisonType derives the compile-time comparison type (§3.1): the
+// engine trusts only information embedded in the query — typed constants,
+// casts, and SQL-typed variables — never column-level schemas, because
+// type annotations are per document and may conflict across documents.
+func comparisonType(kind xquery.CompKind, pathSide, other side) CompType {
+	nodeCast := pathSide.path.cast
+	var otherType CompType
+	switch {
+	case other.isLit:
+		otherType = other.litType
+	case other.isPath:
+		otherType = other.path.cast
+	default:
+		return CompUnknown
+	}
+
+	if kind == xquery.ValueComp {
+		// Value comparisons require both operands to have the same type
+		// after untypedAtomic casts to xs:string; a mismatch is a
+		// dynamic error, not a result. Definition 1 only needs
+		// equivalence on error-free executions, so the typed side
+		// (cast, literal, or SQL scalar) decides the comparison type —
+		// this is why the paper's `price gt 100` between form can use
+		// the double index (§3.10) and `id eq $pid` the varchar one
+		// (Query 13).
+		switch {
+		case nodeCast != CompUnknown && otherType != CompUnknown:
+			if nodeCast == otherType {
+				return nodeCast
+			}
+			return CompUnknown // always a type error
+		case nodeCast != CompUnknown:
+			return nodeCast
+		case otherType != CompUnknown:
+			return otherType
+		}
+		return CompUnknown
+	}
+
+	// General comparisons convert untyped operands to the other side's
+	// type (double when the other side is numeric).
+	switch {
+	case nodeCast != CompUnknown && otherType != CompUnknown:
+		if nodeCast == otherType {
+			return nodeCast
+		}
+		return CompUnknown
+	case nodeCast != CompUnknown && other.isLit:
+		return nodeCast
+	case nodeCast == CompUnknown && otherType != CompUnknown && other.isLit:
+		// Untyped node against a typed constant: the constant's type
+		// drives the conversion.
+		return otherType
+	case nodeCast == CompUnknown && otherType != CompUnknown && other.isPath:
+		// A cast on only one side of a node-to-node join is not enough:
+		// the uncast side's conversion still depends on per-document
+		// annotations.
+		return CompUnknown
+	}
+	return CompUnknown
+}
+
+func mirrorOp(op xdm.CompareOp) xdm.CompareOp {
+	switch op {
+	case xdm.OpLt:
+		return xdm.OpGt
+	case xdm.OpLe:
+		return xdm.OpGe
+	case xdm.OpGt:
+		return xdm.OpLt
+	case xdm.OpGe:
+		return xdm.OpLe
+	}
+	return op
+}
+
+// pairBetween links pairs of candidates recorded since index `from` that
+// form a single-range "between" (§3.10): same path, one lower and one
+// upper bound, and a provably singleton item.
+func (an *analyzer) pairBetween(from int) {
+	preds := an.a.Predicates
+	for i := from; i < len(preds); i++ {
+		if preds[i].Between >= 0 || preds[i].Value == nil || !preds[i].SingletonItem {
+			continue
+		}
+		for j := i + 1; j < len(preds); j++ {
+			if preds[j].Between >= 0 || preds[j].Value == nil || !preds[j].SingletonItem {
+				continue
+			}
+			if preds[i].Collection != preds[j].Collection ||
+				describeSteps(preds[i].Steps) != describeSteps(preds[j].Steps) {
+				continue
+			}
+			if isLowerBound(preds[i].Op) && isUpperBound(preds[j].Op) ||
+				isUpperBound(preds[i].Op) && isLowerBound(preds[j].Op) {
+				preds[i].Between = j
+				preds[j].Between = i
+				break
+			}
+		}
+	}
+}
+
+func isLowerBound(op xdm.CompareOp) bool { return op == xdm.OpGt || op == xdm.OpGe }
+func isUpperBound(op xdm.CompareOp) bool { return op == xdm.OpLt || op == xdm.OpLe }

@@ -1,0 +1,369 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/xqdb/xqdb/internal/sqlxml"
+	"github.com/xqdb/xqdb/internal/storage"
+	"github.com/xqdb/xqdb/internal/xdm"
+	"github.com/xqdb/xqdb/internal/xquery"
+)
+
+// sqlScope resolves column references to FROM positions and types during
+// SQL analysis.
+type sqlScope struct {
+	cat   *storage.Catalog
+	items []sqlScopeItem
+}
+
+type sqlScopeItem struct {
+	alias string
+	table *storage.Table // nil for XMLTable items
+}
+
+// resolveColumn finds (fromIndex, column) for a reference.
+func (s *sqlScope) resolveColumn(cr *sqlxml.ColRef) (int, storage.Column, bool) {
+	for i, it := range s.items {
+		if it.table == nil {
+			continue
+		}
+		if cr.Table != "" && !strings.EqualFold(it.alias, cr.Table) {
+			continue
+		}
+		for _, col := range it.table.Columns {
+			if strings.EqualFold(col.Name, cr.Column) {
+				return i, col, true
+			}
+		}
+	}
+	return 0, storage.Column{}, false
+}
+
+// AnalyzeSQL analyzes a SQL statement against the catalog, extracting
+// XML-index candidates from the embedded XQuery expressions and SQL-side
+// relational-index opportunities, and detecting the §3.2/§3.3 pitfalls.
+func AnalyzeSQL(stmt sqlxml.Statement, cat *storage.Catalog) (*Analysis, error) {
+	out := &Analysis{}
+	switch s := stmt.(type) {
+	case *sqlxml.Select:
+		return analyzeSelect(s, cat)
+	case *sqlxml.Values:
+		// VALUES(XMLQuery(...)): whole-column xmlcolumn access inside is
+		// filtering for the paths it returns (Query 6): documents with
+		// no qualifying node contribute nothing to the result sequence.
+		for _, ex := range s.Exprs {
+			if xq, ok := ex.(*sqlxml.XMLQueryExpr); ok {
+				sub := AnalyzeXQuery(xq.Module, nil, true, "")
+				merge(out, sub)
+			}
+		}
+		return out, nil
+	default:
+		return out, nil
+	}
+}
+
+func merge(dst, src *Analysis) {
+	base := len(dst.Predicates)
+	for _, p := range src.Predicates {
+		if p.Between >= 0 {
+			p.Between += base
+		}
+		dst.Predicates = append(dst.Predicates, p)
+	}
+	dst.Warnings = append(dst.Warnings, src.Warnings...)
+	dst.RelPredicates = append(dst.RelPredicates, src.RelPredicates...)
+}
+
+func analyzeSelect(sel *sqlxml.Select, cat *storage.Catalog) (*Analysis, error) {
+	out := &Analysis{}
+	scope := &sqlScope{cat: cat}
+	for _, fi := range sel.From {
+		switch f := fi.(type) {
+		case *sqlxml.FromTable:
+			tab, err := cat.Table(f.Table)
+			if err != nil {
+				return nil, err
+			}
+			scope.items = append(scope.items, sqlScopeItem{alias: f.Alias, table: tab})
+		case *sqlxml.FromXMLTable:
+			scope.items = append(scope.items, sqlScopeItem{alias: f.Alias})
+		}
+	}
+
+	// XMLTable row-producers filter (they determine the output
+	// cardinality); their column PATH expressions never do (§3.2).
+	for _, fi := range sel.From {
+		xt, ok := fi.(*sqlxml.FromXMLTable)
+		if !ok {
+			continue
+		}
+		vars, err := passingSources(xt.Passing, scope, out)
+		if err != nil {
+			return nil, err
+		}
+		merge(out, AnalyzeXQuery(xt.RowModule, vars, true, ""))
+		rowPath, _ := ResultPath(xt.RowModule, vars)
+		for _, col := range xt.Columns {
+			before := len(out.Predicates)
+			colA := AnalyzeXQueryContext(col.PathModule, vars, rowPath, false,
+				"XMLTable column expressions compute values, not rows: an empty result becomes a NULL column value (Tip 4)")
+			merge(out, colA)
+			for _, p := range out.Predicates[before:] {
+				if p.Value != nil {
+					out.warnf(4, "the predicate %s sits in XMLTable column %q, where an empty result yields NULL instead of dropping the row; move it into the row-producing expression (Tip 4)", p.Source, col.Name)
+					break
+				}
+			}
+		}
+	}
+
+	// Select-list XMLQuery never eliminates rows (Query 5, Tip 2).
+	hasWhereExists := whereHasXMLExists(sel.Where)
+	for _, item := range sel.Items {
+		if xq, ok := item.Expr.(*sqlxml.XMLQueryExpr); ok {
+			vars, err := passingSources(xq.Passing, scope, out)
+			if err != nil {
+				return nil, err
+			}
+			before := len(out.Predicates)
+			merge(out, AnalyzeXQuery(xq.Module, vars, false,
+				"XMLQuery in the select list returns a value for every row of the FROM clause, even the empty sequence (Tip 2)"))
+			if !hasWhereExists {
+				for _, p := range out.Predicates[before:] {
+					if p.Value != nil {
+						out.warnf(2, "XMLQuery in the select list contains predicate %s but nothing restricts the rows; if only XML fragments are wanted, use the stand-alone XQuery interface (Tip 2), or add a matching XMLExists to the WHERE clause (Tip 3)", p.Source)
+						break
+					}
+				}
+			}
+		}
+	}
+
+	if sel.Where != nil {
+		if err := analyzeSQLWhere(sel.Where, scope, out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func whereHasXMLExists(ex sqlxml.Expr) bool {
+	switch x := ex.(type) {
+	case *sqlxml.XMLExistsExpr:
+		return true
+	case *sqlxml.Logical:
+		return whereHasXMLExists(x.Left) || whereHasXMLExists(x.Right)
+	case *sqlxml.Not:
+		return whereHasXMLExists(x.Operand)
+	}
+	return false
+}
+
+// analyzeSQLWhere walks the WHERE clause. Only top-level conjuncts can
+// install pre-filters; disjunctions and negations analyze as
+// non-filtering.
+func analyzeSQLWhere(ex sqlxml.Expr, scope *sqlScope, out *Analysis) error {
+	switch x := ex.(type) {
+	case *sqlxml.Logical:
+		if x.Op == "and" {
+			if err := analyzeSQLWhere(x.Left, scope, out); err != nil {
+				return err
+			}
+			return analyzeSQLWhere(x.Right, scope, out)
+		}
+		// OR: analyze both sides, demoting their predicates.
+		before := len(out.Predicates)
+		beforeRel := len(out.RelPredicates)
+		if err := analyzeSQLWhere(x.Left, scope, out); err != nil {
+			return err
+		}
+		if err := analyzeSQLWhere(x.Right, scope, out); err != nil {
+			return err
+		}
+		for i := before; i < len(out.Predicates); i++ {
+			out.Predicates[i].Filtering = false
+			out.Predicates[i].Reason = "the predicate is one branch of an OR; it cannot pre-filter alone"
+		}
+		for i := beforeRel; i < len(out.RelPredicates); i++ {
+			out.RelPredicates[i].Filtering = false
+		}
+		return nil
+	case *sqlxml.Not:
+		before := len(out.Predicates)
+		beforeRel := len(out.RelPredicates)
+		if err := analyzeSQLWhere(x.Operand, scope, out); err != nil {
+			return err
+		}
+		for i := before; i < len(out.Predicates); i++ {
+			out.Predicates[i].Filtering = false
+			out.Predicates[i].Reason = "the predicate is negated"
+		}
+		for i := beforeRel; i < len(out.RelPredicates); i++ {
+			out.RelPredicates[i].Filtering = false
+		}
+		return nil
+	case *sqlxml.XMLExistsExpr:
+		vars, err := passingSources(x.Passing, scope, out)
+		if err != nil {
+			return err
+		}
+		if isBooleanBody(x.Module.Body) {
+			msg := "the XQuery expression inside XMLExists returns a boolean, which is always a non-empty sequence: XMLExists never eliminates any rows here (Query 9); embed the comparison in an XPath predicate or FLWOR instead (Tip 3)"
+			if fixed, ok := rewriteBooleanPredicate(x.Module.Body); ok {
+				msg += fmt.Sprintf("; suggested rewrite: XMLExists('%s' ...)", fixed)
+			}
+			out.warnf(3, msg)
+			merge(out, AnalyzeXQuery(x.Module, vars, false,
+				"XMLExists over a boolean expression is always true: a one-item sequence is non-empty (Tip 3)"))
+			return nil
+		}
+		merge(out, AnalyzeXQuery(x.Module, vars, true, ""))
+		return nil
+	case *sqlxml.Compare:
+		return analyzeSQLCompare(x, scope, out)
+	}
+	return nil
+}
+
+// rewriteBooleanPredicate turns the Query 9 shape — a comparison whose
+// left side is a multi-step path — into the filtering form the paper
+// recommends: `$o//lineitem/@price > 100` becomes
+// `$o//lineitem[@price > 100]`.
+func rewriteBooleanPredicate(body xquery.Expr) (string, bool) {
+	cmp, ok := body.(*xquery.Comparison)
+	if !ok || cmp.Kind == xquery.NodeComp {
+		return "", false
+	}
+	path, ok := cmp.Left.(*xquery.PathExpr)
+	if !ok || len(path.Steps) < 2 {
+		return "", false
+	}
+	last := path.Steps[len(path.Steps)-1]
+	if last.Axis == xquery.AxisNone || len(last.Predicates) > 0 {
+		return "", false
+	}
+	outer := &xquery.PathExpr{
+		Rooted: path.Rooted,
+		Start:  path.Start,
+		Steps:  append([]xquery.Step(nil), path.Steps[:len(path.Steps)-1]...),
+	}
+	inner := &xquery.Comparison{
+		Kind: cmp.Kind, Op: cmp.Op, NodeOp: cmp.NodeOp,
+		Left:  &xquery.PathExpr{Steps: []xquery.Step{last}},
+		Right: cmp.Right,
+	}
+	hostIdx := len(outer.Steps) - 1
+	host := outer.Steps[hostIdx]
+	host.Predicates = append(append([]xquery.Expr(nil), host.Predicates...), inner)
+	outer.Steps[hostIdx] = host
+	return xquery.Unparse(outer), true
+}
+
+// isBooleanBody reports whether an XQuery body is a boolean-valued
+// expression (the Query 9 shape) rather than a node-returning one.
+func isBooleanBody(ex xquery.Expr) bool {
+	switch x := ex.(type) {
+	case *xquery.Comparison:
+		return true
+	case *xquery.BinaryExpr:
+		return x.Op == "and" || x.Op == "or"
+	case *xquery.Quantified:
+		return true
+	case *xquery.FunctionCall:
+		switch x.Space + ":" + x.Local {
+		case "fn:true", "fn:false", "fn:not", "fn:boolean", "fn:exists", "fn:empty", "fn:contains", "fn:starts-with", "fn:ends-with":
+			return true
+		}
+	}
+	return false
+}
+
+// analyzeSQLCompare handles SQL-side comparisons: relational-index
+// opportunities and the §3.3 join-side diagnostics.
+func analyzeSQLCompare(cmp *sqlxml.Compare, scope *sqlScope, out *Analysis) error {
+	lCol, lIsCol := cmp.Left.(*sqlxml.ColRef)
+	rCol, rIsCol := cmp.Right.(*sqlxml.ColRef)
+	_, lIsCast := cmp.Left.(*sqlxml.XMLCastExpr)
+	_, rIsCast := cmp.Right.(*sqlxml.XMLCastExpr)
+
+	record := func(cr *sqlxml.ColRef, value *xdm.Value) {
+		if fi, col, ok := scope.resolveColumn(cr); ok && col.Type != storage.XML {
+			out.RelPredicates = append(out.RelPredicates, RelPredicate{
+				Table: tableOf(scope, cr), Column: col.Name, Op: cmp.Op,
+				Value: value, FromIndex: fi, Filtering: true,
+			})
+		}
+	}
+	litOf := func(ex sqlxml.Expr) *xdm.Value {
+		if l, ok := ex.(*sqlxml.Literal); ok {
+			v := l.V
+			return &v
+		}
+		return nil
+	}
+	switch {
+	case lIsCast && rIsCast:
+		// Query 15: both sides extract from XML with SQL comparison —
+		// no XML index (SQL comparison semantics) and no relational
+		// index (no stored column).
+		out.warnf(6, "the join compares two XMLCast(XMLQuery(...)) values with a SQL operator: neither an XML index (SQL comparison semantics differ from XQuery) nor a relational index (no stored column) is eligible; express the join in XQuery inside XMLExists with explicit casts (Tip 6, Query 16)")
+	case (lIsCol && rIsCast) || (rIsCol && lIsCast):
+		// Query 14: relational column against XMLCast — the relational
+		// index on the column is eligible; warn about cardinality.
+		cr := lCol
+		if rIsCol {
+			cr = rCol
+		}
+		record(cr, nil)
+		out.warnf(5, "the join condition is on the SQL side: only a relational index on %s is eligible, and XMLCast raises a type error if the XQuery result is not a singleton or overflows the target type (Query 14); express the condition in XQuery if an XML index exists (Tip 5)", cr.Column)
+	case lIsCol && !rIsCol:
+		record(lCol, litOf(cmp.Right))
+	case rIsCol && !lIsCol:
+		record(rCol, litOf(cmp.Left))
+	case lIsCol && rIsCol:
+		record(lCol, nil)
+		record(rCol, nil)
+	}
+	return nil
+}
+
+func tableOf(scope *sqlScope, cr *sqlxml.ColRef) string {
+	if i, _, ok := scope.resolveColumn(cr); ok && scope.items[i].table != nil {
+		return scope.items[i].table.Name
+	}
+	return cr.Table
+}
+
+// passingSources converts PASSING bindings to analyzer Sources: XML
+// columns become document sources bound to their table's FROM position;
+// scalar columns carry their SQL-derived comparison type (§3.3).
+func passingSources(items []sqlxml.PassItem, scope *sqlScope, out *Analysis) (map[string]Source, error) {
+	vars := map[string]Source{}
+	for _, it := range items {
+		cr, ok := it.Expr.(*sqlxml.ColRef)
+		if !ok {
+			vars[it.As] = Source{Scalar: CompUnknown}
+			continue
+		}
+		fi, col, ok := scope.resolveColumn(cr)
+		if !ok {
+			return nil, fmt.Errorf("unknown column %s in PASSING clause", cr.Column)
+		}
+		if col.Type == storage.XML {
+			vars[it.As] = Source{
+				IsDoc:      true,
+				Collection: scope.items[fi].table.Name + "." + strings.ToLower(col.Name),
+				FromIndex:  fi,
+			}
+		} else {
+			vars[it.As] = Source{
+				Scalar:       xdmToComp(col.Type.XDMType()),
+				ScalarTable:  scope.items[fi].table.Name,
+				ScalarColumn: strings.ToLower(col.Name),
+			}
+		}
+	}
+	return vars, nil
+}

@@ -1,0 +1,373 @@
+package core
+
+import (
+	"strings"
+
+	"github.com/xqdb/xqdb/internal/pattern"
+	"github.com/xqdb/xqdb/internal/xdm"
+	"github.com/xqdb/xqdb/internal/xquery"
+)
+
+// Source describes an external variable of an analyzed XQuery module (the
+// SQL/XML PASSING clause, §3.3): either a document from an XML column or a
+// typed SQL scalar ("the $pid variable inherits its subtype from the SQL
+// side").
+type Source struct {
+	IsDoc      bool
+	Collection string // "table.column", lower case
+	FromIndex  int    // SQL FROM position; -1 outside SQL
+	Scalar     CompType
+	// ScalarTable/ScalarColumn identify the SQL column behind a scalar
+	// variable, enabling index semi-joins (probe the XML index once per
+	// distinct column value).
+	ScalarTable  string
+	ScalarColumn string
+}
+
+// varKind classifies what an in-scope variable is bound to.
+type varKind uint8
+
+const (
+	varOpaque varKind = iota
+	varDoc            // a node sequence reached by navigation from a collection
+	varScalar
+	varConstructed
+)
+
+type varInfo struct {
+	kind         varKind
+	collection   string
+	fromIndex    int
+	occurrence   int
+	steps        []pattern.Step
+	scalar       CompType
+	scalarTable  string
+	scalarColumn string
+	consName     xdm.QName
+	fromLet      bool
+	letPreds     []int // candidate indices recorded while analyzing the let binding
+}
+
+type analyzer struct {
+	a *Analysis
+	// ctxBase is the navigation the module's context item carries
+	// (XMLTable column expressions run with each row-producer item as
+	// context; §3.2).
+	ctxBase pathInfo
+	// occCounter issues binding-occurrence identifiers.
+	occCounter int
+}
+
+func (an *analyzer) nextOcc() int {
+	an.occCounter++
+	return an.occCounter
+}
+
+type walkCtx struct {
+	filtering bool
+	reason    string // why not filtering
+}
+
+type env map[string]varInfo
+
+func (e env) with(name string, vi varInfo) env {
+	out := make(env, len(e)+1)
+	for k, v := range e {
+		out[k] = v
+	}
+	out[name] = vi
+	return out
+}
+
+// AnalyzeXQuery analyzes a module whose external variables are described
+// by vars. filtering tells whether the module's result participates in
+// row/document elimination at its call site (true for stand-alone XQuery
+// and XMLExists/XMLTable row-producers; false for XMLQuery in a select
+// list and XMLTable column expressions). reason explains a false value.
+func AnalyzeXQuery(m *xquery.Module, vars map[string]Source, filtering bool, reason string) *Analysis {
+	return AnalyzeXQueryContext(m, vars, nil, filtering, reason)
+}
+
+// ContextPath describes the navigation behind a module's initial context
+// item, for expressions evaluated per item of an outer query (XMLTable
+// column PATH expressions).
+type ContextPath struct {
+	Collection string
+	FromIndex  int
+	Steps      []pattern.Step
+}
+
+// AnalyzeXQueryContext is AnalyzeXQuery for modules whose context item is
+// bound externally.
+func AnalyzeXQueryContext(m *xquery.Module, vars map[string]Source, cp *ContextPath, filtering bool, reason string) *Analysis {
+	an := &analyzer{a: &Analysis{}}
+	if cp != nil {
+		an.ctxBase = pathInfo{known: true, collection: cp.Collection, fromIndex: cp.FromIndex, steps: cp.Steps}
+	}
+	e := env{}
+	for name, src := range vars {
+		if src.IsDoc {
+			e[name] = varInfo{kind: varDoc, collection: strings.ToLower(src.Collection), fromIndex: src.FromIndex, occurrence: an.nextOcc()}
+		} else {
+			e[name] = varInfo{kind: varScalar, scalar: src.Scalar, scalarTable: src.ScalarTable, scalarColumn: src.ScalarColumn}
+		}
+	}
+	an.walk(m.Body, e, walkCtx{filtering: filtering, reason: reason})
+	return an.a
+}
+
+// ResultPath resolves the navigation a module's result performs, when the
+// body is a plain path expression. It is how the SQL analyzer derives the
+// context of XMLTable column expressions from the row-producer.
+func ResultPath(m *xquery.Module, vars map[string]Source) (*ContextPath, bool) {
+	p, ok := m.Body.(*xquery.PathExpr)
+	if !ok {
+		return nil, false
+	}
+	an := &analyzer{a: &Analysis{}}
+	e := env{}
+	for name, src := range vars {
+		if src.IsDoc {
+			e[name] = varInfo{kind: varDoc, collection: strings.ToLower(src.Collection), fromIndex: src.FromIndex, occurrence: an.nextOcc()}
+		} else {
+			e[name] = varInfo{kind: varScalar, scalar: src.Scalar, scalarTable: src.ScalarTable, scalarColumn: src.ScalarColumn}
+		}
+	}
+	info, ok := an.resolvePath(p, e, walkCtx{}, false)
+	if !ok || info.collection == "" {
+		return nil, false
+	}
+	return &ContextPath{Collection: info.collection, FromIndex: info.fromIndex, Steps: info.steps}, true
+}
+
+// walk analyzes an expression in bind-out position: its own emptiness
+// propagates to the caller, so path predicates filter when ctx does.
+func (an *analyzer) walk(ex xquery.Expr, e env, ctx walkCtx) {
+	switch x := ex.(type) {
+	case *xquery.FLWOR:
+		an.walkFLWOR(x, e, ctx)
+	case *xquery.PathExpr:
+		an.resolvePath(x, e, ctx, true)
+	case *xquery.SequenceExpr:
+		// Sequence concatenation discards empty sequences (§3.4), so
+		// each operand keeps the surrounding context.
+		for _, it := range x.Items {
+			an.walk(it, e, ctx)
+		}
+	case *xquery.ElementConstructor:
+		// Construction preserves empties as empty content: nothing in
+		// the content can filter (§3.4 Query 19, Tip 7).
+		inner := walkCtx{filtering: false, reason: "the predicate is inside an element constructor, which returns a (possibly empty) element for every binding (Tip 7)"}
+		hadFiltering := ctx.filtering
+		before := len(an.a.Predicates)
+		for _, ac := range x.Attrs {
+			for _, part := range ac.Parts {
+				if _, ok := part.(*xquery.TextLiteral); !ok {
+					an.walk(part, e, inner)
+				}
+			}
+		}
+		for _, c := range x.Content {
+			if _, ok := c.(*xquery.TextLiteral); ok {
+				continue
+			}
+			an.walk(c, e, inner)
+		}
+		if hadFiltering {
+			for _, p := range an.a.Predicates[before:] {
+				if p.Value != nil {
+					an.a.warnf(7, "predicate %s is embedded in the <%s> constructor: an empty element is returned for non-qualifying nodes and no index can be used; move the predicate out of the constructor unless the empty element is intended", p.Source, x.Name.Local)
+					break
+				}
+			}
+		}
+	case *xquery.IfExpr:
+		an.walkPredicateExpr(x.Cond, pathInfo{}, e, ctx)
+		an.walk(x.Then, e, walkCtx{filtering: false, reason: "conditional branch"})
+		an.walk(x.Else, e, walkCtx{filtering: false, reason: "conditional branch"})
+	case *xquery.Comparison:
+		// A bare comparison returns a boolean — it never eliminates
+		// anything by emptiness (the Query 9 XMLExists pitfall is
+		// handled by the SQL analyzer, which sets ctx accordingly).
+		an.walkPredicateExpr(x, pathInfo{}, e, ctx)
+	case *xquery.BinaryExpr:
+		an.walkPredicateExpr(x, pathInfo{}, e, ctx)
+	case *xquery.Quantified:
+		an.walkQuantified(x, e, ctx)
+	case *xquery.CastExpr:
+		an.walk(x.Operand, e, ctx)
+	case *xquery.TreatExpr:
+		an.walk(x.Operand, e, ctx)
+	case *xquery.FunctionCall:
+		for _, arg := range x.Args {
+			an.walk(arg, e, walkCtx{filtering: false, reason: "function argument"})
+		}
+	case *xquery.UnaryExpr:
+		an.walk(x.Operand, e, ctx)
+	}
+}
+
+func (an *analyzer) walkFLWOR(f *xquery.FLWOR, e env, ctx walkCtx) {
+	letVars := map[string][]int{}
+	for _, cl := range f.Clauses {
+		switch cl.Kind {
+		case xquery.ForClause:
+			// An iterator produces no result for an empty sequence, so
+			// predicates in a for-binding path filter whenever the
+			// FLWOR itself does (§3.4).
+			vi, _ := an.bindingInfo(cl.Expr, e, ctx)
+			e = e.with(cl.Var, vi)
+			if cl.PosVar != "" {
+				e = e.with(cl.PosVar, varInfo{kind: varScalar, scalar: CompDouble})
+			}
+		case xquery.LetClause:
+			// A let-binding preserves the empty sequence: candidates
+			// recorded here are non-filtering unless a where clause
+			// rescues them (§3.4 Query 21).
+			before := len(an.a.Predicates)
+			letCtx := walkCtx{filtering: false, reason: "a let clause binds the empty sequence instead of eliminating it (§3.4); add a where clause on the bound variable"}
+			vi, _ := an.bindingInfo(cl.Expr, e, letCtx)
+			vi.fromLet = true
+			for i := before; i < len(an.a.Predicates); i++ {
+				vi.letPreds = append(vi.letPreds, i)
+			}
+			letVars[cl.Var] = vi.letPreds
+			e = e.with(cl.Var, vi)
+		}
+	}
+	if f.Where != nil {
+		// The where clause eliminates binding tuples: comparisons there
+		// filter, and any let variable it tests in an empty-eliminating
+		// way has its binding predicates upgraded.
+		an.walkPredicateExpr(f.Where, pathInfo{}, e, ctx)
+		for _, name := range emptyEliminatedVars(f.Where) {
+			if preds, ok := letVars[name]; ok {
+				for _, pi := range preds {
+					an.a.Predicates[pi].Filtering = ctx.filtering
+					an.a.Predicates[pi].Reason = ""
+					if !ctx.filtering {
+						an.a.Predicates[pi].Reason = ctx.reason
+					}
+				}
+			}
+		}
+	}
+	for _, spec := range f.OrderBy {
+		an.walk(spec.Key, e, walkCtx{filtering: false, reason: "order-by key"})
+	}
+	an.walk(f.Return, e, ctx)
+}
+
+// bindingInfo resolves a binding expression to a varInfo, analyzing any
+// embedded predicates under ctx.
+func (an *analyzer) bindingInfo(ex xquery.Expr, e env, ctx walkCtx) (varInfo, bool) {
+	switch x := ex.(type) {
+	case *xquery.PathExpr:
+		info, ok := an.resolvePath(x, e, ctx, true)
+		if !ok {
+			return varInfo{}, false
+		}
+		return varInfo{kind: varDoc, collection: info.collection, fromIndex: info.fromIndex, occurrence: info.occurrence, steps: info.steps}, true
+	case *xquery.FunctionCall:
+		if info, ok := an.collectionCall(x); ok {
+			return info, true
+		}
+	case *xquery.ElementConstructor:
+		an.walk(x, e, ctx)
+		return varInfo{kind: varConstructed, consName: x.Name}, true
+	case *xquery.VarRef:
+		if vi, ok := e[x.Name]; ok {
+			return vi, true
+		}
+	case *xquery.FLWOR:
+		// Nested FLWOR: analyze it; if its return is a constructor, the
+		// outer variable ranges over constructed elements (Query 24).
+		an.walkFLWOR(x, e, ctx)
+		if cons, ok := x.Return.(*xquery.ElementConstructor); ok {
+			return varInfo{kind: varConstructed, consName: cons.Name}, true
+		}
+	default:
+		an.walk(ex, e, ctx)
+	}
+	return varInfo{}, false
+}
+
+// collectionCall recognizes db2-fn:xmlcolumn('T.C') and its portable
+// alias fn:collection('T.C').
+func (an *analyzer) collectionCall(fc *xquery.FunctionCall) (varInfo, bool) {
+	isXMLColumn := fc.Space == "db2-fn" && fc.Local == "xmlcolumn"
+	isCollection := fc.Space == "fn" && fc.Local == "collection"
+	if (!isXMLColumn && !isCollection) || len(fc.Args) != 1 {
+		return varInfo{}, false
+	}
+	lit, ok := fc.Args[0].(*xquery.Literal)
+	if !ok || lit.Value.T != xdm.String {
+		return varInfo{}, false
+	}
+	return varInfo{kind: varDoc, collection: strings.ToLower(lit.Value.S), fromIndex: -1, occurrence: an.nextOcc()}, true
+}
+
+// emptyEliminatedVars returns the let variables a where-clause tests in a
+// way that eliminates empty sequences: as a comparison operand or under
+// fn:exists.
+func emptyEliminatedVars(ex xquery.Expr) []string {
+	var out []string
+	var visit func(xquery.Expr)
+	operandVar := func(e xquery.Expr) {
+		switch v := e.(type) {
+		case *xquery.VarRef:
+			out = append(out, v.Name)
+		case *xquery.PathExpr:
+			if vr, ok := v.Start.(*xquery.VarRef); ok {
+				out = append(out, vr.Name)
+			}
+			if len(v.Steps) > 0 && v.Steps[0].Axis == xquery.AxisNone {
+				if vr, ok := v.Steps[0].Filter.(*xquery.VarRef); ok {
+					out = append(out, vr.Name)
+				}
+			}
+		case *xquery.CastExpr:
+			// handled below via recursion
+		}
+	}
+	visit = func(e xquery.Expr) {
+		switch x := e.(type) {
+		case *xquery.Comparison:
+			operandVar(x.Left)
+			operandVar(x.Right)
+			if c, ok := x.Left.(*xquery.CastExpr); ok {
+				operandVar(c.Operand)
+			}
+			if c, ok := x.Right.(*xquery.CastExpr); ok {
+				operandVar(c.Operand)
+			}
+		case *xquery.BinaryExpr:
+			if x.Op == "and" {
+				visit(x.Left)
+				visit(x.Right)
+			}
+		case *xquery.FunctionCall:
+			if x.Space == "fn" && x.Local == "exists" && len(x.Args) == 1 {
+				operandVar(x.Args[0])
+			}
+		}
+	}
+	visit(ex)
+	return out
+}
+
+func (an *analyzer) walkQuantified(q *xquery.Quantified, e env, ctx walkCtx) {
+	inner := e
+	for _, b := range q.Bindings {
+		vi, _ := an.bindingInfo(b.Expr, inner, ctx)
+		inner = inner.with(b.Var, vi)
+	}
+	// `some` is an existential filter: its satisfies-clause predicates
+	// filter if the quantifier itself is in filtering position. `every`
+	// is not (an empty binding sequence satisfies it).
+	sctx := ctx
+	if q.Every {
+		sctx = walkCtx{filtering: false, reason: "an 'every' quantifier is satisfied by empty sequences"}
+	}
+	an.walkPredicateExpr(q.Satisfies, pathInfo{}, inner, sctx)
+}

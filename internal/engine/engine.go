@@ -1,0 +1,609 @@
+// Package engine wires the pieces together: it parses queries, runs the
+// eligibility analysis (internal/core), probes eligible XML indexes to
+// build document pre-filters per Definition 1, and executes the query
+// over the pre-filtered collections. Because the executor re-evaluates
+// the full query on the surviving documents, an unsound eligibility
+// decision would surface as a correctness bug, which the test suite
+// checks by comparing filtered and unfiltered runs.
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/xqdb/xqdb/internal/core"
+	"github.com/xqdb/xqdb/internal/sqlxml"
+	"github.com/xqdb/xqdb/internal/storage"
+	"github.com/xqdb/xqdb/internal/xdm"
+	"github.com/xqdb/xqdb/internal/xmlindex"
+	"github.com/xqdb/xqdb/internal/xquery"
+)
+
+// Engine is one database instance.
+type Engine struct {
+	Catalog *storage.Catalog
+	exec    *sqlxml.Executor
+}
+
+// New returns an empty database.
+func New() *Engine {
+	cat := storage.NewCatalog()
+	return &Engine{
+		Catalog: cat,
+		exec:    &sqlxml.Executor{Catalog: cat, Coll: cat},
+	}
+}
+
+// Stats reports what the planner and executor did for one query.
+type Stats struct {
+	// IndexesUsed lists "index(probe)" descriptions, one per probe.
+	IndexesUsed []string
+	// Probes and KeysVisited total the index work.
+	Probes      int
+	KeysVisited int
+	// DocsTotal and DocsScanned compare the collection size with the
+	// documents that survived pre-filtering (equal when no index was
+	// used).
+	DocsTotal   int
+	DocsScanned int
+	// RowsScanned is the SQL executor's base-row count.
+	RowsScanned int
+}
+
+// probePlan is one planned index probe. A semi-join plan carries the
+// distinct join values; its document set is the union of one equality
+// probe per value.
+type probePlan struct {
+	index      *xmlindex.Index
+	probe      xmlindex.Probe
+	semiValues []xdm.Value
+	label      string
+	table      *storage.Table
+	forRow     int // FROM index; -1 = collection-level
+	coll       string
+	occ        int
+}
+
+// planProbes turns the analysis into index probes. For each filtering
+// predicate it picks the first eligible index on the owning table.
+func (e *Engine) planProbes(a *core.Analysis) ([]probePlan, error) {
+	var plans []probePlan
+	consumed := map[int]bool{}
+	// A structural (existence) probe scans the index's full value range;
+	// it is pure overhead when a value predicate of the same binding
+	// occurrence already pre-filters a subset.
+	type occ struct {
+		coll string
+		row  int
+		o    int
+	}
+	hasValueProbe := map[occ]bool{}
+	for _, p := range a.Predicates {
+		if p.Filtering && p.Value != nil {
+			hasValueProbe[occ{p.Collection, p.FromIndex, p.Occurrence}] = true
+		}
+	}
+	for pi, p := range a.Predicates {
+		if !p.Filtering || consumed[pi] {
+			continue
+		}
+		if p.Value == nil && p.Op == 0 && hasValueProbe[occ{p.Collection, p.FromIndex, p.Occurrence}] {
+			continue
+		}
+		dot := strings.IndexByte(p.Collection, '.')
+		if dot < 0 {
+			continue
+		}
+		tab, err := e.Catalog.Table(p.Collection[:dot])
+		if err != nil {
+			continue // collection may not exist (dynamic names)
+		}
+		column := p.Collection[dot+1:]
+		for _, xi := range tab.XMLIndexes(column) {
+			verdict := core.CheckIndex(xi.Name, xi.Index.Pattern, indexCompat(xi.Index.Type), p)
+			if !verdict.Eligible {
+				continue
+			}
+			if p.Value == nil && p.JoinColumn != "" && p.Op == xdm.OpEq {
+				// Index semi-join (Query 13): probe once per distinct
+				// value of the SQL column the comparison references.
+				if pl, ok := e.buildSemiJoinPlan(p, xi, tab); ok {
+					plans = append(plans, pl)
+				}
+				break
+			}
+			probe, label, partner := buildProbe(p, pi, a)
+			if probe == nil {
+				break
+			}
+			if partner >= 0 {
+				consumed[partner] = true
+			}
+			plans = append(plans, probePlan{
+				index: xi.Index, probe: *probe,
+				label: fmt.Sprintf("%s(%s)", xi.Name, label),
+				table: tab, forRow: p.FromIndex, coll: p.Collection, occ: p.Occurrence,
+			})
+			break
+		}
+	}
+	return plans, nil
+}
+
+// indexCompat adapts the storage index type to the analyzer's view.
+func indexCompat(t xmlindex.Type) xmlindex.Type { return t }
+
+// semiJoinCap bounds the number of distinct values a semi-join probes;
+// larger joins fall back to scans.
+const semiJoinCap = 4096
+
+// buildSemiJoinPlan gathers the distinct values of the join column for a
+// Query 13-style predicate (XML path compared with a SQL scalar variable)
+// and plans one equality probe per value.
+func (e *Engine) buildSemiJoinPlan(p core.Predicate, xi *storage.XMLIndex, tab *storage.Table) (probePlan, bool) {
+	joinTab, err := e.Catalog.Table(p.JoinTable)
+	if err != nil {
+		return probePlan{}, false
+	}
+	ci, err := joinTab.ColumnIndex(p.JoinColumn)
+	if err != nil {
+		return probePlan{}, false
+	}
+	seen := map[string]bool{}
+	var values []xdm.Value
+	for _, row := range joinTab.Rows() {
+		cell := row.Cells[ci]
+		if cell.Null {
+			continue
+		}
+		key := cell.V.Lexical()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		values = append(values, cell.V)
+		if len(values) > semiJoinCap {
+			return probePlan{}, false
+		}
+	}
+	return probePlan{
+		index:      xi.Index,
+		probe:      xmlindex.Probe{QueryPattern: p.Pattern},
+		semiValues: values,
+		label: fmt.Sprintf("%s(semi-join %s in %s.%s, %d values)",
+			xi.Name, p.Pattern, p.JoinTable, p.JoinColumn, len(values)),
+		table: tab, forRow: p.FromIndex, coll: p.Collection, occ: p.Occurrence,
+	}, true
+}
+
+// buildProbe converts a predicate (and its between partner, if any) to an
+// index probe. It returns nil when the operator cannot probe (e.g. !=).
+func buildProbe(p core.Predicate, pi int, a *core.Analysis) (*xmlindex.Probe, string, int) {
+	probe := &xmlindex.Probe{QueryPattern: p.Pattern}
+	if p.Value == nil {
+		// Structural probe: full range.
+		return probe, "structural " + p.Pattern.String(), -1
+	}
+	r, ok := opRange(p.Op, *p.Value)
+	if !ok {
+		return nil, "", -1
+	}
+	label := fmt.Sprintf("%s %s %s", p.Pattern, p.Op.GeneralSymbol(), p.Value.Lexical())
+	partner := -1
+	if p.Between >= 0 && p.Between < len(a.Predicates) {
+		// §3.10: merge the partner bound into a single range scan.
+		q := a.Predicates[p.Between]
+		if q.Value != nil {
+			r2, ok2 := opRange(q.Op, *q.Value)
+			if ok2 {
+				if r.Lo == nil {
+					r.Lo, r.LoInc = r2.Lo, r2.LoInc
+				} else {
+					r.Hi, r.HiInc = r2.Hi, r2.HiInc
+				}
+				partner = p.Between
+				label = fmt.Sprintf("%s between %s and %s", p.Pattern, loStr(r), hiStr(r))
+			}
+		}
+	}
+	probe.Range = r
+	return probe, label, partner
+}
+
+func loStr(r xmlindex.Range) string {
+	if r.Lo == nil {
+		return "-inf"
+	}
+	return r.Lo.Lexical()
+}
+
+func hiStr(r xmlindex.Range) string {
+	if r.Hi == nil {
+		return "+inf"
+	}
+	return r.Hi.Lexical()
+}
+
+// opRange converts (op, value) to a probe range.
+func opRange(op xdm.CompareOp, v xdm.Value) (xmlindex.Range, bool) {
+	switch op {
+	case xdm.OpEq:
+		return xmlindex.Equality(v), true
+	case xdm.OpGt:
+		return xmlindex.Range{Lo: &v}, true
+	case xdm.OpGe:
+		return xmlindex.Range{Lo: &v, LoInc: true}, true
+	case xdm.OpLt:
+		return xmlindex.Range{Hi: &v}, true
+	case xdm.OpLe:
+		return xmlindex.Range{Hi: &v, HiInc: true}, true
+	}
+	return xmlindex.Range{}, false // != cannot be answered by one range
+}
+
+// runProbes executes the plans and combines the resulting document sets:
+// within one binding occurrence, probe results intersect; across
+// occurrences of the same collection they union (a document needed by one
+// binding must survive even if another binding's predicate rejects it).
+// A collection with an occurrence that has no probe cannot be
+// pre-filtered at all.
+func runProbes(plans []probePlan, a *core.Analysis, stats *Stats) (map[string]map[uint32]bool, map[int]map[uint32]bool, error) {
+	type occKey struct {
+		coll string
+		occ  int
+	}
+	occSets := map[occKey]map[uint32]bool{}
+	rowSets := map[int]map[uint32]bool{}
+	for _, pl := range plans {
+		var docs map[uint32]bool
+		var err error
+		if pl.semiValues != nil {
+			// Semi-join: union of one equality probe per join value.
+			docs = map[uint32]bool{}
+			for _, v := range pl.semiValues {
+				probe := pl.probe
+				probe.Range = xmlindex.Equality(v)
+				set, perr := pl.index.DocSet(probe)
+				if perr != nil {
+					continue // non-castable join value matches nothing
+				}
+				for id := range set {
+					docs[id] = true
+				}
+			}
+		} else {
+			docs, err = pl.index.DocSet(pl.probe)
+		}
+		if err != nil {
+			// A probe bound that does not cast (e.g. a string constant
+			// against a double index) should have been rejected by type
+			// checking; treat as non-probeable rather than failing.
+			continue
+		}
+		st := pl.index.Stats()
+		stats.IndexesUsed = append(stats.IndexesUsed, pl.label)
+		if pl.forRow >= 0 {
+			// SQL row-level predicates on the same FROM item all
+			// constrain the same document: intersect.
+			if cur, ok := rowSets[pl.forRow]; ok {
+				rowSets[pl.forRow] = intersect(cur, docs)
+			} else {
+				rowSets[pl.forRow] = docs
+			}
+		} else {
+			k := occKey{pl.coll, pl.occ}
+			if cur, ok := occSets[k]; ok {
+				occSets[k] = intersect(cur, docs)
+			} else {
+				occSets[k] = docs
+			}
+		}
+		_ = st
+	}
+
+	// Occurrences of a collection that produced no probe poison the
+	// whole collection's pre-filter.
+	probedOcc := map[occKey]bool{}
+	for k := range occSets {
+		probedOcc[k] = true
+	}
+	poisoned := map[string]bool{}
+	for _, p := range a.Predicates {
+		if p.FromIndex >= 0 || p.Collection == "" {
+			continue
+		}
+		if !probedOcc[occKey{p.Collection, p.Occurrence}] {
+			// This occurrence has predicates but no probe; union with
+			// everything = no filter.
+			poisoned[p.Collection] = true
+		}
+	}
+
+	collSets := map[string]map[uint32]bool{}
+	for k, set := range occSets {
+		if poisoned[k.coll] {
+			continue
+		}
+		if cur, ok := collSets[k.coll]; ok {
+			collSets[k.coll] = union(cur, set)
+		} else {
+			collSets[k.coll] = set
+		}
+	}
+	return collSets, rowSets, nil
+}
+
+func intersect(a, b map[uint32]bool) map[uint32]bool {
+	out := map[uint32]bool{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func union(a, b map[uint32]bool) map[uint32]bool {
+	out := make(map[uint32]bool, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+// applyRelProbes installs relational-index row filters for SQL equality
+// predicates on scalar columns (the Query 14 side of §3.3: when the join
+// or comparison lives on the SQL side, only a relational index applies).
+func (e *Engine) applyRelProbes(a *core.Analysis, rowSets map[int]map[uint32]bool, stats *Stats) {
+	for _, rp := range a.RelPredicates {
+		if !rp.Filtering || rp.Value == nil || rp.Op != xdm.OpEq {
+			continue
+		}
+		tab, err := e.Catalog.Table(rp.Table)
+		if err != nil {
+			continue
+		}
+		for _, ri := range tab.RelIndexes(rp.Column) {
+			ids, err := ri.Lookup(*rp.Value)
+			if err != nil {
+				break // value does not cast to the column type
+			}
+			set := make(map[uint32]bool, len(ids))
+			for _, id := range ids {
+				set[id] = true
+			}
+			stats.IndexesUsed = append(stats.IndexesUsed,
+				fmt.Sprintf("%s(%s.%s = %s)", ri.Name, rp.Table, rp.Column, rp.Value.Lexical()))
+			stats.Probes++
+			if cur, ok := rowSets[rp.FromIndex]; ok {
+				rowSets[rp.FromIndex] = intersect(cur, set)
+			} else {
+				rowSets[rp.FromIndex] = set
+			}
+			break
+		}
+	}
+}
+
+// filteredResolver serves pre-filtered collections.
+type filteredResolver struct {
+	cat     *storage.Catalog
+	allowed map[string]map[uint32]bool
+}
+
+func (f *filteredResolver) Collection(name string) ([]*xdm.Node, error) {
+	if set, ok := f.allowed[strings.ToLower(name)]; ok {
+		return f.cat.CollectionFiltered(name, set)
+	}
+	return f.cat.Collection(name)
+}
+
+// snapshotIndexStats accumulates probe counters into stats.
+func snapshotIndexStats(e *Engine, stats *Stats) {
+	for _, tab := range e.Catalog.Tables() {
+		for _, xi := range tab.XMLIndexes("") {
+			s := xi.Index.Stats()
+			stats.Probes += s.Probes
+			stats.KeysVisited += s.KeysVisited
+			xi.Index.ResetStats()
+		}
+	}
+}
+
+// countDocs measures collection sizes touched by the filter sets; SQL
+// row-level filters count against their table's row count.
+func countDocs(e *Engine, collSets map[string]map[uint32]bool, rowSets map[int]map[uint32]bool, rowColl map[int]string, stats *Stats, collections []string) {
+	seen := map[string]bool{}
+	for fi, set := range rowSets {
+		c := strings.ToLower(rowColl[fi])
+		if c == "" {
+			continue
+		}
+		seen[c] = true
+		docs, err := e.Catalog.Collection(c)
+		if err != nil {
+			continue
+		}
+		stats.DocsTotal += len(docs)
+		stats.DocsScanned += len(set)
+	}
+	for _, c := range collections {
+		c = strings.ToLower(c)
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		docs, err := e.Catalog.Collection(c)
+		if err != nil {
+			continue
+		}
+		stats.DocsTotal += len(docs)
+		if set, ok := collSets[c]; ok {
+			stats.DocsScanned += len(set)
+		} else {
+			stats.DocsScanned += len(docs)
+		}
+	}
+}
+
+// rowCollections maps FROM positions to the collection they carry,
+// derived from the analysis predicates.
+func rowCollections(a *core.Analysis) map[int]string {
+	out := map[int]string{}
+	for _, p := range a.Predicates {
+		if p.FromIndex >= 0 && p.Collection != "" {
+			out[p.FromIndex] = p.Collection
+		}
+	}
+	return out
+}
+
+// collectCollections lists collections referenced by the analysis.
+func collectCollections(a *core.Analysis) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, p := range a.Predicates {
+		if p.Collection != "" && !seen[p.Collection] {
+			seen[p.Collection] = true
+			out = append(out, p.Collection)
+		}
+	}
+	return out
+}
+
+// ExecXQuery plans and runs a stand-alone XQuery. useIndexes=false forces
+// a full collection scan (the experimental baseline).
+func (e *Engine) ExecXQuery(query string, useIndexes bool) (xdm.Sequence, *Stats, error) {
+	m, err := xquery.Parse(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &Stats{}
+	resolver := xquery.CollectionResolver(e.Catalog)
+	var analysis *core.Analysis
+	if useIndexes {
+		analysis = core.AnalyzeXQuery(m, nil, true, "")
+		plans, err := e.planProbes(analysis)
+		if err != nil {
+			return nil, nil, err
+		}
+		collSets, _, err := runProbes(plans, analysis, stats)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(collSets) > 0 {
+			resolver = &filteredResolver{cat: e.Catalog, allowed: collSets}
+		}
+		countDocs(e, collSets, nil, nil, stats, collectCollections(analysis))
+		snapshotIndexStats(e, stats)
+	}
+	seq, err := xquery.Eval(m, nil, resolver)
+	if err != nil {
+		return nil, nil, err
+	}
+	return seq, stats, nil
+}
+
+// ExecSQL plans and runs a SQL/XML statement.
+func (e *Engine) ExecSQL(sql string, useIndexes bool) (*sqlxml.Result, *Stats, error) {
+	stmt, err := sqlxml.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &Stats{}
+	pf := sqlxml.Prefilter{}
+	exec := e.exec
+	if useIndexes {
+		if _, ok := stmt.(*sqlxml.CreateIndex); !ok {
+			analysis, err := core.AnalyzeSQL(stmt, e.Catalog)
+			if err != nil {
+				return nil, nil, err
+			}
+			plans, err := e.planProbes(analysis)
+			if err != nil {
+				return nil, nil, err
+			}
+			collSets, rowSets, err := runProbes(plans, analysis, stats)
+			if err != nil {
+				return nil, nil, err
+			}
+			e.applyRelProbes(analysis, rowSets, stats)
+			for fi, set := range rowSets {
+				pf[fi] = set
+			}
+			if len(collSets) > 0 {
+				exec = &sqlxml.Executor{Catalog: e.Catalog, Coll: &filteredResolver{cat: e.Catalog, allowed: collSets}}
+			}
+			countDocs(e, collSets, rowSets, rowCollections(analysis), stats, collectCollections(analysis))
+			snapshotIndexStats(e, stats)
+		}
+	}
+	res, err := exec.ExecFiltered(stmt, pf)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.RowsScanned = res.RowsScanned
+	return res, stats, nil
+}
+
+// Explain analyzes a query (SQL if it parses as SQL, else XQuery) and
+// renders the advisor report: extracted predicates, per-index verdicts,
+// and pitfall warnings.
+func (e *Engine) Explain(query string) (string, error) {
+	var analysis *core.Analysis
+	if stmt, err := sqlxml.Parse(query); err == nil {
+		analysis, err = core.AnalyzeSQL(stmt, e.Catalog)
+		if err != nil {
+			return "", err
+		}
+	} else if m, err2 := xquery.Parse(query); err2 == nil {
+		analysis = core.AnalyzeXQuery(m, nil, true, "")
+	} else {
+		return "", fmt.Errorf("not parseable as SQL (%v) nor as XQuery (%v)", err, err2)
+	}
+	return e.renderReport(analysis), nil
+}
+
+func (e *Engine) renderReport(a *core.Analysis) string {
+	var b strings.Builder
+	if len(a.Predicates) == 0 {
+		b.WriteString("no indexable predicates found\n")
+	}
+	for _, p := range a.Predicates {
+		fmt.Fprintf(&b, "predicate: %s\n", p.Describe())
+		dot := strings.IndexByte(p.Collection, '.')
+		if dot < 0 {
+			continue
+		}
+		tab, err := e.Catalog.Table(p.Collection[:dot])
+		if err != nil {
+			fmt.Fprintf(&b, "  (collection %s not found)\n", p.Collection)
+			continue
+		}
+		indexes := tab.XMLIndexes(p.Collection[dot+1:])
+		if len(indexes) == 0 {
+			b.WriteString("  no XML indexes on this column\n")
+		}
+		for _, xi := range indexes {
+			v := core.CheckIndex(xi.Name, xi.Index.Pattern, xi.Index.Type, p)
+			if v.Eligible {
+				fmt.Fprintf(&b, "  index %s [%s AS %s]: ELIGIBLE\n", xi.Name, xi.Index.Pattern, xi.Index.Type)
+			} else {
+				fmt.Fprintf(&b, "  index %s [%s AS %s]: not eligible\n", xi.Name, xi.Index.Pattern, xi.Index.Type)
+				for _, r := range v.Reasons {
+					fmt.Fprintf(&b, "    - %s\n", r)
+				}
+			}
+		}
+	}
+	for _, rp := range a.RelPredicates {
+		fmt.Fprintf(&b, "relational predicate: %s.%s %s ...\n", rp.Table, rp.Column, rp.Op.GeneralSymbol())
+	}
+	for _, w := range a.Warnings {
+		fmt.Fprintf(&b, "warning (Tip %d — %s): %s\n", w.Tip, core.TipTitle(w.Tip), w.Message)
+	}
+	return b.String()
+}

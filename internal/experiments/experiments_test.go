@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun executes every experiment on a small corpus and
+// checks the invariants every table must satisfy: no errors, no
+// Definition-1 mismatches, and E0 fully agreeing with the paper.
+func TestAllExperimentsRun(t *testing.T) {
+	cfg := Config{Docs: 200}
+	tables, err := All(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != len(Registry) {
+		t.Fatalf("tables = %d, want %d", len(tables), len(Registry))
+	}
+	for _, tab := range tables {
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: empty table", tab.ID)
+		}
+		for _, row := range tab.Rows {
+			joined := strings.Join(row, " | ")
+			if strings.Contains(joined, "MISMATCH") {
+				t.Errorf("%s: Definition 1 violated: %s", tab.ID, joined)
+			}
+			// E10's value-comparison form is expected to error.
+			if strings.Contains(joined, "error") && tab.ID != "E10" && tab.ID != "E5" {
+				t.Errorf("%s: unexpected error row: %s", tab.ID, joined)
+			}
+		}
+		if out := tab.Format(); !strings.Contains(out, tab.ID) {
+			t.Errorf("%s: Format missing id", tab.ID)
+		}
+	}
+}
+
+func TestE0MatrixAgreesWithPaper(t *testing.T) {
+	tab, err := E0Matrix(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if row[4] != "yes" {
+			t.Errorf("analyzer disagrees with the paper on %s/%s: paper=%s analyzer=%s", row[0], row[1], row[2], row[3])
+		}
+	}
+	if len(tab.Rows) < 28 {
+		t.Errorf("matrix rows = %d, want the full query set", len(tab.Rows))
+	}
+}
+
+func TestE2RowShapes(t *testing.T) {
+	tab, err := E2SQLXMLFunctions(Config{Docs: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(prefix string) []string {
+		for _, row := range tab.Rows {
+			if strings.HasPrefix(row[0], prefix) {
+				return row
+			}
+		}
+		t.Fatalf("row %q missing", prefix)
+		return nil
+	}
+	if get("Q5")[2] != "120" {
+		t.Errorf("Q5 rows = %s, want one per order", get("Q5")[2])
+	}
+	if get("Q6")[2] != "1" {
+		t.Errorf("Q6 rows = %s, want 1", get("Q6")[2])
+	}
+	if get("Q9")[2] != "120" {
+		t.Errorf("Q9 rows = %s, want all rows (pitfall)", get("Q9")[2])
+	}
+	if get("Q8")[1] != "yes" {
+		t.Error("Q8 should use the index")
+	}
+	if get("Q5")[1] != "no" || get("Q9")[1] != "no" || get("Q12")[1] != "no" {
+		t.Error("Q5/Q9/Q12 must not use the index")
+	}
+	if get("Q7")[2] != get("Q11")[2] {
+		t.Errorf("Q7 and Q11 should both return one row per qualifying lineitem: %s vs %s", get("Q7")[2], get("Q11")[2])
+	}
+}
+
+func TestE10ProbeShapes(t *testing.T) {
+	tab, err := E10Between(Config{Docs: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var general, selfAxis, valueForm, attr []string
+	for _, row := range tab.Rows {
+		switch {
+		case strings.HasPrefix(row[0], "general"):
+			general = row
+		case strings.HasPrefix(row[0], "self axis"):
+			selfAxis = row
+		case strings.HasPrefix(row[0], "value"):
+			valueForm = row
+		case strings.HasPrefix(row[0], "Q30"):
+			attr = row
+		}
+	}
+	if general[1] != "2" {
+		t.Errorf("general form probes = %s, want 2", general[1])
+	}
+	if selfAxis[1] != "1" {
+		t.Errorf("self-axis form probes = %s, want 1", selfAxis[1])
+	}
+	if attr[1] != "1" {
+		t.Errorf("attribute form probes = %s, want 1", attr[1])
+	}
+	if !strings.Contains(strings.Join(valueForm, " "), "error") {
+		t.Errorf("value form should fail on multi-price docs: %v", valueForm)
+	}
+	// The existential trap: general rows > self-axis rows.
+	if atoi(t, general[2]) <= atoi(t, selfAxis[2]) {
+		t.Errorf("general (%s) should exceed between (%s) rows", general[2], selfAxis[2])
+	}
+}
+
+func atoi(t *testing.T, s string) int {
+	t.Helper()
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			t.Fatalf("not a number: %q", s)
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+func TestRunByID(t *testing.T) {
+	if _, err := Run("e0", Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run("E99", Config{}); err == nil {
+		t.Fatal("unknown id should error")
+	}
+}

@@ -1,0 +1,38 @@
+package pattern
+
+import "testing"
+
+// BenchmarkContains measures the containment decision — it runs once per
+// (predicate, index) pair at query compile time.
+func BenchmarkContains(b *testing.B) {
+	idx := MustParse("//lineitem/@price")
+	query := MustParse("//order/lineitem/@price")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Contains(idx, query)
+	}
+}
+
+func BenchmarkContainsWildcards(b *testing.B) {
+	idx := MustParse("//@*")
+	query := MustParse("//a/*/b//c/@price")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Contains(idx, query)
+	}
+}
+
+// BenchmarkMatch measures concrete path matching — it runs once per
+// candidate node at index-maintenance time.
+func BenchmarkMatch(b *testing.B) {
+	p := MustParse("//lineitem/@price")
+	path := []Label{
+		{Kind: ElementLabel, Local: "order"},
+		{Kind: ElementLabel, Local: "lineitem"},
+		{Kind: AttributeLabel, Local: "price"},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Match(path)
+	}
+}

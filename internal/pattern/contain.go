@@ -1,0 +1,407 @@
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FromSteps builds a Pattern programmatically. The eligibility analyzer
+// uses it to turn a query's navigation into a pattern for containment
+// checking against index definitions.
+func FromSteps(steps []Step) (*Pattern, error) {
+	alts, err := normalize(steps)
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	for i := 0; i < len(steps); i++ {
+		s := steps[i]
+		// Render descendant-or-self::node() followed by a step as "//".
+		if s.Axis == DescendantOrSelf && s.Test == AnyKindTest && s.PITarget == "" && i+1 < len(steps) {
+			b.WriteString("//")
+			i++
+			s = steps[i]
+		} else {
+			b.WriteByte('/')
+		}
+		switch {
+		case s.Axis == Attribute:
+			b.WriteByte('@')
+		case s.Axis != Child:
+			b.WriteString(s.Axis.String())
+			b.WriteString("::")
+		}
+		switch s.Test {
+		case AnyKindTest:
+			b.WriteString("node()")
+		case TextTest:
+			b.WriteString("text()")
+		case CommentTest:
+			b.WriteString("comment()")
+		case PITest:
+			b.WriteString("processing-instruction(" + s.PITarget + ")")
+		default:
+			if s.Space == "*" && s.Local != "*" {
+				b.WriteString("*:")
+			} else if s.Space != "" && s.Space != "*" {
+				b.WriteString("{" + s.Space + "}")
+			}
+			b.WriteString(s.Local)
+		}
+	}
+	return &Pattern{Source: b.String(), Steps: steps, alternatives: alts}, nil
+}
+
+// normalize converts a step sequence into an alternation of linear
+// consuming-step sequences:
+//
+//   - child/attribute steps consume one label;
+//   - descendant steps consume one label after an arbitrary skip;
+//   - descendant-or-self::node() marks the next consuming step skippable
+//     (trailing dos::node() adds a consuming node() step with skip, since
+//     the grammar requires a pattern to name the indexed node);
+//   - self steps merge into the preceding consuming step by test
+//     conjunction (an unsatisfiable conjunction yields a dead step);
+//   - a descendant-or-self step with a non-trivial test expands into the
+//     self-alternative and the descendant-alternative.
+func normalize(steps []Step) ([][]nstep, error) {
+	alts := [][]nstep{nil}
+	pendingSkip := false
+	appendAll := func(s nstep) {
+		for i := range alts {
+			alts[i] = append(alts[i], s)
+		}
+	}
+	for idx, st := range steps {
+		switch st.Axis {
+		case Child, Attribute:
+			appendAll(nstep{
+				skipBefore: pendingSkip,
+				attr:       st.Axis == Attribute,
+				test:       st.Test, space: st.Space, local: st.Local, piTarget: st.PITarget,
+			})
+			pendingSkip = false
+		case Descendant:
+			appendAll(nstep{
+				skipBefore: true,
+				test:       st.Test, space: st.Space, local: st.Local, piTarget: st.PITarget,
+			})
+			pendingSkip = false
+		case DescendantOrSelf:
+			if st.Test == AnyKindTest && st.PITarget == "" {
+				if idx == len(steps)-1 {
+					// Trailing //node(): consume a node at any depth.
+					appendAll(nstep{skipBefore: true, test: AnyKindTest})
+				} else {
+					pendingSkip = true
+				}
+				continue
+			}
+			// dos::t = self::t | descendant::t — duplicate alternatives.
+			var expanded [][]nstep
+			for _, alt := range alts {
+				// descendant branch
+				desc := append(append([]nstep(nil), alt...), nstep{
+					skipBefore: true,
+					test:       st.Test, space: st.Space, local: st.Local, piTarget: st.PITarget,
+				})
+				expanded = append(expanded, desc)
+				// self branch: conjunction with the last consumed step
+				selfAlt := append([]nstep(nil), alt...)
+				if len(selfAlt) == 0 {
+					continue // self of the document root: name tests never match
+				}
+				merged, ok := conjoin(selfAlt[len(selfAlt)-1], st)
+				if !ok {
+					continue
+				}
+				selfAlt[len(selfAlt)-1] = merged
+				expanded = append(expanded, selfAlt)
+			}
+			alts = expanded
+			pendingSkip = false
+		case Self:
+			if pendingSkip {
+				return nil, fmt.Errorf("self step directly after // is not supported")
+			}
+			for i := range alts {
+				if len(alts[i]) == 0 {
+					// self:: at pattern start constrains the document
+					// root; only node() is satisfiable there.
+					if st.Test != AnyKindTest {
+						alts[i] = append(alts[i], nstep{dead: true})
+					}
+					continue
+				}
+				merged, ok := conjoin(alts[i][len(alts[i])-1], st)
+				if !ok {
+					alts[i][len(alts[i])-1] = nstep{dead: true}
+					continue
+				}
+				alts[i][len(alts[i])-1] = merged
+			}
+		}
+	}
+	if pendingSkip {
+		return nil, fmt.Errorf("pattern ends with a bare //")
+	}
+	// Drop alternatives containing dead steps.
+	var live [][]nstep
+	for _, alt := range alts {
+		ok := true
+		for _, s := range alt {
+			if s.dead {
+				ok = false
+				break
+			}
+		}
+		if ok && len(alt) > 0 {
+			live = append(live, alt)
+		}
+	}
+	if len(live) == 0 {
+		return nil, fmt.Errorf("pattern matches no nodes")
+	}
+	return live, nil
+}
+
+// conjoin intersects a consuming step's test with a self-step's test.
+// The second result is false when the conjunction is unsatisfiable.
+func conjoin(s nstep, self Step) (nstep, bool) {
+	if self.Test == AnyKindTest {
+		return s, true
+	}
+	if s.test == AnyKindTest {
+		if s.attr {
+			// attribute principal kind vs text/comment/pi/name tests:
+			// only a name test can match an attribute.
+			if self.Test != NameTest {
+				return s, false
+			}
+			s.test = NameTest
+			s.space, s.local = self.Space, self.Local
+			return s, true
+		}
+		s.test = self.Test
+		s.space, s.local, s.piTarget = self.Space, self.Local, self.PITarget
+		return s, true
+	}
+	if s.test != self.Test {
+		return s, false
+	}
+	switch s.test {
+	case TextTest, CommentTest:
+		return s, true
+	case PITest:
+		switch {
+		case self.PITarget == "":
+			return s, true
+		case s.piTarget == "" || s.piTarget == self.PITarget:
+			s.piTarget = self.PITarget
+			return s, true
+		}
+		return s, false
+	case NameTest:
+		local, ok := intersectName(s.local, self.Local)
+		if !ok {
+			return s, false
+		}
+		space, ok := intersectName(s.space, self.Space)
+		if !ok {
+			return s, false
+		}
+		s.local, s.space = local, space
+		return s, true
+	}
+	return s, false
+}
+
+func intersectName(a, b string) (string, bool) {
+	switch {
+	case a == "*":
+		return b, true
+	case b == "*" || a == b:
+		return a, true
+	}
+	return "", false
+}
+
+// Contains reports whether index pattern i is no more restrictive than
+// query pattern q: every label path matched by q is also matched by i.
+// This is the structural condition of Definition 1. The check is an
+// inclusion test between the two pattern automata using adversarial
+// symbolic labels: skip segments instantiate to globally fresh labels,
+// and each query test instantiates to a label satisfying exactly the
+// index tests it logically implies.
+func Contains(i, q *Pattern) bool {
+	for _, qalt := range q.alternatives {
+		if !altContained(i.alternatives, qalt) {
+			return false
+		}
+	}
+	return true
+}
+
+// istate is a position in one index alternative.
+type istate struct{ alt, pos int }
+
+// altContained checks that every path matched by the query alternative is
+// matched by at least one index alternative.
+func altContained(ialts [][]nstep, qalt []nstep) bool {
+	// The adversary walks the query alternative, choosing skip lengths
+	// and concrete labels; we track every set of index states the
+	// adversary can force. Start: position 0 in every index alternative.
+	start := map[istate]bool{}
+	for a := range ialts {
+		start[istate{a, 0}] = true
+	}
+	sets := []map[istate]bool{start}
+
+	for _, qs := range qalt {
+		var next []map[istate]bool
+		for _, s := range sets {
+			if qs.skipBefore {
+				// All state sets reachable by consuming k >= 0 fresh
+				// labels, for every k the adversary may pick.
+				for _, s2 := range skipFixpoint(ialts, s, qs.attr) {
+					next = append(next, consume(ialts, s2, qs))
+				}
+			} else {
+				next = append(next, consume(ialts, s, qs))
+			}
+		}
+		sets = dedupSets(next)
+		if len(sets) == 0 {
+			return false
+		}
+	}
+	// Every adversarial run must end in an accepting index state.
+	for _, s := range sets {
+		accepted := false
+		for st := range s {
+			if st.pos == len(ialts[st.alt]) {
+				accepted = true
+				break
+			}
+		}
+		if !accepted {
+			return false
+		}
+	}
+	return true
+}
+
+// skipFixpoint returns every state set reachable from s by consuming
+// k >= 0 adversarially fresh labels. Fresh labels are elements with a
+// globally fresh namespace and local name (attr false), or fresh
+// attributes when the query's consuming step is an attribute (a skip
+// segment before an attribute step still walks through elements, so attr
+// is false for the skipped labels themselves).
+func skipFixpoint(ialts [][]nstep, s map[istate]bool, _ bool) []map[istate]bool {
+	fresh := nstep{test: NameTest, space: "\x00fresh-ns", local: "\x00fresh"}
+	out := []map[istate]bool{s}
+	seen := map[string]bool{setKey(s): true}
+	cur := s
+	for {
+		nxt := consume(ialts, cur, fresh)
+		k := setKey(nxt)
+		if seen[k] {
+			return out
+		}
+		seen[k] = true
+		out = append(out, nxt)
+		cur = nxt
+	}
+}
+
+// consume advances every index state over one adversarial label chosen to
+// satisfy the query step test qs and as few index tests as possible: an
+// index step test is satisfied iff qs implies it.
+func consume(ialts [][]nstep, s map[istate]bool, qs nstep) map[istate]bool {
+	next := map[istate]bool{}
+	for st := range s {
+		alt := ialts[st.alt]
+		if st.pos >= len(alt) {
+			continue // already accepted; further labels fall off the pattern
+		}
+		// The index automaton may skip labels at positions whose next
+		// consuming step allows a preceding skip (self-loop).
+		is := alt[st.pos]
+		if is.skipBefore {
+			next[st] = true // stay: the label joins the skip segment
+		}
+		if implies(qs, is) {
+			next[istate{st.alt, st.pos + 1}] = true
+		}
+	}
+	return next
+}
+
+// implies reports whether every label satisfying query step q also
+// satisfies index step i.
+func implies(q, i nstep) bool {
+	qAttr, iAttr := q.attr, i.attr
+	switch i.test {
+	case AnyKindTest:
+		if iAttr {
+			// node() on the attribute axis matches only attributes.
+			return qAttr
+		}
+		// node() on a child-ish axis matches everything except
+		// attributes (§3.9).
+		return !qAttr
+	case TextTest:
+		return q.test == TextTest && !qAttr
+	case CommentTest:
+		return q.test == CommentTest && !qAttr
+	case PITest:
+		if q.test != PITest || qAttr {
+			return false
+		}
+		return i.piTarget == "" || i.piTarget == q.piTarget
+	case NameTest:
+		if q.test != NameTest || qAttr != iAttr {
+			return false
+		}
+		if i.local != "*" && (q.local == "*" || q.local != i.local) {
+			return false
+		}
+		if i.space != "*" && (q.space == "*" || q.space != i.space) {
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+func setKey(s map[istate]bool) string {
+	keys := make([]istate, 0, len(s))
+	for st := range s {
+		keys = append(keys, st)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].alt != keys[j].alt {
+			return keys[i].alt < keys[j].alt
+		}
+		return keys[i].pos < keys[j].pos
+	})
+	var b strings.Builder
+	for _, st := range keys {
+		fmt.Fprintf(&b, "%d.%d;", st.alt, st.pos)
+	}
+	return b.String()
+}
+
+func dedupSets(sets []map[istate]bool) []map[istate]bool {
+	seen := map[string]bool{}
+	var out []map[istate]bool
+	for _, s := range sets {
+		k := setKey(s)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package pattern
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randPattern generates a random XMLPATTERN over a small alphabet.
+func randPattern(r *rand.Rand) string {
+	names := []string{"a", "b", "c"}
+	var b strings.Builder
+	steps := 1 + r.Intn(3)
+	for i := 0; i < steps; i++ {
+		if r.Intn(2) == 0 {
+			b.WriteString("//")
+		} else {
+			b.WriteString("/")
+		}
+		last := i == steps-1
+		switch n := r.Intn(10); {
+		case n < 4:
+			b.WriteString(names[r.Intn(len(names))])
+		case n < 6:
+			b.WriteString("*")
+		case n < 7 && last:
+			b.WriteString("@" + names[r.Intn(len(names))])
+		case n < 8 && last:
+			b.WriteString("@*")
+		case n < 9 && last:
+			b.WriteString("text()")
+		default:
+			b.WriteString("node()")
+		}
+	}
+	return b.String()
+}
+
+// enumeratePaths builds every label path up to the given depth over the
+// alphabet {a,b,c} ∪ {zz} (a fresh name the patterns never mention),
+// with attribute and text tails.
+func enumeratePaths(depth int) [][]Label {
+	names := []string{"a", "b", "c", "zz"}
+	var out [][]Label
+	var gen func(prefix []Label, d int)
+	gen = func(prefix []Label, d int) {
+		if len(prefix) > 0 {
+			out = append(out, append([]Label(nil), prefix...))
+			out = append(out, append(append([]Label(nil), prefix...), Label{Kind: TextLabel}))
+			for _, n := range names {
+				out = append(out, append(append([]Label(nil), prefix...), Label{Kind: AttributeLabel, Local: n}))
+			}
+		}
+		if d == 0 {
+			return
+		}
+		for _, n := range names {
+			gen(append(prefix, Label{Kind: ElementLabel, Local: n}), d-1)
+		}
+	}
+	gen(nil, depth)
+	return out
+}
+
+// TestContainsSoundOnRandomPatterns checks soundness of Contains against
+// brute-force path enumeration: whenever Contains(i, q) holds, no
+// enumerated path may match q but not i. (Soundness is the safety
+// property: an unsound "contained" verdict would let an index miss
+// documents. The reverse direction — completeness — is checked on the
+// depth-limited sample: a non-containment verdict with no witness within
+// depth 4 is suspicious but allowed, since witnesses may need more depth
+// or fresh names; we count and bound such cases.)
+func TestContainsSoundOnRandomPatterns(t *testing.T) {
+	r := rand.New(rand.NewSource(20060912))
+	paths := enumeratePaths(4)
+	unwitnessed := 0
+	trials := 400
+	for trial := 0; trial < trials; trial++ {
+		is, qs := randPattern(r), randPattern(r)
+		ip, err := Parse(is)
+		if err != nil {
+			t.Fatalf("randPattern produced invalid %q: %v", is, err)
+		}
+		qp, err := Parse(qs)
+		if err != nil {
+			t.Fatalf("randPattern produced invalid %q: %v", qs, err)
+		}
+		contained := Contains(ip, qp)
+		witness := false
+		for _, path := range paths {
+			if qp.Match(path) && !ip.Match(path) {
+				if contained {
+					t.Fatalf("UNSOUND: Contains(%q, %q) but path %v matches query only", is, qs, path)
+				}
+				witness = true
+				break
+			}
+		}
+		if !contained && !witness {
+			unwitnessed++
+		}
+	}
+	// Most non-containments should have shallow witnesses; allow a
+	// modest number needing deeper paths.
+	if unwitnessed > trials/5 {
+		t.Errorf("suspiciously many unwitnessed non-containments: %d of %d", unwitnessed, trials)
+	}
+}
+
+// TestContainsReflexiveTransitive checks algebraic laws on random
+// patterns: reflexivity, and transitivity of the containment preorder.
+func TestContainsReflexiveTransitive(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var pats []*Pattern
+	for i := 0; i < 30; i++ {
+		pats = append(pats, MustParse(randPattern(r)))
+	}
+	for _, p := range pats {
+		if !Contains(p, p) {
+			t.Errorf("Contains(%q, %q) should be reflexive", p, p)
+		}
+	}
+	for _, a := range pats {
+		for _, b := range pats {
+			if !Contains(a, b) {
+				continue
+			}
+			for _, c := range pats {
+				if Contains(b, c) && !Contains(a, c) {
+					t.Errorf("transitivity violated: %q contains %q contains %q, but the outer pair fails (%q vs %q)", a, b, c, a, c)
+				}
+			}
+		}
+	}
+}
+
+// TestUniversalPatterns: //node() (with a trailing consuming step) and
+// //@* jointly cover everything the respective axes can reach.
+func TestUniversalPatterns(t *testing.T) {
+	elems := MustParse("//node()")
+	attrs := MustParse("//@*")
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 100; i++ {
+		q := MustParse(randPattern(r))
+		steps := q.Steps
+		lastAttr := steps[len(steps)-1].Axis == Attribute
+		if lastAttr {
+			if !Contains(attrs, q) {
+				t.Errorf("//@* should contain %q", q)
+			}
+			if Contains(elems, q) {
+				t.Errorf("//node() must not contain attribute pattern %q (§3.9)", q)
+			}
+		} else {
+			if !Contains(elems, q) {
+				t.Errorf("//node() should contain %q", q)
+			}
+			if Contains(attrs, q) {
+				t.Errorf("//@* must not contain element pattern %q", q)
+			}
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package sqlxml implements the SQL/XML subset the paper exercises: a SQL
+// parser and executor with XML-typed columns and the SQL/XML query
+// functions XMLQuery, XMLExists, XMLTable and XMLCast (§3.2, §3.3). SQL
+// scalar comparisons follow SQL semantics (trailing-blank-insensitive
+// strings, SQL numeric rules); the XQuery expressions embedded in the
+// query functions follow XQuery semantics — keeping the two comparison
+// laws distinct is the point of several of the paper's pitfalls.
+package sqlxml
+
+import (
+	"github.com/xqdb/xqdb/internal/storage"
+	"github.com/xqdb/xqdb/internal/xdm"
+	"github.com/xqdb/xqdb/internal/xmlindex"
+	"github.com/xqdb/xqdb/internal/xquery"
+)
+
+// Statement is a parsed SQL statement.
+type Statement interface{ stmtNode() }
+
+// CreateTable is CREATE TABLE name (col type, ...).
+type CreateTable struct {
+	Name    string
+	Columns []storage.Column
+}
+
+// CreateIndex is CREATE INDEX ... ON table(column), optionally with the
+// XML index clause USING XMLPATTERN 'pattern' AS type.
+type CreateIndex struct {
+	Name    string
+	Table   string
+	Column  string
+	IsXML   bool
+	Pattern string
+	XMLType xmlindex.Type
+}
+
+// Insert is INSERT INTO table [(cols)] VALUES (...), (...).
+type Insert struct {
+	Table   string
+	Columns []string // nil = table order
+	Rows    [][]Expr
+}
+
+// Select is a SELECT statement.
+type Select struct {
+	Items   []SelectItem
+	From    []FromItem
+	Where   Expr // nil if absent
+	OrderBy []OrderItem
+	// Limit caps the number of output rows (FETCH FIRST n ROWS ONLY /
+	// LIMIT n); negative means no limit.
+	Limit int
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Delete is DELETE FROM table [WHERE expr].
+type Delete struct {
+	Table string
+	Where Expr // nil deletes every row
+}
+
+// DropTable is DROP TABLE name.
+type DropTable struct{ Name string }
+
+// DropIndex is DROP INDEX name.
+type DropIndex struct{ Name string }
+
+// Values is the VALUES (expr, ...) statement (one row), as in Query 6.
+type Values struct {
+	Exprs []Expr
+}
+
+func (*CreateTable) stmtNode() {}
+func (*CreateIndex) stmtNode() {}
+func (*Insert) stmtNode()      {}
+func (*Select) stmtNode()      {}
+func (*Values) stmtNode()      {}
+func (*Delete) stmtNode()      {}
+func (*DropTable) stmtNode()   {}
+func (*DropIndex) stmtNode()   {}
+
+// SelectItem is one select-list entry.
+type SelectItem struct {
+	Expr  Expr
+	Alias string // "" = derived
+	Star  bool   // SELECT * (Expr nil)
+}
+
+// FromItem is a table reference or an XMLTable call.
+type FromItem interface{ fromNode() }
+
+// FromTable references a stored table.
+type FromTable struct {
+	Table string
+	Alias string // "" = table name
+}
+
+// FromXMLTable is the XMLTable table function. The first XQuery (the
+// row-producer) determines the output cardinality; the per-column PATH
+// expressions compute values with each row item as context (§3.2).
+type FromXMLTable struct {
+	RowQuery  string
+	RowModule *xquery.Module
+	Passing   []PassItem
+	Columns   []XMLTableColumn
+	Alias     string
+	ColNames  []string // optional alias column list: AS t(a, b)
+}
+
+func (*FromTable) fromNode()    {}
+func (*FromXMLTable) fromNode() {}
+
+// XMLTableColumn is one COLUMNS entry of XMLTable.
+type XMLTableColumn struct {
+	Name       string
+	Type       storage.ColumnType
+	Size       int
+	ByRef      bool // XML BY REF: column holds node references
+	Ordinality bool // FOR ORDINALITY: the 1-based row number
+	Path       string
+	PathModule *xquery.Module
+}
+
+// PassItem is one PASSING binding: expr AS "var".
+type PassItem struct {
+	Expr Expr
+	As   string
+}
+
+// Expr is a SQL scalar expression.
+type Expr interface{ sqlExprNode() }
+
+// ColRef references [table.]column.
+type ColRef struct {
+	Table  string // qualifier or ""
+	Column string
+}
+
+// Literal is a SQL literal.
+type Literal struct{ V xdm.Value }
+
+// Null is the NULL literal.
+type Null struct{}
+
+// Compare is a SQL comparison (SQL semantics).
+type Compare struct {
+	Op          xdm.CompareOp
+	Left, Right Expr
+}
+
+// Logical is AND/OR.
+type Logical struct {
+	Op          string // "and" | "or"
+	Left, Right Expr
+}
+
+// Not negates a predicate.
+type Not struct{ Operand Expr }
+
+// IsNull tests for NULL (IS NULL / IS NOT NULL).
+type IsNull struct {
+	Operand Expr
+	Negate  bool
+}
+
+// XMLQueryExpr is the scalar function XMLQuery('xq' PASSING ...): it
+// returns an XML value (an XDM sequence), never eliminating rows — the
+// §3.2 reason it cannot make an index eligible from the select list.
+type XMLQueryExpr struct {
+	Query   string
+	Module  *xquery.Module
+	Passing []PassItem
+}
+
+// XMLExistsExpr is the predicate XMLExists('xq' PASSING ...): true iff the
+// result sequence is non-empty. A boolean-valued XQuery result is a
+// non-empty sequence, so it is always true — the Query 9 pitfall.
+type XMLExistsExpr struct {
+	Query   string
+	Module  *xquery.Module
+	Passing []PassItem
+}
+
+// XMLCastExpr converts an XML value to a SQL type. The operand must be
+// empty (NULL) or a singleton; a longer sequence is a type error (the
+// Query 14 hazard).
+type XMLCastExpr struct {
+	Operand Expr
+	Type    storage.ColumnType
+	Size    int
+}
+
+// XMLParseExpr is XMLPARSE(DOCUMENT expr): it parses a character string
+// into an XML document value.
+type XMLParseExpr struct {
+	Operand Expr
+}
+
+// XMLSerializeExpr is XMLSERIALIZE(expr AS varchar(n)): it renders an XML
+// value as a character string.
+type XMLSerializeExpr struct {
+	Operand Expr
+	Size    int
+}
+
+func (*ColRef) sqlExprNode()           {}
+func (*Literal) sqlExprNode()          {}
+func (*Null) sqlExprNode()             {}
+func (*Compare) sqlExprNode()          {}
+func (*Logical) sqlExprNode()          {}
+func (*Not) sqlExprNode()              {}
+func (*IsNull) sqlExprNode()           {}
+func (*XMLQueryExpr) sqlExprNode()     {}
+func (*XMLExistsExpr) sqlExprNode()    {}
+func (*XMLCastExpr) sqlExprNode()      {}
+func (*XMLParseExpr) sqlExprNode()     {}
+func (*XMLSerializeExpr) sqlExprNode() {}

@@ -1,0 +1,208 @@
+package sqlxml
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/xqdb/xqdb/internal/xdm"
+)
+
+func TestBooleanExpressionsInWhere(t *testing.T) {
+	e := newDB(t)
+	loadOrders(t, e)
+	res := mustExec(t, e, `select ordid from orders where ordid = 1 or ordid = 3`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("or rows = %d", len(res.Rows))
+	}
+	res = mustExec(t, e, `select ordid from orders where ordid > 1 and ordid < 3`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("and rows = %d", len(res.Rows))
+	}
+	res = mustExec(t, e, `select ordid from orders where not ordid = 2`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("not rows = %d", len(res.Rows))
+	}
+	res = mustExec(t, e, `select ordid from orders where (ordid = 1 or ordid = 2) and not ordid = 2`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("mixed rows = %d", len(res.Rows))
+	}
+	// NOT over unknown stays unknown → filtered.
+	mustExec(t, e, `insert into orders (ordid) values (9)`)
+	res = mustExec(t, e, `select ordid from orders where not XMLCast(XMLQuery('$o/order/custid' passing orddoc as "o") as integer) = 7`)
+	for _, row := range res.Rows {
+		if row[0].String() == "9" {
+			t.Fatal("NOT unknown must filter the row")
+		}
+	}
+}
+
+func TestComparisonOperatorForms(t *testing.T) {
+	e := newDB(t)
+	loadOrders(t, e)
+	for _, q := range []string{
+		`select ordid from orders where ordid <> 1`,
+		`select ordid from orders where ordid != 1`,
+	} {
+		res := mustExec(t, e, q)
+		if len(res.Rows) != 2 {
+			t.Fatalf("%s rows = %d", q, len(res.Rows))
+		}
+	}
+	res := mustExec(t, e, `select ordid from orders where ordid >= 2`)
+	if len(res.Rows) != 2 {
+		t.Fatalf(">= rows = %d", len(res.Rows))
+	}
+	res = mustExec(t, e, `select ordid from orders where ordid <= 2`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("<= rows = %d", len(res.Rows))
+	}
+}
+
+func TestSelectBooleanExpression(t *testing.T) {
+	e := newDB(t)
+	loadOrders(t, e)
+	res := mustExec(t, e, `select ordid = 1 from orders order by ordid limit 1`)
+	if res.Rows[0][0].V.T != xdm.Boolean || !res.Rows[0][0].V.B {
+		t.Fatalf("boolean select = %+v", res.Rows[0][0])
+	}
+	// XMLExists as a select item renders a boolean.
+	res = mustExec(t, e, `select XMLExists('$o//lineitem[@price > 100]' passing orddoc as "o") as hit
+		from orders order by ordid`)
+	if res.Rows[0][0].String() != "true" || res.Rows[1][0].String() != "false" {
+		t.Fatalf("exists select = %v", res.Rows)
+	}
+}
+
+func TestInsertWithNullsAndExprs(t *testing.T) {
+	e := newDB(t)
+	mustExec(t, e, `insert into orders values (1, null)`)
+	res := mustExec(t, e, `select ordid from orders where orddoc is null`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("null insert rows = %d", len(res.Rows))
+	}
+}
+
+func TestParenthesizedFromAliases(t *testing.T) {
+	e := newDB(t)
+	loadOrders(t, e)
+	res := mustExec(t, e, `select a.ordid from orders as a where a.ordid = 1`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("aliased rows = %d", len(res.Rows))
+	}
+	// Self-join with two aliases.
+	res = mustExec(t, e, `select a.ordid, b.ordid from orders a, orders b where a.ordid = b.ordid`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("self-join rows = %d", len(res.Rows))
+	}
+	// Ambiguous unqualified reference errors.
+	err := execErr(t, e, `select ordid from orders a, orders b`)
+	if !strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestXMLCastVariants(t *testing.T) {
+	e := newDB(t)
+	mustExec(t, e, `insert into orders values (1, '<order><custid>7</custid><d>2002-03-04</d></order>')`)
+	cases := []struct {
+		q, want string
+	}{
+		{`select XMLCast(XMLQuery('$o/order/custid' passing orddoc as "o") as double) from orders`, "7"},
+		{`select XMLCast(XMLQuery('$o/order/custid' passing orddoc as "o") as varchar(10)) from orders`, "7"},
+		{`select XMLCast(XMLQuery('$o/order/d' passing orddoc as "o") as date) from orders`, "2002-03-04"},
+		{`select XMLCast(XMLQuery('$o/order/nosuch' passing orddoc as "o") as integer) from orders`, "NULL"},
+		{`select XMLCast(1 as varchar(5)) from orders`, "1"},
+	}
+	for _, c := range cases {
+		res := mustExec(t, e, c.q)
+		if got := res.Rows[0][0].String(); got != c.want {
+			t.Errorf("%s = %q, want %q", c.q, got, c.want)
+		}
+	}
+	err := execErr(t, e, `select XMLCast(XMLQuery('$o/order/custid' passing orddoc as "o") as decimal(3,1)) from orders where 1 = 2 or XMLCast('x' as integer) = 1`)
+	if !strings.Contains(err.Error(), "cannot cast") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCreateIndexVarcharLength(t *testing.T) {
+	e := newDB(t)
+	// The optional varchar length in the XML index DDL parses and is
+	// accepted.
+	mustExec(t, e, `CREATE INDEX nm ON orders(orddoc) USING XMLPATTERN '//name' AS varchar(32)`)
+	mustExec(t, e, `CREATE UNIQUE INDEX uq ON products(id)`)
+}
+
+func TestXMLTableByValueCopies(t *testing.T) {
+	e := newDB(t)
+	mustExec(t, e, `insert into orders values (1, '<order><lineitem price="5"/></order>')`)
+	// BY VALUE copies lose identity: except against the base returns
+	// the copy.
+	res := mustExec(t, e, `SELECT t.li FROM orders o, XMLTable('$o//lineitem'
+		passing o.orddoc as "o" COLUMNS "li" XML PATH '.') as t(li)`)
+	if len(res.Rows) != 1 || !strings.Contains(res.Rows[0][0].String(), "<lineitem") {
+		t.Fatalf("by value rows = %v", res.Rows)
+	}
+}
+
+func TestValuesMultipleColumns(t *testing.T) {
+	e := newDB(t)
+	res := mustExec(t, e, `values (1, 'two', null)`)
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 3 {
+		t.Fatalf("values = %v", res.Rows)
+	}
+	if res.Rows[0][2].String() != "NULL" {
+		t.Fatalf("null cell = %v", res.Rows[0][2])
+	}
+}
+
+func TestSQLComments(t *testing.T) {
+	e := newDB(t)
+	mustExec(t, e, `select 1 as x from products -- trailing comment
+	`)
+}
+
+func TestXMLParseAndSerialize(t *testing.T) {
+	e := newDB(t)
+	mustExec(t, e, `insert into orders values (1, '<order><custid>7</custid></order>')`)
+	res := mustExec(t, e, `select XMLSERIALIZE(XMLQuery('$o/order/custid' passing orddoc as "o") as varchar(100)) from orders`)
+	if res.Rows[0][0].String() != "<custid>7</custid>" {
+		t.Fatalf("serialize = %v", res.Rows[0][0])
+	}
+	res = mustExec(t, e, `values (XMLSERIALIZE(XMLPARSE(DOCUMENT '<a><b/></a>') as varchar(50)))`)
+	if res.Rows[0][0].String() != "<a><b/></a>" {
+		t.Fatalf("parse+serialize = %v", res.Rows[0][0])
+	}
+	err := execErr(t, e, `values (XMLPARSE(DOCUMENT '<broken'))`)
+	if !strings.Contains(err.Error(), "XMLPARSE") {
+		t.Fatalf("err = %v", err)
+	}
+	err = execErr(t, e, `values (XMLSERIALIZE(XMLPARSE(DOCUMENT '<a><b/></a>') as varchar(3)))`)
+	if !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("err = %v", err)
+	}
+	// INSERT via XMLPARSE.
+	mustExec(t, e, `insert into orders values (2, XMLPARSE(DOCUMENT '<order><custid>9</custid></order>'))`)
+	res = mustExec(t, e, `select ordid from orders where XMLExists('$o/order[custid = 9]' passing orddoc as "o")`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("insert via XMLPARSE rows = %d", len(res.Rows))
+	}
+}
+
+func TestXMLTableForOrdinality(t *testing.T) {
+	e := newDB(t)
+	mustExec(t, e, `insert into orders values (1, '<order><lineitem price="1"/><lineitem price="2"/><lineitem price="3"/></order>')`)
+	res := mustExec(t, e, `SELECT t.seq, t.price FROM orders o,
+		XMLTable('$o//lineitem' passing o.orddoc as "o"
+			COLUMNS "seq" FOR ORDINALITY,
+			        "price" DOUBLE PATH '@price') as t(seq, price)`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for i, row := range res.Rows {
+		if row[0].String() != fmt.Sprint(i+1) {
+			t.Fatalf("ordinality row %d = %s", i, row[0])
+		}
+	}
+}

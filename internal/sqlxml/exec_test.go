@@ -1,0 +1,373 @@
+package sqlxml
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/xqdb/xqdb/internal/storage"
+)
+
+// newDB builds the paper's schema (§2.2) with the executor wired to the
+// catalog's collection resolver.
+func newDB(t *testing.T) *Executor {
+	t.Helper()
+	cat := storage.NewCatalog()
+	e := &Executor{Catalog: cat, Coll: cat}
+	mustExec(t, e, `create table customer (cid integer, cdoc XML)`)
+	mustExec(t, e, `create table orders (ordid integer, orddoc XML)`)
+	mustExec(t, e, `create table products (id varchar(13), name varchar(32))`)
+	return e
+}
+
+func mustExec(t *testing.T, e *Executor, sql string) *Result {
+	t.Helper()
+	stmt, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	res, err := e.Exec(stmt)
+	if err != nil {
+		t.Fatalf("exec %q: %v", sql, err)
+	}
+	return res
+}
+
+func execErr(t *testing.T, e *Executor, sql string) error {
+	t.Helper()
+	stmt, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	_, err = e.Exec(stmt)
+	if err == nil {
+		t.Fatalf("exec %q: expected error", sql)
+	}
+	return err
+}
+
+// loadOrders inserts the standard three-order corpus.
+func loadOrders(t *testing.T, e *Executor) {
+	t.Helper()
+	mustExec(t, e, `insert into orders values
+		(1, '<order date="2002-01-01"><lineitem price="150"><product><id>17</id></product></lineitem><custid>7</custid></order>'),
+		(2, '<order date="2002-01-02"><lineitem price="99.50"><product><id>18</id></product></lineitem><custid>8</custid></order>'),
+		(3, '<order date="2002-01-03"><lineitem price="120"><product><id>17</id></product></lineitem><lineitem price="80"><product><id>19</id></product></lineitem><custid>9</custid></order>')`)
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	e := newDB(t)
+	loadOrders(t, e)
+	res := mustExec(t, e, `select ordid from orders where ordid > 1`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Columns[0] != "ordid" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+}
+
+func TestQuery5XMLQueryInSelect(t *testing.T) {
+	// Paper Query 5: one row per order, empty XML for non-qualifying.
+	e := newDB(t)
+	loadOrders(t, e)
+	res := mustExec(t, e, `SELECT XMLQuery('$order//lineitem[@price > 100]' passing orddoc as "order") FROM orders`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (one per order)", len(res.Rows))
+	}
+	empties := 0
+	for _, r := range res.Rows {
+		if len(r[0].XML) == 0 {
+			empties++
+		}
+	}
+	if empties != 1 {
+		t.Fatalf("empty results = %d, want 1", empties)
+	}
+}
+
+func TestQuery6ValuesSingleRow(t *testing.T) {
+	// Paper Query 6: one row containing every qualifying lineitem.
+	e := newDB(t)
+	loadOrders(t, e)
+	res := mustExec(t, e, `VALUES (XMLQuery('db2-fn:xmlcolumn("ORDERS.ORDDOC")//lineitem[@price > 100]'))`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(res.Rows))
+	}
+	if n := len(res.Rows[0][0].XML); n != 2 {
+		t.Fatalf("items in single row = %d, want 2", n)
+	}
+}
+
+func TestQuery8XMLExistsFilters(t *testing.T) {
+	// Paper Query 8: XMLExists in WHERE eliminates rows.
+	e := newDB(t)
+	loadOrders(t, e)
+	res := mustExec(t, e, `SELECT ordid, orddoc FROM orders
+		WHERE XMLExists('$order//lineitem[@price > 100]' passing orddoc as "order")`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if !strings.Contains(r[1].String(), "<order") {
+			t.Errorf("row = %v", r[1])
+		}
+	}
+}
+
+func TestQuery9BooleanXMLExistsPitfall(t *testing.T) {
+	// Paper Query 9: a boolean XQuery result is a non-empty sequence, so
+	// XMLExists never filters — all rows come back.
+	e := newDB(t)
+	loadOrders(t, e)
+	res := mustExec(t, e, `SELECT ordid, orddoc FROM orders
+		WHERE XMLExists('$order//lineitem/@price > 100' passing orddoc as "order")`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (the pitfall!)", len(res.Rows))
+	}
+}
+
+func TestQuery10ExistsPlusQuery(t *testing.T) {
+	e := newDB(t)
+	loadOrders(t, e)
+	res := mustExec(t, e, `SELECT ordid,
+		XMLQuery('$order//lineitem[@price > 100]' passing orddoc as "order")
+		FROM orders
+		WHERE XMLExists('$order//lineitem[@price > 100]' passing orddoc as "order")`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+}
+
+func TestQuery11XMLTable(t *testing.T) {
+	// Paper Query 11: one output row per qualifying lineitem.
+	e := newDB(t)
+	loadOrders(t, e)
+	res := mustExec(t, e, `SELECT o.ordid, t.lineitem
+		FROM orders o, XMLTable('$order//lineitem[@price > 100]'
+			passing o.orddoc as "order"
+			COLUMNS "lineitem" XML BY REF PATH '.') as t(lineitem)`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if !strings.Contains(r[1].String(), "<lineitem") {
+			t.Errorf("row %v", r)
+		}
+	}
+}
+
+func TestQuery12XMLTableColumnPredicate(t *testing.T) {
+	// Paper Query 12: the price predicate sits in a column expression;
+	// every lineitem still produces a row, with NULL price when the
+	// predicate fails.
+	e := newDB(t)
+	loadOrders(t, e)
+	res := mustExec(t, e, `SELECT o.ordid, t.lineitem, t.price
+		FROM orders o, XMLTable('$order//lineitem'
+			passing o.orddoc as "order"
+			COLUMNS "lineitem" XML BY REF PATH '.',
+			        "price" DECIMAL(6,3) PATH '@price[. > 100]') as t(lineitem, price)`)
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (one per lineitem)", len(res.Rows))
+	}
+	nulls := 0
+	for _, r := range res.Rows {
+		if r[2].Null {
+			nulls++
+		}
+	}
+	if nulls != 2 {
+		t.Fatalf("NULL prices = %d, want 2", nulls)
+	}
+}
+
+func TestQuery13JoinInXQuery(t *testing.T) {
+	e := newDB(t)
+	loadOrders(t, e)
+	mustExec(t, e, `insert into products values ('17', 'widget'), ('18', 'gadget'), ('99', 'unused')`)
+	res := mustExec(t, e, `SELECT p.name,
+		XMLQuery('$order//lineitem' passing orddoc as "order")
+		FROM products p, orders o
+		WHERE XMLExists('$order//lineitem/product[id eq $pid]'
+			passing o.orddoc as "order", p.id as "pid")`)
+	// widget joins orders 1 and 3; gadget joins order 2.
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+}
+
+func TestQuery14XMLCastHazards(t *testing.T) {
+	e := newDB(t)
+	mustExec(t, e, `insert into products values ('17', 'widget')`)
+	// A multi-lineitem order makes the XMLCast operand non-singleton:
+	// Query 14 fails where Query 13 succeeds.
+	mustExec(t, e, `insert into orders values
+		(1, '<order><lineitem><product><id>17</id></product></lineitem><lineitem><product><id>18</id></product></lineitem></order>')`)
+	err := execErr(t, e, `SELECT p.name FROM products p, orders o
+		WHERE p.id = XMLCast(XMLQuery('$order//lineitem/product/id'
+			passing o.orddoc as "order") as VARCHAR(13))`)
+	if !strings.Contains(err.Error(), "exactly one") {
+		t.Errorf("err = %v", err)
+	}
+	// Query 13's formulation succeeds on the same data.
+	res := mustExec(t, e, `SELECT p.name FROM products p, orders o
+		WHERE XMLExists('$order//lineitem/product[id eq $pid]'
+			passing o.orddoc as "order", p.id as "pid")`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("query 13 rows = %d", len(res.Rows))
+	}
+}
+
+func TestQuery14VarcharOverflow(t *testing.T) {
+	e := newDB(t)
+	mustExec(t, e, `insert into orders values (1, '<order><lineitem><product><id>12345678901234</id></product></lineitem></order>')`)
+	err := execErr(t, e, `SELECT XMLCast(XMLQuery('$order//lineitem/product/id'
+			passing orddoc as "order") as VARCHAR(13)) FROM orders`)
+	if !strings.Contains(err.Error(), "varchar(13)") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestQuery15SQLSideJoin(t *testing.T) {
+	e := newDB(t)
+	mustExec(t, e, `insert into orders values (1, '<order><custid>7</custid><lineitem price="5"/></order>')`)
+	mustExec(t, e, `insert into customer values (100, '<customer><id>7.0</id><name>Ada</name></customer>')`)
+	res := mustExec(t, e, `SELECT XMLQuery('$cust/customer/name' passing c.cdoc as "cust")
+		FROM orders o, customer c
+		WHERE XMLCast(XMLQuery('$order/order/custid' passing o.orddoc as "order") as DOUBLE)
+		    = XMLCast(XMLQuery('$cust/customer/id' passing c.cdoc as "cust") as DOUBLE)`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1 (7 = 7.0 numerically)", len(res.Rows))
+	}
+}
+
+func TestQuery16XQuerySideJoin(t *testing.T) {
+	e := newDB(t)
+	mustExec(t, e, `insert into orders values (1, '<order><custid>7</custid><lineitem price="5"/></order>')`)
+	mustExec(t, e, `insert into customer values (100, '<customer><id>7.0</id><name>Ada</name></customer>')`)
+	res := mustExec(t, e, `SELECT c.cid FROM orders o, customer c
+		WHERE XMLExists('$order/order[custid/xs:double(.) = $cust/customer/id/xs:double(.)]'
+			passing o.orddoc as "order", c.cdoc as "cust")`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(res.Rows))
+	}
+}
+
+func TestSQLTrailingBlankSemantics(t *testing.T) {
+	// §3.3: SQL ignores trailing blanks; XQuery does not.
+	e := newDB(t)
+	mustExec(t, e, `insert into products values ('A ', 'padded')`)
+	res := mustExec(t, e, `select name from products where id = 'A'`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("SQL padded compare rows = %d, want 1", len(res.Rows))
+	}
+	mustExec(t, e, `insert into orders values (1, '<order><code>A </code></order>')`)
+	res = mustExec(t, e, `select ordid from orders
+		where XMLExists('$o/order[code eq "A"]' passing orddoc as "o")`)
+	if len(res.Rows) != 0 {
+		t.Fatalf("XQuery padded compare rows = %d, want 0", len(res.Rows))
+	}
+}
+
+func TestNullHandling(t *testing.T) {
+	e := newDB(t)
+	mustExec(t, e, `insert into orders (ordid) values (1)`)
+	res := mustExec(t, e, `select ordid from orders where orddoc is null`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("is null rows = %d", len(res.Rows))
+	}
+	res = mustExec(t, e, `select ordid from orders where orddoc is not null`)
+	if len(res.Rows) != 0 {
+		t.Fatalf("is not null rows = %d", len(res.Rows))
+	}
+	// Comparison with NULL is unknown → filtered.
+	res = mustExec(t, e, `select ordid from orders where ordid = null`)
+	if len(res.Rows) != 0 {
+		t.Fatalf("null compare rows = %d", len(res.Rows))
+	}
+}
+
+func TestSelectStarAndAliases(t *testing.T) {
+	e := newDB(t)
+	loadOrders(t, e)
+	res := mustExec(t, e, `select * from orders where ordid = 1`)
+	if len(res.Columns) != 2 || res.Columns[0] != "ordid" {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+	res = mustExec(t, e, `select ordid as n from orders where ordid = 1`)
+	if res.Columns[0] != "n" {
+		t.Fatalf("alias = %v", res.Columns)
+	}
+}
+
+func TestPrefilterReducesScan(t *testing.T) {
+	e := newDB(t)
+	loadOrders(t, e)
+	stmt, err := Parse(`SELECT ordid FROM orders
+		WHERE XMLExists('$order//lineitem[@price > 100]' passing orddoc as "order")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := e.Exec(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered, err := e.ExecFiltered(stmt, Prefilter{0: {1: true, 3: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Rows) != len(filtered.Rows) {
+		t.Fatalf("prefilter changed results: %d vs %d", len(full.Rows), len(filtered.Rows))
+	}
+	if filtered.RowsScanned >= full.RowsScanned {
+		t.Fatalf("prefilter did not reduce scan: %d vs %d", filtered.RowsScanned, full.RowsScanned)
+	}
+}
+
+func TestCreateIndexStatements(t *testing.T) {
+	e := newDB(t)
+	loadOrders(t, e)
+	mustExec(t, e, `CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN '//lineitem/@price' AS double`)
+	tab, _ := e.Catalog.Table("orders")
+	xis := tab.XMLIndexes("orddoc")
+	if len(xis) != 1 || xis[0].Index.Stats().Entries != 4 {
+		t.Fatalf("index entries = %+v", xis)
+	}
+	mustExec(t, e, `CREATE INDEX p_id ON products(id)`)
+	ptab, _ := e.Catalog.Table("products")
+	if len(ptab.RelIndexes("id")) != 1 {
+		t.Fatal("relational index missing")
+	}
+	// The paper's dotted form: CREATE INDEX PRICE_TEXT ON orders.orddoc.
+	mustExec(t, e, `CREATE INDEX PRICE_TEXT ON orders.orddoc USING XMLPATTERN '//price' AS varchar`)
+	if len(tab.XMLIndexes("orddoc")) != 2 {
+		t.Fatal("dotted-form index missing")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``, `select`, `select from`, `select a from`, `create table t`,
+		`insert into t values`, `select a from t where`,
+		`create index i on t(c) using xmlpattern '//a' as varchar2`,
+		`select xmlquery('$$bad') from t`,
+		`values (1,`, `select a from t where a <`,
+		`create table t (a sometype)`,
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestXMLTableScalarColumnError(t *testing.T) {
+	e := newDB(t)
+	mustExec(t, e, `insert into orders values (1, '<order><lineitem><id>1</id><id>2</id></lineitem></order>')`)
+	err := execErr(t, e, `SELECT t.x FROM orders o, XMLTable('$o//lineitem'
+		passing o.orddoc as "o"
+		COLUMNS "x" INTEGER PATH 'id') as t(x)`)
+	if !strings.Contains(err.Error(), "exactly one") {
+		t.Errorf("err = %v", err)
+	}
+}

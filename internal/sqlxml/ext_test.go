@@ -1,0 +1,103 @@
+package sqlxml
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOrderByAndLimit(t *testing.T) {
+	e := newDB(t)
+	loadOrders(t, e)
+	res := mustExec(t, e, `select ordid from orders order by ordid desc`)
+	if res.Rows[0][0].String() != "3" || res.Rows[2][0].String() != "1" {
+		t.Fatalf("order desc = %v", res.Rows)
+	}
+	res = mustExec(t, e, `select ordid from orders order by ordid asc limit 2`)
+	if len(res.Rows) != 2 || res.Rows[0][0].String() != "1" {
+		t.Fatalf("limit = %v", res.Rows)
+	}
+	res = mustExec(t, e, `select ordid from orders order by ordid fetch first 1 rows only`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("fetch first = %v", res.Rows)
+	}
+	// ORDER BY an XMLCast-extracted value.
+	res = mustExec(t, e, `select ordid,
+		XMLCast(XMLQuery('fn:max($o//lineitem/xs:double(@price))' passing orddoc as "o") as double) as top
+		from orders order by top desc`)
+	if res.Rows[0][1].String() != "150" {
+		t.Fatalf("order by extracted value = %v", res.Rows)
+	}
+}
+
+func TestOrderByNullsLast(t *testing.T) {
+	e := newDB(t)
+	mustExec(t, e, `insert into orders values (5, '<order/>')`)
+	mustExec(t, e, `insert into orders values (1, '<order><custid>9</custid></order>')`)
+	res := mustExec(t, e, `select ordid,
+		XMLCast(XMLQuery('$o/order/custid' passing orddoc as "o") as integer) as n
+		from orders order by n`)
+	if !res.Rows[len(res.Rows)-1][1].Null {
+		t.Fatalf("NULL should sort last: %v", res.Rows)
+	}
+}
+
+func TestOrderByXMLValueErrors(t *testing.T) {
+	e := newDB(t)
+	loadOrders(t, e)
+	err := execErr(t, e, `select ordid from orders order by orddoc`)
+	if !strings.Contains(err.Error(), "XMLCAST") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDeleteWhere(t *testing.T) {
+	e := newDB(t)
+	loadOrders(t, e)
+	mustExec(t, e, `CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN '//lineitem/@price' AS double`)
+	mustExec(t, e, `delete from orders where ordid = 2`)
+	res := mustExec(t, e, `select ordid from orders`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows after delete = %d", len(res.Rows))
+	}
+	// Index maintained: the deleted order's price is gone.
+	tab, _ := e.Catalog.Table("orders")
+	if got := tab.XMLIndexes("orddoc")[0].Index.Stats().Entries; got != 3 {
+		t.Fatalf("index entries after delete = %d, want 3", got)
+	}
+	// DELETE with an XMLExists predicate.
+	mustExec(t, e, `delete from orders where XMLExists('$o//lineitem[@price > 100]' passing orddoc as "o")`)
+	res = mustExec(t, e, `select ordid from orders`)
+	if len(res.Rows) != 0 {
+		t.Fatalf("rows = %d, want 0", len(res.Rows))
+	}
+	// Unconditional delete of an empty table is a no-op.
+	mustExec(t, e, `delete from orders`)
+}
+
+func TestDropTableAndIndex(t *testing.T) {
+	e := newDB(t)
+	loadOrders(t, e)
+	mustExec(t, e, `CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN '//lineitem/@price' AS double`)
+	mustExec(t, e, `drop index li_price`)
+	tab, _ := e.Catalog.Table("orders")
+	if len(tab.XMLIndexes("")) != 0 {
+		t.Fatal("index not dropped")
+	}
+	if err := execErr(t, e, `drop index li_price`); !strings.Contains(err.Error(), "unknown index") {
+		t.Fatalf("double drop err = %v", err)
+	}
+	mustExec(t, e, `drop table orders`)
+	if _, err := e.Catalog.Table("orders"); err == nil {
+		t.Fatal("table not dropped")
+	}
+}
+
+func TestRelIndexDrop(t *testing.T) {
+	e := newDB(t)
+	mustExec(t, e, `create index p_id on products(id)`)
+	mustExec(t, e, `drop index p_id`)
+	tab, _ := e.Catalog.Table("products")
+	if len(tab.RelIndexes("")) != 0 {
+		t.Fatal("relational index not dropped")
+	}
+}

@@ -1,0 +1,146 @@
+package sqlxml
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type sqlTokenKind uint8
+
+const (
+	sqlEOF sqlTokenKind = iota
+	sqlIdent
+	sqlQuotedIdent // "name" — case-preserved identifier
+	sqlString      // '...'
+	sqlNumber
+	sqlSym
+)
+
+type sqlToken struct {
+	kind  sqlTokenKind
+	value string
+	pos   int
+}
+
+type sqlLexer struct {
+	src string
+	pos int
+}
+
+func sqlErr(src string, pos int, format string, args ...any) error {
+	line, col := 1, 1
+	for i := 0; i < pos && i < len(src); i++ {
+		if src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Errorf("sql syntax error at line %d col %d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+var sqlSymbols = []string{"<>", "!=", "<=", ">=", "(", ")", ",", ".", ";", "=", "<", ">", "*"}
+
+func (l *sqlLexer) next() (sqlToken, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		if strings.HasPrefix(l.src[l.pos:], "--") {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		break
+	}
+	if l.pos >= len(l.src) {
+		return sqlToken{kind: sqlEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+
+	// SQL string literal with doubled-quote escaping.
+	if c == '\'' {
+		var b strings.Builder
+		i := l.pos + 1
+		for i < len(l.src) {
+			if l.src[i] == '\'' {
+				if i+1 < len(l.src) && l.src[i+1] == '\'' {
+					b.WriteByte('\'')
+					i += 2
+					continue
+				}
+				l.pos = i + 1
+				return sqlToken{kind: sqlString, value: b.String(), pos: start}, nil
+			}
+			b.WriteByte(l.src[i])
+			i++
+		}
+		return sqlToken{}, sqlErr(l.src, start, "unterminated string literal")
+	}
+
+	// Delimited identifier.
+	if c == '"' {
+		end := strings.IndexByte(l.src[l.pos+1:], '"')
+		if end < 0 {
+			return sqlToken{}, sqlErr(l.src, start, "unterminated delimited identifier")
+		}
+		v := l.src[l.pos+1 : l.pos+1+end]
+		l.pos += end + 2
+		return sqlToken{kind: sqlQuotedIdent, value: v, pos: start}, nil
+	}
+
+	if c >= '0' && c <= '9' {
+		i := l.pos
+		for i < len(l.src) && (l.src[i] >= '0' && l.src[i] <= '9') {
+			i++
+		}
+		if i < len(l.src) && l.src[i] == '.' {
+			i++
+			for i < len(l.src) && (l.src[i] >= '0' && l.src[i] <= '9') {
+				i++
+			}
+		}
+		if i < len(l.src) && (l.src[i] == 'e' || l.src[i] == 'E') {
+			j := i + 1
+			if j < len(l.src) && (l.src[j] == '+' || l.src[j] == '-') {
+				j++
+			}
+			for j < len(l.src) && l.src[j] >= '0' && l.src[j] <= '9' {
+				i = j
+				j++
+			}
+		}
+		v := l.src[l.pos:i]
+		l.pos = i
+		return sqlToken{kind: sqlNumber, value: v, pos: start}, nil
+	}
+
+	if c == '_' || unicode.IsLetter(rune(c)) {
+		i := l.pos
+		for i < len(l.src) {
+			ch := l.src[i]
+			if ch == '_' || unicode.IsLetter(rune(ch)) || unicode.IsDigit(rune(ch)) {
+				i++
+				continue
+			}
+			break
+		}
+		v := l.src[l.pos:i]
+		l.pos = i
+		return sqlToken{kind: sqlIdent, value: v, pos: start}, nil
+	}
+
+	for _, s := range sqlSymbols {
+		if strings.HasPrefix(l.src[l.pos:], s) {
+			l.pos += len(s)
+			return sqlToken{kind: sqlSym, value: s, pos: start}, nil
+		}
+	}
+	return sqlToken{}, sqlErr(l.src, l.pos, "unexpected character %q", c)
+}

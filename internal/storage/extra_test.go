@@ -1,0 +1,158 @@
+package storage
+
+import (
+	"testing"
+
+	"github.com/xqdb/xqdb/internal/xdm"
+)
+
+func TestCollectionResolution(t *testing.T) {
+	c, tab := ordersTable(t)
+	insertOrder(t, tab, 1, `<order><a/></order>`)
+	insertOrder(t, tab, 2, `<order><b/></order>`)
+	docs, err := c.Collection("ORDERS.ORDDOC")
+	if err != nil || len(docs) != 2 {
+		t.Fatalf("collection: %v %v", docs, err)
+	}
+	if _, err := c.Collection("nodot"); err == nil {
+		t.Error("missing dot must fail")
+	}
+	if _, err := c.Collection("orders.nosuch"); err == nil {
+		t.Error("unknown column must fail")
+	}
+	if _, err := c.Collection("orders.ordid"); err == nil {
+		t.Error("non-XML column must fail")
+	}
+	if _, err := c.Collection("nosuch.col"); err == nil {
+		t.Error("unknown table must fail")
+	}
+}
+
+func TestCollectionFiltered(t *testing.T) {
+	c, tab := ordersTable(t)
+	id1 := insertOrder(t, tab, 1, `<order><a/></order>`)
+	insertOrder(t, tab, 2, `<order><b/></order>`)
+	docs, err := c.CollectionFiltered("orders.orddoc", map[uint32]bool{id1: true})
+	if err != nil || len(docs) != 1 {
+		t.Fatalf("filtered: %d %v", len(docs), err)
+	}
+	if _, err := c.CollectionFiltered("nodot", nil); err == nil {
+		t.Error("missing dot must fail")
+	}
+}
+
+func TestTablesListing(t *testing.T) {
+	c, _ := ordersTable(t)
+	if _, err := c.CreateTable("extra", []Column{{Name: "x", Type: Integer}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Tables()); got != 2 {
+		t.Fatalf("tables = %d", got)
+	}
+}
+
+func TestColumnTypeByName(t *testing.T) {
+	cases := map[string]ColumnType{
+		"integer": Integer, "INTEGER": Integer, "xml": XML,
+		"varchar": Varchar, "timestamp": Timestamp, "decimal": Decimal,
+	}
+	for name, want := range cases {
+		got, ok := ColumnTypeByName(name)
+		if !ok || got != want {
+			t.Errorf("ColumnTypeByName(%q) = %v,%v", name, got, ok)
+		}
+	}
+	if _, ok := ColumnTypeByName("blob"); ok {
+		t.Error("blob should be unknown")
+	}
+	if Integer.String() != "integer" || XML.String() != "xml" {
+		t.Error("type names")
+	}
+}
+
+func TestXDMTypeMapping(t *testing.T) {
+	cases := map[ColumnType]xdm.Type{
+		Integer: xdm.Integer, Double: xdm.Double, Decimal: xdm.Decimal,
+		Date: xdm.Date, Timestamp: xdm.DateTime, Varchar: xdm.String, XML: xdm.String,
+	}
+	for ct, want := range cases {
+		if got := ct.XDMType(); got != want {
+			t.Errorf("%v.XDMType() = %v, want %v", ct, got, want)
+		}
+	}
+}
+
+func TestEncodeSQLKeyOrdering(t *testing.T) {
+	lt := func(a, b xdm.Value) bool {
+		ka, kb := string(encodeSQLKey(a)), string(encodeSQLKey(b))
+		return ka < kb
+	}
+	if !lt(xdm.NewDouble(-1), xdm.NewDouble(1)) {
+		t.Error("negative < positive")
+	}
+	if !lt(xdm.NewInteger(2), xdm.NewInteger(10)) {
+		t.Error("2 < 10 numerically, not lexically")
+	}
+	if !lt(xdm.NewString("a"), xdm.NewString("b")) {
+		t.Error("string order")
+	}
+	// Trailing blanks fold (SQL PAD SPACE).
+	if string(encodeSQLKey(xdm.NewString("x "))) != string(encodeSQLKey(xdm.NewString("x"))) {
+		t.Error("trailing blanks should not affect SQL keys")
+	}
+	d1, _ := xdm.NewString("2001-01-01").Cast(xdm.Date)
+	d2, _ := xdm.NewString("2002-01-01").Cast(xdm.Date)
+	if !lt(d1, d2) {
+		t.Error("date order")
+	}
+}
+
+func TestRelIndexDropDirect(t *testing.T) {
+	c := NewCatalog()
+	tab, _ := c.CreateTable("p", []Column{{Name: "id", Type: Varchar}})
+	if _, err := tab.CreateRelIndex("ix", "id"); err != nil {
+		t.Fatal(err)
+	}
+	if !tab.DropIndex("IX") {
+		t.Error("case-insensitive drop failed")
+	}
+	if tab.DropIndex("ix") {
+		t.Error("double drop should report false")
+	}
+}
+
+func TestRowsSnapshot(t *testing.T) {
+	_, tab := ordersTable(t)
+	insertOrder(t, tab, 1, `<order/>`)
+	rows := tab.Rows()
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The snapshot is stable across later inserts.
+	insertOrder(t, tab, 2, `<order/>`)
+	if len(rows) != 1 {
+		t.Error("snapshot mutated")
+	}
+	if _, ok := tab.RowByID(999); ok {
+		t.Error("missing row id should not resolve")
+	}
+}
+
+func TestXMLIndexLookupHelpers(t *testing.T) {
+	_, tab := ordersTable(t)
+	if _, err := tab.CreateXMLIndex("a", "orddoc", "//x", 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tab.XMLIndexes("")); got != 1 {
+		t.Errorf("all indexes = %d", got)
+	}
+	if got := len(tab.XMLIndexes("ORDDOC")); got != 1 {
+		t.Errorf("by column = %d", got)
+	}
+	if got := len(tab.XMLIndexes("other")); got != 0 {
+		t.Errorf("other column = %d", got)
+	}
+	if got := len(tab.RelIndexes("")); got != 0 {
+		t.Errorf("rel indexes = %d", got)
+	}
+}

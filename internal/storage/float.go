@@ -1,0 +1,13 @@
+package storage
+
+import "math"
+
+// floatBits maps a float64 to a uint64 whose unsigned order matches the
+// float's numeric order (same trick as xmlindex's key encoding).
+func floatBits(f float64) uint64 {
+	bits := math.Float64bits(f)
+	if bits&(1<<63) != 0 {
+		return ^bits
+	}
+	return bits | 1<<63
+}

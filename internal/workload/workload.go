@@ -1,0 +1,205 @@
+// Package workload generates the synthetic document corpora the
+// experiments run on. The paper's setting is "large numbers of small to
+// medium sized XML documents" — millions of sub-1MB documents in real
+// deployments; the generators produce deterministic, parameterized
+// corpora of the paper's order/customer/product shape plus the namespaced
+// feed and schema-evolution corpora the pitfalls need.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// OrderSpec parameterizes the order corpus.
+type OrderSpec struct {
+	N int
+	// Selectivity is the fraction of orders with a lineitem price above
+	// QualifyingPrice (0..1).
+	Selectivity float64
+	// QualifyingPrice is the price threshold queries filter on.
+	QualifyingPrice float64
+	// MaxLineitems bounds lineitems per order (>=1).
+	MaxLineitems int
+	// StringPriceFraction makes this fraction of prices non-numeric
+	// ("20 USD" style), exercising tolerant indexing (§2.1).
+	StringPriceFraction float64
+	Seed                int64
+	// Namespace, when non-empty, puts all elements in this namespace
+	// (attributes stay namespace-less, §3.7).
+	Namespace string
+}
+
+// DefaultOrders returns the standard spec for n orders: one third
+// qualifying at price > 100.
+func DefaultOrders(n int) OrderSpec {
+	return OrderSpec{N: n, Selectivity: 1.0 / 3, QualifyingPrice: 100, MaxLineitems: 3, Seed: 1}
+}
+
+// Orders generates the order documents.
+func Orders(spec OrderSpec) []string {
+	r := rand.New(rand.NewSource(spec.Seed))
+	if spec.MaxLineitems < 1 {
+		spec.MaxLineitems = 1
+	}
+	docs := make([]string, spec.N)
+	xmlns := ""
+	if spec.Namespace != "" {
+		xmlns = fmt.Sprintf(` xmlns="%s"`, spec.Namespace)
+	}
+	for i := range docs {
+		var b strings.Builder
+		fmt.Fprintf(&b, `<order%s date="2002-%02d-%02d"><custid>%d</custid>`,
+			xmlns, 1+r.Intn(12), 1+r.Intn(28), r.Intn(1000))
+		qualifies := r.Float64() < spec.Selectivity
+		items := 1 + r.Intn(spec.MaxLineitems)
+		qualIdx := r.Intn(items)
+		for j := 0; j < items; j++ {
+			var price string
+			switch {
+			case qualifies && j == qualIdx:
+				price = fmt.Sprintf("%.2f", spec.QualifyingPrice+1+r.Float64()*100)
+			case r.Float64() < spec.StringPriceFraction:
+				price = fmt.Sprintf("%d USD", 1+r.Intn(int(spec.QualifyingPrice)))
+			default:
+				price = fmt.Sprintf("%.2f", 1+r.Float64()*(spec.QualifyingPrice-2))
+			}
+			fmt.Fprintf(&b, `<lineitem price="%s" quantity="%d"><product><id>%d</id></product></lineitem>`,
+				price, 1+r.Intn(9), r.Intn(500))
+		}
+		b.WriteString(`</order>`)
+		docs[i] = b.String()
+	}
+	return docs
+}
+
+// Customers generates n customer documents. When namespace is non-empty
+// the elements use prefix c bound to it (the §3.7 corpus).
+func Customers(n int, namespace string, seed int64) []string {
+	r := rand.New(rand.NewSource(seed))
+	docs := make([]string, n)
+	for i := range docs {
+		nation := r.Intn(25)
+		if namespace != "" {
+			docs[i] = fmt.Sprintf(
+				`<c:customer xmlns:c="%s"><c:id>%d</c:id><c:name>customer-%d</c:name><c:nation>%d</c:nation></c:customer>`,
+				namespace, i, i, nation)
+		} else {
+			docs[i] = fmt.Sprintf(
+				`<customer><id>%d</id><name>customer-%d</name><nation>%d</nation></customer>`,
+				i, i, nation)
+		}
+	}
+	return docs
+}
+
+// Products generates n (id, name) product rows.
+func Products(n int) [][2]string {
+	rows := make([][2]string, n)
+	for i := range rows {
+		rows[i] = [2]string{fmt.Sprint(i), fmt.Sprintf("product-%d", i)}
+	}
+	return rows
+}
+
+// TextPrices generates order documents whose price elements sometimes
+// contain a <currency> child (the §3.8 corpus): string value
+// "99.50USD" vs text node "99.50".
+func TextPrices(n int, mixedFraction float64, seed int64) []string {
+	r := rand.New(rand.NewSource(seed))
+	docs := make([]string, n)
+	for i := range docs {
+		price := fmt.Sprintf("%.2f", 1+r.Float64()*200)
+		// Every tenth document carries the paper's exact price so that
+		// equality probes on "99.50" have matches in both the plain and
+		// the mixed-content shape.
+		if i%10 == 0 {
+			price = "99.50"
+		}
+		if r.Float64() < mixedFraction {
+			docs[i] = fmt.Sprintf(`<order><lineitem><price>%s<currency>USD</currency></price></lineitem></order>`, price)
+		} else {
+			docs[i] = fmt.Sprintf(`<order><lineitem><price>%s</price></lineitem></order>`, price)
+		}
+	}
+	return docs
+}
+
+// PostalAddresses generates the §2.1 schema-evolution corpus: a mix of
+// numeric US zip codes and Canadian postal codes.
+func PostalAddresses(n int, canadianFraction float64, seed int64) []string {
+	r := rand.New(rand.NewSource(seed))
+	docs := make([]string, n)
+	letters := "ABCEGHJKLMNPRSTVXY"
+	for i := range docs {
+		var zip string
+		if r.Float64() < canadianFraction {
+			zip = fmt.Sprintf("%c%d%c %d%c%d",
+				letters[r.Intn(len(letters))], r.Intn(10), letters[r.Intn(len(letters))],
+				r.Intn(10), letters[r.Intn(len(letters))], r.Intn(10))
+		} else {
+			zip = fmt.Sprintf("%05d", 10000+r.Intn(89999))
+		}
+		docs[i] = fmt.Sprintf(`<address><street>%d Main St</street><zip>%s</zip></address>`, 1+r.Intn(999), zip)
+	}
+	return docs
+}
+
+// Feeds generates RSS/Atom-style documents with extension elements from
+// foreign namespaces anywhere — the paper's flexible-schema motivation.
+func Feeds(n int, seed int64) []string {
+	r := rand.New(rand.NewSource(seed))
+	exts := []string{
+		`<dc:creator xmlns:dc="http://purl.org/dc/elements/1.1/">alice</dc:creator>`,
+		`<media:rating xmlns:media="http://search.yahoo.com/mrss/">%d</media:rating>`,
+		`<geo:lat xmlns:geo="http://www.w3.org/2003/01/geo/wgs84_pos#">%d.5</geo:lat>`,
+	}
+	docs := make([]string, n)
+	for i := range docs {
+		var b strings.Builder
+		b.WriteString(`<rss version="2.0"><channel><title>feed</title>`)
+		items := 1 + r.Intn(4)
+		for j := 0; j < items; j++ {
+			fmt.Fprintf(&b, `<item><title>item %d-%d</title><views>%d</views>`, i, j, r.Intn(10000))
+			ext := exts[r.Intn(len(exts))]
+			if strings.Contains(ext, "%d") {
+				ext = fmt.Sprintf(ext, r.Intn(90))
+			}
+			b.WriteString(ext)
+			b.WriteString(`</item>`)
+		}
+		b.WriteString(`</channel></rss>`)
+		docs[i] = b.String()
+	}
+	return docs
+}
+
+// MultiPriceOrders generates the §3.10 corpus: lineitems with 1..k price
+// child elements, including "straddling" items whose prices surround the
+// [lo, hi] range without entering it — the existential-comparison trap.
+func MultiPriceOrders(n int, lo, hi float64, seed int64) []string {
+	r := rand.New(rand.NewSource(seed))
+	docs := make([]string, n)
+	for i := range docs {
+		var prices []float64
+		switch r.Intn(4) {
+		case 0: // truly between
+			prices = []float64{lo + r.Float64()*(hi-lo)}
+		case 1: // straddling: one above hi, one below lo
+			prices = []float64{hi + 1 + r.Float64()*100, r.Float64() * (lo - 1)}
+		case 2: // below
+			prices = []float64{r.Float64() * (lo - 1)}
+		default: // above
+			prices = []float64{hi + 1 + r.Float64()*100}
+		}
+		var b strings.Builder
+		b.WriteString(`<order><lineitem>`)
+		for _, p := range prices {
+			fmt.Fprintf(&b, `<price>%.2f</price>`, p)
+		}
+		b.WriteString(`</lineitem></order>`)
+		docs[i] = b.String()
+	}
+	return docs
+}

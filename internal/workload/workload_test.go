@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/xqdb/xqdb/internal/xmlparse"
+)
+
+func TestOrdersParseAndSelectivity(t *testing.T) {
+	spec := DefaultOrders(600)
+	docs := Orders(spec)
+	if len(docs) != 600 {
+		t.Fatalf("docs = %d", len(docs))
+	}
+	qualifying := 0
+	for _, d := range docs {
+		doc, err := xmlparse.Parse(d)
+		if err != nil {
+			t.Fatalf("invalid doc: %v\n%s", err, d)
+		}
+		_ = doc
+		if hasQualifying(d) {
+			qualifying++
+		}
+	}
+	frac := float64(qualifying) / 600
+	if frac < 0.25 || frac > 0.42 {
+		t.Errorf("qualifying fraction = %.2f, want ~0.33", frac)
+	}
+}
+
+// hasQualifying scans price attributes above 100 textually.
+func hasQualifying(d string) bool {
+	for i := 0; ; {
+		j := strings.Index(d[i:], `price="`)
+		if j < 0 {
+			return false
+		}
+		i += j + len(`price="`)
+		end := strings.IndexByte(d[i:], '"')
+		v := d[i : i+end]
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 100 {
+			return true
+		}
+		i += end
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Orders(DefaultOrders(50))
+	b := Orders(DefaultOrders(50))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("generator is not deterministic")
+		}
+	}
+}
+
+func TestNamespacedOrders(t *testing.T) {
+	spec := DefaultOrders(5)
+	spec.Namespace = "urn:o"
+	for _, d := range Orders(spec) {
+		if !strings.Contains(d, `xmlns="urn:o"`) {
+			t.Fatalf("missing namespace: %s", d)
+		}
+		if _, err := xmlparse.Parse(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCustomersAndProducts(t *testing.T) {
+	for _, d := range Customers(10, "urn:c", 1) {
+		if _, err := xmlparse.Parse(d); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(d, "c:nation") {
+			t.Fatalf("bad customer: %s", d)
+		}
+	}
+	for _, d := range Customers(10, "", 1) {
+		if _, err := xmlparse.Parse(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(Products(7)) != 7 {
+		t.Fatal("products count")
+	}
+}
+
+func TestTextPricesMix(t *testing.T) {
+	docs := TextPrices(200, 0.5, 1)
+	mixed := 0
+	for _, d := range docs {
+		if _, err := xmlparse.Parse(d); err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(d, "<currency>") {
+			mixed++
+		}
+	}
+	if mixed < 60 || mixed > 140 {
+		t.Errorf("mixed = %d of 200, want ~100", mixed)
+	}
+}
+
+func TestPostalAddresses(t *testing.T) {
+	docs := PostalAddresses(200, 0.3, 1)
+	canadian := 0
+	for _, d := range docs {
+		if _, err := xmlparse.Parse(d); err != nil {
+			t.Fatal(err)
+		}
+		start := strings.Index(d, "<zip>") + 5
+		if d[start] >= 'A' && d[start] <= 'Z' {
+			canadian++
+		}
+	}
+	if canadian < 30 || canadian > 90 {
+		t.Errorf("canadian = %d of 200, want ~60", canadian)
+	}
+}
+
+func TestFeedsAndMultiPrice(t *testing.T) {
+	for _, d := range Feeds(50, 1) {
+		if _, err := xmlparse.Parse(d); err != nil {
+			t.Fatalf("%v in %s", err, d)
+		}
+	}
+	straddling := 0
+	for _, d := range MultiPriceOrders(200, 100, 200, 1) {
+		if _, err := xmlparse.Parse(d); err != nil {
+			t.Fatal(err)
+		}
+		if strings.Count(d, "<price>") == 2 {
+			straddling++
+		}
+	}
+	if straddling < 20 {
+		t.Errorf("straddling docs = %d, want ~50", straddling)
+	}
+}

@@ -1,0 +1,197 @@
+package xdm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueCompareStrings(t *testing.T) {
+	cases := []struct {
+		op   CompareOp
+		a, b string
+		want bool
+	}{
+		{OpEq, "abc", "abc", true},
+		{OpEq, "abc ", "abc", false}, // trailing blank significant in XQuery
+		{OpLt, "a", "b", true},
+		{OpGe, "b", "b", true},
+		{OpNe, "a", "b", true},
+	}
+	for _, c := range cases {
+		got, err := ValueCompare(c.op, NewString(c.a), NewString(c.b))
+		if err != nil || got != c.want {
+			t.Errorf("%q %s %q = %v,%v want %v", c.a, c.op, c.b, got, err, c.want)
+		}
+	}
+}
+
+func TestSQLCompareTrailingBlanks(t *testing.T) {
+	// §3.3: trailing blanks are ignored in SQL but significant in XQuery.
+	got, err := SQLCompare(OpEq, NewString("abc "), NewString("abc"))
+	if err != nil || !got {
+		t.Errorf("SQL 'abc ' = 'abc' should hold: %v %v", got, err)
+	}
+	xq, err := ValueCompare(OpEq, NewString("abc "), NewString("abc"))
+	if err != nil || xq {
+		t.Errorf("XQuery 'abc ' eq 'abc' should not hold: %v %v", xq, err)
+	}
+}
+
+func TestValueCompareUntypedActsAsString(t *testing.T) {
+	// §3.6 issue 1: untypedAtomic is comparable to string...
+	ok, err := ValueCompare(OpEq, NewUntyped("17"), NewString("17"))
+	if err != nil || !ok {
+		t.Errorf("untyped eq string: %v %v", ok, err)
+	}
+	// ...but not to numbers.
+	if _, err := ValueCompare(OpEq, NewUntyped("17"), NewDouble(17)); err == nil {
+		t.Error("untyped eq double must be a type error in value comparison")
+	}
+}
+
+func TestValueCompareIntegerExactness(t *testing.T) {
+	// §3.6 issue 2: 2^53+1 and 2^53 collide as doubles but not as integers.
+	big := int64(1) << 53
+	asInt, err := ValueCompare(OpEq, NewInteger(big), NewInteger(big+1))
+	if err != nil || asInt {
+		t.Errorf("integer compare must be exact: %v %v", asInt, err)
+	}
+	asDouble, err := ValueCompare(OpEq, NewDouble(float64(big)), NewDouble(float64(big+1)))
+	if err != nil || !asDouble {
+		t.Errorf("double compare must collide at 2^53: %v %v", asDouble, err)
+	}
+	// Mixed integer/double promotes to double and collides too.
+	mixed, err := ValueCompare(OpEq, NewInteger(big+1), NewDouble(float64(big)))
+	if err != nil || !mixed {
+		t.Errorf("mixed compare promotes to double: %v %v", mixed, err)
+	}
+}
+
+func TestValueCompareDates(t *testing.T) {
+	a, _ := NewString("2001-01-01").Cast(Date)
+	b, _ := NewString("2002-01-01").Cast(Date)
+	lt, err := ValueCompare(OpLt, a, b)
+	if err != nil || !lt {
+		t.Errorf("date lt: %v %v", lt, err)
+	}
+	eq, err := ValueCompare(OpEq, a, a)
+	if err != nil || !eq {
+		t.Errorf("date eq: %v %v", eq, err)
+	}
+	if _, err := ValueCompare(OpEq, a, NewDouble(1)); err == nil {
+		t.Error("date vs double must be a type error")
+	}
+}
+
+func TestGeneralCompareExistential(t *testing.T) {
+	// §3.10: lineitem with prices 250 and 50 satisfies
+	// [price > 100 and price < 200] even though no price is between.
+	prices := Sequence{NewUntyped("250"), NewUntyped("50")}
+	hundred := Sequence{NewDouble(100)}
+	twoHundred := Sequence{NewDouble(200)}
+	gt, err := GeneralCompare(OpGt, prices, hundred)
+	if err != nil || !gt {
+		t.Fatalf("250|50 > 100: %v %v", gt, err)
+	}
+	lt, err := GeneralCompare(OpLt, prices, twoHundred)
+	if err != nil || !lt {
+		t.Fatalf("250|50 < 200: %v %v", lt, err)
+	}
+}
+
+func TestGeneralCompareEmptySequence(t *testing.T) {
+	got, err := GeneralCompare(OpGt, Sequence{}, Sequence{NewDouble(100)})
+	if err != nil || got {
+		t.Errorf("empty > 100 must be false: %v %v", got, err)
+	}
+}
+
+func TestGeneralCompareUntypedVsNumber(t *testing.T) {
+	// Untyped converts to double against a numeric operand.
+	ok, err := GeneralCompare(OpGt, Sequence{NewUntyped("150")}, Sequence{NewDouble(100)})
+	if err != nil || !ok {
+		t.Errorf("untyped 150 > 100: %v %v", ok, err)
+	}
+	// "20 USD" cannot convert to double: the pair is a non-match (the
+	// DB2-compatible tolerant rule; see the GeneralCompare comment).
+	ok, err = GeneralCompare(OpGt, Sequence{NewUntyped("20 USD")}, Sequence{NewDouble(100)})
+	if err != nil || ok {
+		t.Errorf("'20 USD' > 100 must be a tolerant non-match: %v %v", ok, err)
+	}
+	// Against a string operand it compares as string, no error (Query 3).
+	ok, err = GeneralCompare(OpGt, Sequence{NewUntyped("20 USD")}, Sequence{NewString("100")})
+	if err != nil || !ok {
+		t.Errorf("'20 USD' > '100' as strings: %v %v", ok, err)
+	}
+}
+
+func TestGeneralCompareUntypedVsUntyped(t *testing.T) {
+	// Both untyped: string comparison. "9" > "10" as strings.
+	ok, err := GeneralCompare(OpGt, Sequence{NewUntyped("9")}, Sequence{NewUntyped("10")})
+	if err != nil || !ok {
+		t.Errorf("'9' > '10' string-wise: %v %v", ok, err)
+	}
+}
+
+func TestGeneralCompareNodeAtomization(t *testing.T) {
+	price := &Node{Kind: ElementNode, Name: QName{Local: "price"}}
+	price.AppendChild(&Node{Kind: TextNode, Text: "150"})
+	price.Renumber()
+	ok, err := GeneralCompare(OpGt, Sequence{price}, Sequence{NewDouble(100)})
+	if err != nil || !ok {
+		t.Errorf("node atomization in general compare: %v %v", ok, err)
+	}
+}
+
+func TestGeneralCompareSymmetryProperty(t *testing.T) {
+	// a = b iff b = a for numeric sequences.
+	f := func(xs, ys []float64) bool {
+		var l, r Sequence
+		for _, x := range xs {
+			l = append(l, NewDouble(x))
+		}
+		for _, y := range ys {
+			r = append(r, NewDouble(y))
+		}
+		ab, err1 := GeneralCompare(OpEq, l, r)
+		ba, err2 := GeneralCompare(OpEq, r, l)
+		return err1 == nil && err2 == nil && ab == ba
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneralCompareNegationIsNotComplement(t *testing.T) {
+	// Existential semantics: (a = b) and (a != b) can both hold.
+	l := Sequence{NewDouble(1), NewDouble(2)}
+	r := Sequence{NewDouble(1)}
+	eq, _ := GeneralCompare(OpEq, l, r)
+	ne, _ := GeneralCompare(OpNe, l, r)
+	if !eq || !ne {
+		t.Errorf("both = and != should hold existentially: eq=%v ne=%v", eq, ne)
+	}
+}
+
+func TestSQLCompareNumeric(t *testing.T) {
+	ok, err := SQLCompare(OpEq, NewString("1E3"), NewDouble(1000))
+	if err != nil || !ok {
+		t.Errorf("SQL numeric compare with castable string: %v %v", ok, err)
+	}
+	if _, err := SQLCompare(OpGt, NewString("abc"), NewDouble(1)); err == nil {
+		t.Error("SQL compare of non-numeric string with number must error")
+	}
+}
+
+func TestAtomizeMixed(t *testing.T) {
+	n := &Node{Kind: ElementNode, Name: QName{Local: "x"}}
+	n.AppendChild(&Node{Kind: TextNode, Text: "hi"})
+	n.Renumber()
+	out, err := Atomize(Sequence{NewInteger(1), n})
+	if err != nil || len(out) != 2 {
+		t.Fatalf("atomize: %v %v", out, err)
+	}
+	if out[1].(Value).T != UntypedAtomic || out[1].(Value).S != "hi" {
+		t.Errorf("atomized node = %+v", out[1])
+	}
+}

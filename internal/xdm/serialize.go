@@ -1,0 +1,118 @@
+package xdm
+
+import (
+	"strings"
+)
+
+// Serialize renders an item the way a query shell prints results: atomic
+// values by their lexical form, nodes as XML.
+func Serialize(it Item) string {
+	switch x := it.(type) {
+	case Value:
+		return x.Lexical()
+	case *Node:
+		var b strings.Builder
+		serializeNode(&b, x)
+		return b.String()
+	}
+	return ""
+}
+
+// SerializeSequence renders a sequence with single spaces between atomic
+// values, matching XQuery serialization of adjacent atomics.
+func SerializeSequence(seq Sequence) string {
+	var b strings.Builder
+	prevAtomic := false
+	for _, it := range seq {
+		_, isVal := it.(Value)
+		if b.Len() > 0 && prevAtomic && isVal {
+			b.WriteByte(' ')
+		}
+		b.WriteString(Serialize(it))
+		prevAtomic = isVal
+	}
+	return b.String()
+}
+
+func serializeNode(b *strings.Builder, n *Node) {
+	switch n.Kind {
+	case DocumentNode:
+		for _, c := range n.Children {
+			serializeNode(b, c)
+		}
+	case ElementNode:
+		b.WriteByte('<')
+		writeName(b, n.Name)
+		for _, a := range n.Attrs {
+			b.WriteByte(' ')
+			writeName(b, a.Name)
+			b.WriteString(`="`)
+			escape(b, a.Text, true)
+			b.WriteByte('"')
+		}
+		if len(n.Children) == 0 {
+			b.WriteString("/>")
+			return
+		}
+		b.WriteByte('>')
+		for _, c := range n.Children {
+			serializeNode(b, c)
+		}
+		b.WriteString("</")
+		writeName(b, n.Name)
+		b.WriteByte('>')
+	case AttributeNode:
+		// A standalone attribute serializes as name="value".
+		writeName(b, n.Name)
+		b.WriteString(`="`)
+		escape(b, n.Text, true)
+		b.WriteByte('"')
+	case TextNode:
+		escape(b, n.Text, false)
+	case CommentNode:
+		b.WriteString("<!--")
+		b.WriteString(n.Text)
+		b.WriteString("-->")
+	case ProcessingInstructionNode:
+		b.WriteString("<?")
+		b.WriteString(n.Name.Local)
+		if n.Text != "" {
+			b.WriteByte(' ')
+			b.WriteString(n.Text)
+		}
+		b.WriteString("?>")
+	}
+}
+
+// writeName renders a QName. Serialization uses Clark notation for
+// namespaced names when no prefix is recorded; the engine keeps trees
+// prefix-free internally.
+func writeName(b *strings.Builder, q QName) {
+	if q.Space != "" {
+		b.WriteByte('{')
+		b.WriteString(q.Space)
+		b.WriteByte('}')
+	}
+	b.WriteString(q.Local)
+}
+
+func escape(b *strings.Builder, s string, attr bool) {
+	for _, r := range s {
+		switch r {
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '&':
+			b.WriteString("&amp;")
+		case '"':
+			if attr {
+				b.WriteString("&quot;")
+			} else {
+				b.WriteRune(r)
+			}
+		default:
+			b.WriteRune(r)
+		}
+	}
+}

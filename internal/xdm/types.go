@@ -1,0 +1,341 @@
+// Package xdm implements the subset of the XQuery 1.0 / XPath 2.0 Data
+// Model (XDM) that the engine operates on: typed atomic values, the six
+// node kinds with identity and document order, sequences of items, and the
+// comparison and cast rules that the paper's pitfalls hinge on.
+//
+// The model deliberately keeps the distinctions the paper exploits:
+// untypedAtomic vs string vs double, value vs general comparisons, node
+// identity of constructed trees, and element string values as the
+// concatenation of all descendant text nodes.
+package xdm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Type identifies an atomic type. The engine implements the XML Schema
+// primitive types that the paper's queries and index DDL exercise.
+type Type uint8
+
+// Atomic types. UntypedAtomic is the annotation carried by attribute values
+// and element content of non-validated documents.
+const (
+	UntypedAtomic Type = iota
+	String
+	Double
+	Decimal
+	Integer // xs:integer / "long integer" in the paper's §3.6 discussion
+	Boolean
+	Date
+	DateTime
+)
+
+// typeNames maps Type to its lexical QName (without the xs: prefix).
+var typeNames = [...]string{
+	UntypedAtomic: "untypedAtomic",
+	String:        "string",
+	Double:        "double",
+	Decimal:       "decimal",
+	Integer:       "integer",
+	Boolean:       "boolean",
+	Date:          "date",
+	DateTime:      "dateTime",
+}
+
+func (t Type) String() string {
+	if int(t) < len(typeNames) {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// TypeByName resolves a type name such as "double", "xs:double" or
+// "xdt:untypedAtomic" to its Type. The second result is false if the name
+// is unknown.
+func TypeByName(name string) (Type, bool) {
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		name = name[i+1:]
+	}
+	for t, n := range typeNames {
+		if n == name {
+			return Type(t), true
+		}
+	}
+	return 0, false
+}
+
+// IsNumeric reports whether t is one of the numeric types.
+func (t Type) IsNumeric() bool {
+	return t == Double || t == Decimal || t == Integer
+}
+
+// Value is a single atomic value: a lexical form plus the native
+// representation for its type. Values are immutable by convention.
+type Value struct {
+	T Type
+	S string    // String, UntypedAtomic lexical form; set for all types
+	F float64   // Double, Decimal
+	I int64     // Integer
+	B bool      // Boolean
+	M time.Time // Date, DateTime
+}
+
+// Item is a member of an XDM sequence: either an atomic *Value* or a *Node*.
+type Item interface {
+	isItem()
+	// ItemString returns the string value of the item (fn:string).
+	ItemString() string
+}
+
+func (Value) isItem() {}
+
+// ItemString returns the canonical lexical form of the value.
+func (v Value) ItemString() string { return v.Lexical() }
+
+// Sequence is an ordered, flat XDM sequence. XQuery has no nested
+// sequences; concatenation discards empty sequences automatically because
+// appending zero items is a no-op (the §3.4 observation).
+type Sequence []Item
+
+// NewString returns an xs:string value.
+func NewString(s string) Value { return Value{T: String, S: s} }
+
+// NewUntyped returns an xdt:untypedAtomic value.
+func NewUntyped(s string) Value { return Value{T: UntypedAtomic, S: s} }
+
+// NewDouble returns an xs:double value.
+func NewDouble(f float64) Value { return Value{T: Double, F: f, S: formatDouble(f)} }
+
+// NewDecimal returns an xs:decimal value.
+func NewDecimal(f float64) Value { return Value{T: Decimal, F: f, S: formatDouble(f)} }
+
+// NewInteger returns an xs:integer value.
+func NewInteger(i int64) Value {
+	return Value{T: Integer, I: i, F: float64(i), S: strconv.FormatInt(i, 10)}
+}
+
+// NewBoolean returns an xs:boolean value.
+func NewBoolean(b bool) Value {
+	s := "false"
+	if b {
+		s = "true"
+	}
+	return Value{T: Boolean, B: b, S: s}
+}
+
+// NewDate returns an xs:date value truncated to midnight UTC.
+func NewDate(t time.Time) Value {
+	t = time.Date(t.Year(), t.Month(), t.Day(), 0, 0, 0, 0, time.UTC)
+	return Value{T: Date, M: t, S: t.Format("2006-01-02")}
+}
+
+// NewDateTime returns an xs:dateTime value.
+func NewDateTime(t time.Time) Value {
+	return Value{T: DateTime, M: t, S: t.UTC().Format("2006-01-02T15:04:05Z")}
+}
+
+// Lexical returns the canonical lexical representation of v.
+func (v Value) Lexical() string {
+	switch v.T {
+	case Double, Decimal:
+		if v.S != "" {
+			return v.S
+		}
+		return formatDouble(v.F)
+	default:
+		return v.S
+	}
+}
+
+// Number returns the numeric value of v as a float64. Integer values
+// convert exactly only within 2^53; the paper's §3.6 issue 2 (long vs
+// double rounding) is observable through this conversion.
+func (v Value) Number() float64 {
+	switch v.T {
+	case Double, Decimal:
+		return v.F
+	case Integer:
+		return float64(v.I)
+	case Boolean:
+		if v.B {
+			return 1
+		}
+		return 0
+	default:
+		f, err := strconv.ParseFloat(strings.TrimSpace(v.S), 64)
+		if err != nil {
+			return math.NaN()
+		}
+		return f
+	}
+}
+
+// formatDouble renders a float64 the way XQuery serializes xs:double for
+// the values the engine produces (shortest round-trip form).
+func formatDouble(f float64) string {
+	if math.IsInf(f, 1) {
+		return "INF"
+	}
+	if math.IsInf(f, -1) {
+		return "-INF"
+	}
+	if math.IsNaN(f) {
+		return "NaN"
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// dateFormats lists the lexical shapes accepted when casting to xs:date.
+var dateFormats = []string{"2006-01-02", "2006-01-02Z07:00"}
+
+// dateTimeFormats lists the lexical shapes accepted for xs:dateTime.
+var dateTimeFormats = []string{
+	"2006-01-02T15:04:05",
+	"2006-01-02T15:04:05Z07:00",
+	"2006-01-02T15:04:05.999999999",
+	"2006-01-02T15:04:05.999999999Z07:00",
+}
+
+// Cast converts v to target following XQuery cast rules for the supported
+// types. It returns an error for invalid lexical forms or unsupported
+// casts; callers that need the index-maintenance "tolerant" behaviour
+// simply drop entries whose cast fails.
+func (v Value) Cast(target Type) (Value, error) {
+	if v.T == target {
+		return v, nil
+	}
+	switch target {
+	case String:
+		return NewString(v.Lexical()), nil
+	case UntypedAtomic:
+		return NewUntyped(v.Lexical()), nil
+	case Double, Decimal:
+		switch v.T {
+		case Double, Decimal:
+			out := v
+			out.T = target
+			return out, nil
+		case Integer:
+			if target == Double {
+				return NewDouble(float64(v.I)), nil
+			}
+			return NewDecimal(float64(v.I)), nil
+		case Boolean:
+			return NewDouble(v.Number()), nil
+		case String, UntypedAtomic:
+			s := strings.TrimSpace(v.S)
+			f, err := parseXSDouble(s)
+			if err != nil {
+				return Value{}, fmt.Errorf("cannot cast %q to xs:%s", v.S, target)
+			}
+			if target == Double {
+				return NewDouble(f), nil
+			}
+			return NewDecimal(f), nil
+		}
+	case Integer:
+		switch v.T {
+		case Double, Decimal:
+			if v.F != math.Trunc(v.F) || math.IsInf(v.F, 0) || math.IsNaN(v.F) {
+				return Value{}, fmt.Errorf("cannot cast %s to xs:integer", v.Lexical())
+			}
+			return NewInteger(int64(v.F)), nil
+		case Boolean:
+			return NewInteger(int64(v.Number())), nil
+		case String, UntypedAtomic:
+			i, err := strconv.ParseInt(strings.TrimSpace(v.S), 10, 64)
+			if err != nil {
+				return Value{}, fmt.Errorf("cannot cast %q to xs:integer", v.S)
+			}
+			return NewInteger(i), nil
+		}
+	case Boolean:
+		switch v.T {
+		case Double, Decimal, Integer:
+			return NewBoolean(v.Number() != 0 && !math.IsNaN(v.Number())), nil
+		case String, UntypedAtomic:
+			switch strings.TrimSpace(v.S) {
+			case "true", "1":
+				return NewBoolean(true), nil
+			case "false", "0":
+				return NewBoolean(false), nil
+			}
+			return Value{}, fmt.Errorf("cannot cast %q to xs:boolean", v.S)
+		}
+	case Date:
+		switch v.T {
+		case DateTime:
+			return NewDate(v.M), nil
+		case String, UntypedAtomic:
+			s := strings.TrimSpace(v.S)
+			for _, layout := range dateFormats {
+				if t, err := time.Parse(layout, s); err == nil {
+					return NewDate(t), nil
+				}
+			}
+			return Value{}, fmt.Errorf("cannot cast %q to xs:date", v.S)
+		}
+	case DateTime:
+		switch v.T {
+		case Date:
+			return NewDateTime(v.M), nil
+		case String, UntypedAtomic:
+			s := strings.TrimSpace(v.S)
+			for _, layout := range dateTimeFormats {
+				if t, err := time.Parse(layout, s); err == nil {
+					return NewDateTime(t), nil
+				}
+			}
+			return Value{}, fmt.Errorf("cannot cast %q to xs:dateTime", v.S)
+		}
+	}
+	return Value{}, fmt.Errorf("unsupported cast from xs:%s to xs:%s", v.T, target)
+}
+
+// parseXSDouble parses the XML Schema double lexical space, which differs
+// from Go's in spelling infinity as INF.
+func parseXSDouble(s string) (float64, error) {
+	switch s {
+	case "INF", "+INF":
+		return math.Inf(1), nil
+	case "-INF":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	// Reject Go-isms XML Schema does not allow.
+	if strings.ContainsAny(s, "xX_") || strings.HasPrefix(s, "Inf") {
+		return 0, strconv.ErrSyntax
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// EffectiveBooleanValue computes fn:boolean over a sequence: empty is
+// false, a sequence whose first item is a node is true, a singleton
+// atomic follows type rules, and anything else is a type error.
+func EffectiveBooleanValue(seq Sequence) (bool, error) {
+	if len(seq) == 0 {
+		return false, nil
+	}
+	if _, ok := seq[0].(*Node); ok {
+		return true, nil
+	}
+	if len(seq) > 1 {
+		return false, fmt.Errorf("effective boolean value of a sequence of %d atomic values is undefined", len(seq))
+	}
+	v := seq[0].(Value)
+	switch v.T {
+	case Boolean:
+		return v.B, nil
+	case String, UntypedAtomic:
+		return v.S != "", nil
+	case Double, Decimal, Integer:
+		n := v.Number()
+		return n != 0 && !math.IsNaN(n), nil
+	}
+	return false, fmt.Errorf("effective boolean value undefined for xs:%s", v.T)
+}

@@ -1,0 +1,220 @@
+package xdm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTypeByName(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Type
+		ok   bool
+	}{
+		{"double", Double, true},
+		{"xs:double", Double, true},
+		{"xs:string", String, true},
+		{"xdt:untypedAtomic", UntypedAtomic, true},
+		{"untypedAtomic", UntypedAtomic, true},
+		{"xs:date", Date, true},
+		{"xs:dateTime", DateTime, true},
+		{"xs:integer", Integer, true},
+		{"xs:decimal", Decimal, true},
+		{"xs:boolean", Boolean, true},
+		{"varchar", 0, false},
+		{"", 0, false},
+		{"xs:unknown", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := TypeByName(c.in)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("TypeByName(%q) = %v,%v want %v,%v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestCastStringToDouble(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"100", 100, true},
+		{" 99.50 ", 99.5, true},
+		{"10E3", 10000, true},
+		{"-INF", math.Inf(-1), true},
+		{"INF", math.Inf(1), true},
+		{"20 USD", 0, false},
+		{"", 0, false},
+		{"0x10", 0, false},
+		{"1_000", 0, false},
+	}
+	for _, c := range cases {
+		v, err := NewString(c.in).Cast(Double)
+		if c.ok != (err == nil) {
+			t.Errorf("cast %q to double: err=%v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && v.F != c.want {
+			t.Errorf("cast %q = %v, want %v", c.in, v.F, c.want)
+		}
+	}
+}
+
+func TestCastNumericEquivalence(t *testing.T) {
+	// The paper's §3.1 rule "10E3 = 1000" (exponent notation equals plain
+	// notation numerically but not string-wise; the paper's literal pair
+	// is off by a factor of ten, so we use 1E3).
+	a, err := NewUntyped("1E3").Cast(Double)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewUntyped("1000").Cast(Double)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq, _ := ValueCompare(OpEq, a, b); !eq {
+		t.Error("1E3 should equal 1000 as doubles")
+	}
+	if eq, _ := ValueCompare(OpEq, NewString("1E3"), NewString("1000")); eq {
+		t.Error("1E3 should not equal 1000 as strings")
+	}
+}
+
+func TestCastDates(t *testing.T) {
+	v, err := NewString("2001-01-02").Cast(Date)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.M.Year() != 2001 || v.M.Month() != 1 || v.M.Day() != 2 {
+		t.Errorf("bad date: %v", v.M)
+	}
+	if _, err := NewString("January 1, 2001").Cast(Date); err == nil {
+		t.Error("prose date should not cast to xs:date")
+	}
+	dt, err := NewString("2006-09-12T15:04:05Z").Cast(DateTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt.M.Hour() != 15 {
+		t.Errorf("bad hour: %v", dt.M)
+	}
+	d2, err := dt.Cast(Date)
+	if err != nil || d2.S != "2006-09-12" {
+		t.Errorf("dateTime→date: %v %v", d2, err)
+	}
+}
+
+func TestCastIntegerRules(t *testing.T) {
+	if _, err := NewDouble(1.5).Cast(Integer); err == nil {
+		t.Error("1.5 must not cast to integer")
+	}
+	v, err := NewDouble(4).Cast(Integer)
+	if err != nil || v.I != 4 {
+		t.Errorf("4.0→integer: %v %v", v, err)
+	}
+	if _, err := NewString("12x").Cast(Integer); err == nil {
+		t.Error("12x must not cast to integer")
+	}
+}
+
+func TestCastBoolean(t *testing.T) {
+	for _, s := range []string{"true", "1"} {
+		v, err := NewUntyped(s).Cast(Boolean)
+		if err != nil || !v.B {
+			t.Errorf("%q→boolean: %v %v", s, v, err)
+		}
+	}
+	for _, s := range []string{"false", "0"} {
+		v, err := NewUntyped(s).Cast(Boolean)
+		if err != nil || v.B {
+			t.Errorf("%q→boolean: %v %v", s, v, err)
+		}
+	}
+	if _, err := NewUntyped("yes").Cast(Boolean); err == nil {
+		t.Error("'yes' must not cast to boolean")
+	}
+}
+
+func TestCastToStringAlwaysSucceeds(t *testing.T) {
+	// The paper: "any XML node value can be converted into a string".
+	f := func(s string) bool {
+		v, err := NewUntyped(s).Cast(String)
+		return err == nil && v.S == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCastDoubleRoundTrip(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) {
+			return true
+		}
+		v := NewDouble(x)
+		back, err := NewString(v.Lexical()).Cast(Double)
+		return err == nil && back.F == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEffectiveBooleanValue(t *testing.T) {
+	n := &Node{Kind: ElementNode}
+	cases := []struct {
+		seq  Sequence
+		want bool
+		err  bool
+	}{
+		{Sequence{}, false, false},
+		{Sequence{n}, true, false},
+		{Sequence{n, n}, true, false},
+		{Sequence{NewBoolean(true)}, true, false},
+		{Sequence{NewBoolean(false)}, false, false},
+		{Sequence{NewString("")}, false, false},
+		{Sequence{NewString("x")}, true, false},
+		{Sequence{NewDouble(0)}, false, false},
+		{Sequence{NewDouble(math.NaN())}, false, false},
+		{Sequence{NewDouble(3)}, true, false},
+		{Sequence{NewUntyped("")}, false, false},
+		{Sequence{NewInteger(0)}, false, false},
+		{Sequence{NewBoolean(true), NewBoolean(true)}, false, true},
+	}
+	for i, c := range cases {
+		got, err := EffectiveBooleanValue(c.seq)
+		if (err != nil) != c.err || (err == nil && got != c.want) {
+			t.Errorf("case %d: got %v,%v want %v,err=%v", i, got, err, c.want, c.err)
+		}
+	}
+}
+
+func TestNewDateTruncates(t *testing.T) {
+	v := NewDate(time.Date(2006, 9, 12, 13, 14, 15, 0, time.UTC))
+	if v.M.Hour() != 0 || v.S != "2006-09-12" {
+		t.Errorf("NewDate did not truncate: %v", v)
+	}
+}
+
+func TestLexicalDouble(t *testing.T) {
+	cases := []struct {
+		f    float64
+		want string
+	}{
+		{100, "100"},
+		{99.5, "99.5"},
+		{math.Inf(1), "INF"},
+		{math.Inf(-1), "-INF"},
+	}
+	for _, c := range cases {
+		if got := NewDouble(c.f).Lexical(); got != c.want {
+			t.Errorf("Lexical(%v) = %q want %q", c.f, got, c.want)
+		}
+	}
+	if NewDouble(math.NaN()).Lexical() != "NaN" {
+		t.Error("NaN lexical")
+	}
+}

@@ -1,0 +1,437 @@
+// Package xmlindex implements the paper's path-specific XML value indexes
+// (§2.1): CREATE INDEX ... USING XMLPATTERN 'pattern' AS type. An index
+// stores one B+Tree entry per node that matches the pattern AND casts to
+// the index type; nodes that fail the cast are silently skipped (the
+// "tolerant" behaviour schema evolution requires). Entries record the
+// node's concrete root-to-node path, so probes can apply additional
+// restrictions on the path — a query path more restrictive than the index
+// pattern is checked per entry.
+package xmlindex
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/xqdb/xqdb/internal/btree"
+	"github.com/xqdb/xqdb/internal/pattern"
+	"github.com/xqdb/xqdb/internal/xdm"
+)
+
+// Type is an index data type. The DDL admits exactly these four (§2.1).
+type Type uint8
+
+// Index data types.
+const (
+	Varchar Type = iota
+	Double
+	Date
+	Timestamp
+)
+
+var typeNames = [...]string{"varchar", "double", "date", "timestamp"}
+
+func (t Type) String() string { return typeNames[t] }
+
+// TypeByName resolves a DDL type name.
+func TypeByName(name string) (Type, bool) {
+	for t, n := range typeNames {
+		if n == name {
+			return Type(t), true
+		}
+	}
+	return 0, false
+}
+
+// xdmType maps an index type to the XDM type its entries are cast to.
+func (t Type) xdmType() xdm.Type {
+	switch t {
+	case Double:
+		return xdm.Double
+	case Date:
+		return xdm.Date
+	case Timestamp:
+		return xdm.DateTime
+	default:
+		return xdm.String
+	}
+}
+
+// Entry identifies one indexed node.
+type Entry struct {
+	DocID  uint32
+	NodeID uint32
+}
+
+// Stats counts index activity; the benchmark harness reads these.
+type Stats struct {
+	Probes      int // number of Scan calls
+	KeysVisited int // B+Tree entries touched across all probes
+	Entries     int // live entries
+}
+
+// Index is one XML value index.
+type Index struct {
+	Name    string
+	Pattern *pattern.Pattern
+	Type    Type
+
+	mu    sync.RWMutex
+	tree  *btree.Tree
+	paths *pathDict
+	stats Stats
+}
+
+// New creates an empty index over the given pattern and type.
+func New(name string, pat *pattern.Pattern, typ Type) *Index {
+	return &Index{Name: name, Pattern: pat, Type: typ, tree: btree.New(), paths: newPathDict()}
+}
+
+// Stats returns a snapshot of the index statistics.
+func (ix *Index) Stats() Stats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	s := ix.stats
+	s.Entries = ix.tree.Len()
+	return s
+}
+
+// ResetStats zeroes the probe counters.
+func (ix *Index) ResetStats() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.stats = Stats{}
+}
+
+// pathDict interns concrete label paths.
+type pathDict struct {
+	byKey map[string]uint32
+	paths [][]pattern.Label
+}
+
+func newPathDict() *pathDict {
+	return &pathDict{byKey: map[string]uint32{}}
+}
+
+func pathKey(labels []pattern.Label) string {
+	b := make([]byte, 0, 64)
+	for _, l := range labels {
+		b = append(b, byte(l.Kind))
+		b = append(b, l.Space...)
+		b = append(b, 0)
+		b = append(b, l.Local...)
+		b = append(b, 1)
+	}
+	return string(b)
+}
+
+func (d *pathDict) intern(labels []pattern.Label) uint32 {
+	k := pathKey(labels)
+	if id, ok := d.byKey[k]; ok {
+		return id
+	}
+	id := uint32(len(d.paths))
+	d.byKey[k] = id
+	d.paths = append(d.paths, append([]pattern.Label(nil), labels...))
+	return id
+}
+
+// labelPath converts a node's ancestor chain to a pattern label path
+// (document node excluded).
+func labelPath(n *xdm.Node) []pattern.Label {
+	var rev []pattern.Label
+	for m := n; m != nil && m.Kind != xdm.DocumentNode; m = m.Parent {
+		var l pattern.Label
+		switch m.Kind {
+		case xdm.ElementNode:
+			l = pattern.Label{Kind: pattern.ElementLabel, Space: m.Name.Space, Local: m.Name.Local}
+		case xdm.AttributeNode:
+			l = pattern.Label{Kind: pattern.AttributeLabel, Space: m.Name.Space, Local: m.Name.Local}
+		case xdm.TextNode:
+			l = pattern.Label{Kind: pattern.TextLabel}
+		case xdm.CommentNode:
+			l = pattern.Label{Kind: pattern.CommentLabel}
+		case xdm.ProcessingInstructionNode:
+			l = pattern.Label{Kind: pattern.PILabel, Local: m.Name.Local}
+		}
+		rev = append(rev, l)
+	}
+	out := make([]pattern.Label, len(rev))
+	for i, l := range rev {
+		out[len(rev)-1-i] = l
+	}
+	return out
+}
+
+// indexableValue computes the value an entry stores for node n, taking the
+// node's validated type annotation into account. ok is false when the
+// node does not cast to the index type (the entry is skipped, tolerantly).
+func (ix *Index) indexableValue(n *xdm.Node) (xdm.Value, bool, error) {
+	if n.TypeAnn.Valid && n.TypeAnn.IsList {
+		// §3.10 footnote: list types are prohibited in indexed documents.
+		return xdm.Value{}, false, fmt.Errorf("index %s: node %s has a list type", ix.Name, n.PathFromRoot())
+	}
+	tv, err := n.TypedValue()
+	if err != nil || len(tv) != 1 {
+		return xdm.Value{}, false, nil
+	}
+	v, err := tv[0].(xdm.Value).Cast(ix.Type.xdmType())
+	if err != nil {
+		return xdm.Value{}, false, nil // tolerant: skip, never reject
+	}
+	return v, true, nil
+}
+
+// InsertDoc adds index entries for every matching node of doc. It returns
+// an error only for list-typed matches; cast failures skip silently.
+func (ix *Index) InsertDoc(docID uint32, doc *xdm.Node) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	var insertErr error
+	ix.forMatching(doc, func(n *xdm.Node, labels []pattern.Label) {
+		if insertErr != nil {
+			return
+		}
+		v, ok, err := ix.indexableValue(n)
+		if err != nil {
+			insertErr = err
+			return
+		}
+		if !ok {
+			return
+		}
+		pathID := ix.paths.intern(labels)
+		ix.tree.Insert(ix.encodeKey(v, pathID, docID, n.Ordinal), nil)
+	})
+	return insertErr
+}
+
+// DeleteDoc removes the entries InsertDoc created for doc.
+func (ix *Index) DeleteDoc(docID uint32, doc *xdm.Node) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.forMatching(doc, func(n *xdm.Node, labels []pattern.Label) {
+		v, ok, err := ix.indexableValue(n)
+		if err != nil || !ok {
+			return
+		}
+		pathID := ix.paths.intern(labels)
+		ix.tree.Delete(ix.encodeKey(v, pathID, docID, n.Ordinal))
+	})
+}
+
+// forMatching visits every node of doc whose label path matches the index
+// pattern.
+func (ix *Index) forMatching(doc *xdm.Node, f func(*xdm.Node, []pattern.Label)) {
+	var labels []pattern.Label
+	var walk func(*xdm.Node)
+	walk = func(n *xdm.Node) {
+		if n.Kind != xdm.DocumentNode {
+			var l pattern.Label
+			switch n.Kind {
+			case xdm.ElementNode:
+				l = pattern.Label{Kind: pattern.ElementLabel, Space: n.Name.Space, Local: n.Name.Local}
+			case xdm.AttributeNode:
+				l = pattern.Label{Kind: pattern.AttributeLabel, Space: n.Name.Space, Local: n.Name.Local}
+			case xdm.TextNode:
+				l = pattern.Label{Kind: pattern.TextLabel}
+			case xdm.CommentNode:
+				l = pattern.Label{Kind: pattern.CommentLabel}
+			case xdm.ProcessingInstructionNode:
+				l = pattern.Label{Kind: pattern.PILabel, Local: n.Name.Local}
+			}
+			labels = append(labels, l)
+			if ix.Pattern.Match(labels) {
+				f(n, labels)
+			}
+		}
+		for _, a := range n.Attrs {
+			labels = append(labels, pattern.Label{Kind: pattern.AttributeLabel, Space: a.Name.Space, Local: a.Name.Local})
+			if ix.Pattern.Match(labels) {
+				f(a, labels)
+			}
+			labels = labels[:len(labels)-1]
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+		if n.Kind != xdm.DocumentNode {
+			labels = labels[:len(labels)-1]
+		}
+	}
+	walk(doc)
+}
+
+// Range is a value range for a probe. Nil bounds are unbounded; a probe
+// with both bounds nil is a structural probe that scans every entry.
+type Range struct {
+	Lo, Hi       *xdm.Value
+	LoInc, HiInc bool
+}
+
+// Equality returns the Range for an equality probe.
+func Equality(v xdm.Value) Range {
+	return Range{Lo: &v, Hi: &v, LoInc: true, HiInc: true}
+}
+
+// Probe is one index scan request.
+type Probe struct {
+	Range Range
+	// QueryPattern, when non-nil, restricts results to entries whose
+	// concrete node path also matches it (the query's navigation may be
+	// more restrictive than the index pattern).
+	QueryPattern *pattern.Pattern
+}
+
+// Scan runs a probe and returns the matching entries in key order. The
+// returned count of visited keys includes entries rejected by the query
+// pattern restriction.
+func (ix *Index) Scan(p Probe) ([]Entry, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.stats.Probes++
+
+	lo, hi, err := ix.bounds(p.Range)
+	if err != nil {
+		return nil, err
+	}
+	// Path verdict cache: pathID → matches query pattern.
+	verdicts := map[uint32]bool{}
+	pathOK := func(id uint32) bool {
+		if p.QueryPattern == nil {
+			return true
+		}
+		v, ok := verdicts[id]
+		if !ok {
+			v = p.QueryPattern.Match(ix.paths.paths[id])
+			verdicts[id] = v
+		}
+		return v
+	}
+	var out []Entry
+	visited := ix.tree.Scan(lo, hi, func(key, _ []byte) bool {
+		pathID, docID, nodeID := ix.decodeSuffix(key)
+		if pathOK(pathID) {
+			out = append(out, Entry{DocID: docID, NodeID: nodeID})
+		}
+		return true
+	})
+	ix.stats.KeysVisited += visited
+	return out, nil
+}
+
+// DocSet runs a probe and returns the distinct matching document ids —
+// the document pre-filter I(P, D) of Definition 1.
+func (ix *Index) DocSet(p Probe) (map[uint32]bool, error) {
+	entries, err := ix.Scan(p)
+	if err != nil {
+		return nil, err
+	}
+	docs := make(map[uint32]bool)
+	for _, e := range entries {
+		docs[e.DocID] = true
+	}
+	return docs, nil
+}
+
+// bounds converts a value range to B+Tree key bounds.
+func (ix *Index) bounds(r Range) (lo, hi []byte, err error) {
+	if r.Lo != nil {
+		v, err := r.Lo.Cast(ix.Type.xdmType())
+		if err != nil {
+			return nil, nil, fmt.Errorf("index %s: probe bound: %w", ix.Name, err)
+		}
+		enc := ix.encodeValue(v)
+		if r.LoInc {
+			lo = enc
+		} else {
+			lo = prefixSuccessor(enc)
+		}
+	}
+	if r.Hi != nil {
+		v, err := r.Hi.Cast(ix.Type.xdmType())
+		if err != nil {
+			return nil, nil, fmt.Errorf("index %s: probe bound: %w", ix.Name, err)
+		}
+		enc := ix.encodeValue(v)
+		if r.HiInc {
+			hi = prefixSuccessor(enc)
+		} else {
+			hi = enc
+		}
+	}
+	return lo, hi, nil
+}
+
+// prefixSuccessor returns the smallest byte string greater than every
+// string with the given prefix.
+func prefixSuccessor(prefix []byte) []byte {
+	end := append([]byte(nil), prefix...)
+	for i := len(end) - 1; i >= 0; i-- {
+		if end[i] != 0xff {
+			end[i]++
+			return end[:i+1]
+		}
+	}
+	return nil
+}
+
+// encodeKey builds the composite B+Tree key
+// [value][pathID][docID][nodeID]; the value encoding is order-preserving
+// within the index type.
+func (ix *Index) encodeKey(v xdm.Value, pathID, docID, nodeID uint32) []byte {
+	val := ix.encodeValue(v)
+	key := make([]byte, 0, len(val)+12)
+	key = append(key, val...)
+	key = binary.BigEndian.AppendUint32(key, pathID)
+	key = binary.BigEndian.AppendUint32(key, docID)
+	key = binary.BigEndian.AppendUint32(key, nodeID)
+	return key
+}
+
+func (ix *Index) decodeSuffix(key []byte) (pathID, docID, nodeID uint32) {
+	n := len(key)
+	return binary.BigEndian.Uint32(key[n-12 : n-8]),
+		binary.BigEndian.Uint32(key[n-8 : n-4]),
+		binary.BigEndian.Uint32(key[n-4:])
+}
+
+// encodeValue encodes an atomic value order-preservingly.
+func (ix *Index) encodeValue(v xdm.Value) []byte {
+	switch ix.Type {
+	case Double:
+		return encodeFloat(v.Number())
+	case Date, Timestamp:
+		return encodeFloat(float64(v.M.Unix()))
+	default:
+		return encodeString(v.Lexical())
+	}
+}
+
+// encodeFloat maps float64 to 8 bytes preserving numeric order.
+func encodeFloat(f float64) []byte {
+	bits := math.Float64bits(f)
+	if bits&(1<<63) != 0 {
+		bits = ^bits // negative: flip everything
+	} else {
+		bits |= 1 << 63 // positive: flip sign bit
+	}
+	out := make([]byte, 8)
+	binary.BigEndian.PutUint64(out, bits)
+	return out
+}
+
+// encodeString escapes 0x00 bytes and appends a 0x00 0x00 terminator so
+// that no encoded value is a prefix of another and order is preserved.
+func encodeString(s string) []byte {
+	out := make([]byte, 0, len(s)+2)
+	for i := 0; i < len(s); i++ {
+		if s[i] == 0 {
+			out = append(out, 0, 0xff)
+		} else {
+			out = append(out, s[i])
+		}
+	}
+	return append(out, 0, 0)
+}

@@ -1,0 +1,103 @@
+// Package xmlschema implements the minimal per-document validation the
+// paper's scenarios require: a schema maps element and attribute names (or
+// paths) to atomic types; validating a document annotates its nodes with
+// those types. Different documents in one column may be validated against
+// different — and conflicting — schema versions, which is why the paper's
+// engine can never trust column-level type information at compile time
+// (§3.1) and why indexes must be tolerant to cast failures (§2.1).
+package xmlschema
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/xqdb/xqdb/internal/xdm"
+)
+
+// Schema declares atomic types for named nodes. Keys are either bare local
+// names ("price"), attribute names ("@price"), or root-relative paths
+// ("/order/lineitem/@price"); path keys win over name keys.
+type Schema struct {
+	// Name identifies the schema version, e.g. "orders-v2".
+	Name string
+	// Types maps node keys to their declared type.
+	Types map[string]Decl
+}
+
+// Decl is a single type declaration.
+type Decl struct {
+	Type   xdm.Type
+	IsList bool
+}
+
+// New returns an empty schema with the given version name.
+func New(name string) *Schema {
+	return &Schema{Name: name, Types: make(map[string]Decl)}
+}
+
+// Declare adds a declaration and returns the schema for chaining.
+func (s *Schema) Declare(key string, t xdm.Type) *Schema {
+	s.Types[key] = Decl{Type: t}
+	return s
+}
+
+// DeclareList adds a list-type declaration (§3.10: indexes must reject
+// list-typed nodes).
+func (s *Schema) DeclareList(key string, t xdm.Type) *Schema {
+	s.Types[key] = Decl{Type: t, IsList: true}
+	return s
+}
+
+// Validate annotates the document against the schema. It returns an error
+// if any matched node's content is not castable to its declared type
+// (validation, unlike indexing, is strict). Validation is per document —
+// callers choose which schema (if any) each document gets.
+func (s *Schema) Validate(doc *xdm.Node) error {
+	var firstErr error
+	doc.DescendAll(func(n *xdm.Node) {
+		if firstErr != nil {
+			return
+		}
+		if n.Kind != xdm.ElementNode && n.Kind != xdm.AttributeNode {
+			return
+		}
+		decl, ok := s.lookup(n)
+		if !ok {
+			return
+		}
+		if err := checkCastable(n, decl); err != nil {
+			firstErr = fmt.Errorf("schema %s: %w", s.Name, err)
+			return
+		}
+		n.TypeAnn = xdm.TypeAnnotation{Valid: true, T: decl.Type, IsList: decl.IsList}
+	})
+	return firstErr
+}
+
+func (s *Schema) lookup(n *xdm.Node) (Decl, bool) {
+	if d, ok := s.Types[n.PathFromRoot()]; ok {
+		return d, true
+	}
+	key := n.Name.Local
+	if n.Kind == xdm.AttributeNode {
+		key = "@" + key
+	}
+	d, ok := s.Types[key]
+	return d, ok
+}
+
+func checkCastable(n *xdm.Node, decl Decl) error {
+	sv := n.StringValue()
+	if decl.IsList {
+		for _, tok := range strings.Fields(sv) {
+			if _, err := xdm.NewUntyped(tok).Cast(decl.Type); err != nil {
+				return fmt.Errorf("node %s: %w", n.PathFromRoot(), err)
+			}
+		}
+		return nil
+	}
+	if _, err := xdm.NewUntyped(sv).Cast(decl.Type); err != nil {
+		return fmt.Errorf("node %s: %w", n.PathFromRoot(), err)
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package xmlschema
+
+import (
+	"testing"
+
+	"github.com/xqdb/xqdb/internal/xdm"
+	"github.com/xqdb/xqdb/internal/xmlparse"
+)
+
+func TestValidateAnnotates(t *testing.T) {
+	doc, err := xmlparse.Parse(`<order><lineitem price="99.50"><qty>3</qty></lineitem></order>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New("orders-v1").Declare("@price", xdm.Double).Declare("qty", xdm.Integer)
+	if err := s.Validate(doc); err != nil {
+		t.Fatal(err)
+	}
+	li := doc.Children[0].Children[0]
+	price := li.Attrs[0]
+	if !price.TypeAnn.Valid || price.TypeAnn.T != xdm.Double {
+		t.Errorf("price annotation = %+v", price.TypeAnn)
+	}
+	tv, err := price.TypedValue()
+	if err != nil || tv[0].(xdm.Value).T != xdm.Double || tv[0].(xdm.Value).F != 99.5 {
+		t.Errorf("price typed value = %v %v", tv, err)
+	}
+	qty := li.Children[0]
+	if tvq, _ := qty.TypedValue(); tvq[0].(xdm.Value).T != xdm.Integer || tvq[0].(xdm.Value).I != 3 {
+		t.Errorf("qty typed value = %v", tvq)
+	}
+}
+
+func TestValidateStrict(t *testing.T) {
+	doc, err := xmlparse.Parse(`<order><zip>K1A 0B1</zip></order>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The US schema types zip as a number; the Canadian postal code
+	// fails validation (the §2.1 schema evolution story).
+	if err := New("us-v1").Declare("zip", xdm.Double).Validate(doc); err == nil {
+		t.Error("Canadian postal code must fail numeric validation")
+	}
+	// The evolved schema types it as a string: validation succeeds.
+	doc2, _ := xmlparse.Parse(`<order><zip>K1A 0B1</zip></order>`)
+	if err := New("intl-v2").Declare("zip", xdm.String).Validate(doc2); err != nil {
+		t.Errorf("string schema should accept: %v", err)
+	}
+}
+
+func TestValidatePathKeysWin(t *testing.T) {
+	doc, err := xmlparse.Parse(`<o><a><id>12</id></a><b><id>xy</id></b></o>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New("v").Declare("/o/a/id", xdm.Integer)
+	if err := s.Validate(doc); err != nil {
+		t.Fatal(err)
+	}
+	aID := doc.Children[0].Children[0].Children[0]
+	bID := doc.Children[0].Children[1].Children[0]
+	if !aID.TypeAnn.Valid {
+		t.Error("path-matched node not annotated")
+	}
+	if bID.TypeAnn.Valid {
+		t.Error("non-matched node must stay untyped")
+	}
+}
+
+func TestValidateListType(t *testing.T) {
+	doc, err := xmlparse.Parse(`<o><scores>1 2 3</scores></o>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New("v").DeclareList("scores", xdm.Double)
+	if err := s.Validate(doc); err != nil {
+		t.Fatal(err)
+	}
+	sc := doc.Children[0].Children[0]
+	tv, err := sc.TypedValue()
+	if err != nil || len(tv) != 3 {
+		t.Fatalf("list atomization: %v %v", tv, err)
+	}
+	bad, _ := xmlparse.Parse(`<o><scores>1 two 3</scores></o>`)
+	if err := s.Validate(bad); err == nil {
+		t.Error("invalid list token must fail validation")
+	}
+}
+
+func TestConflictingSchemaVersionsPerDocument(t *testing.T) {
+	// Two documents in the same column validated against conflicting
+	// versions — the reason compile-time typing is impossible (§3.1).
+	d1, _ := xmlparse.Parse(`<o><zip>95120</zip></o>`)
+	d2, _ := xmlparse.Parse(`<o><zip>K1A 0B1</zip></o>`)
+	if err := New("v1").Declare("zip", xdm.Double).Validate(d1); err != nil {
+		t.Fatal(err)
+	}
+	if err := New("v2").Declare("zip", xdm.String).Validate(d2); err != nil {
+		t.Fatal(err)
+	}
+	z1 := d1.Children[0].Children[0]
+	z2 := d2.Children[0].Children[0]
+	tv1, _ := z1.TypedValue()
+	tv2, _ := z2.TypedValue()
+	if tv1[0].(xdm.Value).T != xdm.Double || tv2[0].(xdm.Value).T != xdm.String {
+		t.Errorf("conflicting annotations lost: %v %v", tv1[0], tv2[0])
+	}
+}

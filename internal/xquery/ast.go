@@ -1,0 +1,363 @@
+// Package xquery implements the XQuery 1.0 subset the paper exercises:
+// FLWOR expressions, quantified expressions, path expressions over the
+// paper's axes, general and value comparisons, direct element
+// constructors, casts, and a function library including db2-fn:xmlcolumn.
+//
+// The AST is exported because the eligibility analyzer (internal/core)
+// walks it to extract indexable predicates and to reason about which
+// expressions preserve or discard empty sequences (§3.4).
+package xquery
+
+import (
+	"strings"
+
+	"github.com/xqdb/xqdb/internal/xdm"
+)
+
+// Expr is any XQuery expression node.
+type Expr interface {
+	exprNode()
+}
+
+// Module is a parsed query: a prolog of namespace declarations plus a body.
+type Module struct {
+	// Namespaces maps declared prefixes to URIs.
+	Namespaces map[string]string
+	// DefaultElementNS is the declared default element namespace ("" if none).
+	DefaultElementNS string
+	Body             Expr
+}
+
+// SequenceExpr is the comma operator: concatenation of operand sequences.
+type SequenceExpr struct{ Items []Expr }
+
+// FLWOR is a for/let/where/order by/return expression.
+type FLWOR struct {
+	Clauses []FLWORClause
+	Where   Expr // nil if absent
+	OrderBy []OrderSpec
+	Return  Expr
+}
+
+// FLWORClause is one for- or let-binding.
+type FLWORClause struct {
+	Kind   ClauseKind
+	Var    string
+	PosVar string // "at $p" positional variable of a for clause, "" if none
+	Expr   Expr
+}
+
+// ClauseKind distinguishes for from let bindings.
+type ClauseKind uint8
+
+// Clause kinds.
+const (
+	ForClause ClauseKind = iota
+	LetClause
+)
+
+// OrderSpec is one order-by key.
+type OrderSpec struct {
+	Key        Expr
+	Descending bool
+	EmptyLeast bool
+}
+
+// Quantified is a some/every expression.
+type Quantified struct {
+	Every     bool // false = some
+	Bindings  []FLWORClause
+	Satisfies Expr
+}
+
+// IfExpr is if (cond) then a else b.
+type IfExpr struct {
+	Cond, Then, Else Expr
+}
+
+// BinaryExpr covers and/or, arithmetic, range, union, intersect, except.
+type BinaryExpr struct {
+	Op          string // "and" "or" "+" "-" "*" "div" "idiv" "mod" "to" "union" "intersect" "except" ","
+	Left, Right Expr
+}
+
+// Comparison is a general, value, or node comparison.
+type Comparison struct {
+	Kind        CompKind
+	Op          xdm.CompareOp // for general/value
+	NodeOp      string        // "is" "<<" ">>" for node comparisons
+	Left, Right Expr
+}
+
+// CompKind distinguishes comparison families; the paper's §3.10 hinges on
+// the general/value distinction.
+type CompKind uint8
+
+// Comparison kinds.
+const (
+	GeneralComp CompKind = iota
+	ValueComp
+	NodeComp
+)
+
+// UnaryExpr is numeric negation (or no-op plus).
+type UnaryExpr struct {
+	Neg     bool
+	Operand Expr
+}
+
+// CastExpr is `expr cast as type`.
+type CastExpr struct {
+	Operand Expr
+	Target  xdm.Type
+}
+
+// TreatExpr is `expr treat as seqType`; the engine needs only the
+// document-node() form used by the expansion of a leading "/".
+type TreatExpr struct {
+	Operand  Expr
+	KindTest NodeTest
+}
+
+// PathExpr is a path: Start (nil for relative paths used as steps) plus
+// steps. A leading "/" or "//" is represented by Rooted (+ an implicit
+// descendant-or-self step for "//").
+type PathExpr struct {
+	Rooted bool // begins with "/" — resolves against fn:root(.) as document-node()
+	Start  Expr // nil when Rooted or when the path is purely steps from context
+	Steps  []Step
+}
+
+// Step is one path step: an axis step with a node test and predicates, or
+// a filter step (an arbitrary expression evaluated per context item, e.g.
+// the xs:double(.) step of Query 4).
+type Step struct {
+	// Axis is the step axis; AxisNone marks a filter step.
+	Axis Axis
+	Test NodeTest
+	// Filter is the expression of a filter step.
+	Filter Expr
+	// Predicates apply after the axis/filter, in order.
+	Predicates []Expr
+}
+
+// Axis enumerates the supported axes.
+type Axis uint8
+
+// Axes. The paper's index pattern grammar admits child, attribute, self,
+// descendant and descendant-or-self; queries additionally use parent.
+const (
+	AxisNone Axis = iota
+	AxisChild
+	AxisAttribute
+	AxisSelf
+	AxisDescendant
+	AxisDescendantOrSelf
+	AxisParent
+)
+
+var axisNames = [...]string{
+	AxisNone:             "",
+	AxisChild:            "child",
+	AxisAttribute:        "attribute",
+	AxisSelf:             "self",
+	AxisDescendant:       "descendant",
+	AxisDescendantOrSelf: "descendant-or-self",
+	AxisParent:           "parent",
+}
+
+func (a Axis) String() string { return axisNames[a] }
+
+// NodeTest is a name or kind test.
+type NodeTest struct {
+	Kind TestKind
+	// Name parts for name tests. Wildcards: Local == "*" and/or Space == "*".
+	Space string // resolved namespace URI, or "*" wildcard
+	Local string // local name, or "*" wildcard
+	// PITarget restricts processing-instruction(target) tests; "" = any.
+	PITarget string
+}
+
+// TestKind enumerates node test kinds.
+type TestKind uint8
+
+// Node test kinds.
+const (
+	NameTest TestKind = iota
+	AnyKindTest
+	TextTest
+	CommentTest
+	PITest
+	DocumentTest
+	ElementTest   // element() with no name
+	AttributeTest // attribute() with no name
+)
+
+// Matches reports whether node n satisfies the test when reached over an
+// axis whose principal node kind is elements (attr=false) or attributes
+// (attr=true).
+func (t NodeTest) Matches(n *xdm.Node, attrAxis bool) bool {
+	switch t.Kind {
+	case AnyKindTest:
+		return true
+	case TextTest:
+		return n.Kind == xdm.TextNode
+	case CommentTest:
+		return n.Kind == xdm.CommentNode
+	case PITest:
+		if n.Kind != xdm.ProcessingInstructionNode {
+			return false
+		}
+		return t.PITarget == "" || n.Name.Local == t.PITarget
+	case DocumentTest:
+		return n.Kind == xdm.DocumentNode
+	case ElementTest:
+		return n.Kind == xdm.ElementNode
+	case AttributeTest:
+		return n.Kind == xdm.AttributeNode
+	case NameTest:
+		if attrAxis {
+			if n.Kind != xdm.AttributeNode {
+				return false
+			}
+		} else if n.Kind != xdm.ElementNode {
+			return false
+		}
+		if t.Local != "*" && t.Local != n.Name.Local {
+			return false
+		}
+		if t.Space != "*" && t.Space != n.Name.Space {
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// String renders the test in XPath syntax (namespaces in Clark notation).
+func (t NodeTest) String() string {
+	switch t.Kind {
+	case AnyKindTest:
+		return "node()"
+	case TextTest:
+		return "text()"
+	case CommentTest:
+		return "comment()"
+	case PITest:
+		return "processing-instruction(" + t.PITarget + ")"
+	case DocumentTest:
+		return "document-node()"
+	case ElementTest:
+		return "element()"
+	case AttributeTest:
+		return "attribute()"
+	}
+	var b strings.Builder
+	switch t.Space {
+	case "":
+	case "*":
+		b.WriteString("*:")
+	default:
+		b.WriteString("{" + t.Space + "}")
+	}
+	b.WriteString(t.Local)
+	return b.String()
+}
+
+// Literal is an atomic literal.
+type Literal struct{ Value xdm.Value }
+
+// VarRef references $name.
+type VarRef struct{ Name string }
+
+// ContextItem is ".".
+type ContextItem struct{}
+
+// FunctionCall invokes a built-in function; Space/Local name the function
+// with the prefix already resolved ("fn", "xs", "db2-fn", ...).
+type FunctionCall struct {
+	Space string
+	Local string
+	Args  []Expr
+}
+
+// ElementConstructor is a direct element constructor. Content interleaves
+// literal text, nested constructors, and enclosed expressions.
+type ElementConstructor struct {
+	Name    xdm.QName
+	Attrs   []AttrConstructor
+	Content []Expr
+}
+
+// AttrConstructor is one attribute of a direct constructor; Value parts
+// interleave literal strings and enclosed expressions.
+type AttrConstructor struct {
+	Name  xdm.QName
+	Parts []Expr
+}
+
+// TextLiteral is literal character content inside a constructor.
+type TextLiteral struct{ Text string }
+
+// CommentConstructor is a direct comment constructor <!--text-->.
+type CommentConstructor struct{ Text string }
+
+// ComputedConstructor is a computed node constructor: element/attribute
+// constructors with a static name and a content expression, plus text,
+// comment and document constructors.
+type ComputedConstructor struct {
+	Kind    ComputedKind
+	Name    xdm.QName // element/attribute constructors
+	Content Expr      // nil for empty content
+}
+
+// ComputedKind selects the computed constructor flavor.
+type ComputedKind uint8
+
+// Computed constructor kinds.
+const (
+	ComputedElement ComputedKind = iota
+	ComputedAttribute
+	ComputedText
+	ComputedComment
+	ComputedDocument
+)
+
+// CastableExpr is `expr castable as type`.
+type CastableExpr struct {
+	Operand Expr
+	Target  xdm.Type
+}
+
+// InstanceOfExpr is `expr instance of <kind-test> <occurrence>`; the
+// engine supports kind tests plus the atomic-type names.
+type InstanceOfExpr struct {
+	Operand Expr
+	// KindTest is set for node sequence types.
+	KindTest *NodeTest
+	// AtomicType is set for atomic sequence types.
+	AtomicType xdm.Type
+	// Occurrence: one of "", "?", "*", "+".
+	Occurrence string
+}
+
+func (*SequenceExpr) exprNode()        {}
+func (*FLWOR) exprNode()               {}
+func (*Quantified) exprNode()          {}
+func (*IfExpr) exprNode()              {}
+func (*BinaryExpr) exprNode()          {}
+func (*Comparison) exprNode()          {}
+func (*UnaryExpr) exprNode()           {}
+func (*CastExpr) exprNode()            {}
+func (*TreatExpr) exprNode()           {}
+func (*PathExpr) exprNode()            {}
+func (*Literal) exprNode()             {}
+func (*VarRef) exprNode()              {}
+func (*ContextItem) exprNode()         {}
+func (*FunctionCall) exprNode()        {}
+func (*ElementConstructor) exprNode()  {}
+func (*TextLiteral) exprNode()         {}
+func (*CommentConstructor) exprNode()  {}
+func (*ComputedConstructor) exprNode() {}
+func (*CastableExpr) exprNode()        {}
+func (*InstanceOfExpr) exprNode()      {}

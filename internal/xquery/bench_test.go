@@ -1,0 +1,64 @@
+package xquery
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/xqdb/xqdb/internal/xdm"
+	"github.com/xqdb/xqdb/internal/xmlparse"
+)
+
+func benchColl(b *testing.B, n int) mapColl {
+	b.Helper()
+	docs := make([]*xdm.Node, n)
+	for i := range docs {
+		src := fmt.Sprintf(`<order><lineitem price="%d"><product><id>%d</id></product></lineitem><custid>%d</custid></order>`,
+			i%200, i%50, i%10)
+		d, err := xmlparse.Parse(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		docs[i] = d
+	}
+	return mapColl{"O": docs}
+}
+
+func BenchmarkParseQuery(b *testing.B) {
+	q := `for $i in db2-fn:xmlcolumn('O')//order[lineitem/@price>100]
+		order by $i/custid/xs:double(.) return <r>{$i/lineitem}</r>`
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalPathPredicate(b *testing.B) {
+	docs := benchColl(b, 1000)
+	m, err := Parse(`db2-fn:xmlcolumn('O')//order[lineitem/@price > 100]`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Eval(m, nil, docs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalFLWORConstructor(b *testing.B) {
+	docs := benchColl(b, 1000)
+	m, err := Parse(`for $o in db2-fn:xmlcolumn('O')/order
+		where $o/lineitem/@price > 150
+		return <r c="{$o/custid}">{$o/lineitem}</r>`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Eval(m, nil, docs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package xquery
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/xqdb/xqdb/internal/xdm"
+	"github.com/xqdb/xqdb/internal/xmlparse"
+)
+
+func TestMoreFunctions(t *testing.T) {
+	docs := ordersColl(t)
+	cases := []struct {
+		q, want string
+	}{
+		{`fn:true() or fn:false()`, "true"},
+		{`fn:boolean(())`, "false"},
+		{`fn:boolean((1))`, "true"},
+		{`fn:starts-with("hello", "he")`, "true"},
+		{`fn:ends-with("hello", "lo")`, "true"},
+		{`fn:lower-case("ABC")`, "abc"},
+		{`fn:name((db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem)[1])`, "lineitem"},
+		{`fn:namespace-uri((db2-fn:xmlcolumn('ORDERS.ORDDOC')/order)[1])`, ""},
+		{`fn:exactly-one((5))`, "5"},
+		{`fn:zero-or-one(())`, ""},
+		{`fn:string-join(fn:one-or-more(("a","b")), "")`, "ab"},
+		{`fn:string(5)`, "5"},
+		{`fn:string(())`, ""},
+		{`fn:ceiling(1.2)`, "2"},
+		{`fn:round(2.5)`, "3"},
+	}
+	for _, c := range cases {
+		got := xdm.SerializeSequence(runSeq(t, c.q, docs, nil))
+		if got != c.want {
+			t.Errorf("%s = %q, want %q", c.q, got, c.want)
+		}
+	}
+	if err := runErr(t, `fn:exactly-one(())`, nil, nil); !strings.Contains(err.Error(), "exactly-one") {
+		t.Errorf("err = %v", err)
+	}
+	if err := runErr(t, `fn:one-or-more(())`, nil, nil); !strings.Contains(err.Error(), "one-or-more") {
+		t.Errorf("err = %v", err)
+	}
+	if err := runErr(t, `fn:zero-or-one((1,2))`, nil, nil); !strings.Contains(err.Error(), "zero-or-one") {
+		t.Errorf("err = %v", err)
+	}
+	if err := runErr(t, `fn:nosuch(1)`, nil, nil); !strings.Contains(err.Error(), "unknown function") {
+		t.Errorf("err = %v", err)
+	}
+	if err := runErr(t, `fn:count(1, 2)`, nil, nil); !strings.Contains(err.Error(), "expects") {
+		t.Errorf("arity err = %v", err)
+	}
+}
+
+func TestFnRootAndTreat(t *testing.T) {
+	docs := coll(t, "O", `<order><lineitem/></order>`)
+	got := run(t, `for $l in db2-fn:xmlcolumn('O')//lineitem
+		return fn:root($l) treat as document-node()`, docs, nil)
+	if len(got) != 1 || !strings.HasPrefix(got[0], "<order>") {
+		t.Fatalf("root+treat = %v", got)
+	}
+	err := runErr(t, `<a/> treat as document-node()`, nil, nil)
+	if !strings.Contains(err.Error(), "treat as") {
+		t.Errorf("err = %v", err)
+	}
+	got = run(t, `<a/> treat as element()`, nil, nil)
+	if len(got) != 1 {
+		t.Error("treat as element() should pass")
+	}
+	got = run(t, `(<a/>, <b/>) treat as node()+`, nil, nil)
+	if len(got) != 2 {
+		t.Error("occurrence indicator on treat accepted")
+	}
+}
+
+func TestEvalWithContext(t *testing.T) {
+	doc, err := xmlparse.Parse(`<lineitem price="150"/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Parse(`@price[. > 100]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := EvalWithContext(m, doc.Children[0], nil, nil)
+	if err != nil || len(seq) != 1 {
+		t.Fatalf("with context: %v %v", seq, err)
+	}
+	// fn:position()/fn:last() see the initial context.
+	m2, _ := Parse(`fn:position() + fn:last()`)
+	seq, err = EvalWithContext(m2, doc.Children[0], nil, nil)
+	if err != nil || seq[0].(xdm.Value).F != 2 {
+		t.Fatalf("position/last: %v %v", seq, err)
+	}
+}
+
+func TestEntitiesInConstructors(t *testing.T) {
+	got := run(t, `<a>x &amp; y &lt; &gt; &quot; &apos; &#65; &#x42;</a>`, nil, nil)
+	want := `<a>x &amp; y &lt; &gt; " ' A B</a>`
+	if got[0] != want {
+		t.Errorf("entities = %s, want %s", got[0], want)
+	}
+	got = run(t, `<a b="&lt;&#x43;"/>`, nil, nil)
+	if got[0] != `<a b="&lt;C"/>` {
+		t.Errorf("attr entities = %s", got[0])
+	}
+	if _, err := Parse(`<a>&nosuch;</a>`); err == nil {
+		t.Error("unknown entity must fail")
+	}
+}
+
+func TestOrShortCircuitAndErrors(t *testing.T) {
+	seq := runSeq(t, `1 = 1 or fn:error-does-not-exist`, nil, nil)
+	_ = seq // parse fails? no: fn:error-does-not-exist parses as a path step
+	got := runSeq(t, `1 = 1 or 2 = 3`, nil, nil)
+	if !got[0].(xdm.Value).B {
+		t.Error("or")
+	}
+	got = runSeq(t, `1 = 2 and 1 = 1`, nil, nil)
+	if got[0].(xdm.Value).B {
+		t.Error("and")
+	}
+}
+
+func TestNodeComparisons(t *testing.T) {
+	docs := coll(t, "O", `<o><a/><b/></o>`)
+	cases := []struct {
+		q, want string
+	}{
+		{`let $d := db2-fn:xmlcolumn('O') return ($d//a)[1] << ($d//b)[1]`, "true"},
+		{`let $d := db2-fn:xmlcolumn('O') return ($d//b)[1] >> ($d//a)[1]`, "true"},
+		{`let $d := db2-fn:xmlcolumn('O') return ($d//a)[1] is ($d//a)[1]`, "true"},
+		{`let $d := db2-fn:xmlcolumn('O') return ($d//a)[1] is ($d//b)[1]`, "false"},
+	}
+	for _, c := range cases {
+		got := xdm.SerializeSequence(runSeq(t, c.q, docs, nil))
+		if got != c.want {
+			t.Errorf("%s = %s, want %s", c.q, got, c.want)
+		}
+	}
+	// Empty operand yields the empty sequence.
+	seq := runSeq(t, `() is ()`, nil, nil)
+	if len(seq) != 0 {
+		t.Errorf("empty is = %v", seq)
+	}
+}
+
+func TestOrderByEmptyHandling(t *testing.T) {
+	docs := coll(t, "O", `<o><i><v>2</v></i><i/><i><v>1</v></i></o>`)
+	got := run(t, `for $i in db2-fn:xmlcolumn('O')//i
+		order by $i/v/xs:double(.) empty least
+		return <r>{$i/v/text()}</r>`, docs, nil)
+	if got[0] != "<r/>" || got[1] != "<r>1</r>" || got[2] != "<r>2</r>" {
+		t.Errorf("empty least order = %v", got)
+	}
+	got = run(t, `for $i in db2-fn:xmlcolumn('O')//i
+		order by $i/v/xs:double(.) empty greatest
+		return <r>{$i/v/text()}</r>`, docs, nil)
+	if got[2] != "<r/>" {
+		t.Errorf("empty greatest order = %v", got)
+	}
+}
+
+func TestPositionalVariable(t *testing.T) {
+	got := run(t, `for $x at $p in ("a", "b", "c") return <i n="{$p}">{$x}</i>`, nil, nil)
+	if len(got) != 3 || got[1] != `<i n="2">b</i>` {
+		t.Errorf("at var = %v", got)
+	}
+}
+
+func TestMultipleVarsInOneClause(t *testing.T) {
+	seq := runSeq(t, `for $x in (1,2), $y in (10,20) return $x + $y`, nil, nil)
+	if len(seq) != 4 || seq[3].(xdm.Value).F != 22 {
+		t.Errorf("cartesian = %v", seq)
+	}
+	seq = runSeq(t, `let $a := 1, $b := 2 return $a + $b`, nil, nil)
+	if seq[0].(xdm.Value).F != 3 {
+		t.Errorf("multi-let = %v", seq)
+	}
+}
+
+func TestDecodeEntityBounds(t *testing.T) {
+	if _, _, err := decodeEntity("&waytoolongentityname;"); err == nil {
+		t.Error("overlong entity must fail")
+	}
+	if _, _, err := decodeEntity("&#xZZ;"); err == nil {
+		t.Error("bad hex must fail")
+	}
+	if _, _, err := decodeEntity("&#abc;"); err == nil {
+		t.Error("bad decimal must fail")
+	}
+}

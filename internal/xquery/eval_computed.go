@@ -1,0 +1,152 @@
+package xquery
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/xqdb/xqdb/internal/xdm"
+)
+
+// evalComputed evaluates a computed node constructor. The same content
+// rules as direct constructors apply: node copies take fresh identities
+// and erased annotations, adjacent atomics join with single spaces.
+func evalComputed(cc *ComputedConstructor, ctx evalCtx) (xdm.Sequence, error) {
+	var content xdm.Sequence
+	if cc.Content != nil {
+		seq, err := eval(cc.Content, ctx)
+		if err != nil {
+			return nil, err
+		}
+		content = seq
+	}
+	switch cc.Kind {
+	case ComputedElement:
+		ec := &ElementConstructor{Name: cc.Name}
+		if cc.Content != nil {
+			ec.Content = []Expr{&precomputed{seq: content}}
+		}
+		n, err := constructElement(ec, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return xdm.Sequence{n}, nil
+	case ComputedAttribute:
+		a, err := xdm.Atomize(content)
+		if err != nil {
+			return nil, err
+		}
+		parts := make([]string, len(a))
+		for i, v := range a {
+			parts[i] = v.(xdm.Value).Lexical()
+		}
+		n := &xdm.Node{Kind: xdm.AttributeNode, Name: cc.Name, Text: strings.Join(parts, " ")}
+		n.Renumber()
+		return xdm.Sequence{n}, nil
+	case ComputedText:
+		a, err := xdm.Atomize(content)
+		if err != nil {
+			return nil, err
+		}
+		if len(a) == 0 {
+			return nil, nil // no text node for empty content
+		}
+		parts := make([]string, len(a))
+		for i, v := range a {
+			parts[i] = v.(xdm.Value).Lexical()
+		}
+		n := &xdm.Node{Kind: xdm.TextNode, Text: strings.Join(parts, " ")}
+		n.Renumber()
+		return xdm.Sequence{n}, nil
+	case ComputedComment:
+		a, err := xdm.Atomize(content)
+		if err != nil {
+			return nil, err
+		}
+		parts := make([]string, len(a))
+		for i, v := range a {
+			parts[i] = v.(xdm.Value).Lexical()
+		}
+		n := &xdm.Node{Kind: xdm.CommentNode, Text: strings.Join(parts, " ")}
+		n.Renumber()
+		return xdm.Sequence{n}, nil
+	case ComputedDocument:
+		doc := xdm.NewDocument()
+		for _, it := range content {
+			n, ok := it.(*xdm.Node)
+			if !ok {
+				return nil, fmt.Errorf("document constructor content must be nodes")
+			}
+			switch n.Kind {
+			case xdm.DocumentNode:
+				for _, c := range n.Children {
+					doc.AppendChild(c.Copy())
+				}
+			case xdm.AttributeNode:
+				return nil, fmt.Errorf("attribute node in document constructor content")
+			default:
+				doc.AppendChild(n.Copy())
+			}
+		}
+		doc.Renumber()
+		return xdm.Sequence{doc}, nil
+	}
+	return nil, fmt.Errorf("unknown computed constructor")
+}
+
+// precomputed injects an already-evaluated sequence into constructor
+// content evaluation.
+type precomputed struct{ seq xdm.Sequence }
+
+func (*precomputed) exprNode() {}
+
+// evalInstanceOf implements `expr instance of seqType`.
+func evalInstanceOf(x *InstanceOfExpr, ctx evalCtx) (xdm.Sequence, error) {
+	seq, err := eval(x.Operand, ctx)
+	if err != nil {
+		return nil, err
+	}
+	ok := occurrenceOK(len(seq), x.Occurrence)
+	if ok {
+		for _, it := range seq {
+			if !itemInstanceOf(it, x) {
+				ok = false
+				break
+			}
+		}
+	}
+	return xdm.Sequence{xdm.NewBoolean(ok)}, nil
+}
+
+func occurrenceOK(n int, occ string) bool {
+	switch occ {
+	case "0": // empty-sequence()
+		return n == 0
+	case "?":
+		return n <= 1
+	case "*":
+		return true
+	case "+":
+		return n >= 1
+	default:
+		return n == 1
+	}
+}
+
+func itemInstanceOf(it xdm.Item, x *InstanceOfExpr) bool {
+	switch v := it.(type) {
+	case *xdm.Node:
+		return x.KindTest != nil && x.KindTest.Matches(v, v.Kind == xdm.AttributeNode)
+	case xdm.Value:
+		if x.KindTest != nil {
+			return x.KindTest.Kind == AnyKindTest && false // item() unsupported as KindTest here
+		}
+		switch x.AtomicType {
+		case v.T:
+			return true
+		case xdm.Decimal:
+			return v.T == xdm.Integer // integer ⊆ decimal
+		}
+		return false
+	}
+	return false
+}

@@ -1,0 +1,220 @@
+package xquery
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/xqdb/xqdb/internal/xdm"
+)
+
+// evalPath evaluates a path expression. Each axis step maps nodes through
+// the axis, filters by the node test, applies predicates, and normalizes
+// to document order with duplicate elimination. Filter steps evaluate
+// their expression once per context item.
+func evalPath(p *PathExpr, ctx evalCtx) (xdm.Sequence, error) {
+	var input xdm.Sequence
+	steps := p.Steps
+	switch {
+	case !p.Rooted && p.Start == nil && len(steps) > 0 && steps[0].Axis == AxisNone:
+		// A leading filter step is a primary expression: it needs no
+		// input item of its own (e.g. `$order[pred]/a`, `(1 to 4)[...]`).
+		seq, err := eval(steps[0].Filter, ctx)
+		if err != nil {
+			return nil, err
+		}
+		seq, err = applyPredicates(steps[0].Predicates, seq, ctx)
+		if err != nil {
+			return nil, err
+		}
+		input = seq
+		steps = steps[1:]
+	case p.Rooted:
+		// A leading "/" is fn:root(.) treat as document-node() (§3.5):
+		// navigating from a tree rooted at a constructed element is a
+		// type error, not an empty result.
+		if ctx.item == nil {
+			return nil, fmt.Errorf("leading / requires a context item")
+		}
+		n, ok := ctx.item.(*xdm.Node)
+		if !ok {
+			return nil, fmt.Errorf("leading / requires a node context item")
+		}
+		root := n.Root()
+		if root.Kind != xdm.DocumentNode {
+			return nil, fmt.Errorf("leading / in a tree rooted at an %s node: fn:root(.) treat as document-node() failed", root.Kind)
+		}
+		input = xdm.Sequence{root}
+	case p.Start != nil:
+		s, err := eval(p.Start, ctx)
+		if err != nil {
+			return nil, err
+		}
+		input = s
+	default:
+		if ctx.item == nil {
+			return nil, fmt.Errorf("relative path requires a context item")
+		}
+		input = xdm.Sequence{ctx.item}
+	}
+
+	for _, step := range steps {
+		out, err := evalStep(step, input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		input = out
+	}
+	return input, nil
+}
+
+// evalStep applies one step to every item of the input sequence.
+func evalStep(step Step, input xdm.Sequence, ctx evalCtx) (xdm.Sequence, error) {
+	var out xdm.Sequence
+	allNodes := true
+
+	if step.Axis == AxisNone {
+		// Filter step: evaluate the expression per context item.
+		size := len(input)
+		for i, it := range input {
+			c := ctx
+			c.item = it
+			c.pos = i + 1
+			c.size = size
+			seq, err := eval(step.Filter, c)
+			if err != nil {
+				return nil, err
+			}
+			seq, err = applyPredicates(step.Predicates, seq, ctx)
+			if err != nil {
+				return nil, err
+			}
+			for _, o := range seq {
+				if _, ok := o.(*xdm.Node); !ok {
+					allNodes = false
+				}
+				out = append(out, o)
+			}
+		}
+		if allNodes && len(out) > 1 {
+			out = dedupSequence(out)
+		}
+		return out, nil
+	}
+
+	// Axis step: every input item must be a node.
+	for _, it := range input {
+		n, ok := it.(*xdm.Node)
+		if !ok {
+			return nil, fmt.Errorf("axis step %s::%s applied to an atomic value", step.Axis, step.Test)
+		}
+		matches := axisNodes(n, step.Axis, step.Test)
+		seq := make(xdm.Sequence, len(matches))
+		for i, m := range matches {
+			seq[i] = m
+		}
+		seq, err := applyPredicates(step.Predicates, seq, ctx)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, seq...)
+	}
+	if len(out) > 1 {
+		out = dedupSequence(out)
+	}
+	return out, nil
+}
+
+// axisNodes returns the nodes reachable from n over the axis that satisfy
+// the test, in document order.
+func axisNodes(n *xdm.Node, axis Axis, test NodeTest) []*xdm.Node {
+	var out []*xdm.Node
+	attrAxis := axis == AxisAttribute
+	add := func(m *xdm.Node) {
+		if test.Matches(m, attrAxis) {
+			out = append(out, m)
+		}
+	}
+	switch axis {
+	case AxisChild:
+		for _, c := range n.Children {
+			add(c)
+		}
+	case AxisAttribute:
+		for _, a := range n.Attrs {
+			add(a)
+		}
+	case AxisSelf:
+		add(n)
+	case AxisDescendant:
+		for _, c := range n.Children {
+			c.Descend(add)
+		}
+	case AxisDescendantOrSelf:
+		n.Descend(add)
+	case AxisParent:
+		if n.Parent != nil {
+			add(n.Parent)
+		}
+	}
+	return out
+}
+
+// applyPredicates filters seq through each predicate in order. A numeric
+// predicate selects by position; anything else filters by effective
+// boolean value with the context item/position/size set.
+func applyPredicates(preds []Expr, seq xdm.Sequence, ctx evalCtx) (xdm.Sequence, error) {
+	for _, pred := range preds {
+		var kept xdm.Sequence
+		size := len(seq)
+		for i, it := range seq {
+			c := ctx
+			c.item = it
+			c.pos = i + 1
+			c.size = size
+			r, err := eval(pred, c)
+			if err != nil {
+				return nil, err
+			}
+			keep, err := predicateTruth(r, i+1)
+			if err != nil {
+				return nil, err
+			}
+			if keep {
+				kept = append(kept, it)
+			}
+		}
+		seq = kept
+	}
+	return seq, nil
+}
+
+// predicateTruth decides whether a predicate result keeps the item at
+// position pos: numeric singleton → position equality, else EBV.
+func predicateTruth(r xdm.Sequence, pos int) (bool, error) {
+	if len(r) == 1 {
+		if v, ok := r[0].(xdm.Value); ok && v.T.IsNumeric() {
+			f := v.Number()
+			return f == float64(pos) && !math.IsNaN(f), nil
+		}
+	}
+	return xdm.EffectiveBooleanValue(r)
+}
+
+// dedupSequence sorts a node-only sequence into document order and
+// removes duplicates. Mixed sequences are returned unchanged.
+func dedupSequence(seq xdm.Sequence) xdm.Sequence {
+	nodes := make([]*xdm.Node, 0, len(seq))
+	for _, it := range seq {
+		n, ok := it.(*xdm.Node)
+		if !ok {
+			return seq
+		}
+		nodes = append(nodes, n)
+	}
+	nodes = xdm.SortDocumentOrder(nodes)
+	out := make(xdm.Sequence, len(nodes))
+	for i, n := range nodes {
+		out[i] = n
+	}
+	return out
+}

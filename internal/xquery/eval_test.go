@@ -1,0 +1,615 @@
+package xquery
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/xqdb/xqdb/internal/xdm"
+	"github.com/xqdb/xqdb/internal/xmlparse"
+)
+
+// mapColl is a CollectionResolver over in-memory documents.
+type mapColl map[string][]*xdm.Node
+
+func (m mapColl) Collection(name string) ([]*xdm.Node, error) {
+	docs, ok := m[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown collection %q", name)
+	}
+	return docs, nil
+}
+
+// coll builds a collection named ORDERS.ORDDOC from XML strings.
+func coll(t *testing.T, name string, docs ...string) mapColl {
+	t.Helper()
+	var parsed []*xdm.Node
+	for _, d := range docs {
+		doc, err := xmlparse.Parse(d)
+		if err != nil {
+			t.Fatalf("parse %q: %v", d, err)
+		}
+		parsed = append(parsed, doc)
+	}
+	return mapColl{name: parsed}
+}
+
+// run parses and evaluates a query, returning the serialized result rows.
+func run(t *testing.T, query string, c CollectionResolver, vars StaticVars) []string {
+	t.Helper()
+	seq := runSeq(t, query, c, vars)
+	out := make([]string, len(seq))
+	for i, it := range seq {
+		out[i] = xdm.Serialize(it)
+	}
+	return out
+}
+
+func runSeq(t *testing.T, query string, c CollectionResolver, vars StaticVars) xdm.Sequence {
+	t.Helper()
+	m, err := Parse(query)
+	if err != nil {
+		t.Fatalf("parse %q: %v", query, err)
+	}
+	seq, err := Eval(m, vars, c)
+	if err != nil {
+		t.Fatalf("eval %q: %v", query, err)
+	}
+	return seq
+}
+
+// runErr evaluates expecting a dynamic error.
+func runErr(t *testing.T, query string, c CollectionResolver, vars StaticVars) error {
+	t.Helper()
+	m, err := Parse(query)
+	if err != nil {
+		t.Fatalf("parse %q: %v", query, err)
+	}
+	_, err = Eval(m, vars, c)
+	if err == nil {
+		t.Fatalf("eval %q: expected error", query)
+	}
+	return err
+}
+
+const (
+	orderHi  = `<order date="2002-01-01"><lineitem price="150"><name>Coat</name></lineitem><custid>7</custid></order>`
+	orderLo  = `<order date="2002-01-02"><lineitem price="99.50"><name>Dress</name></lineitem><custid>8</custid></order>`
+	orderTwo = `<order date="2002-01-03"><lineitem price="120"><name>Hat</name></lineitem><lineitem price="80"><name>Tie</name></lineitem><custid>9</custid></order>`
+)
+
+func ordersColl(t *testing.T) mapColl {
+	return coll(t, "ORDERS.ORDDOC", orderHi, orderLo, orderTwo)
+}
+
+func TestQuery1PathPredicate(t *testing.T) {
+	// Paper Query 1.
+	got := run(t, `for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price>100] return $i`, ordersColl(t), nil)
+	if len(got) != 2 {
+		t.Fatalf("rows = %d, want 2: %v", len(got), got)
+	}
+	for _, r := range got {
+		if !strings.HasPrefix(r, "<order") {
+			t.Errorf("row %q", r)
+		}
+	}
+}
+
+func TestQuery3StringPredicate(t *testing.T) {
+	// Paper Query 3: "100" in quotes is a string; untyped prices compare
+	// string-wise, so "99.50" > "100" holds ("9" > "1").
+	got := run(t, `for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > "100"] return $i`, ordersColl(t), nil)
+	if len(got) != 3 {
+		t.Fatalf("string comparison rows = %d, want 3 (string order!)", len(got))
+	}
+}
+
+func TestQuery7BareLineitems(t *testing.T) {
+	// Paper Query 7: each lineitem is a separate row.
+	got := run(t, `db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem[@price > 100]`, ordersColl(t), nil)
+	if len(got) != 2 {
+		t.Fatalf("rows = %d, want 2: %v", len(got), got)
+	}
+}
+
+func TestForVsLetShape(t *testing.T) {
+	// Paper Query 17 vs Query 18.
+	forRows := run(t, `for $doc in db2-fn:xmlcolumn('ORDERS.ORDDOC')
+		for $item in $doc//lineitem[@price > 100]
+		return <result>{$item}</result>`, ordersColl(t), nil)
+	if len(forRows) != 2 {
+		t.Fatalf("for-for rows = %d, want 2 (one per qualifying lineitem)", len(forRows))
+	}
+	letRows := run(t, `for $doc in db2-fn:xmlcolumn('ORDERS.ORDDOC')
+		let $item := $doc//lineitem[@price > 100]
+		return <result>{$item}</result>`, ordersColl(t), nil)
+	if len(letRows) != 3 {
+		t.Fatalf("for-let rows = %d, want 3 (one per document)", len(letRows))
+	}
+	empties := 0
+	for _, r := range letRows {
+		if r == "<result/>" {
+			empties++
+		}
+	}
+	if empties != 1 {
+		t.Errorf("empty results = %d, want 1: %v", empties, letRows)
+	}
+}
+
+func TestWhereClauseEliminatesEmpty(t *testing.T) {
+	// Paper Query 20/21: where-clause turns the let outer-join back into
+	// a filter.
+	for _, q := range []string{
+		`for $ord in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order
+		 where $ord/lineitem/@price > 100
+		 return <result>{$ord/lineitem}</result>`,
+		`for $ord in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order
+		 let $price := $ord/lineitem/@price
+		 where $price > 100
+		 return <result>{$ord/lineitem}</result>`,
+	} {
+		got := run(t, q, ordersColl(t), nil)
+		if len(got) != 2 {
+			t.Errorf("rows = %d, want 2 for %s", len(got), q)
+		}
+	}
+}
+
+func TestQuery22BindOutDiscardsEmpty(t *testing.T) {
+	// Paper Query 22: bare return of a path discards empty sequences.
+	got := run(t, `for $ord in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order
+		return $ord/lineitem[@price > 100]`, ordersColl(t), nil)
+	if len(got) != 2 {
+		t.Fatalf("rows = %d, want 2", len(got))
+	}
+	// Query 19 contrast: constructor preserves one row per order.
+	got19 := run(t, `for $ord in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order
+		return <result>{$ord/lineitem[@price > 100]}</result>`, ordersColl(t), nil)
+	if len(got19) != 3 {
+		t.Fatalf("constructor rows = %d, want 3", len(got19))
+	}
+}
+
+func TestQuery23DocumentVsElement(t *testing.T) {
+	// Paper Query 23: xmlcolumn returns document nodes, /order matches.
+	got := run(t, `db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/lineitem`, ordersColl(t), nil)
+	if len(got) != 4 {
+		t.Fatalf("lineitems = %d, want 4", len(got))
+	}
+}
+
+func TestQuery24ConstructedElementChildStep(t *testing.T) {
+	// Paper Query 24: $ord is bound to my_order elements; child::my_order
+	// finds nothing.
+	got := run(t, `for $ord in (for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order
+			return <my_order>{$o/*}</my_order>)
+		return $ord/my_order`, ordersColl(t), nil)
+	if len(got) != 0 {
+		t.Fatalf("rows = %d, want 0 (§3.5)", len(got))
+	}
+}
+
+func TestQuery25AbsolutePathTypeError(t *testing.T) {
+	// Paper Query 25: leading // under a constructed element is a type error.
+	err := runErr(t, `let $order := <neworders>{db2-fn:xmlcolumn('ORDERS.ORDDOC')/order[custid > 1001]}</neworders>
+		return $order[//customer/name]`, ordersColl(t), nil)
+	if !strings.Contains(err.Error(), "document-node") {
+		t.Errorf("error = %v, want treat-as-document-node failure", err)
+	}
+}
+
+func TestValueComparisonSingletonError(t *testing.T) {
+	// §3.10: value comparison on an order with two prices fails at
+	// runtime (the xs:double cast and the comparison both require
+	// singletons).
+	err := runErr(t, `db2-fn:xmlcolumn('ORDERS.ORDDOC')/order[xs:double(lineitem/@price) gt 100]`,
+		coll(t, "ORDERS.ORDDOC", orderTwo), nil)
+	if !strings.Contains(err.Error(), "singleton") {
+		t.Errorf("error = %v", err)
+	}
+	// With a single price it succeeds.
+	got := run(t, `db2-fn:xmlcolumn('ORDERS.ORDDOC')/order[xs:double(lineitem/@price) gt 100]`,
+		coll(t, "ORDERS.ORDDOC", orderHi), nil)
+	if len(got) != 1 {
+		t.Errorf("rows = %d", len(got))
+	}
+	// An untyped operand casts to xs:string in a value comparison and
+	// is then incomparable to a number (spec rule behind §3.6 issue 1).
+	err = runErr(t, `db2-fn:xmlcolumn('ORDERS.ORDDOC')/order[lineitem/@price gt 100]`,
+		coll(t, "ORDERS.ORDDOC", orderHi), nil)
+	if !strings.Contains(err.Error(), "cannot compare") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestBetweenGeneralVsSelfAxis(t *testing.T) {
+	// §3.10: general comparisons are existential; the self-axis form
+	// checks each value individually.
+	docs := coll(t, "ORDERS.ORDDOC",
+		`<order><lineitem><price>250</price><price>50</price></lineitem></order>`)
+	general := run(t, `db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem[price > 100 and price < 200]`, docs, nil)
+	if len(general) != 1 {
+		t.Fatalf("general rows = %d, want 1 (existential trap)", len(general))
+	}
+	selfAxis := run(t, `db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem/price/data()[. > 100 and . < 200]`, docs, nil)
+	if len(selfAxis) != 0 {
+		t.Fatalf("self-axis rows = %d, want 0", len(selfAxis))
+	}
+}
+
+func TestNamespaceQuery28(t *testing.T) {
+	docs := mapColl{}
+	o := coll(t, "ORDERS.ORDDOC",
+		`<order xmlns="http://ournamespaces.com/order"><lineitem price="2000"/><custid>1</custid></order>`)
+	c := coll(t, "CUSTOMER.CDOC",
+		`<c:customer xmlns:c="http://ournamespaces.com/customer"><c:nation>1</c:nation><c:id>1</c:id></c:customer>`)
+	docs["ORDERS.ORDDOC"] = o["ORDERS.ORDDOC"]
+	docs["CUSTOMER.CDOC"] = c["CUSTOMER.CDOC"]
+	got := run(t, `declare default element namespace "http://ournamespaces.com/order";
+		declare namespace c="http://ournamespaces.com/customer";
+		for $ord in db2-fn:xmlcolumn("ORDERS.ORDDOC")/order[lineitem/@price > 1000]
+		for $cust in db2-fn:xmlcolumn("CUSTOMER.CDOC")/c:customer[c:nation = 1]
+		where $ord/custid = $cust/c:id
+		return $ord`, docs, nil)
+	if len(got) != 1 {
+		t.Fatalf("rows = %d, want 1", len(got))
+	}
+	// Without the default namespace declaration nothing matches.
+	got2 := run(t, `for $ord in db2-fn:xmlcolumn("ORDERS.ORDDOC")/order return $ord`, docs, nil)
+	if len(got2) != 0 {
+		t.Fatalf("no-namespace rows = %d, want 0", len(got2))
+	}
+}
+
+func TestNamespaceWildcards(t *testing.T) {
+	docs := coll(t, "C",
+		`<c:customer xmlns:c="urn:c"><c:nation>1</c:nation></c:customer>`)
+	if got := run(t, `db2-fn:xmlcolumn("C")//*:nation`, docs, nil); len(got) != 1 {
+		t.Errorf("*:nation rows = %d", len(got))
+	}
+	if got := run(t, `declare namespace c="urn:c"; db2-fn:xmlcolumn("C")//c:*`, docs, nil); len(got) != 2 {
+		t.Errorf("c:* rows = %d", len(got))
+	}
+}
+
+func TestTextNodeStep(t *testing.T) {
+	// §3.8: /text() selects the first text node only.
+	docs := coll(t, "O", `<order><lineitem><price>99.50<currency>USD</currency></price></lineitem></order>`)
+	got := run(t, `db2-fn:xmlcolumn('O')/order[lineitem/price/text() = "99.50"]`, docs, nil)
+	if len(got) != 1 {
+		t.Fatalf("text() comparison rows = %d, want 1", len(got))
+	}
+	// The element value is the concatenation, which does not match.
+	got2 := run(t, `db2-fn:xmlcolumn('O')/order[lineitem/price = "99.50"]`, docs, nil)
+	if len(got2) != 0 {
+		t.Fatalf("element comparison rows = %d, want 0", len(got2))
+	}
+}
+
+func TestAttributesNotOnChildAxis(t *testing.T) {
+	// §3.9: //node() and //* never return attributes.
+	docs := coll(t, "O", orderHi)
+	if got := run(t, `db2-fn:xmlcolumn('O')//@*`, docs, nil); len(got) != 2 {
+		t.Errorf("//@* rows = %d, want 2", len(got))
+	}
+	for _, q := range []string{`db2-fn:xmlcolumn('O')//*`, `db2-fn:xmlcolumn('O')//node()`} {
+		seq := runSeq(t, q, docs, nil)
+		for _, it := range seq {
+			if n := it.(*xdm.Node); n.Kind == xdm.AttributeNode {
+				t.Errorf("%s returned attribute %s", q, n.Name)
+			}
+		}
+	}
+}
+
+func TestConstructorAttributeFromContent(t *testing.T) {
+	// Query 26's view shape: attributes copied into a constructor.
+	docs := coll(t, "O", `<order><lineitem quantity="2"><product price="10"><id>17</id></product></lineitem></order>`)
+	got := run(t, `for $i in db2-fn:xmlcolumn('O')/order/lineitem
+		return <item>{ $i/@quantity, $i/product/@price, <pid>{ $i/product/id/data(.) }</pid> }</item>`, docs, nil)
+	want := `<item quantity="2" price="10"><pid>17</pid></item>`
+	if len(got) != 1 || got[0] != want {
+		t.Fatalf("got %v, want %s", got, want)
+	}
+}
+
+func TestConstructorDuplicateAttributeError(t *testing.T) {
+	// §3.6 issue 4: two products with @price → duplicate attribute error.
+	docs := coll(t, "O", `<order><lineitem><product price="10"/><product price="20"/></lineitem></order>`)
+	err := runErr(t, `for $i in db2-fn:xmlcolumn('O')/order/lineitem
+		return <item>{ $i/product/@price }</item>`, docs, nil)
+	if !strings.Contains(err.Error(), "duplicate attribute") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestConstructorConcatenatesAtomics(t *testing.T) {
+	// §3.6 issue 3: multiple ids concatenate space-separated.
+	docs := coll(t, "O", `<order><product><id>p1</id><id>p2</id></product></order>`)
+	got := run(t, `for $p in db2-fn:xmlcolumn('O')/order/product
+		return <pid>{ $p/id/data(.) }</pid>`, docs, nil)
+	if len(got) != 1 || got[0] != `<pid>p1 p2</pid>` {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestConstructedUntypedComparableToString(t *testing.T) {
+	// §3.6 issue 1: the constructed pid has untypedAtomic value, which
+	// compares with a string even if the source was numeric.
+	docs := coll(t, "O", `<order><product><id>17</id></product></order>`)
+	got := run(t, `for $v in (for $p in db2-fn:xmlcolumn('O')/order/product
+			return <pid>{ $p/id/data(.) }</pid>)
+		where $v = "17"
+		return $v`, docs, nil)
+	if len(got) != 1 {
+		t.Fatalf("rows = %d, want 1", len(got))
+	}
+}
+
+func TestExceptIdentitySemantics(t *testing.T) {
+	// §3.6 issue 5: constructed copies are never identical to sources.
+	docs := coll(t, "O", `<order><lineitem price="5"/></order>`)
+	got := run(t, `let $view := (for $i in db2-fn:xmlcolumn('O')/order/lineitem
+			return <item>{$i/@price}</item>)
+		return $view/@price except db2-fn:xmlcolumn('O')/order/lineitem/@price`, docs, nil)
+	if len(got) != 1 {
+		t.Fatalf("except rows = %d, want 1 (identities differ)", len(got))
+	}
+	same := run(t, `db2-fn:xmlcolumn('O')/order/lineitem/@price except db2-fn:xmlcolumn('O')/order/lineitem/@price`, docs, nil)
+	if len(same) != 0 {
+		t.Fatalf("self-except rows = %d, want 0", len(same))
+	}
+}
+
+func TestIsComparisonOnConstruction(t *testing.T) {
+	// §3.6: construction is nondeterministic — <e>5</e> is <e>5</e> is false.
+	seq := runSeq(t, `<e>5</e> is <e>5</e>`, nil, nil)
+	if len(seq) != 1 || seq[0].(xdm.Value).B {
+		t.Fatalf("constructed identity: %v", seq)
+	}
+	seq2 := runSeq(t, `let $e := <e>5</e> return $e is $e`, nil, nil)
+	if !seq2[0].(xdm.Value).B {
+		t.Fatal("same node must be identical to itself")
+	}
+}
+
+func TestJoinWithCasts(t *testing.T) {
+	// Paper Query 4.
+	docs := mapColl{}
+	o := coll(t, "ORDERS.ORDDOC", `<order><custid>7</custid></order>`, `<order><custid>8</custid></order>`)
+	c := coll(t, "CUSTOMER.CDOC", `<customer><id>7.0</id></customer>`)
+	docs["ORDERS.ORDDOC"] = o["ORDERS.ORDDOC"]
+	docs["CUSTOMER.CDOC"] = c["CUSTOMER.CDOC"]
+	got := run(t, `for $i in db2-fn:xmlcolumn("ORDERS.ORDDOC")/order
+		for $j in db2-fn:xmlcolumn("CUSTOMER.CDOC")/customer
+		where $i/custid/xs:double(.) = $j/id/xs:double(.)
+		return $i`, docs, nil)
+	if len(got) != 1 {
+		t.Fatalf("join rows = %d, want 1 (7 = 7.0 as doubles)", len(got))
+	}
+	// Without casts both sides are untyped → string comparison → no match.
+	got2 := run(t, `for $i in db2-fn:xmlcolumn("ORDERS.ORDDOC")/order
+		for $j in db2-fn:xmlcolumn("CUSTOMER.CDOC")/customer
+		where $i/custid = $j/id
+		return $i`, docs, nil)
+	if len(got2) != 0 {
+		t.Fatalf("castless join rows = %d, want 0 ('7' != '7.0')", len(got2))
+	}
+}
+
+func TestQuantified(t *testing.T) {
+	docs := ordersColl(t)
+	got := run(t, `for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order
+		where some $l in $o/lineitem satisfies $l/@price > 100
+		return $o`, docs, nil)
+	if len(got) != 2 {
+		t.Errorf("some rows = %d", len(got))
+	}
+	got = run(t, `for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order
+		where every $l in $o/lineitem satisfies $l/@price > 100
+		return $o`, docs, nil)
+	if len(got) != 1 {
+		t.Errorf("every rows = %d", len(got))
+	}
+}
+
+func TestOrderBy(t *testing.T) {
+	got := run(t, `for $l in db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem
+		order by $l/@price/xs:double(.) descending
+		return $l/name/text()`, ordersColl(t), nil)
+	want := []string{"Coat", "Hat", "Dress", "Tie"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("order = %v, want %v", got, want)
+	}
+}
+
+func TestPositionalPredicates(t *testing.T) {
+	docs := coll(t, "O", `<o><x>a</x><x>b</x><x>c</x></o>`)
+	if got := run(t, `db2-fn:xmlcolumn('O')/o/x[2]/text()`, docs, nil); len(got) != 1 || got[0] != "b" {
+		t.Errorf("x[2] = %v", got)
+	}
+	if got := run(t, `db2-fn:xmlcolumn('O')/o/x[position() > 1]`, docs, nil); len(got) != 2 {
+		t.Errorf("position() rows = %v", got)
+	}
+	if got := run(t, `db2-fn:xmlcolumn('O')/o/x[last()]/text()`, docs, nil); len(got) != 1 || got[0] != "c" {
+		t.Errorf("last() = %v", got)
+	}
+}
+
+func TestArithmeticAndIf(t *testing.T) {
+	seq := runSeq(t, `if (1 + 1 = 2) then "yes" else "no"`, nil, nil)
+	if seq[0].(xdm.Value).S != "yes" {
+		t.Errorf("if = %v", seq)
+	}
+	seq = runSeq(t, `(1 to 4)[. mod 2 = 0]`, nil, nil)
+	if len(seq) != 2 || seq[1].(xdm.Value).I != 4 {
+		t.Errorf("range = %v", seq)
+	}
+	seq = runSeq(t, `7 idiv 2`, nil, nil)
+	if seq[0].(xdm.Value).I != 3 {
+		t.Errorf("idiv = %v", seq)
+	}
+	seq = runSeq(t, `-(3) * 2`, nil, nil)
+	if seq[0].(xdm.Value).F != -6 {
+		t.Errorf("unary = %v", seq)
+	}
+}
+
+func TestFunctionLibrary(t *testing.T) {
+	docs := ordersColl(t)
+	cases := []struct {
+		q, want string
+	}{
+		{`fn:count(db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem)`, "4"},
+		{`fn:string-join(("a","b","c"), "-")`, "a-b-c"},
+		{`fn:concat("x", 1, "y")`, "x1y"},
+		{`fn:sum((1,2,3))`, "6"},
+		{`fn:avg((2,4))`, "3"},
+		{`fn:min((3,1,2))`, "1"},
+		{`fn:max(db2-fn:xmlcolumn('ORDERS.ORDDOC')//@price)`, "150"},
+		{`fn:contains("hello", "ell")`, "true"},
+		{`fn:substring("hello", 2, 3)`, "ell"},
+		{`fn:upper-case("abc")`, "ABC"},
+		{`fn:normalize-space("  a  b ")`, "a b"},
+		{`fn:string-length("héllo")`, "5"},
+		{`fn:exists(())`, "false"},
+		{`fn:empty(())`, "true"},
+		{`fn:not(fn:false())`, "true"},
+		{`count(fn:distinct-values((1, 1.0, "1", 2)))`, "3"},
+		{`fn:number("12.5")`, "12.5"},
+		{`fn:number("abc")`, "NaN"},
+		{`fn:abs(-3)`, "3"},
+		{`fn:floor(2.7)`, "2"},
+		{`fn:string-join(fn:reverse(("a","b")), "")`, "ba"},
+		{`fn:string-join(fn:subsequence(("a","b","c","d"), 2, 2), "")`, "bc"},
+		{`fn:local-name((db2-fn:xmlcolumn('ORDERS.ORDDOC')/order)[1])`, "order"},
+	}
+	for _, c := range cases {
+		seq := runSeq(t, c.q, docs, nil)
+		got := xdm.SerializeSequence(seq)
+		if got != c.want {
+			t.Errorf("%s = %q, want %q", c.q, got, c.want)
+		}
+	}
+}
+
+func TestExternalVariables(t *testing.T) {
+	doc, _ := xmlparse.Parse(orderHi)
+	got := run(t, `$order//lineitem[@price > $min]`, nil, StaticVars{
+		"order": xdm.Sequence{doc},
+		"min":   xdm.Sequence{xdm.NewDouble(100)},
+	})
+	if len(got) != 1 {
+		t.Fatalf("rows = %d", len(got))
+	}
+}
+
+func TestUnionIntersect(t *testing.T) {
+	docs := coll(t, "O", `<o><a>1</a><b>2</b></o>`)
+	if got := run(t, `db2-fn:xmlcolumn('O')/o/a union db2-fn:xmlcolumn('O')/o/b`, docs, nil); len(got) != 2 {
+		t.Errorf("union = %v", got)
+	}
+	if got := run(t, `(db2-fn:xmlcolumn('O')/o/* ) intersect db2-fn:xmlcolumn('O')/o/a`, docs, nil); len(got) != 1 {
+		t.Errorf("intersect = %v", got)
+	}
+	// Union dedups by identity.
+	if got := run(t, `db2-fn:xmlcolumn('O')/o/a union db2-fn:xmlcolumn('O')/o/a`, docs, nil); len(got) != 1 {
+		t.Errorf("self-union = %v", got)
+	}
+}
+
+func TestCastErrors(t *testing.T) {
+	err := runErr(t, `xs:double("20 USD")`, nil, nil)
+	if !strings.Contains(err.Error(), "cannot cast") {
+		t.Errorf("error = %v", err)
+	}
+	// Cast of multi-item sequence fails (Query 14's XMLCast hazard).
+	docs := coll(t, "O", `<o><id>1</id><id>2</id></o>`)
+	err = runErr(t, `db2-fn:xmlcolumn('O')/o/id cast as xs:double`, docs, nil)
+	if !strings.Contains(err.Error(), "singleton") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestNestedConstructors(t *testing.T) {
+	got := run(t, `<a x="1"><b>{1+1}</b><c/>text</a>`, nil, nil)
+	want := `<a x="1"><b>2</b><c/>text</a>`
+	if len(got) != 1 || got[0] != want {
+		t.Fatalf("got %v want %s", got, want)
+	}
+}
+
+func TestConstructorNamespaces(t *testing.T) {
+	got := run(t, `declare default element namespace "urn:d";
+		<root><child/></root>`, nil, nil)
+	if !strings.Contains(got[0], "{urn:d}root") || !strings.Contains(got[0], "{urn:d}child") {
+		t.Errorf("got %v", got)
+	}
+	got = run(t, `<p:root xmlns:p="urn:p" a="1"><p:kid/></p:root>`, nil, nil)
+	if !strings.Contains(got[0], "{urn:p}root") {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestAttributeValueTemplates(t *testing.T) {
+	got := run(t, `<a id="x{1+1}y"/>`, nil, nil)
+	if got[0] != `<a id="x2y"/>` {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestBraceEscapes(t *testing.T) {
+	got := run(t, `<a>{{literal}}</a>`, nil, nil)
+	if got[0] != `<a>{literal}</a>` {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestCommentsInQueries(t *testing.T) {
+	seq := runSeq(t, `1 (: comment (: nested :) :) + 2`, nil, nil)
+	if seq[0].(xdm.Value).F != 3 {
+		t.Errorf("got %v", seq)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``, `for $x return 1`, `1 +`, `<a>`, `<a></b>`, `$`, `(1,2`,
+		`foo:bar()`, `let $x = 1 return $x`, `//`, `xs:nosuch("1")`,
+		`"unterminated`, `<a x=1/>`, `some $x satisfies 1`,
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestDeepPathsAndDescendant(t *testing.T) {
+	docs := coll(t, "O", `<a><b><c><d>x</d></c></b><c><d>y</d></c></a>`)
+	if got := run(t, `db2-fn:xmlcolumn('O')//c/d/text()`, docs, nil); len(got) != 2 {
+		t.Errorf("//c/d = %v", got)
+	}
+	if got := run(t, `db2-fn:xmlcolumn('O')/a/descendant::d`, docs, nil); len(got) != 2 {
+		t.Errorf("descendant::d = %v", got)
+	}
+	if got := run(t, `db2-fn:xmlcolumn('O')//d/..`, docs, nil); len(got) != 2 {
+		t.Errorf("parent = %v", got)
+	}
+	if got := run(t, `db2-fn:xmlcolumn('O')//d/parent::c`, docs, nil); len(got) != 2 {
+		t.Errorf("parent::c = %v", got)
+	}
+}
+
+func TestDocumentOrderAndDedup(t *testing.T) {
+	docs := coll(t, "O", `<a><b><c>1</c></b><b><c>2</c></b></a>`)
+	// //b//c visited through two steps must not duplicate.
+	got := run(t, `db2-fn:xmlcolumn('O')//b/c | db2-fn:xmlcolumn('O')//c`, docs, nil)
+	if len(got) != 2 {
+		t.Errorf("dedup = %v", got)
+	}
+	if got[0] != "<c>1</c>" || got[1] != "<c>2</c>" {
+		t.Errorf("order = %v", got)
+	}
+}

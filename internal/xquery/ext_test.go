@@ -1,0 +1,175 @@
+package xquery
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/xqdb/xqdb/internal/xdm"
+)
+
+// evalStr evaluates a query and serializes the result.
+func evalStr(t *testing.T, q string) string {
+	t.Helper()
+	return xdm.SerializeSequence(runSeq(t, q, nil, nil))
+}
+
+func TestCastableAs(t *testing.T) {
+	cases := []struct {
+		q, want string
+	}{
+		{`"100" castable as xs:double`, "true"},
+		{`"20 USD" castable as xs:double`, "false"},
+		{`"2001-01-01" castable as xs:date`, "true"},
+		{`"January 1, 2001" castable as xs:date`, "false"},
+		{`5 castable as xs:string`, "true"},
+		{`() castable as xs:double`, "false"},
+		{`(1, 2) castable as xs:double`, "false"},
+	}
+	for _, c := range cases {
+		if got := evalStr(t, c.q); got != c.want {
+			t.Errorf("%s = %s, want %s", c.q, got, c.want)
+		}
+	}
+}
+
+func TestCastableGuardsMixedData(t *testing.T) {
+	// The practical idiom the paper's tolerant indexes pair with:
+	// filter non-castable values before a numeric comparison.
+	docs := coll(t, "O",
+		`<o><zip>95120</zip></o>`,
+		`<o><zip>K1A 0B1</zip></o>`)
+	got := run(t, `db2-fn:xmlcolumn('O')//zip[. castable as xs:double][xs:double(.) > 90000]`, docs, nil)
+	if len(got) != 1 {
+		t.Fatalf("rows = %d, want 1", len(got))
+	}
+}
+
+func TestInstanceOf(t *testing.T) {
+	cases := []struct {
+		q, want string
+	}{
+		{`5 instance of xs:integer`, "true"},
+		{`5 instance of xs:decimal`, "true"}, // integer ⊆ decimal
+		{`5 instance of xs:string`, "false"},
+		{`"x" instance of xs:string`, "true"},
+		{`(1, 2) instance of xs:integer`, "false"},
+		{`(1, 2) instance of xs:integer+`, "true"},
+		{`() instance of xs:integer?`, "true"},
+		{`() instance of empty-sequence()`, "true"},
+		{`1 instance of empty-sequence()`, "false"},
+		{`<a/> instance of element()`, "true"},
+		{`<a/> instance of node()`, "true"},
+		{`<a/> instance of text()`, "false"},
+		{`(<a/>, <b/>) instance of element()*`, "true"},
+	}
+	for _, c := range cases {
+		if got := evalStr(t, c.q); got != c.want {
+			t.Errorf("%s = %s, want %s", c.q, got, c.want)
+		}
+	}
+}
+
+func TestComputedConstructors(t *testing.T) {
+	cases := []struct {
+		q, want string
+	}{
+		{`element result { 1 + 1 }`, `<result>2</result>`},
+		{`element out { attribute id { 7 }, element in {} }`, `<out id="7"><in/></out>`},
+		{`text { "a", "b" }`, `a b`},
+		{`comment { "note" }`, `<!--note-->`},
+		{`element e { text{""} }`, `<e/>`},
+	}
+	for _, c := range cases {
+		if got := evalStr(t, c.q); got != c.want {
+			t.Errorf("%s = %s, want %s", c.q, got, c.want)
+		}
+	}
+	// Empty text content constructs no node.
+	seq := runSeq(t, `text { () }`, nil, nil)
+	if len(seq) != 0 {
+		t.Errorf("text{()} = %v, want empty", seq)
+	}
+	// document{} wraps content under a document node so absolute paths
+	// work (the §3.5 remedy).
+	got := run(t, `document { <order><custid>7</custid></order> }//custid`, nil, nil)
+	if len(got) != 1 || got[0] != "<custid>7</custid>" {
+		t.Errorf("document constructor navigation = %v", got)
+	}
+	seq = runSeq(t, `(document { <a/> })/a`, nil, nil)
+	if len(seq) != 1 {
+		t.Error("rooted child step under document constructor should match")
+	}
+}
+
+func TestComputedConstructorIdentity(t *testing.T) {
+	seq := runSeq(t, `element e { 1 } is element e { 1 }`, nil, nil)
+	if seq[0].(xdm.Value).B {
+		t.Error("computed constructions must have distinct identities")
+	}
+}
+
+func TestRegexFunctions(t *testing.T) {
+	cases := []struct {
+		q, want string
+	}{
+		{`fn:matches("abc123", "[0-9]+")`, "true"},
+		{`fn:matches("abc", "^[0-9]+$")`, "false"},
+		{`fn:matches("ABC", "abc", "i")`, "true"},
+		{`fn:replace("a1b2", "[0-9]", "#")`, "a#b#"},
+		{`fn:replace("john smith", "(\w+) (\w+)", "$2 $1")`, "smith john"},
+		{`fn:string-join(fn:tokenize("a,b,,c", ","), "|")`, "a|b||c"},
+		{`fn:count(fn:tokenize("", ","))`, "0"},
+		{`fn:translate("bar", "abc", "ABC")`, "BAr"},
+		{`fn:translate("--aaa--", "-", "")`, "aaa"},
+		{`fn:substring-before("1999/04/01", "/")`, "1999"},
+		{`fn:substring-after("1999/04/01", "/")`, "04/01"},
+		{`fn:substring-before("abc", "z")`, ""},
+	}
+	for _, c := range cases {
+		if got := evalStr(t, c.q); got != c.want {
+			t.Errorf("%s = %q, want %q", c.q, got, c.want)
+		}
+	}
+	err := runErr(t, `fn:matches("x", "(unclosed")`, nil, nil)
+	if !strings.Contains(err.Error(), "invalid regular expression") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSequenceFunctions(t *testing.T) {
+	cases := []struct {
+		q, want string
+	}{
+		{`fn:string-join(fn:index-of((10, 20, 10), 10), ",")`, "1,3"},
+		{`fn:string-join(fn:insert-before(("a","b"), 2, "x"), "")`, "axb"},
+		{`fn:string-join(fn:insert-before(("a","b"), 99, "x"), "")`, "abx"},
+		{`fn:string-join(fn:remove(("a","b","c"), 2), "")`, "ac"},
+		{`fn:string-join(fn:remove(("a","b"), 99), "")`, "ab"},
+		{`fn:compare("a", "b")`, "-1"},
+		{`fn:codepoint-equal("abc", "abc")`, "true"},
+	}
+	for _, c := range cases {
+		if got := evalStr(t, c.q); got != c.want {
+			t.Errorf("%s = %q, want %q", c.q, got, c.want)
+		}
+	}
+}
+
+func TestDeepEqual(t *testing.T) {
+	cases := []struct {
+		q, want string
+	}{
+		{`fn:deep-equal(<a x="1"><b>t</b></a>, <a x="1"><b>t</b></a>)`, "true"},
+		{`fn:deep-equal(<a x="1"/>, <a x="2"/>)`, "false"},
+		{`fn:deep-equal(<a><b/><c/></a>, <a><c/><b/></a>)`, "false"},
+		{`fn:deep-equal((1, "a"), (1, "a"))`, "true"},
+		{`fn:deep-equal((1, 2), (1))`, "false"},
+		{`fn:deep-equal(1, 1.0)`, "true"},
+		{`fn:deep-equal(<a y="2" x="1"/>, <a x="1" y="2"/>)`, "true"},
+	}
+	for _, c := range cases {
+		if got := evalStr(t, c.q); got != c.want {
+			t.Errorf("%s = %s, want %s", c.q, got, c.want)
+		}
+	}
+}

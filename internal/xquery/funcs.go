@@ -1,0 +1,591 @@
+package xquery
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/xqdb/xqdb/internal/xdm"
+)
+
+// builtin is a function implementation. Context-sensitive functions
+// receive the full evalCtx.
+type builtin struct {
+	minArgs, maxArgs int
+	fn               func(ctx evalCtx, args []xdm.Sequence) (xdm.Sequence, error)
+}
+
+// builtins maps "prefix:local" to implementations. The registry covers the
+// functions the paper's queries use plus the common core of XQuery's
+// function library.
+var builtins map[string]builtin
+
+func init() {
+	core := map[string]builtin{
+		"fn:root":            {0, 1, fnRoot},
+		"fn:data":            {0, 1, fnData},
+		"fn:string":          {0, 1, fnString},
+		"fn:string-join":     {2, 2, fnStringJoin},
+		"fn:concat":          {2, 64, fnConcat},
+		"fn:count":           {1, 1, fnCount},
+		"fn:exists":          {1, 1, fnExists},
+		"fn:empty":           {1, 1, fnEmpty},
+		"fn:not":             {1, 1, fnNot},
+		"fn:boolean":         {1, 1, fnBoolean},
+		"fn:true":            {0, 0, fnTrue},
+		"fn:false":           {0, 0, fnFalse},
+		"fn:number":          {0, 1, fnNumber},
+		"fn:sum":             {1, 1, fnSum},
+		"fn:avg":             {1, 1, fnAvg},
+		"fn:min":             {1, 1, fnMin},
+		"fn:max":             {1, 1, fnMax},
+		"fn:distinct-values": {1, 1, fnDistinctValues},
+		"fn:position":        {0, 0, fnPosition},
+		"fn:last":            {0, 0, fnLast},
+		"fn:contains":        {2, 2, fnContains},
+		"fn:starts-with":     {2, 2, fnStartsWith},
+		"fn:ends-with":       {2, 2, fnEndsWith},
+		"fn:substring":       {2, 3, fnSubstring},
+		"fn:string-length":   {0, 1, fnStringLength},
+		"fn:upper-case":      {1, 1, fnUpperCase},
+		"fn:lower-case":      {1, 1, fnLowerCase},
+		"fn:normalize-space": {0, 1, fnNormalizeSpace},
+		"fn:name":            {0, 1, fnName},
+		"fn:local-name":      {0, 1, fnLocalName},
+		"fn:namespace-uri":   {0, 1, fnNamespaceURI},
+		"fn:abs":             {1, 1, numericUnary(math.Abs)},
+		"fn:floor":           {1, 1, numericUnary(math.Floor)},
+		"fn:ceiling":         {1, 1, numericUnary(math.Ceil)},
+		"fn:round":           {1, 1, numericUnary(math.Round)},
+		"fn:exactly-one":     {1, 1, fnExactlyOne},
+		"fn:zero-or-one":     {1, 1, fnZeroOrOne},
+		"fn:one-or-more":     {1, 1, fnOneOrMore},
+		"fn:reverse":         {1, 1, fnReverse},
+		"fn:subsequence":     {2, 3, fnSubsequence},
+		"db2-fn:xmlcolumn":   {1, 1, fnXMLColumn},
+		// fn:collection is an alias resolving through the same
+		// collection interface, for portability with generic XQuery.
+		"fn:collection": {1, 1, fnXMLColumn},
+	}
+	if builtins == nil {
+		builtins = map[string]builtin{}
+	}
+	for k, v := range core {
+		builtins[k] = v
+	}
+}
+
+func evalFunction(fc *FunctionCall, ctx evalCtx) (xdm.Sequence, error) {
+	key := fc.Space + ":" + fc.Local
+	b, ok := builtins[key]
+	if !ok {
+		return nil, fmt.Errorf("unknown function %s#%d", key, len(fc.Args))
+	}
+	if len(fc.Args) < b.minArgs || len(fc.Args) > b.maxArgs {
+		return nil, fmt.Errorf("function %s called with %d arguments, expects %d..%d", key, len(fc.Args), b.minArgs, b.maxArgs)
+	}
+	args := make([]xdm.Sequence, len(fc.Args))
+	for i, a := range fc.Args {
+		s, err := eval(a, ctx)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = s
+	}
+	return b.fn(ctx, args)
+}
+
+// contextOrArg returns args[0] if present, else the context item.
+func contextOrArg(ctx evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	if len(args) > 0 {
+		return args[0], nil
+	}
+	if ctx.item == nil {
+		return nil, fmt.Errorf("context item is undefined")
+	}
+	return xdm.Sequence{ctx.item}, nil
+}
+
+func fnRoot(ctx evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	seq, err := contextOrArg(ctx, args)
+	if err != nil {
+		return nil, err
+	}
+	if len(seq) == 0 {
+		return nil, nil
+	}
+	n, ok := seq[0].(*xdm.Node)
+	if !ok || len(seq) > 1 {
+		return nil, fmt.Errorf("fn:root requires a single node")
+	}
+	return xdm.Sequence{n.Root()}, nil
+}
+
+func fnData(ctx evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	seq, err := contextOrArg(ctx, args)
+	if err != nil {
+		return nil, err
+	}
+	return xdm.Atomize(seq)
+}
+
+func fnString(ctx evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	seq, err := contextOrArg(ctx, args)
+	if err != nil {
+		return nil, err
+	}
+	if len(seq) == 0 {
+		return xdm.Sequence{xdm.NewString("")}, nil
+	}
+	if len(seq) > 1 {
+		return nil, fmt.Errorf("fn:string requires at most one item")
+	}
+	return xdm.Sequence{xdm.NewString(seq[0].ItemString())}, nil
+}
+
+func fnStringJoin(_ evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	sep, err := singletonString(args[1], "fn:string-join separator")
+	if err != nil {
+		return nil, err
+	}
+	a, err := xdm.Atomize(args[0])
+	if err != nil {
+		return nil, err
+	}
+	parts := make([]string, len(a))
+	for i, v := range a {
+		parts[i] = v.(xdm.Value).Lexical()
+	}
+	return xdm.Sequence{xdm.NewString(strings.Join(parts, sep))}, nil
+}
+
+func fnConcat(_ evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	var b strings.Builder
+	for _, arg := range args {
+		if len(arg) == 0 {
+			continue
+		}
+		if len(arg) > 1 {
+			return nil, fmt.Errorf("fn:concat arguments must be singletons")
+		}
+		b.WriteString(arg[0].ItemString())
+	}
+	return xdm.Sequence{xdm.NewString(b.String())}, nil
+}
+
+func fnCount(_ evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	return xdm.Sequence{xdm.NewInteger(int64(len(args[0])))}, nil
+}
+
+func fnExists(_ evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	return xdm.Sequence{xdm.NewBoolean(len(args[0]) > 0)}, nil
+}
+
+func fnEmpty(_ evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	return xdm.Sequence{xdm.NewBoolean(len(args[0]) == 0)}, nil
+}
+
+func fnNot(_ evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	b, err := xdm.EffectiveBooleanValue(args[0])
+	if err != nil {
+		return nil, err
+	}
+	return xdm.Sequence{xdm.NewBoolean(!b)}, nil
+}
+
+func fnBoolean(_ evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	b, err := xdm.EffectiveBooleanValue(args[0])
+	if err != nil {
+		return nil, err
+	}
+	return xdm.Sequence{xdm.NewBoolean(b)}, nil
+}
+
+func fnTrue(evalCtx, []xdm.Sequence) (xdm.Sequence, error) {
+	return xdm.Sequence{xdm.NewBoolean(true)}, nil
+}
+
+func fnFalse(evalCtx, []xdm.Sequence) (xdm.Sequence, error) {
+	return xdm.Sequence{xdm.NewBoolean(false)}, nil
+}
+
+func fnNumber(ctx evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	seq, err := contextOrArg(ctx, args)
+	if err != nil {
+		return nil, err
+	}
+	a, err := xdm.Atomize(seq)
+	if err != nil {
+		return nil, err
+	}
+	if len(a) != 1 {
+		return xdm.Sequence{xdm.NewDouble(math.NaN())}, nil
+	}
+	v, err := a[0].(xdm.Value).Cast(xdm.Double)
+	if err != nil {
+		return xdm.Sequence{xdm.NewDouble(math.NaN())}, nil
+	}
+	return xdm.Sequence{v}, nil
+}
+
+func atomizeNumbers(seq xdm.Sequence, name string) ([]float64, error) {
+	a, err := xdm.Atomize(seq)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, len(a))
+	for _, it := range a {
+		v := it.(xdm.Value)
+		if v.T == xdm.UntypedAtomic {
+			c, err := v.Cast(xdm.Double)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
+			v = c
+		}
+		if !v.T.IsNumeric() {
+			return nil, fmt.Errorf("%s: non-numeric item xs:%s", name, v.T)
+		}
+		out = append(out, v.Number())
+	}
+	return out, nil
+}
+
+func fnSum(_ evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	ns, err := atomizeNumbers(args[0], "fn:sum")
+	if err != nil {
+		return nil, err
+	}
+	s := 0.0
+	for _, n := range ns {
+		s += n
+	}
+	return xdm.Sequence{xdm.NewDouble(s)}, nil
+}
+
+func fnAvg(_ evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	ns, err := atomizeNumbers(args[0], "fn:avg")
+	if err != nil {
+		return nil, err
+	}
+	if len(ns) == 0 {
+		return nil, nil
+	}
+	s := 0.0
+	for _, n := range ns {
+		s += n
+	}
+	return xdm.Sequence{xdm.NewDouble(s / float64(len(ns)))}, nil
+}
+
+func fnMin(_ evalCtx, args []xdm.Sequence) (xdm.Sequence, error) { return minMax(args[0], true) }
+func fnMax(_ evalCtx, args []xdm.Sequence) (xdm.Sequence, error) { return minMax(args[0], false) }
+
+func minMax(seq xdm.Sequence, min bool) (xdm.Sequence, error) {
+	a, err := xdm.Atomize(seq)
+	if err != nil {
+		return nil, err
+	}
+	if len(a) == 0 {
+		return nil, nil
+	}
+	best := a[0].(xdm.Value)
+	if best.T == xdm.UntypedAtomic {
+		if c, err := best.Cast(xdm.Double); err == nil {
+			best = c
+		} else {
+			best = xdm.NewString(best.S)
+		}
+	}
+	for _, it := range a[1:] {
+		v := it.(xdm.Value)
+		if v.T == xdm.UntypedAtomic {
+			if c, err := v.Cast(xdm.Double); err == nil {
+				v = c
+			} else {
+				v = xdm.NewString(v.S)
+			}
+		}
+		op := xdm.OpLt
+		if !min {
+			op = xdm.OpGt
+		}
+		better, err := xdm.ValueCompare(op, v, best)
+		if err != nil {
+			return nil, fmt.Errorf("fn:min/max: %w", err)
+		}
+		if better {
+			best = v
+		}
+	}
+	return xdm.Sequence{best}, nil
+}
+
+func fnDistinctValues(_ evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	a, err := xdm.Atomize(args[0])
+	if err != nil {
+		return nil, err
+	}
+	var out xdm.Sequence
+	seen := map[string]bool{}
+	for _, it := range a {
+		v := it.(xdm.Value)
+		key := v.T.String() + "\x00" + v.Lexical()
+		if v.T == xdm.UntypedAtomic {
+			key = "string\x00" + v.S
+		}
+		if v.T.IsNumeric() {
+			key = fmt.Sprintf("num\x00%g", v.Number())
+		}
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+func fnPosition(ctx evalCtx, _ []xdm.Sequence) (xdm.Sequence, error) {
+	if ctx.pos == 0 {
+		return nil, fmt.Errorf("fn:position requires a context")
+	}
+	return xdm.Sequence{xdm.NewInteger(int64(ctx.pos))}, nil
+}
+
+func fnLast(ctx evalCtx, _ []xdm.Sequence) (xdm.Sequence, error) {
+	if ctx.size == 0 {
+		return nil, fmt.Errorf("fn:last requires a context")
+	}
+	return xdm.Sequence{xdm.NewInteger(int64(ctx.size))}, nil
+}
+
+func singletonString(seq xdm.Sequence, what string) (string, error) {
+	if len(seq) == 0 {
+		return "", nil
+	}
+	if len(seq) > 1 {
+		return "", fmt.Errorf("%s must be a singleton", what)
+	}
+	return seq[0].ItemString(), nil
+}
+
+func stringPair(args []xdm.Sequence, name string) (string, string, error) {
+	a, err := singletonString(args[0], name)
+	if err != nil {
+		return "", "", err
+	}
+	b, err := singletonString(args[1], name)
+	if err != nil {
+		return "", "", err
+	}
+	return a, b, nil
+}
+
+func fnContains(_ evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	a, b, err := stringPair(args, "fn:contains")
+	if err != nil {
+		return nil, err
+	}
+	return xdm.Sequence{xdm.NewBoolean(strings.Contains(a, b))}, nil
+}
+
+func fnStartsWith(_ evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	a, b, err := stringPair(args, "fn:starts-with")
+	if err != nil {
+		return nil, err
+	}
+	return xdm.Sequence{xdm.NewBoolean(strings.HasPrefix(a, b))}, nil
+}
+
+func fnEndsWith(_ evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	a, b, err := stringPair(args, "fn:ends-with")
+	if err != nil {
+		return nil, err
+	}
+	return xdm.Sequence{xdm.NewBoolean(strings.HasSuffix(a, b))}, nil
+}
+
+func fnSubstring(_ evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	s, err := singletonString(args[0], "fn:substring")
+	if err != nil {
+		return nil, err
+	}
+	runes := []rune(s)
+	startN, err := atomizeNumbers(args[1], "fn:substring")
+	if err != nil || len(startN) != 1 {
+		return nil, fmt.Errorf("fn:substring start must be numeric: %v", err)
+	}
+	start := int(math.Round(startN[0]))
+	end := len(runes) + 1
+	if len(args) == 3 {
+		lenN, err := atomizeNumbers(args[2], "fn:substring")
+		if err != nil || len(lenN) != 1 {
+			return nil, fmt.Errorf("fn:substring length must be numeric: %v", err)
+		}
+		end = start + int(math.Round(lenN[0]))
+	}
+	lo := max(start, 1)
+	hi := min(end, len(runes)+1)
+	if lo >= hi {
+		return xdm.Sequence{xdm.NewString("")}, nil
+	}
+	return xdm.Sequence{xdm.NewString(string(runes[lo-1 : hi-1]))}, nil
+}
+
+func fnStringLength(ctx evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	seq, err := contextOrArg(ctx, args)
+	if err != nil {
+		return nil, err
+	}
+	s, err := singletonString(seq, "fn:string-length")
+	if err != nil {
+		return nil, err
+	}
+	return xdm.Sequence{xdm.NewInteger(int64(len([]rune(s))))}, nil
+}
+
+func fnUpperCase(_ evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	s, err := singletonString(args[0], "fn:upper-case")
+	if err != nil {
+		return nil, err
+	}
+	return xdm.Sequence{xdm.NewString(strings.ToUpper(s))}, nil
+}
+
+func fnLowerCase(_ evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	s, err := singletonString(args[0], "fn:lower-case")
+	if err != nil {
+		return nil, err
+	}
+	return xdm.Sequence{xdm.NewString(strings.ToLower(s))}, nil
+}
+
+func fnNormalizeSpace(ctx evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	seq, err := contextOrArg(ctx, args)
+	if err != nil {
+		return nil, err
+	}
+	s, err := singletonString(seq, "fn:normalize-space")
+	if err != nil {
+		return nil, err
+	}
+	return xdm.Sequence{xdm.NewString(strings.Join(strings.Fields(s), " "))}, nil
+}
+
+func nodeNameFunc(ctx evalCtx, args []xdm.Sequence, f func(*xdm.Node) string) (xdm.Sequence, error) {
+	seq, err := contextOrArg(ctx, args)
+	if err != nil {
+		return nil, err
+	}
+	if len(seq) == 0 {
+		return xdm.Sequence{xdm.NewString("")}, nil
+	}
+	n, ok := seq[0].(*xdm.Node)
+	if !ok || len(seq) > 1 {
+		return nil, fmt.Errorf("expected a single node")
+	}
+	return xdm.Sequence{xdm.NewString(f(n))}, nil
+}
+
+func fnName(ctx evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	return nodeNameFunc(ctx, args, func(n *xdm.Node) string { return n.Name.Local })
+}
+
+func fnLocalName(ctx evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	return nodeNameFunc(ctx, args, func(n *xdm.Node) string { return n.Name.Local })
+}
+
+func fnNamespaceURI(ctx evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	return nodeNameFunc(ctx, args, func(n *xdm.Node) string { return n.Name.Space })
+}
+
+func numericUnary(f func(float64) float64) func(evalCtx, []xdm.Sequence) (xdm.Sequence, error) {
+	return func(_ evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+		ns, err := atomizeNumbers(args[0], "numeric function")
+		if err != nil {
+			return nil, err
+		}
+		if len(ns) == 0 {
+			return nil, nil
+		}
+		if len(ns) > 1 {
+			return nil, fmt.Errorf("numeric function requires a singleton")
+		}
+		return xdm.Sequence{xdm.NewDouble(f(ns[0]))}, nil
+	}
+}
+
+func fnExactlyOne(_ evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	if len(args[0]) != 1 {
+		return nil, fmt.Errorf("fn:exactly-one: sequence has %d items", len(args[0]))
+	}
+	return args[0], nil
+}
+
+func fnZeroOrOne(_ evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	if len(args[0]) > 1 {
+		return nil, fmt.Errorf("fn:zero-or-one: sequence has %d items", len(args[0]))
+	}
+	return args[0], nil
+}
+
+func fnOneOrMore(_ evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	if len(args[0]) == 0 {
+		return nil, fmt.Errorf("fn:one-or-more: sequence is empty")
+	}
+	return args[0], nil
+}
+
+func fnReverse(_ evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	in := args[0]
+	out := make(xdm.Sequence, len(in))
+	for i, it := range in {
+		out[len(in)-1-i] = it
+	}
+	return out, nil
+}
+
+func fnSubsequence(_ evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	startN, err := atomizeNumbers(args[1], "fn:subsequence")
+	if err != nil || len(startN) != 1 {
+		return nil, fmt.Errorf("fn:subsequence start must be numeric")
+	}
+	start := int(math.Round(startN[0]))
+	end := len(args[0]) + 1
+	if len(args) == 3 {
+		lenN, err := atomizeNumbers(args[2], "fn:subsequence")
+		if err != nil || len(lenN) != 1 {
+			return nil, fmt.Errorf("fn:subsequence length must be numeric")
+		}
+		end = start + int(math.Round(lenN[0]))
+	}
+	lo := max(start, 1)
+	hi := min(end, len(args[0])+1)
+	if lo >= hi {
+		return nil, nil
+	}
+	return args[0][lo-1 : hi-1], nil
+}
+
+// fnXMLColumn implements db2-fn:xmlcolumn: it imports an entire XML column
+// as a sequence of document nodes. The paper contrasts this whole-column
+// access (index-eligible, Query 6/7) with per-row values passed through
+// SQL/XML functions (Query 5).
+func fnXMLColumn(ctx evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	name, err := singletonString(args[0], "db2-fn:xmlcolumn argument")
+	if err != nil {
+		return nil, err
+	}
+	if ctx.coll == nil {
+		return nil, fmt.Errorf("db2-fn:xmlcolumn(%q): no collection resolver in this context", name)
+	}
+	docs, err := ctx.coll.Collection(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make(xdm.Sequence, len(docs))
+	for i, d := range docs {
+		out[i] = d
+	}
+	return out, nil
+}

@@ -1,0 +1,343 @@
+package xquery
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"github.com/xqdb/xqdb/internal/xdm"
+)
+
+// init registers the extended function set: regular expressions, string
+// helpers, sequence editing, and deep equality.
+func init() {
+	ext := map[string]builtin{
+		"fn:matches":          {2, 3, fnMatches},
+		"fn:replace":          {3, 4, fnReplace},
+		"fn:tokenize":         {2, 3, fnTokenize},
+		"fn:translate":        {3, 3, fnTranslate},
+		"fn:substring-before": {2, 2, fnSubstringBefore},
+		"fn:substring-after":  {2, 2, fnSubstringAfter},
+		"fn:index-of":         {2, 2, fnIndexOf},
+		"fn:insert-before":    {3, 3, fnInsertBefore},
+		"fn:remove":           {2, 2, fnRemove},
+		"fn:deep-equal":       {2, 2, fnDeepEqual},
+		"fn:compare":          {2, 2, fnCompare},
+		"fn:codepoint-equal":  {2, 2, fnCodepointEqual},
+	}
+	if builtins == nil {
+		builtins = map[string]builtin{}
+	}
+	for k, v := range ext {
+		builtins[k] = v
+	}
+}
+
+// compileXPathRegex compiles an XPath regular expression with optional
+// flags (s, m, i, x subset mapped to Go's regexp flags).
+func compileXPathRegex(pat, flags string) (*regexp.Regexp, error) {
+	var goFlags strings.Builder
+	for _, f := range flags {
+		switch f {
+		case 'i', 's', 'm':
+			goFlags.WriteRune(f)
+		case 'x':
+			// free-spacing: strip unescaped whitespace
+			pat = strings.Map(func(r rune) rune {
+				if r == ' ' || r == '\t' || r == '\n' || r == '\r' {
+					return -1
+				}
+				return r
+			}, pat)
+		default:
+			return nil, fmt.Errorf("unsupported regex flag %q", string(f))
+		}
+	}
+	if goFlags.Len() > 0 {
+		pat = "(?" + goFlags.String() + ")" + pat
+	}
+	re, err := regexp.Compile(pat)
+	if err != nil {
+		return nil, fmt.Errorf("invalid regular expression: %w", err)
+	}
+	return re, nil
+}
+
+func regexArgs(args []xdm.Sequence, name string) (input string, re *regexp.Regexp, err error) {
+	input, err = singletonString(args[0], name+" input")
+	if err != nil {
+		return "", nil, err
+	}
+	pat, err := singletonString(args[1], name+" pattern")
+	if err != nil {
+		return "", nil, err
+	}
+	flags := ""
+	if len(args) > 2 {
+		flags, err = singletonString(args[2], name+" flags")
+		if err != nil {
+			return "", nil, err
+		}
+	}
+	re, err = compileXPathRegex(pat, flags)
+	return input, re, err
+}
+
+func fnMatches(_ evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	input, re, err := regexArgs(args, "fn:matches")
+	if err != nil {
+		return nil, err
+	}
+	return xdm.Sequence{xdm.NewBoolean(re.MatchString(input))}, nil
+}
+
+func fnReplace(_ evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	input, err := singletonString(args[0], "fn:replace input")
+	if err != nil {
+		return nil, err
+	}
+	pat, err := singletonString(args[1], "fn:replace pattern")
+	if err != nil {
+		return nil, err
+	}
+	repl, err := singletonString(args[2], "fn:replace replacement")
+	if err != nil {
+		return nil, err
+	}
+	flags := ""
+	if len(args) > 3 {
+		flags, err = singletonString(args[3], "fn:replace flags")
+		if err != nil {
+			return nil, err
+		}
+	}
+	re, err := compileXPathRegex(pat, flags)
+	if err != nil {
+		return nil, err
+	}
+	// XPath uses $1..$n in replacements; Go uses the same syntax.
+	return xdm.Sequence{xdm.NewString(re.ReplaceAllString(input, repl))}, nil
+}
+
+func fnTokenize(_ evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	input, re, err := regexArgs(args, "fn:tokenize")
+	if err != nil {
+		return nil, err
+	}
+	if input == "" {
+		return nil, nil
+	}
+	var out xdm.Sequence
+	for _, tok := range re.Split(input, -1) {
+		out = append(out, xdm.NewString(tok))
+	}
+	return out, nil
+}
+
+func fnTranslate(_ evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	input, err := singletonString(args[0], "fn:translate")
+	if err != nil {
+		return nil, err
+	}
+	from, err := singletonString(args[1], "fn:translate map")
+	if err != nil {
+		return nil, err
+	}
+	to, err := singletonString(args[2], "fn:translate trans")
+	if err != nil {
+		return nil, err
+	}
+	fromR, toR := []rune(from), []rune(to)
+	mapping := map[rune]rune{}
+	drop := map[rune]bool{}
+	for i, r := range fromR {
+		if _, seen := mapping[r]; seen || drop[r] {
+			continue
+		}
+		if i < len(toR) {
+			mapping[r] = toR[i]
+		} else {
+			drop[r] = true
+		}
+	}
+	var b strings.Builder
+	for _, r := range input {
+		if drop[r] {
+			continue
+		}
+		if m, ok := mapping[r]; ok {
+			b.WriteRune(m)
+		} else {
+			b.WriteRune(r)
+		}
+	}
+	return xdm.Sequence{xdm.NewString(b.String())}, nil
+}
+
+func fnSubstringBefore(_ evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	a, b, err := stringPair(args, "fn:substring-before")
+	if err != nil {
+		return nil, err
+	}
+	i := strings.Index(a, b)
+	if i < 0 || b == "" {
+		return xdm.Sequence{xdm.NewString("")}, nil
+	}
+	return xdm.Sequence{xdm.NewString(a[:i])}, nil
+}
+
+func fnSubstringAfter(_ evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	a, b, err := stringPair(args, "fn:substring-after")
+	if err != nil {
+		return nil, err
+	}
+	if b == "" {
+		return xdm.Sequence{xdm.NewString(a)}, nil
+	}
+	i := strings.Index(a, b)
+	if i < 0 {
+		return xdm.Sequence{xdm.NewString("")}, nil
+	}
+	return xdm.Sequence{xdm.NewString(a[i+len(b):])}, nil
+}
+
+func fnIndexOf(_ evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	seq, err := xdm.Atomize(args[0])
+	if err != nil {
+		return nil, err
+	}
+	target, err := xdm.Atomize(args[1])
+	if err != nil {
+		return nil, err
+	}
+	if len(target) != 1 {
+		return nil, fmt.Errorf("fn:index-of search parameter must be a singleton")
+	}
+	var out xdm.Sequence
+	for i, it := range seq {
+		eq, err := xdm.GeneralCompare(xdm.OpEq, xdm.Sequence{it}, target)
+		if err != nil {
+			continue // incomparable items contribute nothing
+		}
+		if eq {
+			out = append(out, xdm.NewInteger(int64(i+1)))
+		}
+	}
+	return out, nil
+}
+
+func fnInsertBefore(_ evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	pos, err := atomizeNumbers(args[1], "fn:insert-before")
+	if err != nil || len(pos) != 1 {
+		return nil, fmt.Errorf("fn:insert-before position must be a number")
+	}
+	p := int(pos[0])
+	if p < 1 {
+		p = 1
+	}
+	if p > len(args[0])+1 {
+		p = len(args[0]) + 1
+	}
+	out := make(xdm.Sequence, 0, len(args[0])+len(args[2]))
+	out = append(out, args[0][:p-1]...)
+	out = append(out, args[2]...)
+	out = append(out, args[0][p-1:]...)
+	return out, nil
+}
+
+func fnRemove(_ evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	pos, err := atomizeNumbers(args[1], "fn:remove")
+	if err != nil || len(pos) != 1 {
+		return nil, fmt.Errorf("fn:remove position must be a number")
+	}
+	p := int(pos[0])
+	if p < 1 || p > len(args[0]) {
+		return args[0], nil
+	}
+	out := make(xdm.Sequence, 0, len(args[0])-1)
+	out = append(out, args[0][:p-1]...)
+	out = append(out, args[0][p:]...)
+	return out, nil
+}
+
+func fnCompare(_ evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	if len(args[0]) == 0 || len(args[1]) == 0 {
+		return nil, nil
+	}
+	a, b, err := stringPair(args, "fn:compare")
+	if err != nil {
+		return nil, err
+	}
+	return xdm.Sequence{xdm.NewInteger(int64(strings.Compare(a, b)))}, nil
+}
+
+func fnCodepointEqual(_ evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	if len(args[0]) == 0 || len(args[1]) == 0 {
+		return nil, nil
+	}
+	a, b, err := stringPair(args, "fn:codepoint-equal")
+	if err != nil {
+		return nil, err
+	}
+	return xdm.Sequence{xdm.NewBoolean(a == b)}, nil
+}
+
+// fnDeepEqual implements fn:deep-equal over the supported node kinds.
+func fnDeepEqual(_ evalCtx, args []xdm.Sequence) (xdm.Sequence, error) {
+	if len(args[0]) != len(args[1]) {
+		return xdm.Sequence{xdm.NewBoolean(false)}, nil
+	}
+	for i := range args[0] {
+		if !itemsDeepEqual(args[0][i], args[1][i]) {
+			return xdm.Sequence{xdm.NewBoolean(false)}, nil
+		}
+	}
+	return xdm.Sequence{xdm.NewBoolean(true)}, nil
+}
+
+func itemsDeepEqual(a, b xdm.Item) bool {
+	an, aIsNode := a.(*xdm.Node)
+	bn, bIsNode := b.(*xdm.Node)
+	if aIsNode != bIsNode {
+		return false
+	}
+	if !aIsNode {
+		av, bv := a.(xdm.Value), b.(xdm.Value)
+		eq, err := xdm.GeneralCompare(xdm.OpEq, xdm.Sequence{av}, xdm.Sequence{bv})
+		return err == nil && eq
+	}
+	return nodesDeepEqual(an, bn)
+}
+
+func nodesDeepEqual(a, b *xdm.Node) bool {
+	if a.Kind != b.Kind || a.Name != b.Name {
+		return false
+	}
+	switch a.Kind {
+	case xdm.TextNode, xdm.CommentNode, xdm.ProcessingInstructionNode, xdm.AttributeNode:
+		return a.Text == b.Text
+	}
+	// Elements/documents: attribute sets equal regardless of order,
+	// content children pairwise deep-equal.
+	if len(a.Attrs) != len(b.Attrs) || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for _, aa := range a.Attrs {
+		found := false
+		for _, ba := range b.Attrs {
+			if aa.Name == ba.Name && aa.Text == ba.Text {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	for i := range a.Children {
+		if !nodesDeepEqual(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}

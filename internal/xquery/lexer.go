@@ -1,0 +1,208 @@
+package xquery
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind uint8
+
+const (
+	tokEOF    tokenKind = iota
+	tokName             // NCName, QName "p:l", or wildcard names "p:*", "*:l"
+	tokInt              // integer literal
+	tokDec              // decimal literal
+	tokDouble           // double literal (with exponent)
+	tokString           // string literal, unquoted value
+	tokSym              // operator/punctuation, value holds the symbol
+)
+
+// token is one lexical token. pos is the byte offset of its first
+// character, used for error messages and for switching the scanner into
+// direct-constructor mode.
+type token struct {
+	kind  tokenKind
+	value string
+	pos   int
+}
+
+// lexer is a lazy tokenizer over the query text. The parser drives it one
+// token at a time and may reposition it (direct element constructors are
+// scanned at character level by the parser, then tokenization resumes).
+type lexer struct {
+	src string
+	pos int
+}
+
+// errSyntax formats a syntax error with position context.
+func errSyntax(src string, pos int, format string, args ...any) error {
+	line, col := 1, 1
+	for i := 0; i < pos && i < len(src); i++ {
+		if src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Errorf("syntax error at line %d col %d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+// skipWS consumes whitespace and (: nested comments :).
+func (l *lexer) skipWS() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '(' && l.pos+1 < len(l.src) && l.src[l.pos+1] == ':':
+			depth := 1
+			i := l.pos + 2
+			for i < len(l.src) && depth > 0 {
+				if strings.HasPrefix(l.src[i:], "(:") {
+					depth++
+					i += 2
+				} else if strings.HasPrefix(l.src[i:], ":)") {
+					depth--
+					i += 2
+				} else {
+					i++
+				}
+			}
+			if depth != 0 {
+				return errSyntax(l.src, l.pos, "unterminated comment")
+			}
+			l.pos = i
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isNameStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isNameChar(c byte) bool {
+	return c == '_' || c == '-' || c == '.' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// multi-character symbols, longest first.
+var symbols = []string{
+	":=", "!=", "<=", ">=", "<<", ">>", "//", "..", "::",
+	"(", ")", "[", "]", "{", "}", "/", "@", ",", ";", "$",
+	"=", "<", ">", "|", "+", "-", "*", "?", ".", ":",
+}
+
+// next returns the next token, advancing the lexer.
+func (l *lexer) next() (token, error) {
+	if err := l.skipWS(); err != nil {
+		return token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+
+	// String literals with doubled-quote escaping.
+	if c == '"' || c == '\'' {
+		quote := c
+		var b strings.Builder
+		i := l.pos + 1
+		for i < len(l.src) {
+			if l.src[i] == quote {
+				if i+1 < len(l.src) && l.src[i+1] == quote {
+					b.WriteByte(quote)
+					i += 2
+					continue
+				}
+				l.pos = i + 1
+				return token{kind: tokString, value: b.String(), pos: start}, nil
+			}
+			b.WriteByte(l.src[i])
+			i++
+		}
+		return token{}, errSyntax(l.src, start, "unterminated string literal")
+	}
+
+	// Numeric literals.
+	if c >= '0' && c <= '9' || (c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9') {
+		i := l.pos
+		kind := tokInt
+		for i < len(l.src) && l.src[i] >= '0' && l.src[i] <= '9' {
+			i++
+		}
+		if i < len(l.src) && l.src[i] == '.' {
+			kind = tokDec
+			i++
+			for i < len(l.src) && l.src[i] >= '0' && l.src[i] <= '9' {
+				i++
+			}
+		}
+		if i < len(l.src) && (l.src[i] == 'e' || l.src[i] == 'E') {
+			j := i + 1
+			if j < len(l.src) && (l.src[j] == '+' || l.src[j] == '-') {
+				j++
+			}
+			if j < len(l.src) && l.src[j] >= '0' && l.src[j] <= '9' {
+				kind = tokDouble
+				i = j
+				for i < len(l.src) && l.src[i] >= '0' && l.src[i] <= '9' {
+					i++
+				}
+			}
+		}
+		v := l.src[l.pos:i]
+		l.pos = i
+		return token{kind: kind, value: v, pos: start}, nil
+	}
+
+	// Names: NCName, QName, and the wildcard forms p:* and *:l.
+	if isNameStart(c) {
+		i := l.pos
+		for i < len(l.src) && isNameChar(l.src[i]) {
+			i++
+		}
+		name := l.src[l.pos:i]
+		// QName continuation: single colon not followed by another colon.
+		if i+1 < len(l.src) && l.src[i] == ':' && l.src[i+1] != ':' {
+			if l.src[i+1] == '*' {
+				l.pos = i + 2
+				return token{kind: tokName, value: name + ":*", pos: start}, nil
+			}
+			if isNameStart(l.src[i+1]) {
+				j := i + 1
+				for j < len(l.src) && isNameChar(l.src[j]) {
+					j++
+				}
+				l.pos = j
+				return token{kind: tokName, value: name + ":" + l.src[i+1:j], pos: start}, nil
+			}
+		}
+		l.pos = i
+		return token{kind: tokName, value: name, pos: start}, nil
+	}
+
+	// *:local wildcard.
+	if c == '*' && l.pos+2 < len(l.src) && l.src[l.pos+1] == ':' && isNameStart(l.src[l.pos+2]) {
+		i := l.pos + 2
+		for i < len(l.src) && isNameChar(l.src[i]) {
+			i++
+		}
+		v := "*:" + l.src[l.pos+2:i]
+		l.pos = i
+		return token{kind: tokName, value: v, pos: start}, nil
+	}
+
+	for _, s := range symbols {
+		if strings.HasPrefix(l.src[l.pos:], s) {
+			l.pos += len(s)
+			return token{kind: tokSym, value: s, pos: start}, nil
+		}
+	}
+	return token{}, errSyntax(l.src, l.pos, "unexpected character %q", c)
+}

@@ -1,0 +1,824 @@
+package xquery
+
+import (
+	"strings"
+
+	"github.com/xqdb/xqdb/internal/xdm"
+)
+
+// builtinPrefixes are pre-declared namespace prefixes. "db2-fn" hosts the
+// xmlcolumn collection accessor the paper's queries use.
+var builtinPrefixes = map[string]string{
+	"fn":     "http://www.w3.org/2005/xpath-functions",
+	"xs":     "http://www.w3.org/2001/XMLSchema",
+	"xdt":    "http://www.w3.org/2005/xpath-datatypes",
+	"db2-fn": "http://www.ibm.com/xmlns/prod/db2/functions",
+	"local":  "http://www.w3.org/2005/xquery-local-functions",
+}
+
+// parser is a recursive-descent parser with one token of lookahead over a
+// lazy lexer, which lets direct element constructors be scanned at
+// character level.
+type parser struct {
+	lx  *lexer
+	tok token
+	// static context assembled from the prolog
+	ns        map[string]string // prefix -> URI
+	defaultNS string            // default element namespace
+}
+
+// Parse parses an XQuery module (prolog + body expression).
+func Parse(src string) (*Module, error) {
+	p := &parser{lx: &lexer{src: src}, ns: map[string]string{}}
+	for k, v := range builtinPrefixes {
+		p.ns[k] = v
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	m := &Module{Namespaces: p.ns}
+	if err := p.parseProlog(m); err != nil {
+		return nil, err
+	}
+	body, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errf("unexpected %q after end of query", p.tok.value)
+	}
+	m.Body = body
+	m.DefaultElementNS = p.defaultNS
+	return m, nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return errSyntax(p.lx.src, p.tok.pos, format, args...)
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+// peek returns the token after the current one without consuming it.
+func (p *parser) peek() token {
+	save := p.lx.pos
+	t, err := p.lx.next()
+	p.lx.pos = save
+	if err != nil {
+		return token{kind: tokEOF}
+	}
+	return t
+}
+
+func (p *parser) isName(v string) bool { return p.tok.kind == tokName && p.tok.value == v }
+func (p *parser) isSym(v string) bool  { return p.tok.kind == tokSym && p.tok.value == v }
+
+func (p *parser) expectSym(v string) error {
+	if !p.isSym(v) {
+		return p.errf("expected %q, found %q", v, p.tok.value)
+	}
+	return p.advance()
+}
+
+func (p *parser) expectName(v string) error {
+	if !p.isName(v) {
+		return p.errf("expected %q, found %q", v, p.tok.value)
+	}
+	return p.advance()
+}
+
+// parseProlog handles `declare namespace p = "uri";` and
+// `declare default element namespace "uri";`.
+func (p *parser) parseProlog(m *Module) error {
+	for p.isName("declare") {
+		save := p.lx.pos
+		saveTok := p.tok
+		if err := p.advance(); err != nil {
+			return err
+		}
+		switch {
+		case p.isName("namespace"):
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if p.tok.kind != tokName {
+				return p.errf("expected namespace prefix")
+			}
+			prefix := p.tok.value
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if err := p.expectSym("="); err != nil {
+				return err
+			}
+			if p.tok.kind != tokString {
+				return p.errf("expected namespace URI string")
+			}
+			p.ns[prefix] = p.tok.value
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if err := p.expectSym(";"); err != nil {
+				return err
+			}
+		case p.isName("default"):
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if err := p.expectName("element"); err != nil {
+				return err
+			}
+			if err := p.expectName("namespace"); err != nil {
+				return err
+			}
+			if p.tok.kind != tokString {
+				return p.errf("expected namespace URI string")
+			}
+			p.defaultNS = p.tok.value
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if err := p.expectSym(";"); err != nil {
+				return err
+			}
+		default:
+			// Not a prolog declaration — "declare" is an element name.
+			p.lx.pos = save
+			p.tok = saveTok
+			return nil
+		}
+	}
+	return nil
+}
+
+// resolveQName resolves "p:l" using declared prefixes; a missing prefix is
+// an error. defaultNS applies only when useDefault is true (element name
+// tests and constructor names; not attributes, not variables).
+func (p *parser) resolveQName(name string, useDefault bool) (xdm.QName, error) {
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		prefix, local := name[:i], name[i+1:]
+		uri, ok := p.ns[prefix]
+		if !ok {
+			return xdm.QName{}, p.errf("undeclared namespace prefix %q", prefix)
+		}
+		return xdm.QName{Space: uri, Local: local}, nil
+	}
+	if useDefault {
+		return xdm.QName{Space: p.defaultNS, Local: name}, nil
+	}
+	return xdm.QName{Local: name}, nil
+}
+
+// parseExpr parses the comma operator.
+func (p *parser) parseExpr() (Expr, error) {
+	first, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	if !p.isSym(",") {
+		return first, nil
+	}
+	seq := &SequenceExpr{Items: []Expr{first}}
+	for p.isSym(",") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExprSingle()
+		if err != nil {
+			return nil, err
+		}
+		seq.Items = append(seq.Items, e)
+	}
+	return seq, nil
+}
+
+func (p *parser) parseExprSingle() (Expr, error) {
+	if p.tok.kind == tokName {
+		next := p.peek()
+		switch p.tok.value {
+		case "for", "let":
+			if next.kind == tokSym && next.value == "$" {
+				return p.parseFLWOR()
+			}
+		case "some", "every":
+			if next.kind == tokSym && next.value == "$" {
+				return p.parseQuantified()
+			}
+		case "if":
+			if next.kind == tokSym && next.value == "(" {
+				return p.parseIf()
+			}
+		}
+	}
+	return p.parseOr()
+}
+
+func (p *parser) parseBinding(kind ClauseKind) (FLWORClause, error) {
+	cl := FLWORClause{Kind: kind}
+	if err := p.expectSym("$"); err != nil {
+		return cl, err
+	}
+	if p.tok.kind != tokName {
+		return cl, p.errf("expected variable name")
+	}
+	cl.Var = p.tok.value
+	if err := p.advance(); err != nil {
+		return cl, err
+	}
+	if kind == ForClause {
+		if p.isName("at") {
+			if err := p.advance(); err != nil {
+				return cl, err
+			}
+			if err := p.expectSym("$"); err != nil {
+				return cl, err
+			}
+			if p.tok.kind != tokName {
+				return cl, p.errf("expected positional variable name")
+			}
+			cl.PosVar = p.tok.value
+			if err := p.advance(); err != nil {
+				return cl, err
+			}
+		}
+		if err := p.expectName("in"); err != nil {
+			return cl, err
+		}
+	} else {
+		if err := p.expectSym(":="); err != nil {
+			return cl, err
+		}
+	}
+	e, err := p.parseExprSingle()
+	if err != nil {
+		return cl, err
+	}
+	cl.Expr = e
+	return cl, nil
+}
+
+func (p *parser) parseFLWOR() (Expr, error) {
+	f := &FLWOR{}
+	for {
+		var kind ClauseKind
+		switch {
+		case p.isName("for") && p.peek().value == "$":
+			kind = ForClause
+		case p.isName("let") && p.peek().value == "$":
+			kind = LetClause
+		default:
+			goto clausesDone
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		for {
+			cl, err := p.parseBinding(kind)
+			if err != nil {
+				return nil, err
+			}
+			f.Clauses = append(f.Clauses, cl)
+			if !p.isSym(",") {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+clausesDone:
+	if len(f.Clauses) == 0 {
+		return nil, p.errf("FLWOR requires at least one for/let clause")
+	}
+	if p.isName("where") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		w, err := p.parseExprSingle()
+		if err != nil {
+			return nil, err
+		}
+		f.Where = w
+	}
+	if p.isName("order") && p.peek().value == "by" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.advance(); err != nil { // "by"
+			return nil, err
+		}
+		for {
+			spec := OrderSpec{}
+			k, err := p.parseExprSingle()
+			if err != nil {
+				return nil, err
+			}
+			spec.Key = k
+			if p.isName("ascending") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			} else if p.isName("descending") {
+				spec.Descending = true
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+			if p.isName("empty") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				switch {
+				case p.isName("least"):
+					spec.EmptyLeast = true
+				case p.isName("greatest"):
+				default:
+					return nil, p.errf("expected least or greatest")
+				}
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+			f.OrderBy = append(f.OrderBy, spec)
+			if !p.isSym(",") {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.expectName("return"); err != nil {
+		return nil, err
+	}
+	r, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	f.Return = r
+	return f, nil
+}
+
+func (p *parser) parseQuantified() (Expr, error) {
+	q := &Quantified{Every: p.tok.value == "every"}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	for {
+		cl, err := p.parseBinding(ForClause)
+		if err != nil {
+			return nil, err
+		}
+		q.Bindings = append(q.Bindings, cl)
+		if !p.isSym(",") {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectName("satisfies"); err != nil {
+		return nil, err
+	}
+	s, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	q.Satisfies = s
+	return q, nil
+}
+
+func (p *parser) parseIf() (Expr, error) {
+	if err := p.advance(); err != nil { // "if"
+		return nil, err
+	}
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectName("then"); err != nil {
+		return nil, err
+	}
+	thenE, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectName("else"); err != nil {
+		return nil, err
+	}
+	elseE, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	return &IfExpr{Cond: cond, Then: thenE, Else: elseE}, nil
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.isName("or") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "or", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseComparison()
+	if err != nil {
+		return nil, err
+	}
+	for p.isName("and") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseComparison()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "and", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+// comparison operator tables
+var generalOps = map[string]xdm.CompareOp{
+	"=": xdm.OpEq, "!=": xdm.OpNe, "<": xdm.OpLt, "<=": xdm.OpLe, ">": xdm.OpGt, ">=": xdm.OpGe,
+}
+var valueOps = map[string]xdm.CompareOp{
+	"eq": xdm.OpEq, "ne": xdm.OpNe, "lt": xdm.OpLt, "le": xdm.OpLe, "gt": xdm.OpGt, "ge": xdm.OpGe,
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	left, err := p.parseRange()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokSym {
+		if op, ok := generalOps[p.tok.value]; ok {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			right, err := p.parseRange()
+			if err != nil {
+				return nil, err
+			}
+			return &Comparison{Kind: GeneralComp, Op: op, Left: left, Right: right}, nil
+		}
+		if p.tok.value == "<<" || p.tok.value == ">>" {
+			nodeOp := p.tok.value
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			right, err := p.parseRange()
+			if err != nil {
+				return nil, err
+			}
+			return &Comparison{Kind: NodeComp, NodeOp: nodeOp, Left: left, Right: right}, nil
+		}
+	}
+	if p.tok.kind == tokName {
+		if op, ok := valueOps[p.tok.value]; ok {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			right, err := p.parseRange()
+			if err != nil {
+				return nil, err
+			}
+			return &Comparison{Kind: ValueComp, Op: op, Left: left, Right: right}, nil
+		}
+		if p.tok.value == "is" {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			right, err := p.parseRange()
+			if err != nil {
+				return nil, err
+			}
+			return &Comparison{Kind: NodeComp, NodeOp: "is", Left: left, Right: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseRange() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if p.isName("to") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: "to", Left: left, Right: right}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.isSym("+") || p.isSym("-") {
+		op := p.tok.value
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnion()
+	if err != nil {
+		return nil, err
+	}
+	for p.isSym("*") || p.isName("div") || p.isName("idiv") || p.isName("mod") {
+		op := p.tok.value
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseUnion()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnion() (Expr, error) {
+	left, err := p.parseIntersectExcept()
+	if err != nil {
+		return nil, err
+	}
+	for p.isSym("|") || p.isName("union") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseIntersectExcept()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "union", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseIntersectExcept() (Expr, error) {
+	left, err := p.parseInstanceOf()
+	if err != nil {
+		return nil, err
+	}
+	for p.isName("intersect") || p.isName("except") {
+		op := p.tok.value
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseInstanceOf()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseInstanceOf() (Expr, error) {
+	left, err := p.parseTreat()
+	if err != nil {
+		return nil, err
+	}
+	if p.isName("instance") && p.peek().value == "of" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.advance(); err != nil { // "of"
+			return nil, err
+		}
+		kind, atomic, occ, err := p.parseSequenceType()
+		if err != nil {
+			return nil, err
+		}
+		return &InstanceOfExpr{Operand: left, KindTest: kind, AtomicType: atomic, Occurrence: occ}, nil
+	}
+	return left, nil
+}
+
+// parseSequenceType parses a sequence type: empty-sequence(), a kind
+// test, or an atomic type name, each with an optional occurrence
+// indicator.
+func (p *parser) parseSequenceType() (*NodeTest, xdm.Type, string, error) {
+	if p.tok.kind != tokName {
+		return nil, 0, "", p.errf("expected sequence type")
+	}
+	if p.tok.value == "empty-sequence" && p.peek().value == "(" {
+		if err := p.advance(); err != nil {
+			return nil, 0, "", err
+		}
+		if err := p.expectSym("("); err != nil {
+			return nil, 0, "", err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, 0, "", err
+		}
+		return nil, 0, "0", nil // occurrence "0" marks empty-sequence()
+	}
+	if _, isKind := kindTestNames[p.tok.value]; isKind && p.peek().value == "(" {
+		test, err := p.parseSequenceTypeKind()
+		if err != nil {
+			return nil, 0, "", err
+		}
+		occ, err := p.parseOccurrence()
+		return &test, 0, occ, err
+	}
+	t, ok := xdm.TypeByName(p.tok.value)
+	if !ok {
+		return nil, 0, "", p.errf("unknown sequence type %q", p.tok.value)
+	}
+	if err := p.advance(); err != nil {
+		return nil, 0, "", err
+	}
+	occ, err := p.parseOccurrence()
+	return nil, t, occ, err
+}
+
+func (p *parser) parseOccurrence() (string, error) {
+	if p.isSym("?") || p.isSym("*") || p.isSym("+") {
+		occ := p.tok.value
+		return occ, p.advance()
+	}
+	return "", nil
+}
+
+func (p *parser) parseTreat() (Expr, error) {
+	left, err := p.parseCast()
+	if err != nil {
+		return nil, err
+	}
+	if p.isName("treat") && p.peek().value == "as" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.advance(); err != nil { // "as"
+			return nil, err
+		}
+		test, err := p.parseSequenceTypeKind()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.parseOccurrence(); err != nil {
+			return nil, err
+		}
+		return &TreatExpr{Operand: left, KindTest: test}, nil
+	}
+	return left, nil
+}
+
+// parseSequenceTypeKind parses the kind-test sequence types the engine
+// supports: document-node(), element(), attribute(), node(), item(),
+// optionally followed by an occurrence indicator which is accepted and
+// ignored (the evaluator checks kinds item-wise).
+func (p *parser) parseSequenceTypeKind() (NodeTest, error) {
+	if p.tok.kind != tokName {
+		return NodeTest{}, p.errf("expected sequence type")
+	}
+	var test NodeTest
+	switch p.tok.value {
+	case "document-node":
+		test = NodeTest{Kind: DocumentTest}
+	case "element":
+		test = NodeTest{Kind: ElementTest}
+	case "attribute":
+		test = NodeTest{Kind: AttributeTest}
+	case "text":
+		test = NodeTest{Kind: TextTest}
+	case "comment":
+		test = NodeTest{Kind: CommentTest}
+	case "processing-instruction":
+		test = NodeTest{Kind: PITest}
+	case "node":
+		test = NodeTest{Kind: AnyKindTest}
+	case "item":
+		test = NodeTest{Kind: AnyKindTest}
+	default:
+		return NodeTest{}, p.errf("unsupported sequence type %q", p.tok.value)
+	}
+	if err := p.advance(); err != nil {
+		return NodeTest{}, err
+	}
+	if err := p.expectSym("("); err != nil {
+		return NodeTest{}, err
+	}
+	if err := p.expectSym(")"); err != nil {
+		return NodeTest{}, err
+	}
+	return test, nil
+}
+
+func (p *parser) parseCast() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	if p.isName("castable") && p.peek().value == "as" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.advance(); err != nil { // "as"
+			return nil, err
+		}
+		if p.tok.kind != tokName {
+			return nil, p.errf("expected type name after castable as")
+		}
+		t, ok := xdm.TypeByName(p.tok.value)
+		if !ok {
+			return nil, p.errf("unknown castable target type %q", p.tok.value)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.isSym("?") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		return &CastableExpr{Operand: left, Target: t}, nil
+	}
+	if p.isName("cast") && p.peek().value == "as" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.advance(); err != nil { // "as"
+			return nil, err
+		}
+		if p.tok.kind != tokName {
+			return nil, p.errf("expected type name after cast as")
+		}
+		t, ok := xdm.TypeByName(p.tok.value)
+		if !ok {
+			return nil, p.errf("unknown cast target type %q", p.tok.value)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.isSym("?") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		return &CastExpr{Operand: left, Target: t}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	neg := false
+	for p.isSym("-") || p.isSym("+") {
+		if p.tok.value == "-" {
+			neg = !neg
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	e, err := p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	if neg {
+		return &UnaryExpr{Neg: true, Operand: e}, nil
+	}
+	return e, nil
+}

@@ -1,0 +1,361 @@
+package xquery
+
+import (
+	"strconv"
+	"strings"
+)
+
+// parseDirectConstructor parses a direct element constructor starting at
+// the current "<" token. Constructors are scanned at character level
+// because XML content is not tokenizable by the expression lexer; enclosed
+// expressions ({...}) recursively re-enter the token parser.
+func (p *parser) parseDirectConstructor() (Expr, error) {
+	// The lexer has consumed exactly "<"; character scanning starts at
+	// the tag name.
+	e, err := p.scanElement()
+	if err != nil {
+		return nil, err
+	}
+	// Resume tokenization after the constructor.
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+type rawAttr struct {
+	name  string
+	parts []Expr
+}
+
+// scanElement scans `name attr="..."* (/> | > content </name>)` from
+// p.lx.pos. In-scope namespace overrides from xmlns attributes apply to
+// this element and its content.
+func (p *parser) scanElement() (Expr, error) {
+	src := p.lx.src
+	name, err := p.scanXMLName()
+	if err != nil {
+		return nil, err
+	}
+	var attrs []rawAttr
+	selfClosing := false
+	for {
+		p.skipXMLSpace()
+		if p.lx.pos >= len(src) {
+			return nil, errSyntax(src, p.lx.pos, "unterminated start tag <%s", name)
+		}
+		if src[p.lx.pos] == '>' {
+			p.lx.pos++
+			break
+		}
+		if strings.HasPrefix(src[p.lx.pos:], "/>") {
+			p.lx.pos += 2
+			selfClosing = true
+			break
+		}
+		aname, err := p.scanXMLName()
+		if err != nil {
+			return nil, err
+		}
+		p.skipXMLSpace()
+		if p.lx.pos >= len(src) || src[p.lx.pos] != '=' {
+			return nil, errSyntax(src, p.lx.pos, "expected = after attribute %s", aname)
+		}
+		p.lx.pos++
+		p.skipXMLSpace()
+		parts, err := p.scanAttrValue()
+		if err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, rawAttr{name: aname, parts: parts})
+	}
+
+	// Apply xmlns declarations for the scope of this constructor.
+	savedNS := p.ns
+	savedDefault := p.defaultNS
+	scoped := false
+	restore := func() {
+		if scoped {
+			p.ns = savedNS
+			p.defaultNS = savedDefault
+		}
+	}
+	ec := &ElementConstructor{}
+	for _, a := range attrs {
+		isDefaultDecl := a.name == "xmlns"
+		isPrefixDecl := strings.HasPrefix(a.name, "xmlns:")
+		if !isDefaultDecl && !isPrefixDecl {
+			continue
+		}
+		if len(a.parts) != 1 {
+			return nil, errSyntax(src, p.lx.pos, "namespace declaration must be a literal")
+		}
+		lit, ok := a.parts[0].(*TextLiteral)
+		if !ok {
+			return nil, errSyntax(src, p.lx.pos, "namespace declaration must be a literal")
+		}
+		if !scoped {
+			p.ns = make(map[string]string, len(savedNS)+1)
+			for k, v := range savedNS {
+				p.ns[k] = v
+			}
+			scoped = true
+		}
+		if isDefaultDecl {
+			p.defaultNS = lit.Text
+		} else {
+			p.ns[a.name[len("xmlns:"):]] = lit.Text
+		}
+	}
+	defer restore()
+
+	q, err := p.resolveQName(name, true)
+	if err != nil {
+		return nil, err
+	}
+	ec.Name = q
+	for _, a := range attrs {
+		if a.name == "xmlns" || strings.HasPrefix(a.name, "xmlns:") {
+			continue
+		}
+		aq, err := p.resolveQName(a.name, false)
+		if err != nil {
+			return nil, err
+		}
+		ec.Attrs = append(ec.Attrs, AttrConstructor{Name: aq, Parts: a.parts})
+	}
+	if selfClosing {
+		return ec, nil
+	}
+
+	content, err := p.scanContent(name)
+	if err != nil {
+		return nil, err
+	}
+	ec.Content = content
+	return ec, nil
+}
+
+// scanContent scans element content until the matching end tag </name>.
+func (p *parser) scanContent(name string) ([]Expr, error) {
+	src := p.lx.src
+	var content []Expr
+	var text strings.Builder
+	flush := func(stripBoundary bool) {
+		s := text.String()
+		text.Reset()
+		if s == "" {
+			return
+		}
+		// XQuery boundary-space default is "strip": whitespace-only
+		// text between markup does not construct text nodes.
+		if stripBoundary && strings.TrimSpace(s) == "" {
+			return
+		}
+		content = append(content, &TextLiteral{Text: s})
+	}
+	for {
+		if p.lx.pos >= len(src) {
+			return nil, errSyntax(src, p.lx.pos, "unterminated element constructor <%s>", name)
+		}
+		c := src[p.lx.pos]
+		switch {
+		case strings.HasPrefix(src[p.lx.pos:], "</"):
+			flush(true)
+			p.lx.pos += 2
+			end, err := p.scanXMLName()
+			if err != nil {
+				return nil, err
+			}
+			if end != name {
+				return nil, errSyntax(src, p.lx.pos, "end tag </%s> does not match <%s>", end, name)
+			}
+			p.skipXMLSpace()
+			if p.lx.pos >= len(src) || src[p.lx.pos] != '>' {
+				return nil, errSyntax(src, p.lx.pos, "malformed end tag </%s", end)
+			}
+			p.lx.pos++
+			return content, nil
+		case strings.HasPrefix(src[p.lx.pos:], "<!--"):
+			flush(true)
+			end := strings.Index(src[p.lx.pos+4:], "-->")
+			if end < 0 {
+				return nil, errSyntax(src, p.lx.pos, "unterminated comment constructor")
+			}
+			content = append(content, &CommentConstructor{Text: src[p.lx.pos+4 : p.lx.pos+4+end]})
+			p.lx.pos += 4 + end + 3
+		case c == '<':
+			flush(true)
+			p.lx.pos++
+			child, err := p.scanElement()
+			if err != nil {
+				return nil, err
+			}
+			content = append(content, child)
+		case strings.HasPrefix(src[p.lx.pos:], "{{"):
+			text.WriteByte('{')
+			p.lx.pos += 2
+		case strings.HasPrefix(src[p.lx.pos:], "}}"):
+			text.WriteByte('}')
+			p.lx.pos += 2
+		case c == '{':
+			flush(true)
+			p.lx.pos++
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if !p.isSym("}") {
+				return nil, p.errf("expected } to close enclosed expression")
+			}
+			// The token for "}" is consumed; char scanning resumes at
+			// the lexer position, which is just past it.
+			content = append(content, e)
+		case c == '}':
+			return nil, errSyntax(src, p.lx.pos, "unescaped } in element content")
+		case c == '&':
+			r, width, err := decodeEntity(src[p.lx.pos:])
+			if err != nil {
+				return nil, errSyntax(src, p.lx.pos, "%v", err)
+			}
+			text.WriteString(r)
+			p.lx.pos += width
+		default:
+			text.WriteByte(c)
+			p.lx.pos++
+		}
+	}
+}
+
+// scanAttrValue scans a quoted attribute value, splitting literal text and
+// enclosed expressions.
+func (p *parser) scanAttrValue() ([]Expr, error) {
+	src := p.lx.src
+	if p.lx.pos >= len(src) || (src[p.lx.pos] != '"' && src[p.lx.pos] != '\'') {
+		return nil, errSyntax(src, p.lx.pos, "expected quoted attribute value")
+	}
+	quote := src[p.lx.pos]
+	p.lx.pos++
+	var parts []Expr
+	var text strings.Builder
+	flush := func() {
+		if text.Len() > 0 {
+			parts = append(parts, &TextLiteral{Text: text.String()})
+			text.Reset()
+		}
+	}
+	for {
+		if p.lx.pos >= len(src) {
+			return nil, errSyntax(src, p.lx.pos, "unterminated attribute value")
+		}
+		c := src[p.lx.pos]
+		switch {
+		case c == quote:
+			if p.lx.pos+1 < len(src) && src[p.lx.pos+1] == quote {
+				text.WriteByte(quote)
+				p.lx.pos += 2
+				continue
+			}
+			p.lx.pos++
+			flush()
+			return parts, nil
+		case strings.HasPrefix(src[p.lx.pos:], "{{"):
+			text.WriteByte('{')
+			p.lx.pos += 2
+		case strings.HasPrefix(src[p.lx.pos:], "}}"):
+			text.WriteByte('}')
+			p.lx.pos += 2
+		case c == '{':
+			flush()
+			p.lx.pos++
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if !p.isSym("}") {
+				return nil, p.errf("expected } in attribute value template")
+			}
+			parts = append(parts, e)
+		case c == '&':
+			r, width, err := decodeEntity(src[p.lx.pos:])
+			if err != nil {
+				return nil, errSyntax(src, p.lx.pos, "%v", err)
+			}
+			text.WriteString(r)
+			p.lx.pos += width
+		default:
+			text.WriteByte(c)
+			p.lx.pos++
+		}
+	}
+}
+
+// scanXMLName scans an XML name (possibly prefixed) at the lexer position.
+func (p *parser) scanXMLName() (string, error) {
+	src := p.lx.src
+	start := p.lx.pos
+	if start >= len(src) || !isNameStart(src[start]) {
+		return "", errSyntax(src, start, "expected XML name")
+	}
+	i := start
+	for i < len(src) && (isNameChar(src[i]) || src[i] == ':') {
+		i++
+	}
+	p.lx.pos = i
+	return src[start:i], nil
+}
+
+func (p *parser) skipXMLSpace() {
+	src := p.lx.src
+	for p.lx.pos < len(src) {
+		switch src[p.lx.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.lx.pos++
+		default:
+			return
+		}
+	}
+}
+
+// decodeEntity decodes a character or predefined entity reference at the
+// start of s, returning the replacement text and consumed width.
+func decodeEntity(s string) (string, int, error) {
+	end := strings.IndexByte(s, ';')
+	if end < 0 || end > 12 {
+		return "", 0, strconv.ErrSyntax
+	}
+	name := s[1:end]
+	switch name {
+	case "lt":
+		return "<", end + 1, nil
+	case "gt":
+		return ">", end + 1, nil
+	case "amp":
+		return "&", end + 1, nil
+	case "quot":
+		return `"`, end + 1, nil
+	case "apos":
+		return "'", end + 1, nil
+	}
+	if strings.HasPrefix(name, "#x") || strings.HasPrefix(name, "#X") {
+		n, err := strconv.ParseInt(name[2:], 16, 32)
+		if err != nil {
+			return "", 0, err
+		}
+		return string(rune(n)), end + 1, nil
+	}
+	if strings.HasPrefix(name, "#") {
+		n, err := strconv.ParseInt(name[1:], 10, 32)
+		if err != nil {
+			return "", 0, err
+		}
+		return string(rune(n)), end + 1, nil
+	}
+	return "", 0, strconv.ErrSyntax
+}

@@ -1,0 +1,504 @@
+package xquery
+
+import (
+	"strconv"
+	"strings"
+
+	"github.com/xqdb/xqdb/internal/xdm"
+)
+
+// kindTestNames maps kind-test names to their TestKind.
+var kindTestNames = map[string]TestKind{
+	"node":                   AnyKindTest,
+	"text":                   TextTest,
+	"comment":                CommentTest,
+	"processing-instruction": PITest,
+	"document-node":          DocumentTest,
+	"element":                ElementTest,
+	"attribute":              AttributeTest,
+}
+
+// axisByName maps axis names to Axis values.
+var axisByName = map[string]Axis{
+	"child":              AxisChild,
+	"attribute":          AxisAttribute,
+	"self":               AxisSelf,
+	"descendant":         AxisDescendant,
+	"descendant-or-self": AxisDescendantOrSelf,
+	"parent":             AxisParent,
+}
+
+// dosStep is the implicit descendant-or-self::node() step that "//" expands to.
+func dosStep() Step {
+	return Step{Axis: AxisDescendantOrSelf, Test: NodeTest{Kind: AnyKindTest}}
+}
+
+// parsePath parses a path expression: "/" RelativePath?, "//" RelativePath,
+// or RelativePath. A primary expression with no trailing steps parses to
+// itself (not wrapped in PathExpr).
+func (p *parser) parsePath() (Expr, error) {
+	if p.isSym("/") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		path := &PathExpr{Rooted: true}
+		if p.startsStep() {
+			if err := p.parseRelative(path); err != nil {
+				return nil, err
+			}
+		}
+		return path, nil
+	}
+	if p.isSym("//") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		path := &PathExpr{Rooted: true, Steps: []Step{dosStep()}}
+		if !p.startsStep() {
+			return nil, p.errf("expected step after //")
+		}
+		if err := p.parseRelative(path); err != nil {
+			return nil, err
+		}
+		return path, nil
+	}
+	if !p.startsStep() {
+		return nil, p.errf("expected expression, found %q", p.tok.value)
+	}
+	path := &PathExpr{}
+	if err := p.parseRelative(path); err != nil {
+		return nil, err
+	}
+	// Unwrap a pure filter step with no axis navigation: it is just the
+	// primary expression with predicates (or the primary itself).
+	if !path.Rooted && path.Start == nil && len(path.Steps) == 1 {
+		s := path.Steps[0]
+		if s.Axis == AxisNone && len(s.Predicates) == 0 {
+			return s.Filter, nil
+		}
+	}
+	return path, nil
+}
+
+// startsStep reports whether the current token can begin a path step.
+func (p *parser) startsStep() bool {
+	switch p.tok.kind {
+	case tokName, tokInt, tokDec, tokDouble, tokString:
+		return true
+	case tokSym:
+		switch p.tok.value {
+		case "@", "..", ".", "$", "(", "*", "<":
+			return true
+		}
+	}
+	return false
+}
+
+// parseRelative parses StepExpr (("/"|"//") StepExpr)* into path.
+func (p *parser) parseRelative(path *PathExpr) error {
+	if err := p.parseStepInto(path, len(path.Steps) == 0 && !path.Rooted); err != nil {
+		return err
+	}
+	for {
+		switch {
+		case p.isSym("/"):
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if err := p.parseStepInto(path, false); err != nil {
+				return err
+			}
+		case p.isSym("//"):
+			if err := p.advance(); err != nil {
+				return err
+			}
+			path.Steps = append(path.Steps, dosStep())
+			if err := p.parseStepInto(path, false); err != nil {
+				return err
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+// parseStepInto parses one step. When first is true and the step is a
+// primary expression, it becomes the path Start (so `$v/a` has Start=$v).
+func (p *parser) parseStepInto(path *PathExpr, first bool) error {
+	step, isPrimary, err := p.parseStep()
+	if err != nil {
+		return err
+	}
+	if first && isPrimary && len(step.Predicates) == 0 {
+		path.Start = step.Filter
+		// Represent the start as zero steps; navigation begins at the
+		// next step. But a bare primary still needs the single step to
+		// unwrap in parsePath, so re-add it there.
+		if !p.isSym("/") && !p.isSym("//") {
+			path.Steps = append(path.Steps, step)
+			path.Start = nil
+		}
+		return nil
+	}
+	path.Steps = append(path.Steps, step)
+	return nil
+}
+
+// parseStep parses one axis step or filter step. isPrimary reports that
+// the step is a primary expression (candidate for path Start).
+func (p *parser) parseStep() (Step, bool, error) {
+	var step Step
+	isPrimary := false
+	switch {
+	case p.isSym("@"):
+		if err := p.advance(); err != nil {
+			return step, false, err
+		}
+		test, err := p.parseNodeTest(true)
+		if err != nil {
+			return step, false, err
+		}
+		step = Step{Axis: AxisAttribute, Test: test}
+	case p.isSym(".."):
+		if err := p.advance(); err != nil {
+			return step, false, err
+		}
+		step = Step{Axis: AxisParent, Test: NodeTest{Kind: AnyKindTest}}
+	case p.tok.kind == tokName && p.peek().kind == tokSym && p.peek().value == "::":
+		axis, ok := axisByName[p.tok.value]
+		if !ok {
+			return step, false, p.errf("unsupported axis %q", p.tok.value)
+		}
+		if err := p.advance(); err != nil {
+			return step, false, err
+		}
+		if err := p.advance(); err != nil { // "::"
+			return step, false, err
+		}
+		test, err := p.parseNodeTest(axis == AxisAttribute)
+		if err != nil {
+			return step, false, err
+		}
+		step = Step{Axis: axis, Test: test}
+	case p.tok.kind == tokName && isComputedAhead(p):
+		e, err := p.parseComputedConstructor()
+		if err != nil {
+			return step, false, err
+		}
+		step = Step{Axis: AxisNone, Filter: e}
+		isPrimary = true
+	case p.tok.kind == tokName && isKindTestAhead(p):
+		test, err := p.parseNodeTest(false)
+		if err != nil {
+			return step, false, err
+		}
+		step = Step{Axis: AxisChild, Test: test}
+	case p.tok.kind == tokName && p.peek().kind == tokSym && p.peek().value == "(":
+		// function call primary
+		e, err := p.parseFunctionCall()
+		if err != nil {
+			return step, false, err
+		}
+		step = Step{Axis: AxisNone, Filter: e}
+		isPrimary = true
+	case p.tok.kind == tokName || p.isSym("*"):
+		test, err := p.parseNodeTest(false)
+		if err != nil {
+			return step, false, err
+		}
+		step = Step{Axis: AxisChild, Test: test}
+	default:
+		e, err := p.parsePrimary()
+		if err != nil {
+			return step, false, err
+		}
+		step = Step{Axis: AxisNone, Filter: e}
+		isPrimary = true
+	}
+	for p.isSym("[") {
+		if err := p.advance(); err != nil {
+			return step, false, err
+		}
+		pred, err := p.parseExpr()
+		if err != nil {
+			return step, false, err
+		}
+		if err := p.expectSym("]"); err != nil {
+			return step, false, err
+		}
+		step.Predicates = append(step.Predicates, pred)
+	}
+	return step, isPrimary, nil
+}
+
+// isKindTestAhead reports whether the current name token begins a kind
+// test (name in the kind-test set followed by "(").
+func isKindTestAhead(p *parser) bool {
+	if _, ok := kindTestNames[p.tok.value]; !ok {
+		return false
+	}
+	nx := p.peek()
+	return nx.kind == tokSym && nx.value == "("
+}
+
+// computedKinds maps computed-constructor keywords.
+var computedKinds = map[string]ComputedKind{
+	"element":   ComputedElement,
+	"attribute": ComputedAttribute,
+	"text":      ComputedText,
+	"comment":   ComputedComment,
+	"document":  ComputedDocument,
+}
+
+// isComputedAhead reports whether the current token begins a computed
+// constructor: a constructor keyword followed by "{" (text/comment/
+// document) or by a QName (element/attribute).
+func isComputedAhead(p *parser) bool {
+	kind, ok := computedKinds[p.tok.value]
+	if !ok {
+		return false
+	}
+	nx := p.peek()
+	switch kind {
+	case ComputedText, ComputedComment, ComputedDocument:
+		return nx.kind == tokSym && nx.value == "{"
+	default:
+		return (nx.kind == tokSym && nx.value == "{") || nx.kind == tokName
+	}
+}
+
+// parseComputedConstructor parses element/attribute/text/comment/document
+// constructors with static names.
+func (p *parser) parseComputedConstructor() (Expr, error) {
+	kind := computedKinds[p.tok.value]
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	cc := &ComputedConstructor{Kind: kind}
+	if kind == ComputedElement || kind == ComputedAttribute {
+		if p.tok.kind != tokName {
+			return nil, p.errf("computed constructors with dynamic names are not supported; expected a QName")
+		}
+		q, err := p.resolveQName(p.tok.value, kind == ComputedElement)
+		if err != nil {
+			return nil, err
+		}
+		cc.Name = q
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectSym("{"); err != nil {
+		return nil, err
+	}
+	if !p.isSym("}") {
+		content, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		cc.Content = content
+	}
+	if err := p.expectSym("}"); err != nil {
+		return nil, err
+	}
+	return cc, nil
+}
+
+// parseNodeTest parses a name test or kind test. attrAxis affects default
+// namespace application: per §3.7, default element namespaces do not
+// apply to attribute names.
+func (p *parser) parseNodeTest(attrAxis bool) (NodeTest, error) {
+	if p.isSym("*") {
+		if err := p.advance(); err != nil {
+			return NodeTest{}, err
+		}
+		return NodeTest{Kind: NameTest, Space: "*", Local: "*"}, nil
+	}
+	if p.tok.kind != tokName {
+		return NodeTest{}, p.errf("expected node test, found %q", p.tok.value)
+	}
+	name := p.tok.value
+	if kind, ok := kindTestNames[name]; ok && p.peek().value == "(" {
+		if err := p.advance(); err != nil {
+			return NodeTest{}, err
+		}
+		if err := p.advance(); err != nil { // "("
+			return NodeTest{}, err
+		}
+		test := NodeTest{Kind: kind}
+		if kind == PITest && !p.isSym(")") {
+			switch p.tok.kind {
+			case tokName, tokString:
+				test.PITarget = p.tok.value
+			default:
+				return NodeTest{}, p.errf("expected PI target")
+			}
+			if err := p.advance(); err != nil {
+				return NodeTest{}, err
+			}
+		}
+		if err := p.expectSym(")"); err != nil {
+			return NodeTest{}, err
+		}
+		return test, nil
+	}
+	if err := p.advance(); err != nil {
+		return NodeTest{}, err
+	}
+	test := NodeTest{Kind: NameTest}
+	switch {
+	case strings.HasPrefix(name, "*:"):
+		test.Space = "*"
+		test.Local = name[2:]
+	case strings.HasSuffix(name, ":*"):
+		uri, ok := p.ns[name[:len(name)-2]]
+		if !ok {
+			return NodeTest{}, p.errf("undeclared namespace prefix %q", name[:len(name)-2])
+		}
+		test.Space = uri
+		test.Local = "*"
+	default:
+		q, err := p.resolveQName(name, !attrAxis)
+		if err != nil {
+			return NodeTest{}, err
+		}
+		test.Space = q.Space
+		test.Local = q.Local
+	}
+	return test, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	switch p.tok.kind {
+	case tokInt:
+		i, err := strconv.ParseInt(p.tok.value, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer literal %q", p.tok.value)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Literal{Value: xdm.NewInteger(i)}, nil
+	case tokDec:
+		f, err := strconv.ParseFloat(p.tok.value, 64)
+		if err != nil {
+			return nil, p.errf("bad decimal literal %q", p.tok.value)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Literal{Value: xdm.NewDecimal(f)}, nil
+	case tokDouble:
+		f, err := strconv.ParseFloat(p.tok.value, 64)
+		if err != nil {
+			return nil, p.errf("bad double literal %q", p.tok.value)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Literal{Value: xdm.NewDouble(f)}, nil
+	case tokString:
+		v := p.tok.value
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Literal{Value: xdm.NewString(v)}, nil
+	case tokName:
+		if p.peek().value == "(" {
+			return p.parseFunctionCall()
+		}
+		return nil, p.errf("unexpected name %q", p.tok.value)
+	}
+	switch p.tok.value {
+	case "$":
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokName {
+			return nil, p.errf("expected variable name after $")
+		}
+		name := p.tok.value
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &VarRef{Name: name}, nil
+	case ".":
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &ContextItem{}, nil
+	case "(":
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.isSym(")") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return &SequenceExpr{}, nil
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case "<":
+		return p.parseDirectConstructor()
+	}
+	return nil, p.errf("unexpected token %q", p.tok.value)
+}
+
+func (p *parser) parseFunctionCall() (Expr, error) {
+	name := p.tok.value
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	fc := &FunctionCall{}
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		prefix := name[:i]
+		if _, ok := p.ns[prefix]; !ok {
+			return nil, p.errf("undeclared function prefix %q", prefix)
+		}
+		fc.Space = prefix
+		fc.Local = name[i+1:]
+	} else {
+		fc.Space = "fn"
+		fc.Local = name
+	}
+	if !p.isSym(")") {
+		for {
+			arg, err := p.parseExprSingle()
+			if err != nil {
+				return nil, err
+			}
+			fc.Args = append(fc.Args, arg)
+			if !p.isSym(",") {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	// xs:TYPE(expr) constructor functions are casts.
+	if fc.Space == "xs" || fc.Space == "xdt" {
+		t, ok := xdm.TypeByName(fc.Local)
+		if !ok {
+			return nil, p.errf("unknown type constructor %s:%s", fc.Space, fc.Local)
+		}
+		if len(fc.Args) != 1 {
+			return nil, p.errf("xs:%s expects exactly one argument", fc.Local)
+		}
+		return &CastExpr{Operand: fc.Args[0], Target: t}, nil
+	}
+	return fc, nil
+}

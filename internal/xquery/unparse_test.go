@@ -1,0 +1,89 @@
+package xquery
+
+import (
+	"testing"
+
+	"github.com/xqdb/xqdb/internal/xdm"
+)
+
+// TestUnparseRoundTrip re-parses unparsed queries and checks result
+// equivalence by evaluating both forms.
+func TestUnparseRoundTrip(t *testing.T) {
+	docs := ordersColl(t)
+	queries := []string{
+		`for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price>100] return $i`,
+		`db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem[@price > 100]`,
+		`for $doc in db2-fn:xmlcolumn('ORDERS.ORDDOC')
+		 let $item := $doc//lineitem[@price > 100]
+		 where fn:exists($item)
+		 return <result>{$item}</result>`,
+		`for $l in db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem
+		 order by $l/@price/xs:double(.) descending
+		 return $l/name/text()`,
+		`some $l in db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem satisfies $l/@price > 100`,
+		`if (1 < 2) then "a" else "b"`,
+		`(1 to 4)[. mod 2 = 0]`,
+		`fn:string-join(("a","b"), "-")`,
+		`<out x="1">{1 + 1}<nested/></out>`,
+		`element e { attribute a { 1 }, text { "x" } }`,
+		`"100" castable as xs:double`,
+		`5 instance of xs:integer`,
+		`db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/lineitem/@price`,
+		`db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[custid > 1] except db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[custid > 100]`,
+	}
+	for _, q := range queries {
+		m, err := Parse(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		src2 := UnparseModule(m)
+		m2, err := Parse(src2)
+		if err != nil {
+			t.Errorf("unparsed form does not re-parse:\n  orig: %s\n  out:  %s\n  err:  %v", q, src2, err)
+			continue
+		}
+		r1, err1 := Eval(m, nil, docs)
+		r2, err2 := Eval(m2, nil, docs)
+		if (err1 == nil) != (err2 == nil) {
+			t.Errorf("divergent errors for %s: %v vs %v", q, err1, err2)
+			continue
+		}
+		if err1 == nil && xdm.SerializeSequence(r1) != xdm.SerializeSequence(r2) {
+			t.Errorf("round-trip changed semantics:\n  orig: %s\n  out:  %s\n  got %q vs %q",
+				q, src2, xdm.SerializeSequence(r1), xdm.SerializeSequence(r2))
+		}
+	}
+}
+
+func TestUnparseNamespaces(t *testing.T) {
+	q := `declare default element namespace "urn:d"; declare namespace c="urn:c"; <root/>`
+	m, err := Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := UnparseModule(m)
+	m2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", out, err)
+	}
+	r2, err := Eval(m2, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := xdm.Serialize(r2[0]); got != "<{urn:d}root/>" {
+		t.Errorf("default namespace lost: %s", got)
+	}
+}
+
+func TestUnparseNamespacedPaths(t *testing.T) {
+	q := `declare default element namespace "urn:o"; declare namespace c="urn:c";
+		/order[c:nation = 1]/c:*/lineitem//*:x`
+	m, err := Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := UnparseModule(m)
+	if _, err := Parse(out); err != nil {
+		t.Fatalf("unparsed namespaced path does not re-parse:\n%s\n%v", out, err)
+	}
+}

@@ -1,0 +1,11 @@
+package xqdb
+
+import (
+	"github.com/xqdb/xqdb/internal/xdm"
+	"github.com/xqdb/xqdb/internal/xmlparse"
+)
+
+// parseDoc parses one XML document.
+func parseDoc(src string) (*xdm.Node, error) {
+	return xmlparse.Parse(src)
+}

@@ -1,0 +1,200 @@
+// Package xqdb is an embeddable XML database engine for Go. It implements
+// the system described in "On the Path to Efficient XML Queries" (Balmin,
+// Beyer, Özcan, Nicola; VLDB 2006): relational tables with XML-typed
+// columns, XQuery and SQL/XML as composable query languages, path-specific
+// XML value indexes (CREATE INDEX ... USING XMLPATTERN ... AS type), and —
+// the paper's central contribution — an index eligibility analyzer that
+// decides when an index may pre-filter documents (Definition 1) and
+// explains why not in terms of the paper's twelve tips.
+//
+// Quick start:
+//
+//	db := xqdb.Open()
+//	db.MustExecSQL(`create table orders (ordid integer, orddoc xml)`)
+//	db.MustExecSQL(`insert into orders values (1, '<order><lineitem price="150"/></order>')`)
+//	db.MustExecSQL(`create index li_price on orders(orddoc) using xmlpattern '//lineitem/@price' as double`)
+//	res, stats, _ := db.QueryXQuery(`db2-fn:xmlcolumn("ORDERS.ORDDOC")//lineitem[@price > 100]`)
+//	fmt.Println(res.Rows(), stats.IndexesUsed)
+package xqdb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/xqdb/xqdb/internal/engine"
+	"github.com/xqdb/xqdb/internal/sqlxml"
+	"github.com/xqdb/xqdb/internal/storage"
+	"github.com/xqdb/xqdb/internal/xdm"
+	"github.com/xqdb/xqdb/internal/xmlschema"
+)
+
+// DB is one in-memory database instance. It is safe for sequential use;
+// concurrent readers are safe once loading is complete.
+type DB struct {
+	eng *engine.Engine
+	// UseIndexes controls whether the planner may install index
+	// pre-filters (Definition 1). Disable to measure full-scan
+	// baselines; results must be identical either way.
+	UseIndexes bool
+}
+
+// Stats reports planner and executor activity for one query. See
+// engine.Stats for field documentation.
+type Stats = engine.Stats
+
+// Open creates an empty database.
+func Open() *DB {
+	return &DB{eng: engine.New(), UseIndexes: true}
+}
+
+// Result is a query result: column names and stringified rows plus the
+// raw cells.
+type Result struct {
+	Columns []string
+	cells   [][]sqlxml.ResultCell
+}
+
+// Len returns the number of rows.
+func (r *Result) Len() int { return len(r.cells) }
+
+// Rows renders every row as strings (NULL for SQL nulls, serialized XML
+// for XML cells).
+func (r *Result) Rows() [][]string {
+	out := make([][]string, len(r.cells))
+	for i, row := range r.cells {
+		cols := make([]string, len(row))
+		for j, c := range row {
+			cols[j] = c.String()
+		}
+		out[i] = cols
+	}
+	return out
+}
+
+// Cell returns the stringified cell at (row, col).
+func (r *Result) Cell(row, col int) string { return r.cells[row][col].String() }
+
+// IsNull reports whether the cell at (row, col) is NULL.
+func (r *Result) IsNull(row, col int) bool { return r.cells[row][col].Null }
+
+// ExecSQL runs a SQL/XML statement (DDL, INSERT, SELECT, VALUES).
+func (db *DB) ExecSQL(sql string) (*Result, *Stats, error) {
+	res, stats, err := db.eng.ExecSQL(sql, db.UseIndexes)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Result{Columns: res.Columns, cells: res.Rows}, stats, nil
+}
+
+// MustExecSQL is ExecSQL that panics on error, for setup code.
+func (db *DB) MustExecSQL(sql string) *Result {
+	res, _, err := db.ExecSQL(sql)
+	if err != nil {
+		panic(fmt.Sprintf("xqdb: %s: %v", sql, err))
+	}
+	return res
+}
+
+// QueryXQuery runs a stand-alone XQuery and returns one row per item of
+// the result sequence.
+func (db *DB) QueryXQuery(query string) (*Result, *Stats, error) {
+	seq, stats, err := db.eng.ExecXQuery(query, db.UseIndexes)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &Result{Columns: []string{"item"}}
+	for _, it := range seq {
+		res.cells = append(res.cells, []sqlxml.ResultCell{{IsXML: true, XML: xdm.Sequence{it}}})
+	}
+	return res, stats, nil
+}
+
+// Explain analyzes a query without running it: extracted predicates,
+// per-index eligibility verdicts with reasons, and tip warnings.
+func (db *DB) Explain(query string) (string, error) {
+	return db.eng.Explain(query)
+}
+
+// Schema is a named set of type declarations for per-document validation.
+// Keys are element names ("price"), attribute names ("@price"), or
+// root-relative paths ("/order/lineitem/@price").
+type Schema struct{ s *xmlschema.Schema }
+
+// NewSchema creates an empty schema version.
+func NewSchema(name string) *Schema { return &Schema{s: xmlschema.New(name)} }
+
+// Declare adds a type declaration; typeName is one of string, double,
+// decimal, integer, boolean, date, dateTime.
+func (s *Schema) Declare(key, typeName string) error {
+	t, ok := xdm.TypeByName(typeName)
+	if !ok {
+		return fmt.Errorf("unknown type %q", typeName)
+	}
+	s.s.Declare(key, t)
+	return nil
+}
+
+// LoadXMLDir bulk-loads every .xml file of a directory into a two-column
+// (key, xml) table, keyed by insertion order. It returns the number of
+// documents loaded; a malformed file aborts the load with an error naming
+// the file.
+func (db *DB) LoadXMLDir(table, dir string) (int, error) {
+	tab, err := db.eng.Catalog.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	if len(tab.Columns) != 2 || tab.Columns[1].Type != storage.XML {
+		return 0, fmt.Errorf("LoadXMLDir expects a (key, xml) table")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(strings.ToLower(ent.Name()), ".xml") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			return n, err
+		}
+		doc, err := parseDoc(string(data))
+		if err != nil {
+			return n, fmt.Errorf("%s: %w", ent.Name(), err)
+		}
+		if _, err := tab.Insert([]storage.Cell{{V: xdm.NewInteger(int64(n))}, {Doc: doc}}); err != nil {
+			return n, fmt.Errorf("%s: %w", ent.Name(), err)
+		}
+		n++
+	}
+	return n, nil
+}
+
+// InsertValidated parses document XML, validates it against the schema
+// (annotating its nodes with the declared types), and inserts it with the
+// given scalar key into a two-column table (key column + XML column).
+// Different documents of one column may use different schema versions —
+// the paper's per-document schema flexibility.
+func (db *DB) InsertValidated(table string, key int64, docXML string, schema *Schema) error {
+	tab, err := db.eng.Catalog.Table(table)
+	if err != nil {
+		return err
+	}
+	doc, err := parseDoc(docXML)
+	if err != nil {
+		return err
+	}
+	if schema != nil {
+		if err := schema.s.Validate(doc); err != nil {
+			return err
+		}
+	}
+	if len(tab.Columns) != 2 || tab.Columns[1].Type != storage.XML {
+		return fmt.Errorf("InsertValidated expects a (key, xml) table, got %d columns", len(tab.Columns))
+	}
+	_, err = tab.Insert([]storage.Cell{{V: xdm.NewInteger(key)}, {Doc: doc}})
+	return err
+}

@@ -1,0 +1,121 @@
+package xqdb
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	db := Open()
+	db.MustExecSQL(`create table orders (ordid integer, orddoc xml)`)
+	db.MustExecSQL(`insert into orders values
+		(1, '<order><lineitem price="150"/></order>'),
+		(2, '<order><lineitem price="50"/></order>')`)
+	db.MustExecSQL(`create index li_price on orders(orddoc) using xmlpattern '//lineitem/@price' as double`)
+
+	res, stats, err := db.QueryXQuery(`db2-fn:xmlcolumn("ORDERS.ORDDOC")//lineitem[@price > 100]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("rows = %d", res.Len())
+	}
+	if len(stats.IndexesUsed) == 0 {
+		t.Fatal("index not used")
+	}
+
+	sqlRes, _, err := db.ExecSQL(`select ordid from orders
+		where XMLExists('$o//lineitem[@price > 100]' passing orddoc as "o")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sqlRes.Len() != 1 || sqlRes.Cell(0, 0) != "1" {
+		t.Fatalf("sql rows = %v", sqlRes.Rows())
+	}
+}
+
+func TestExplainSurface(t *testing.T) {
+	db := Open()
+	db.MustExecSQL(`create table orders (ordid integer, orddoc xml)`)
+	db.MustExecSQL(`create index li_price on orders(orddoc) using xmlpattern '//lineitem/@price' as double`)
+	rep, err := db.Explain(`for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > "100"] return $i`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep, "not eligible") || !strings.Contains(rep, "string comparison cannot use a double index") {
+		t.Errorf("explain should diagnose the string-vs-double mismatch:\n%s", rep)
+	}
+}
+
+func TestValidatedInsertAndTolerantIndex(t *testing.T) {
+	db := Open()
+	db.MustExecSQL(`create table addr (id integer, doc xml)`)
+	db.MustExecSQL(`create index zip_d on addr(doc) using xmlpattern '//zip' as double`)
+
+	us := NewSchema("us-v1")
+	if err := us.Declare("zip", "double"); err != nil {
+		t.Fatal(err)
+	}
+	intl := NewSchema("intl-v2")
+	if err := intl.Declare("zip", "string"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertValidated("addr", 1, `<a><zip>95120</zip></a>`, us); err != nil {
+		t.Fatal(err)
+	}
+	// The Canadian postal code fails the US schema but inserts fine
+	// under the evolved one — and the numeric index skips it silently.
+	if err := db.InsertValidated("addr", 2, `<a><zip>K1A 0B1</zip></a>`, us); err == nil {
+		t.Fatal("US schema should reject Canadian codes")
+	}
+	if err := db.InsertValidated("addr", 2, `<a><zip>K1A 0B1</zip></a>`, intl); err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := db.QueryXQuery(`db2-fn:xmlcolumn("ADDR.DOC")//a[zip = 95120]`)
+	if err != nil || res.Len() != 1 {
+		t.Fatalf("numeric zip query: %v rows=%d", err, res.Len())
+	}
+}
+
+func TestNullAccessors(t *testing.T) {
+	db := Open()
+	db.MustExecSQL(`create table t (a integer, d xml)`)
+	db.MustExecSQL(`insert into t (a) values (1)`)
+	res := db.MustExecSQL(`select a, d from t`)
+	if !res.IsNull(0, 1) || res.Cell(0, 1) != "NULL" {
+		t.Errorf("null cell = %q", res.Cell(0, 1))
+	}
+}
+
+func TestLoadXMLDir(t *testing.T) {
+	dir := t.TempDir()
+	docs := map[string]string{
+		"a.xml":      `<order><lineitem price="150"/></order>`,
+		"b.xml":      `<order><lineitem price="50"/></order>`,
+		"ignore.txt": `not xml`,
+	}
+	for name, content := range docs {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db := Open()
+	db.MustExecSQL(`create table orders (id integer, doc xml)`)
+	n, err := db.LoadXMLDir("orders", dir)
+	if err != nil || n != 2 {
+		t.Fatalf("loaded %d, err %v", n, err)
+	}
+	res, _, err := db.QueryXQuery(`db2-fn:xmlcolumn("ORDERS.DOC")//lineitem[@price > 100]`)
+	if err != nil || res.Len() != 1 {
+		t.Fatalf("query after load: %v rows=%d", err, res.Len())
+	}
+	// A malformed file aborts with its name.
+	if err := os.WriteFile(filepath.Join(dir, "z-bad.xml"), []byte("<broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.LoadXMLDir("orders", dir); err == nil || !strings.Contains(err.Error(), "z-bad.xml") {
+		t.Fatalf("err = %v", err)
+	}
+}
