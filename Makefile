@@ -1,0 +1,29 @@
+# Tier-1 verification stays `go build ./... && go test ./...` (make test).
+# The race + vet pass the concurrency guarantees depend on is one command
+# away: `make race` (or `make verify` for everything).
+
+GO ?= go
+
+.PHONY: build test vet race verify fuzz
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+verify: test vet race
+
+# Short fuzz burns over the parser entry points; failures become seed
+# corpus regressions under testdata/fuzz/.
+FUZZTIME ?= 15s
+
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzParseDoc -fuzztime=$(FUZZTIME) ./internal/xmlparse
+	$(GO) test -run='^$$' -fuzz=FuzzXQueryParse -fuzztime=$(FUZZTIME) ./internal/xquery

@@ -13,9 +13,12 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	"github.com/xqdb/xqdb"
@@ -26,7 +29,11 @@ func main() {
 	showStats := true
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
-	fmt.Println("xqdb shell — SQL/XML and XQuery. \\quit to exit.")
+	// SIGINT cancels the running statement via its guard context instead
+	// of killing the shell; at the prompt it is simply swallowed.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	fmt.Println("xqdb shell — SQL/XML and XQuery. \\quit to exit, ctrl-c interrupts a query.")
 	fmt.Print("xqdb> ")
 	var buf strings.Builder
 	for in.Scan() {
@@ -52,9 +59,33 @@ func main() {
 		}
 		stmt := strings.TrimSuffix(strings.TrimSpace(buf.String()), ";")
 		buf.Reset()
-		runStatement(db, stmt, showStats)
+		runInterruptible(db, sig, stmt, showStats)
 		fmt.Print("xqdb> ")
 	}
+}
+
+// runInterruptible runs one statement under a context canceled by SIGINT.
+// A canceled, timed-out, or panicking query prints an error and returns
+// to the prompt; it never takes the shell down.
+func runInterruptible(db *xqdb.DB, sig <-chan os.Signal, stmt string, showStats bool) {
+	// Drain a SIGINT delivered while the shell sat at the prompt so it
+	// does not cancel this statement immediately.
+	select {
+	case <-sig:
+	default:
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-sig:
+			cancel()
+		case <-done:
+		}
+	}()
+	runStatementCtx(os.Stdout, db, ctx, stmt, showStats)
+	close(done)
+	cancel()
 }
 
 func meta(db *xqdb.DB, cmd string, showStats *bool) bool {
@@ -100,13 +131,14 @@ func metaTo(w io.Writer, db *xqdb.DB, cmd string, showStats *bool) bool {
 	return true
 }
 
-// runStatement dispatches SQL vs XQuery by leading keyword.
-func runStatement(db *xqdb.DB, stmt string, showStats bool) {
-	runStatementTo(os.Stdout, db, stmt, showStats)
+// runStatementTo dispatches SQL vs XQuery by leading keyword.
+func runStatementTo(w io.Writer, db *xqdb.DB, stmt string, showStats bool) {
+	runStatementCtx(w, db, context.Background(), stmt, showStats)
 }
 
-func runStatementTo(w io.Writer, db *xqdb.DB, stmt string, showStats bool) {
+func runStatementCtx(w io.Writer, db *xqdb.DB, ctx context.Context, stmt string, showStats bool) {
 	first := strings.ToLower(strings.Fields(stmt)[0])
+	opts := xqdb.QueryOptions{Context: ctx}
 	var (
 		res   *xqdb.Result
 		stats *xqdb.Stats
@@ -114,9 +146,16 @@ func runStatementTo(w io.Writer, db *xqdb.DB, stmt string, showStats bool) {
 	)
 	switch first {
 	case "create", "insert", "select", "values", "drop", "delete":
-		res, stats, err = db.ExecSQL(stmt)
+		res, stats, err = db.ExecSQLOpts(stmt, opts)
 	default:
-		res, stats, err = db.QueryXQuery(stmt)
+		res, stats, err = db.QueryXQueryOpts(stmt, opts)
+	}
+	var qe *xqdb.QueryError
+	if errors.As(err, &qe) {
+		// Guardrail errors (interrupt, timeout, contained panic) print
+		// with their kind; the shell keeps running either way.
+		fmt.Fprintf(w, "query error (%s): %v\n", qe.Kind, qe.Err)
+		return
 	}
 	if err != nil {
 		fmt.Fprintln(w, "error:", err)

@@ -1,0 +1,217 @@
+package xqdb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/xqdb/xqdb/internal/guard"
+)
+
+// TestConcurrentStress is the satellite stress test: many readers querying
+// (SQL and XQuery, indexed and not) while a writer inserts rows and creates
+// indexes. It must pass under `go test -race`.
+func TestConcurrentStress(t *testing.T) {
+	db := loadedDB(t, 40)
+	const (
+		readers    = 8
+		iterations = 30
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Writer: interleave inserts with DDL so catalog, table, and index
+	// locks all get exercised against the readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iterations; i++ {
+			db.MustExecSQL(fmt.Sprintf(
+				`insert into orders values (%d, '<order><lineitem price="%d"><product><id>W%d</id></product></lineitem></order>')`,
+				1000+i, 100+i, i))
+			if i == 10 {
+				db.MustExecSQL(`create index li_id on orders(orddoc) using xmlpattern '//product/id' as varchar`)
+			}
+		}
+		close(stop)
+	}()
+
+	queries := []struct {
+		sql bool
+		q   string
+	}{
+		{false, `db2-fn:xmlcolumn("ORDERS.ORDDOC")//lineitem[@price > 100]`},
+		{false, `count(db2-fn:xmlcolumn("ORDERS.ORDDOC")//product/id)`},
+		{true, `select ordid from orders where xmlexists('$ORDDOC//lineitem[@price > 150]' passing orddoc as "ORDDOC")`},
+		{true, `select ordid, xmlquery('$ORDDOC//product/id' passing orddoc as "ORDDOC") from orders`},
+	}
+	var ran atomic.Int64
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					if i > 0 {
+						return
+					}
+				default:
+				}
+				q := queries[(r+i)%len(queries)]
+				var err error
+				if q.sql {
+					_, _, err = db.ExecSQL(q.q)
+				} else {
+					_, _, err = db.QueryXQuery(q.q)
+				}
+				if err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+				ran.Add(1)
+			}
+		}(r)
+	}
+	wg.Wait()
+	if ran.Load() == 0 {
+		t.Fatal("no reader completed a query")
+	}
+	assertFilteredAgrees(t, db)
+}
+
+// TestChaos drives the fault-injection hook: queries run under random
+// cancellation while storage and index-probe sites randomly fail. Whatever
+// happened, the DB must come out consistent — indexed and full-scan results
+// agree and writes still work.
+func TestChaos(t *testing.T) {
+	defer guard.SetFaultHook(nil)
+	db := loadedDB(t, 60)
+	rng := rand.New(rand.NewSource(1))
+	var mu sync.Mutex // rng is not goroutine-safe; hook runs on query goroutines
+	guard.SetFaultHook(func(site string) error {
+		mu.Lock()
+		roll := rng.Intn(10)
+		mu.Unlock()
+		if roll == 0 {
+			return fmt.Errorf("chaos: injected fault at %s", site)
+		}
+		return nil
+	})
+
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				ctx, cancel := context.WithCancel(context.Background())
+				if (r+i)%3 == 0 {
+					go func() {
+						time.Sleep(time.Duration(i%5) * 100 * time.Microsecond)
+						cancel()
+					}()
+				}
+				_, _, err := db.QueryXQueryOpts(heavyQuery, QueryOptions{Context: ctx})
+				cancel()
+				if err != nil {
+					// Injected faults, cancellations, and contained panics
+					// are all acceptable outcomes — crashes and non-error
+					// corruption are not. Anything else is a real bug.
+					var qe *QueryError
+					if !errors.As(err, &qe) && !strings.Contains(err.Error(), "chaos:") {
+						t.Errorf("reader %d: unexpected failure %v", r, err)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	// With chaos off, the engine must be fully functional: inserts land,
+	// and index pre-filtering still matches the full scan.
+	guard.SetFaultHook(nil)
+	db.MustExecSQL(`insert into orders values (777, '<order><lineitem price="199"><product><id>chaos</id></product></lineitem></order>')`)
+	res, _, err := db.QueryXQuery(`db2-fn:xmlcolumn("ORDERS.ORDDOC")//product/id[. = "chaos"]`)
+	if err != nil {
+		t.Fatalf("query after chaos: %v", err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("post-chaos insert not visible: %d rows", res.Len())
+	}
+	assertFilteredAgrees(t, db)
+}
+
+// TestFaultDegradesToFullScan checks the soundness rule: an ordinary fault
+// during an index probe must not change results — the planner falls back to
+// scanning the documents it could not pre-filter.
+func TestFaultDegradesToFullScan(t *testing.T) {
+	defer guard.SetFaultHook(nil)
+	db := loadedDB(t, 30)
+	q := `db2-fn:xmlcolumn("ORDERS.ORDDOC")//lineitem[@price > 100]`
+	want, _, err := db.QueryXQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guard.SetFaultHook(func(site string) error {
+		if strings.HasPrefix(site, "xmlindex.scan:") {
+			return errors.New("probe unavailable")
+		}
+		return nil
+	})
+	got, _, err := db.QueryXQuery(q)
+	if err != nil {
+		t.Fatalf("faulted probe should degrade, not fail: %v", err)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("degraded scan returned %d rows, want %d", got.Len(), want.Len())
+	}
+}
+
+// TestLoadXMLDirRollback checks the satellite fix: a malformed file midway
+// through a bulk load rolls back every row the call inserted.
+func TestLoadXMLDirRollback(t *testing.T) {
+	db := Open()
+	db.MustExecSQL(`create table docs (k integer, d xml)`)
+	db.MustExecSQL(`insert into docs values (0, '<pre/>')`)
+	dir := t.TempDir()
+	for i, content := range []string{`<a>1</a>`, `<a>2</a>`, `<a><broken`, `<a>4</a>`} {
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("doc%d.xml", i)), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := db.LoadXMLDir("docs", dir)
+	if err == nil {
+		t.Fatal("malformed file should fail the load")
+	}
+	if n != 0 {
+		t.Fatalf("failed load reported %d rows", n)
+	}
+	if !strings.Contains(err.Error(), "doc2.xml") {
+		t.Fatalf("error should name the bad file: %v", err)
+	}
+	res := db.MustExecSQL(`select k from docs`)
+	if res.Len() != 1 {
+		t.Fatalf("table has %d rows after rolled-back load, want the 1 pre-existing row", res.Len())
+	}
+	// A clean directory then loads fully.
+	good := t.TempDir()
+	for i := 0; i < 3; i++ {
+		if err := os.WriteFile(filepath.Join(good, fmt.Sprintf("g%d.xml", i)), []byte(fmt.Sprintf("<a>%d</a>", i)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err = db.LoadXMLDir("docs", good)
+	if err != nil || n != 3 {
+		t.Fatalf("clean load: n=%d err=%v", n, err)
+	}
+}

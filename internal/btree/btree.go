@@ -187,6 +187,19 @@ func (t *Tree) leafFor(key []byte) *node {
 // starts at the beginning; a nil hi scans to the end. It stops early if f
 // returns false. Scan returns the number of entries visited.
 func (t *Tree) Scan(lo, hi []byte, f func(key, value []byte) bool) int {
+	visited, _ := t.ScanCheck(lo, hi, nil, f)
+	return visited
+}
+
+// scanCheckEvery is how many visited entries pass between check calls in
+// ScanCheck; long range scans notice cancellation at this granularity.
+const scanCheckEvery = 512
+
+// ScanCheck is Scan with a periodic abort check: every scanCheckEvery
+// visited entries (and once up front) check runs with the running visit
+// count, and a non-nil error stops the scan and is returned. A nil check
+// behaves exactly like Scan.
+func (t *Tree) ScanCheck(lo, hi []byte, check func(visited int) error, f func(key, value []byte) bool) (int, error) {
 	var n *node
 	if lo == nil {
 		n = t.firstLeaf()
@@ -194,21 +207,31 @@ func (t *Tree) Scan(lo, hi []byte, f func(key, value []byte) bool) int {
 		n = t.leafFor(lo)
 	}
 	visited := 0
+	if check != nil {
+		if err := check(visited); err != nil {
+			return visited, err
+		}
+	}
 	for ; n != nil; n = n.next {
 		for i := range n.keys {
 			if lo != nil && bytes.Compare(n.keys[i], lo) < 0 {
 				continue
 			}
 			if hi != nil && bytes.Compare(n.keys[i], hi) >= 0 {
-				return visited
+				return visited, nil
 			}
 			visited++
+			if check != nil && visited%scanCheckEvery == 0 {
+				if err := check(visited); err != nil {
+					return visited, err
+				}
+			}
 			if !f(n.keys[i], n.vals[i]) {
-				return visited
+				return visited, nil
 			}
 		}
 	}
-	return visited
+	return visited, nil
 }
 
 // ScanPrefix visits all entries whose key begins with prefix.

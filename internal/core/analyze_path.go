@@ -224,7 +224,11 @@ func (an *analyzer) walkPredicateExpr(ex xquery.Expr, base pathInfo, e env, ctx 
 			an.walkPredicateExpr(x.Left, base, e, octx)
 			an.walkPredicateExpr(x.Right, base, e, octx)
 		default:
-			an.walk(ex, e, walkCtx{filtering: false, reason: "arithmetic expression"})
+			// Walk the operands, not ex itself: walk forwards BinaryExpr
+			// back here, and recursing on the same node would never end.
+			actx := walkCtx{filtering: false, reason: "arithmetic expression"}
+			an.walk(x.Left, e, actx)
+			an.walk(x.Right, e, actx)
 		}
 	case *xquery.Comparison:
 		an.extractComparison(x, base, e, ctx)

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"github.com/xqdb/xqdb/internal/core"
+	"github.com/xqdb/xqdb/internal/guard"
 	"github.com/xqdb/xqdb/internal/sqlxml"
 	"github.com/xqdb/xqdb/internal/storage"
 	"github.com/xqdb/xqdb/internal/xdm"
@@ -247,7 +248,7 @@ func opRange(op xdm.CompareOp, v xdm.Value) (xmlindex.Range, bool) {
 // binding must survive even if another binding's predicate rejects it).
 // A collection with an occurrence that has no probe cannot be
 // pre-filtered at all.
-func runProbes(plans []probePlan, a *core.Analysis, stats *Stats) (map[string]map[uint32]bool, map[int]map[uint32]bool, error) {
+func runProbes(g *guard.Guard, plans []probePlan, a *core.Analysis, stats *Stats) (map[string]map[uint32]bool, map[int]map[uint32]bool, error) {
 	type occKey struct {
 		coll string
 		occ  int
@@ -263,8 +264,12 @@ func runProbes(plans []probePlan, a *core.Analysis, stats *Stats) (map[string]ma
 			for _, v := range pl.semiValues {
 				probe := pl.probe
 				probe.Range = xmlindex.Equality(v)
+				probe.Guard = g
 				set, perr := pl.index.DocSet(probe)
 				if perr != nil {
+					if _, isViolation := guard.AsViolation(perr); isViolation {
+						return nil, nil, perr
+					}
 					continue // non-castable join value matches nothing
 				}
 				for id := range set {
@@ -272,7 +277,14 @@ func runProbes(plans []probePlan, a *core.Analysis, stats *Stats) (map[string]ma
 				}
 			}
 		} else {
-			docs, err = pl.index.DocSet(pl.probe)
+			probe := pl.probe
+			probe.Guard = g
+			docs, err = pl.index.DocSet(probe)
+		}
+		if _, isViolation := guard.AsViolation(err); isViolation {
+			// Cancellation/timeout mid-probe aborts the query; it must
+			// not degrade into "no filter" (a full scan would follow).
+			return nil, nil, err
 		}
 		if err != nil {
 			// A probe bound that does not cast (e.g. a string constant
@@ -474,9 +486,27 @@ func collectCollections(a *core.Analysis) []string {
 	return out
 }
 
+// recoverPanic converts an evaluator panic into a structured guard
+// violation so one hostile query cannot take the process down. The panic
+// value is preserved in the message; callers at the public boundary wrap
+// it into *xqdb.QueryError.
+func recoverPanic(err *error) {
+	if r := recover(); r != nil {
+		*err = &guard.Violation{Kind: guard.Internal, Msg: fmt.Sprintf("panic: %v", r)}
+	}
+}
+
 // ExecXQuery plans and runs a stand-alone XQuery. useIndexes=false forces
 // a full collection scan (the experimental baseline).
 func (e *Engine) ExecXQuery(query string, useIndexes bool) (xdm.Sequence, *Stats, error) {
+	return e.ExecXQueryGuarded(nil, query, useIndexes)
+}
+
+// ExecXQueryGuarded is ExecXQuery bounded by a per-query guard (nil =
+// unlimited). Panics inside planning or evaluation surface as Internal
+// guard violations, never as process crashes.
+func (e *Engine) ExecXQueryGuarded(g *guard.Guard, query string, useIndexes bool) (_ xdm.Sequence, _ *Stats, err error) {
+	defer recoverPanic(&err)
 	m, err := xquery.Parse(query)
 	if err != nil {
 		return nil, nil, err
@@ -490,7 +520,7 @@ func (e *Engine) ExecXQuery(query string, useIndexes bool) (xdm.Sequence, *Stats
 		if err != nil {
 			return nil, nil, err
 		}
-		collSets, _, err := runProbes(plans, analysis, stats)
+		collSets, _, err := runProbes(g, plans, analysis, stats)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -500,8 +530,14 @@ func (e *Engine) ExecXQuery(query string, useIndexes bool) (xdm.Sequence, *Stats
 		countDocs(e, collSets, nil, nil, stats, collectCollections(analysis))
 		snapshotIndexStats(e, stats)
 	}
-	seq, err := xquery.Eval(m, nil, resolver)
+	if err := g.Check(); err != nil {
+		return nil, nil, err
+	}
+	seq, err := xquery.EvalGuarded(m, nil, resolver, g)
 	if err != nil {
+		return nil, nil, err
+	}
+	if err := g.Items(len(seq)); err != nil {
 		return nil, nil, err
 	}
 	return seq, stats, nil
@@ -509,6 +545,13 @@ func (e *Engine) ExecXQuery(query string, useIndexes bool) (xdm.Sequence, *Stats
 
 // ExecSQL plans and runs a SQL/XML statement.
 func (e *Engine) ExecSQL(sql string, useIndexes bool) (*sqlxml.Result, *Stats, error) {
+	return e.ExecSQLGuarded(nil, sql, useIndexes)
+}
+
+// ExecSQLGuarded is ExecSQL bounded by a per-query guard (nil =
+// unlimited).
+func (e *Engine) ExecSQLGuarded(g *guard.Guard, sql string, useIndexes bool) (_ *sqlxml.Result, _ *Stats, err error) {
+	defer recoverPanic(&err)
 	stmt, err := sqlxml.Parse(sql)
 	if err != nil {
 		return nil, nil, err
@@ -516,6 +559,11 @@ func (e *Engine) ExecSQL(sql string, useIndexes bool) (*sqlxml.Result, *Stats, e
 	stats := &Stats{}
 	pf := sqlxml.Prefilter{}
 	exec := e.exec
+	if g != nil {
+		// Per-query copy: the shared executor must stay guard-free for
+		// concurrent callers.
+		exec = &sqlxml.Executor{Catalog: e.Catalog, Coll: e.Catalog, Guard: g}
+	}
 	if useIndexes {
 		if _, ok := stmt.(*sqlxml.CreateIndex); !ok {
 			analysis, err := core.AnalyzeSQL(stmt, e.Catalog)
@@ -526,7 +574,7 @@ func (e *Engine) ExecSQL(sql string, useIndexes bool) (*sqlxml.Result, *Stats, e
 			if err != nil {
 				return nil, nil, err
 			}
-			collSets, rowSets, err := runProbes(plans, analysis, stats)
+			collSets, rowSets, err := runProbes(g, plans, analysis, stats)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -535,11 +583,14 @@ func (e *Engine) ExecSQL(sql string, useIndexes bool) (*sqlxml.Result, *Stats, e
 				pf[fi] = set
 			}
 			if len(collSets) > 0 {
-				exec = &sqlxml.Executor{Catalog: e.Catalog, Coll: &filteredResolver{cat: e.Catalog, allowed: collSets}}
+				exec = &sqlxml.Executor{Catalog: e.Catalog, Coll: &filteredResolver{cat: e.Catalog, allowed: collSets}, Guard: g}
 			}
 			countDocs(e, collSets, rowSets, rowCollections(analysis), stats, collectCollections(analysis))
 			snapshotIndexStats(e, stats)
 		}
+	}
+	if err := g.Check(); err != nil {
+		return nil, nil, err
 	}
 	res, err := exec.ExecFiltered(stmt, pf)
 	if err != nil {
@@ -552,7 +603,8 @@ func (e *Engine) ExecSQL(sql string, useIndexes bool) (*sqlxml.Result, *Stats, e
 // Explain analyzes a query (SQL if it parses as SQL, else XQuery) and
 // renders the advisor report: extracted predicates, per-index verdicts,
 // and pitfall warnings.
-func (e *Engine) Explain(query string) (string, error) {
+func (e *Engine) Explain(query string) (_ string, err error) {
+	defer recoverPanic(&err)
 	var analysis *core.Analysis
 	if stmt, err := sqlxml.Parse(query); err == nil {
 		analysis, err = core.AnalyzeSQL(stmt, e.Catalog)

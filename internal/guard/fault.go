@@ -1,0 +1,32 @@
+package guard
+
+import "sync/atomic"
+
+// FaultFunc is a fault-injection hook. It receives a site label such as
+// "storage.insert" or "xmlindex.scan:li_price" and may return an error
+// (injected failure) or panic (to exercise panic containment). A nil
+// return lets execution proceed normally.
+type FaultFunc func(site string) error
+
+var faultHook atomic.Value // holds FaultFunc
+
+// SetFaultHook installs a process-wide fault-injection hook. Pass nil to
+// remove it. Intended for chaos tests only; the zero state costs one
+// atomic load per site.
+func SetFaultHook(f FaultFunc) {
+	faultHook.Store(f)
+}
+
+// Fault consults the installed hook at an instrumented site. With no hook
+// installed it returns nil.
+func Fault(site string) error {
+	h := faultHook.Load()
+	if h == nil {
+		return nil
+	}
+	f := h.(FaultFunc)
+	if f == nil {
+		return nil
+	}
+	return f(site)
+}

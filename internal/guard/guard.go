@@ -1,0 +1,160 @@
+// Package guard bounds the resources one query may consume. A Guard is
+// created per query at the engine boundary and threaded through every
+// evaluation path — XQuery evaluator loops, the SQL executor's row loops,
+// index probes, and B+Tree scans — each of which calls Step, Check, or
+// Items at its natural iteration granularity. All methods are safe on a
+// nil receiver (a nil *Guard means "unlimited"), so interior layers never
+// need to special-case unguarded execution.
+package guard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies a guard violation.
+type Kind uint8
+
+// Violation kinds.
+const (
+	// Canceled: the query's context was canceled (e.g. SIGINT).
+	Canceled Kind = iota
+	// Timeout: the wall-clock deadline passed.
+	Timeout
+	// LimitExceeded: a resource limit (steps, items, parse depth/size)
+	// was hit.
+	LimitExceeded
+	// Internal: an evaluator panic was contained and converted.
+	Internal
+)
+
+var kindNames = [...]string{"canceled", "timeout", "limit exceeded", "internal"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Violation is the structured error every guard check returns. The engine
+// boundary converts it into the public *xqdb.QueryError.
+type Violation struct {
+	Kind Kind
+	Msg  string
+}
+
+func (v *Violation) Error() string { return fmt.Sprintf("query %s: %s", v.Kind, v.Msg) }
+
+// AsViolation extracts a *Violation from an error chain.
+func AsViolation(err error) (*Violation, bool) {
+	var v *Violation
+	if errors.As(err, &v) {
+		return v, true
+	}
+	return nil, false
+}
+
+// Limits bounds one query's resource use. A zero field is unlimited.
+type Limits struct {
+	// MaxEvalSteps caps XQuery evaluator steps (expression evaluations
+	// plus per-item loop iterations).
+	MaxEvalSteps int64
+	// MaxResultItems caps result sequence items / SQL result rows.
+	MaxResultItems int
+	// MaxParseDepth caps XML element nesting for documents parsed during
+	// query execution (XMLPARSE).
+	MaxParseDepth int
+	// MaxDocBytes caps the size of documents parsed during query
+	// execution.
+	MaxDocBytes int
+}
+
+// Guard enforces cancellation, a wall-clock deadline, and Limits for one
+// query execution. It is safe for concurrent use; the step counter is
+// atomic so parallel evaluation paths may share one guard.
+type Guard struct {
+	ctx      context.Context
+	deadline time.Time
+	limits   Limits
+	steps    atomic.Int64
+}
+
+// checkInterval is how many steps pass between context/deadline checks;
+// steps in between cost one atomic add.
+const checkInterval = 256
+
+// New builds a guard. ctx may be nil (no cancellation); a zero timeout
+// means no deadline.
+func New(ctx context.Context, timeout time.Duration, lim Limits) *Guard {
+	g := &Guard{ctx: ctx, limits: lim}
+	if timeout > 0 {
+		g.deadline = time.Now().Add(timeout)
+	}
+	return g
+}
+
+// Step records one unit of evaluation work and periodically runs Check.
+// The evaluator calls this in every loop; it must stay cheap.
+func (g *Guard) Step() error {
+	if g == nil {
+		return nil
+	}
+	n := g.steps.Add(1)
+	if g.limits.MaxEvalSteps > 0 && n > g.limits.MaxEvalSteps {
+		return &Violation{Kind: LimitExceeded, Msg: fmt.Sprintf("evaluation exceeded %d steps", g.limits.MaxEvalSteps)}
+	}
+	if n%checkInterval == 0 {
+		return g.Check()
+	}
+	return nil
+}
+
+// Steps returns the number of steps recorded so far.
+func (g *Guard) Steps() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.steps.Load()
+}
+
+// Check tests cancellation and the deadline immediately. Called at phase
+// boundaries (before probes, per B+Tree scan batch) and from Step.
+func (g *Guard) Check() error {
+	if g == nil {
+		return nil
+	}
+	if g.ctx != nil {
+		if err := g.ctx.Err(); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				return &Violation{Kind: Timeout, Msg: "context deadline exceeded"}
+			}
+			return &Violation{Kind: Canceled, Msg: err.Error()}
+		}
+	}
+	if !g.deadline.IsZero() && time.Now().After(g.deadline) {
+		return &Violation{Kind: Timeout, Msg: "query deadline exceeded"}
+	}
+	return nil
+}
+
+// Items fails once a result set holds more than MaxResultItems entries.
+// Result-accumulation sites call it with the running count so a runaway
+// query stops instead of materializing an unbounded result.
+func (g *Guard) Items(n int) error {
+	if g == nil || g.limits.MaxResultItems <= 0 || n <= g.limits.MaxResultItems {
+		return nil
+	}
+	return &Violation{Kind: LimitExceeded, Msg: fmt.Sprintf("result exceeded %d items", g.limits.MaxResultItems)}
+}
+
+// ParseLimits returns the XML parse bounds (0 = use parser defaults).
+func (g *Guard) ParseLimits() (maxDepth, maxBytes int) {
+	if g == nil {
+		return 0, 0
+	}
+	return g.limits.MaxParseDepth, g.limits.MaxDocBytes
+}

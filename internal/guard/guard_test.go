@@ -1,0 +1,130 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilGuardIsUnlimited(t *testing.T) {
+	var g *Guard
+	for i := 0; i < 10_000; i++ {
+		if err := g.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Items(1 << 30); err != nil {
+		t.Fatal(err)
+	}
+	if d, b := g.ParseLimits(); d != 0 || b != 0 {
+		t.Fatalf("nil guard parse limits = %d, %d", d, b)
+	}
+	if g.Steps() != 0 {
+		t.Fatal("nil guard counted steps")
+	}
+}
+
+func TestMaxEvalSteps(t *testing.T) {
+	g := New(nil, 0, Limits{MaxEvalSteps: 100})
+	var err error
+	for i := 0; i < 200 && err == nil; i++ {
+		err = g.Step()
+	}
+	v, ok := AsViolation(err)
+	if !ok || v.Kind != LimitExceeded {
+		t.Fatalf("want LimitExceeded violation, got %v", err)
+	}
+	if g.Steps() != 101 {
+		t.Fatalf("steps = %d, want 101", g.Steps())
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	g := New(nil, time.Millisecond, Limits{})
+	time.Sleep(5 * time.Millisecond)
+	v, ok := AsViolation(g.Check())
+	if !ok || v.Kind != Timeout {
+		t.Fatalf("want Timeout violation, got %v", g.Check())
+	}
+	// Step notices the deadline within one check interval.
+	var err error
+	for i := 0; i < checkInterval+1 && err == nil; i++ {
+		err = g.Step()
+	}
+	if v, ok := AsViolation(err); !ok || v.Kind != Timeout {
+		t.Fatalf("Step should surface the timeout, got %v", err)
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := New(ctx, 0, Limits{})
+	if err := g.Check(); err != nil {
+		t.Fatalf("premature violation: %v", err)
+	}
+	cancel()
+	v, ok := AsViolation(g.Check())
+	if !ok || v.Kind != Canceled {
+		t.Fatalf("want Canceled violation, got %v", g.Check())
+	}
+}
+
+func TestContextDeadlineMapsToTimeout(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	g := New(ctx, 0, Limits{})
+	v, ok := AsViolation(g.Check())
+	if !ok || v.Kind != Timeout {
+		t.Fatalf("want Timeout violation, got %v", g.Check())
+	}
+}
+
+func TestItems(t *testing.T) {
+	g := New(nil, 0, Limits{MaxResultItems: 5})
+	if err := g.Items(5); err != nil {
+		t.Fatalf("5 items within limit: %v", err)
+	}
+	v, ok := AsViolation(g.Items(6))
+	if !ok || v.Kind != LimitExceeded {
+		t.Fatal("want LimitExceeded at 6 items")
+	}
+}
+
+func TestViolationErrorText(t *testing.T) {
+	err := error(&Violation{Kind: Timeout, Msg: "boom"})
+	if got := err.Error(); got != "query timeout: boom" {
+		t.Fatalf("Error() = %q", got)
+	}
+	if Kind(200).String() != "unknown" {
+		t.Fatal("out-of-range kind should print unknown")
+	}
+}
+
+func TestFaultHook(t *testing.T) {
+	defer SetFaultHook(nil)
+	if err := Fault("anywhere"); err != nil {
+		t.Fatalf("no hook installed: %v", err)
+	}
+	boom := errors.New("boom")
+	SetFaultHook(func(site string) error {
+		if site == "storage.insert" {
+			return boom
+		}
+		return nil
+	})
+	if err := Fault("storage.insert"); !errors.Is(err, boom) {
+		t.Fatalf("hook not consulted: %v", err)
+	}
+	if err := Fault("elsewhere"); err != nil {
+		t.Fatalf("site filter ignored: %v", err)
+	}
+	SetFaultHook(nil)
+	if err := Fault("storage.insert"); err != nil {
+		t.Fatalf("cleared hook still firing: %v", err)
+	}
+}

@@ -1,10 +1,12 @@
 package sqlxml
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 
+	"github.com/xqdb/xqdb/internal/guard"
 	"github.com/xqdb/xqdb/internal/storage"
 	"github.com/xqdb/xqdb/internal/xdm"
 	"github.com/xqdb/xqdb/internal/xmlparse"
@@ -12,10 +14,13 @@ import (
 )
 
 // Executor runs SQL statements against a catalog. Coll resolves
-// db2-fn:xmlcolumn references inside embedded XQuery expressions.
+// db2-fn:xmlcolumn references inside embedded XQuery expressions. Guard,
+// when non-nil, bounds one query's execution: the engine installs a
+// per-query copy of the executor rather than mutating a shared one.
 type Executor struct {
 	Catalog *storage.Catalog
 	Coll    xquery.CollectionResolver
+	Guard   *guard.Guard
 }
 
 // ResultCell is one output cell: NULL, a SQL scalar, or an XML value
@@ -107,6 +112,9 @@ func (e *Executor) execDelete(s *Delete) (*Result, error) {
 	}
 	var doomed []uint32
 	for _, row := range tab.Rows() {
+		if err := e.Guard.Step(); err != nil {
+			return nil, err
+		}
 		if s.Where != nil {
 			cells := make([]ResultCell, len(row.Cells))
 			for ci, cell := range row.Cells {
@@ -313,10 +321,10 @@ func (e *Executor) execSelect(s *Select, pf Prefilter) (*Result, error) {
 					kr.keys = append(kr.keys, k)
 				}
 				keyed = append(keyed, kr)
-				return nil
+				return e.Guard.Items(len(keyed))
 			}
 			res.Rows = append(res.Rows, out)
-			return nil
+			return e.Guard.Items(len(res.Rows))
 		}
 		switch fi := s.From[i].(type) {
 		case *FromTable:
@@ -330,6 +338,9 @@ func (e *Executor) execSelect(s *Select, pf Prefilter) (*Result, error) {
 			}
 			allowed := pf[i]
 			for _, row := range tab.Rows() {
+				if err := e.Guard.Step(); err != nil {
+					return err
+				}
 				if allowed != nil && !allowed[row.ID] {
 					continue
 				}
@@ -467,7 +478,7 @@ func (e *Executor) evalXMLTable(xt *FromXMLTable, env []binding) ([][]ResultCell
 	if err != nil {
 		return nil, nil, err
 	}
-	items, err := xquery.Eval(xt.RowModule, vars, e.Coll)
+	items, err := xquery.EvalGuarded(xt.RowModule, vars, e.Coll, e.Guard)
 	if err != nil {
 		return nil, nil, fmt.Errorf("XMLTable row expression: %w", err)
 	}
@@ -480,7 +491,7 @@ func (e *Executor) evalXMLTable(xt *FromXMLTable, env []binding) ([][]ResultCell
 				cells[ci] = ResultCell{V: xdm.NewInteger(int64(itemIdx + 1))}
 				continue
 			}
-			seq, err := xquery.EvalWithContext(col.PathModule, item, vars, e.Coll)
+			seq, err := xquery.EvalWithContextGuarded(col.PathModule, item, vars, e.Coll, e.Guard)
 			if err != nil {
 				return nil, nil, fmt.Errorf("XMLTable column %s: %w", col.Name, err)
 			}
@@ -654,7 +665,7 @@ func (e *Executor) evalTruth(ex Expr, env []binding) (truth, error) {
 		if err != nil {
 			return truthFalse, err
 		}
-		seq, err := xquery.Eval(x.Module, vars, e.Coll)
+		seq, err := xquery.EvalGuarded(x.Module, vars, e.Coll, e.Guard)
 		if err != nil {
 			return truthFalse, fmt.Errorf("XMLEXISTS: %w", err)
 		}
@@ -693,7 +704,7 @@ func (e *Executor) evalExpr(ex Expr, env []binding) (ResultCell, error) {
 		if err != nil {
 			return ResultCell{}, err
 		}
-		seq, err := xquery.Eval(x.Module, vars, e.Coll)
+		seq, err := xquery.EvalGuarded(x.Module, vars, e.Coll, e.Guard)
 		if err != nil {
 			return ResultCell{}, fmt.Errorf("XMLQUERY: %w", err)
 		}
@@ -728,8 +739,12 @@ func (e *Executor) evalExpr(ex Expr, env []binding) (ResultCell, error) {
 		if v.IsXML {
 			return v, nil
 		}
-		doc, err := xmlparse.Parse(v.V.Lexical())
+		maxDepth, maxBytes := e.Guard.ParseLimits()
+		doc, err := xmlparse.ParseLimited(v.V.Lexical(), xmlparse.Limits{MaxDepth: maxDepth, MaxBytes: maxBytes})
 		if err != nil {
+			if errors.Is(err, xmlparse.ErrLimit) {
+				return ResultCell{}, &guard.Violation{Kind: guard.LimitExceeded, Msg: err.Error()}
+			}
 			return ResultCell{}, fmt.Errorf("XMLPARSE: %w", err)
 		}
 		return ResultCell{IsXML: true, XML: xdm.Sequence{doc}}, nil

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"github.com/xqdb/xqdb/internal/btree"
+	"github.com/xqdb/xqdb/internal/guard"
 	"github.com/xqdb/xqdb/internal/pattern"
 	"github.com/xqdb/xqdb/internal/xdm"
 	"github.com/xqdb/xqdb/internal/xmlindex"
@@ -186,6 +187,9 @@ func (c *Catalog) Tables() []*Table {
 // "TABLE.COLUMN" (case-insensitive) to the column's documents in row
 // order, making Catalog usable as an xquery.CollectionResolver.
 func (c *Catalog) Collection(name string) ([]*xdm.Node, error) {
+	if err := guard.Fault("storage.collection:" + strings.ToLower(name)); err != nil {
+		return nil, err
+	}
 	dot := strings.IndexByte(name, '.')
 	if dot < 0 {
 		return nil, fmt.Errorf("db2-fn:xmlcolumn: argument %q must be TABLE.COLUMN", name)
@@ -259,6 +263,9 @@ func (t *Table) ColumnIndex(name string) (int, error) {
 func (t *Table) Insert(cells []Cell) (uint32, error) {
 	if len(cells) != len(t.Columns) {
 		return 0, fmt.Errorf("table %s: %d values for %d columns", t.Name, len(cells), len(t.Columns))
+	}
+	if err := guard.Fault("storage.insert:" + t.Name); err != nil {
+		return 0, fmt.Errorf("insert into %s: %w", t.Name, err)
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -504,12 +511,16 @@ func (ri *RelIndex) delete(row Row) {
 }
 
 // Lookup returns the row ids matching an equality probe under SQL
-// comparison semantics (trailing blanks trimmed for strings).
+// comparison semantics (trailing blanks trimmed for strings). It holds
+// the table's read lock while scanning: the tree is mutated by inserts
+// and deletes, which run under the write lock.
 func (ri *RelIndex) Lookup(v xdm.Value) ([]uint32, error) {
 	cv, err := v.Cast(ri.table.Columns[ri.col].Type.XDMType())
 	if err != nil {
 		return nil, err
 	}
+	ri.table.mu.RLock()
+	defer ri.table.mu.RUnlock()
 	prefix := encodeSQLKey(cv)
 	var ids []uint32
 	ri.tree.ScanPrefix(prefix, func(k, _ []byte) bool {

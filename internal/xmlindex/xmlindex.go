@@ -13,8 +13,10 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"github.com/xqdb/xqdb/internal/btree"
+	"github.com/xqdb/xqdb/internal/guard"
 	"github.com/xqdb/xqdb/internal/pattern"
 	"github.com/xqdb/xqdb/internal/xdm"
 )
@@ -71,7 +73,10 @@ type Stats struct {
 	Entries     int // live entries
 }
 
-// Index is one XML value index.
+// Index is one XML value index. Probes (Scan, DocSet) take the read lock,
+// so concurrent readers proceed in parallel; document insertion and
+// deletion take the write lock. The probe counters are atomics so read
+// locks never mutate shared state.
 type Index struct {
 	Name    string
 	Pattern *pattern.Pattern
@@ -80,7 +85,9 @@ type Index struct {
 	mu    sync.RWMutex
 	tree  *btree.Tree
 	paths *pathDict
-	stats Stats
+
+	probes      atomic.Int64
+	keysVisited atomic.Int64
 }
 
 // New creates an empty index over the given pattern and type.
@@ -92,16 +99,17 @@ func New(name string, pat *pattern.Pattern, typ Type) *Index {
 func (ix *Index) Stats() Stats {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	s := ix.stats
-	s.Entries = ix.tree.Len()
-	return s
+	return Stats{
+		Probes:      int(ix.probes.Load()),
+		KeysVisited: int(ix.keysVisited.Load()),
+		Entries:     ix.tree.Len(),
+	}
 }
 
 // ResetStats zeroes the probe counters.
 func (ix *Index) ResetStats() {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	ix.stats = Stats{}
+	ix.probes.Store(0)
+	ix.keysVisited.Store(0)
 }
 
 // pathDict interns concrete label paths.
@@ -282,15 +290,24 @@ type Probe struct {
 	// concrete node path also matches it (the query's navigation may be
 	// more restrictive than the index pattern).
 	QueryPattern *pattern.Pattern
+	// Guard, when non-nil, is checked periodically during the B+Tree
+	// scan so canceled or timed-out queries abort mid-probe.
+	Guard *guard.Guard
 }
 
 // Scan runs a probe and returns the matching entries in key order. The
 // returned count of visited keys includes entries rejected by the query
 // pattern restriction.
 func (ix *Index) Scan(p Probe) ([]Entry, error) {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	ix.stats.Probes++
+	if err := guard.Fault("xmlindex.scan:" + ix.Name); err != nil {
+		return nil, fmt.Errorf("index %s: %w", ix.Name, err)
+	}
+	if err := p.Guard.Check(); err != nil {
+		return nil, err
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ix.probes.Add(1)
 
 	lo, hi, err := ix.bounds(p.Range)
 	if err != nil {
@@ -310,14 +327,19 @@ func (ix *Index) Scan(p Probe) ([]Entry, error) {
 		return v
 	}
 	var out []Entry
-	visited := ix.tree.Scan(lo, hi, func(key, _ []byte) bool {
-		pathID, docID, nodeID := ix.decodeSuffix(key)
-		if pathOK(pathID) {
-			out = append(out, Entry{DocID: docID, NodeID: nodeID})
-		}
-		return true
-	})
-	ix.stats.KeysVisited += visited
+	visited, err := ix.tree.ScanCheck(lo, hi,
+		func(int) error { return p.Guard.Check() },
+		func(key, _ []byte) bool {
+			pathID, docID, nodeID := ix.decodeSuffix(key)
+			if pathOK(pathID) {
+				out = append(out, Entry{DocID: docID, NodeID: nodeID})
+			}
+			return true
+		})
+	ix.keysVisited.Add(int64(visited))
+	if err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 

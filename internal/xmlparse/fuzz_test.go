@@ -1,0 +1,61 @@
+package xmlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDoc feeds arbitrary byte strings through the document parser.
+// The parser must return an error or a well-formed document node — never
+// panic (panics found here become regression seeds feeding the engine's
+// panic-containment layer).
+func FuzzParseDoc(f *testing.F) {
+	for _, seed := range []string{
+		`<a/>`,
+		`<a b="1"><c>text</c></a>`,
+		`<x xmlns:p="urn:u"><p:y p:z="w"/></x>`,
+		`<!-- c --><a><?pi data?></a>`,
+		`<a>&lt;&amp;&gt;</a>`,
+		`<a><b><c><d/></c></b></a>`,
+		`<a>text<b/>tail</a>`,
+		`<a`,
+		`</a>`,
+		`<a></b>`,
+		`<a/><b/>`,
+		"<a>\xff\xfe</a>",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		doc, err := ParseLimited(src, Limits{MaxDepth: 64, MaxBytes: 1 << 16})
+		if err != nil {
+			return
+		}
+		if doc == nil {
+			t.Fatalf("nil document without error for %q", src)
+		}
+		// A successful parse must yield a tree whose string value is
+		// computable (exercises the full node structure).
+		_ = doc.StringValue()
+	})
+}
+
+// FuzzParseDepthLimit checks the depth guard engages instead of letting
+// pathological nesting through.
+func FuzzParseDepthLimit(f *testing.F) {
+	f.Add(10)
+	f.Add(100)
+	f.Fuzz(func(t *testing.T, n int) {
+		if n < 0 || n > 2000 {
+			return
+		}
+		src := strings.Repeat("<a>", n) + "x" + strings.Repeat("</a>", n)
+		_, err := ParseLimited(src, Limits{MaxDepth: 50})
+		if n > 50 && err == nil {
+			t.Fatalf("depth %d exceeded limit 50 without error", n)
+		}
+		if n >= 1 && n <= 50 && err != nil {
+			t.Fatalf("depth %d within limit 50 rejected: %v", n, err)
+		}
+	})
+}

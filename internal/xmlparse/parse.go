@@ -7,26 +7,71 @@ package xmlparse
 
 import (
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"strings"
 
 	"github.com/xqdb/xqdb/internal/xdm"
 )
 
+// ErrLimit marks parse failures caused by a resource limit (nesting depth
+// or document size) rather than malformed input; guard layers classify it
+// as a limit violation.
+var ErrLimit = errors.New("parse limit exceeded")
+
+// Default parse bounds. Every parse enforces these even without explicit
+// Limits, so a hostile document cannot blow the stack or exhaust memory
+// through pathological nesting.
+const (
+	DefaultMaxDepth = 4096
+	DefaultMaxBytes = 256 << 20
+)
+
+// Limits bounds document parsing. A zero field falls back to the package
+// default above.
+type Limits struct {
+	MaxDepth int // maximum element nesting depth
+	MaxBytes int // maximum input size in bytes
+}
+
+func (l Limits) depth() int {
+	if l.MaxDepth > 0 {
+		return l.MaxDepth
+	}
+	return DefaultMaxDepth
+}
+
+func (l Limits) bytes() int {
+	if l.MaxBytes > 0 {
+		return l.MaxBytes
+	}
+	return DefaultMaxBytes
+}
+
 // Parse parses one XML document and returns its document node. White-space
 // -only text between elements is preserved when preserveSpace is true;
 // collection loading uses false, which mirrors typical database ingestion
 // with boundary-whitespace stripping.
 func Parse(input string) (*xdm.Node, error) {
-	return parse(input, false)
+	return parse(input, false, Limits{})
+}
+
+// ParseLimited parses with explicit resource limits; limit failures wrap
+// ErrLimit.
+func ParseLimited(input string, lim Limits) (*xdm.Node, error) {
+	return parse(input, false, lim)
 }
 
 // ParsePreserve parses keeping all whitespace text nodes.
 func ParsePreserve(input string) (*xdm.Node, error) {
-	return parse(input, true)
+	return parse(input, true, Limits{})
 }
 
-func parse(input string, preserveSpace bool) (*xdm.Node, error) {
+func parse(input string, preserveSpace bool, lim Limits) (*xdm.Node, error) {
+	if len(input) > lim.bytes() {
+		return nil, fmt.Errorf("xml parse: document is %d bytes (max %d): %w", len(input), lim.bytes(), ErrLimit)
+	}
+	maxDepth := lim.depth()
 	dec := xml.NewDecoder(strings.NewReader(input))
 	doc := xdm.NewDocument()
 	stack := []*xdm.Node{doc}
@@ -57,6 +102,9 @@ func parse(input string, preserveSpace bool) (*xdm.Node, error) {
 			}
 			top.AppendChild(el)
 			stack = append(stack, el)
+			if len(stack)-1 > maxDepth {
+				return nil, fmt.Errorf("xml parse: nesting exceeds %d levels: %w", maxDepth, ErrLimit)
+			}
 		case xml.EndElement:
 			if len(stack) == 1 {
 				return nil, fmt.Errorf("xml parse: unbalanced end element %s", t.Name.Local)

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/xqdb/xqdb/internal/guard"
 	"github.com/xqdb/xqdb/internal/xdm"
 )
 
@@ -26,6 +27,7 @@ type evalCtx struct {
 	size int      // fn:last()
 	env  *env
 	coll CollectionResolver
+	g    *guard.Guard // nil = unguarded
 }
 
 type env struct {
@@ -51,7 +53,13 @@ func (c evalCtx) bind(name string, val xdm.Sequence) evalCtx {
 // Eval evaluates a parsed module with external variables and a collection
 // resolver (nil if the query does not use db2-fn:xmlcolumn).
 func Eval(m *Module, vars StaticVars, coll CollectionResolver) (xdm.Sequence, error) {
-	ctx := evalCtx{coll: coll}
+	return EvalGuarded(m, vars, coll, nil)
+}
+
+// EvalGuarded is Eval with a per-query guard checked inside the evaluator
+// loops; a nil guard is unlimited.
+func EvalGuarded(m *Module, vars StaticVars, coll CollectionResolver, g *guard.Guard) (xdm.Sequence, error) {
+	ctx := evalCtx{coll: coll, g: g}
 	for name, val := range vars {
 		ctx = ctx.bind(name, val)
 	}
@@ -61,7 +69,12 @@ func Eval(m *Module, vars StaticVars, coll CollectionResolver) (xdm.Sequence, er
 // EvalWithContext evaluates with an initial context item, as SQL/XML's
 // XMLTable column expressions do.
 func EvalWithContext(m *Module, item xdm.Item, vars StaticVars, coll CollectionResolver) (xdm.Sequence, error) {
-	ctx := evalCtx{coll: coll, item: item, pos: 1, size: 1}
+	return EvalWithContextGuarded(m, item, vars, coll, nil)
+}
+
+// EvalWithContextGuarded is EvalWithContext with a per-query guard.
+func EvalWithContextGuarded(m *Module, item xdm.Item, vars StaticVars, coll CollectionResolver, g *guard.Guard) (xdm.Sequence, error) {
+	ctx := evalCtx{coll: coll, item: item, pos: 1, size: 1, g: g}
 	for name, val := range vars {
 		ctx = ctx.bind(name, val)
 	}
@@ -69,6 +82,11 @@ func EvalWithContext(m *Module, item xdm.Item, vars StaticVars, coll CollectionR
 }
 
 func eval(e Expr, ctx evalCtx) (xdm.Sequence, error) {
+	// Every expression evaluation is one guard step; this is the check
+	// that bounds recursive FLWOR/path/predicate work.
+	if err := ctx.g.Step(); err != nil {
+		return nil, err
+	}
 	switch x := e.(type) {
 	case *Literal:
 		return xdm.Sequence{x.Value}, nil
@@ -210,7 +228,7 @@ func evalFLWOR(f *FLWOR, ctx evalCtx) (xdm.Sequence, error) {
 			return err
 		}
 		out = append(out, r...)
-		return nil
+		return ctx.g.Items(len(out))
 	}
 
 	var loop func(i int, c evalCtx) error
@@ -459,6 +477,14 @@ func evalBinary(b *BinaryExpr, ctx evalCtx) (xdm.Sequence, error) {
 		}
 		var out xdm.Sequence
 		for i := int64(*l); i <= int64(*r); i++ {
+			// A range expression can materialize an enormous sequence on
+			// its own (`1 to 10000000000`); count every item as a step.
+			if err := ctx.g.Step(); err != nil {
+				return nil, err
+			}
+			if err := ctx.g.Items(len(out)); err != nil {
+				return nil, err
+			}
 			out = append(out, xdm.NewInteger(i))
 		}
 		return out, nil

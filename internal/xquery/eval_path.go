@@ -103,6 +103,11 @@ func evalStep(step Step, input xdm.Sequence, ctx evalCtx) (xdm.Sequence, error) 
 
 	// Axis step: every input item must be a node.
 	for _, it := range input {
+		// One step per context item: a `//`-heavy path over a large
+		// collection spends most of its time here, between eval calls.
+		if err := ctx.g.Step(); err != nil {
+			return nil, err
+		}
 		n, ok := it.(*xdm.Node)
 		if !ok {
 			return nil, fmt.Errorf("axis step %s::%s applied to an atomic value", step.Axis, step.Test)

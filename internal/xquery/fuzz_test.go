@@ -1,0 +1,42 @@
+package xquery
+
+import "testing"
+
+// FuzzXQueryParse feeds arbitrary strings through the XQuery parser. The
+// parser must return an error or a module that unparses and reparses —
+// never panic.
+func FuzzXQueryParse(f *testing.F) {
+	for _, seed := range []string{
+		`1 + 2 * 3`,
+		`(1, 2, 3)[. > 1]`,
+		`for $x in (1,2,3) where $x > 1 order by $x descending return <a>{$x}</a>`,
+		`let $d := db2-fn:xmlcolumn("ORDERS.ORDDOC") return $d//lineitem[@price > 100]`,
+		`some $x in (1, 2) satisfies $x eq 2`,
+		`every $x in //a satisfies $x/b = "c"`,
+		`//lineitem[@price > 100]/product/id`,
+		`if (count(//a) > 1) then "many" else "few"`,
+		`element {concat("a", "b")} {attribute c {1}, text {"t"}}`,
+		`"unterminated`,
+		`for $x in`,
+		`1 to 5`,
+		`/a/b[2]/@c castable as xs:double`,
+		`$x instance of element(a)`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if m == nil || m.Body == nil {
+			t.Fatalf("nil module without error for %q", src)
+		}
+		// A parsed module must unparse to a string that parses again:
+		// the unparser is what \explain and the advisor print.
+		round := UnparseModule(m)
+		if _, err := Parse(round); err != nil {
+			t.Fatalf("unparse of %q produced unparseable %q: %v", src, round, err)
+		}
+	})
+}

@@ -31,13 +31,13 @@ func UnparseModule(m *Module) string {
 	var b strings.Builder
 	env := unparseEnv{defaultNS: m.DefaultElementNS, prefixes: map[string]string{}}
 	if m.DefaultElementNS != "" {
-		fmt.Fprintf(&b, "declare default element namespace %q; ", m.DefaultElementNS)
+		fmt.Fprintf(&b, "declare default element namespace %s; ", quoteLit(m.DefaultElementNS))
 	}
 	for prefix, uri := range m.Namespaces {
 		if _, builtin := builtinPrefixes[prefix]; builtin {
 			continue
 		}
-		fmt.Fprintf(&b, "declare namespace %s=%q; ", prefix, uri)
+		fmt.Fprintf(&b, "declare namespace %s=%s; ", prefix, quoteLit(uri))
 		env.prefixes[uri] = prefix
 	}
 	saved := activeUnparseEnv
@@ -47,11 +47,18 @@ func UnparseModule(m *Module) string {
 	return b.String()
 }
 
+// quoteLit renders s as an XQuery string literal. XQuery escapes an
+// embedded quote by doubling it — Go's %q backslash escaping would not
+// reparse.
+func quoteLit(s string) string {
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
 func unparse(b *strings.Builder, e Expr) {
 	switch x := e.(type) {
 	case *Literal:
 		if x.Value.T == xdm.String || x.Value.T == xdm.UntypedAtomic {
-			fmt.Fprintf(b, "%q", x.Value.S)
+			b.WriteString(quoteLit(x.Value.S))
 		} else {
 			b.WriteString(x.Value.Lexical())
 		}
@@ -321,11 +328,32 @@ func qnameSource(q xdm.QName, isElement bool) string {
 	if isElement && q.Space == activeUnparseEnv.defaultNS {
 		return q.Local
 	}
-	if p, ok := activeUnparseEnv.prefixes[q.Space]; ok {
+	if p, ok := prefixFor(q.Space); ok {
 		return p + ":" + q.Local
 	}
 	return "{" + q.Space + "}" + q.Local
 }
+
+// prefixFor finds a prefix for a namespace URI: declared prefixes first,
+// then the pre-declared built-ins (fn, xs, db2-fn, ...), which resolve
+// during parsing and must render back as prefixes to stay reparseable.
+func prefixFor(uri string) (string, bool) {
+	if p, ok := activeUnparseEnv.prefixes[uri]; ok {
+		return p, true
+	}
+	if p, ok := builtinPrefixByURI[uri]; ok {
+		return p, true
+	}
+	return "", false
+}
+
+var builtinPrefixByURI = func() map[string]string {
+	m := make(map[string]string, len(builtinPrefixes))
+	for p, uri := range builtinPrefixes {
+		m[uri] = p
+	}
+	return m
+}()
 
 // testSource renders a node test using the active namespace environment.
 func testSource(t NodeTest, element bool) string {
@@ -345,7 +373,7 @@ func testSource(t NodeTest, element bool) string {
 	if t.Local == "*" {
 		// qnameSource handles prefixed names; wildcards need the prefix
 		// form explicitly.
-		if p, ok := activeUnparseEnv.prefixes[t.Space]; ok {
+		if p, ok := prefixFor(t.Space); ok {
 			return p + ":*"
 		}
 		return "{" + t.Space + "}*"

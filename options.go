@@ -1,0 +1,136 @@
+package xqdb
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/xqdb/xqdb/internal/guard"
+	"github.com/xqdb/xqdb/internal/sqlxml"
+	"github.com/xqdb/xqdb/internal/xdm"
+)
+
+// ErrorKind classifies a QueryError.
+type ErrorKind uint8
+
+// Query error kinds.
+const (
+	// ErrCanceled: the QueryOptions context was canceled mid-query.
+	ErrCanceled ErrorKind = iota
+	// ErrTimeout: the wall-clock timeout (or context deadline) passed.
+	ErrTimeout
+	// ErrLimitExceeded: a resource limit — result items, evaluation
+	// steps, XML parse depth or size — was hit.
+	ErrLimitExceeded
+	// ErrInternal: an evaluator panic was contained and converted.
+	ErrInternal
+)
+
+var errorKindNames = [...]string{"canceled", "timeout", "limit exceeded", "internal"}
+
+func (k ErrorKind) String() string {
+	if int(k) < len(errorKindNames) {
+		return errorKindNames[k]
+	}
+	return "unknown"
+}
+
+// QueryError is the structured error returned when a guardrail stops a
+// query: cancellation, timeout, a resource limit, or a contained panic.
+// Ordinary parse and evaluation errors are returned unwrapped.
+type QueryError struct {
+	Kind  ErrorKind
+	Query string // the query text as submitted
+	Err   error  // the underlying guard violation
+}
+
+func (e *QueryError) Error() string {
+	// A guard violation already prints "query <kind>:" — use its bare
+	// message so the kinds do not print twice.
+	detail := fmt.Sprint(e.Err)
+	if v, ok := guard.AsViolation(e.Err); ok {
+		detail = v.Msg
+	}
+	return fmt.Sprintf("query %s: %s (query: %.80s)", e.Kind, detail, e.Query)
+}
+
+func (e *QueryError) Unwrap() error { return e.Err }
+
+// QueryOptions bounds one query's execution. The zero value applies no
+// bounds (and no overhead beyond the defensive XML parse caps that always
+// hold). Every limit that trips surfaces as a *QueryError.
+type QueryOptions struct {
+	// Context cancels the query when done; nil means no cancellation.
+	Context context.Context
+	// Timeout is a wall-clock bound starting when the query is
+	// submitted; 0 means none.
+	Timeout time.Duration
+	// MaxResultItems caps result rows (SQL) or sequence items (XQuery).
+	MaxResultItems int
+	// MaxEvalSteps caps XQuery evaluator steps — expression evaluations
+	// plus per-item loop iterations; 0 means unlimited.
+	MaxEvalSteps int64
+	// MaxParseDepth and MaxDocBytes bound XML documents parsed during
+	// query execution (XMLPARSE); 0 falls back to the parser defaults.
+	MaxParseDepth int
+	MaxDocBytes   int
+}
+
+// guard builds the per-query guard; a fully zero options value yields a
+// nil guard (unlimited, zero overhead).
+func (o QueryOptions) guard() *guard.Guard {
+	if o.Context == nil && o.Timeout == 0 && o.MaxResultItems == 0 &&
+		o.MaxEvalSteps == 0 && o.MaxParseDepth == 0 && o.MaxDocBytes == 0 {
+		return nil
+	}
+	return guard.New(o.Context, o.Timeout, guard.Limits{
+		MaxEvalSteps:   o.MaxEvalSteps,
+		MaxResultItems: o.MaxResultItems,
+		MaxParseDepth:  o.MaxParseDepth,
+		MaxDocBytes:    o.MaxDocBytes,
+	})
+}
+
+// wrapQueryErr converts guard violations (including contained panics)
+// into *QueryError; other errors pass through unchanged.
+func wrapQueryErr(query string, err error) error {
+	if err == nil {
+		return nil
+	}
+	v, ok := guard.AsViolation(err)
+	if !ok {
+		return err
+	}
+	kind := ErrInternal
+	switch v.Kind {
+	case guard.Canceled:
+		kind = ErrCanceled
+	case guard.Timeout:
+		kind = ErrTimeout
+	case guard.LimitExceeded:
+		kind = ErrLimitExceeded
+	}
+	return &QueryError{Kind: kind, Query: query, Err: v}
+}
+
+// ExecSQLOpts runs a SQL/XML statement under the given guardrails.
+func (db *DB) ExecSQLOpts(sql string, opts QueryOptions) (*Result, *Stats, error) {
+	res, stats, err := db.eng.ExecSQLGuarded(opts.guard(), sql, db.UseIndexes)
+	if err != nil {
+		return nil, nil, wrapQueryErr(sql, err)
+	}
+	return &Result{Columns: res.Columns, cells: res.Rows}, stats, nil
+}
+
+// QueryXQueryOpts runs a stand-alone XQuery under the given guardrails.
+func (db *DB) QueryXQueryOpts(query string, opts QueryOptions) (*Result, *Stats, error) {
+	seq, stats, err := db.eng.ExecXQueryGuarded(opts.guard(), query, db.UseIndexes)
+	if err != nil {
+		return nil, nil, wrapQueryErr(query, err)
+	}
+	res := &Result{Columns: []string{"item"}}
+	for _, it := range seq {
+		res.cells = append(res.cells, []sqlxml.ResultCell{{IsXML: true, XML: xdm.Sequence{it}}})
+	}
+	return res, stats, nil
+}

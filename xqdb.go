@@ -30,8 +30,16 @@ import (
 	"github.com/xqdb/xqdb/internal/xmlschema"
 )
 
-// DB is one in-memory database instance. It is safe for sequential use;
-// concurrent readers are safe once loading is complete.
+// DB is one in-memory database instance. It is safe for concurrent use:
+// queries may run in parallel with each other and with inserts, index
+// creation, and deletes — the catalog, tables, and indexes follow an
+// RWMutex discipline (concurrent readers, exclusive writers). The one
+// exception is the UseIndexes field, which is a plain bool: set it before
+// sharing the DB across goroutines, or guard it yourself.
+//
+// Use ExecSQLOpts/QueryXQueryOpts with QueryOptions to bound a query's
+// execution (cancellation, timeout, result/step/parse limits); violations
+// and contained evaluator panics surface as *QueryError.
 type DB struct {
 	eng *engine.Engine
 	// UseIndexes controls whether the planner may install index
@@ -79,13 +87,10 @@ func (r *Result) Cell(row, col int) string { return r.cells[row][col].String() }
 // IsNull reports whether the cell at (row, col) is NULL.
 func (r *Result) IsNull(row, col int) bool { return r.cells[row][col].Null }
 
-// ExecSQL runs a SQL/XML statement (DDL, INSERT, SELECT, VALUES).
+// ExecSQL runs a SQL/XML statement (DDL, INSERT, SELECT, VALUES) with no
+// guardrails beyond panic containment. Use ExecSQLOpts to bound execution.
 func (db *DB) ExecSQL(sql string) (*Result, *Stats, error) {
-	res, stats, err := db.eng.ExecSQL(sql, db.UseIndexes)
-	if err != nil {
-		return nil, nil, err
-	}
-	return &Result{Columns: res.Columns, cells: res.Rows}, stats, nil
+	return db.ExecSQLOpts(sql, QueryOptions{})
 }
 
 // MustExecSQL is ExecSQL that panics on error, for setup code.
@@ -98,17 +103,9 @@ func (db *DB) MustExecSQL(sql string) *Result {
 }
 
 // QueryXQuery runs a stand-alone XQuery and returns one row per item of
-// the result sequence.
+// the result sequence. Use QueryXQueryOpts to bound execution.
 func (db *DB) QueryXQuery(query string) (*Result, *Stats, error) {
-	seq, stats, err := db.eng.ExecXQuery(query, db.UseIndexes)
-	if err != nil {
-		return nil, nil, err
-	}
-	res := &Result{Columns: []string{"item"}}
-	for _, it := range seq {
-		res.cells = append(res.cells, []sqlxml.ResultCell{{IsXML: true, XML: xdm.Sequence{it}}})
-	}
-	return res, stats, nil
+	return db.QueryXQueryOpts(query, QueryOptions{})
 }
 
 // Explain analyzes a query without running it: extracted predicates,
@@ -137,9 +134,10 @@ func (s *Schema) Declare(key, typeName string) error {
 }
 
 // LoadXMLDir bulk-loads every .xml file of a directory into a two-column
-// (key, xml) table, keyed by insertion order. It returns the number of
-// documents loaded; a malformed file aborts the load with an error naming
-// the file.
+// (key, xml) table, keyed by insertion order, and returns the number of
+// documents loaded. The load is atomic: a malformed file (or a failed
+// insert) rolls back every row this call inserted and returns an error
+// naming the file, leaving the table exactly as it was.
 func (db *DB) LoadXMLDir(table, dir string) (int, error) {
 	tab, err := db.eng.Catalog.Table(table)
 	if err != nil {
@@ -152,6 +150,15 @@ func (db *DB) LoadXMLDir(table, dir string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	var inserted []uint32
+	rollback := func(cause error) (int, error) {
+		for _, id := range inserted {
+			// Delete cannot fail for ids this call just inserted unless
+			// a concurrent writer removed them first, which is fine.
+			_ = tab.Delete(id)
+		}
+		return 0, fmt.Errorf("LoadXMLDir %s (rolled back %d rows): %w", dir, len(inserted), cause)
+	}
 	n := 0
 	for _, ent := range entries {
 		if ent.IsDir() || !strings.HasSuffix(strings.ToLower(ent.Name()), ".xml") {
@@ -159,15 +166,17 @@ func (db *DB) LoadXMLDir(table, dir string) (int, error) {
 		}
 		data, err := os.ReadFile(filepath.Join(dir, ent.Name()))
 		if err != nil {
-			return n, err
+			return rollback(err)
 		}
 		doc, err := parseDoc(string(data))
 		if err != nil {
-			return n, fmt.Errorf("%s: %w", ent.Name(), err)
+			return rollback(fmt.Errorf("%s: %w", ent.Name(), err))
 		}
-		if _, err := tab.Insert([]storage.Cell{{V: xdm.NewInteger(int64(n))}, {Doc: doc}}); err != nil {
-			return n, fmt.Errorf("%s: %w", ent.Name(), err)
+		id, err := tab.Insert([]storage.Cell{{V: xdm.NewInteger(int64(n))}, {Doc: doc}})
+		if err != nil {
+			return rollback(fmt.Errorf("%s: %w", ent.Name(), err))
 		}
+		inserted = append(inserted, id)
 		n++
 	}
 	return n, nil
