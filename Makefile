@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify fuzz
+.PHONY: build test vet race verify bench fuzz
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,21 @@ vet:
 race:
 	$(GO) test -race ./...
 
-verify: test vet race
+verify: test vet race bench
+
+# Full-suite benchmark run emitting BENCH_PR2.json: every E1-E12 pair
+# plus the prepared-statement and parallelism pairs, with the paper's
+# scan-vs-indexed (and unprepared-vs-prepared, serial-vs-parallel)
+# speedup ratios computed by cmd/benchjson. The default BENCHTIME of 1x
+# is the smoke setting `make verify` uses; raise it for stable numbers:
+#
+#	make bench BENCHTIME=2s
+BENCHTIME ?= 1x
+BENCHOUT ?= BENCH_PR2.json
+
+bench: build
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) . > bench.out
+	$(GO) run ./cmd/benchjson -o $(BENCHOUT) bench.out
 
 # Short fuzz burns over the parser entry points; failures become seed
 # corpus regressions under testdata/fuzz/.

@@ -75,6 +75,47 @@ const q3 = `for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price >
 func BenchmarkE1_Q3StringScan(b *testing.B)    { benchXQ(b, benchDB(b), q3, false) }
 func BenchmarkE1_Q3StringIndexed(b *testing.B) { benchXQ(b, benchDB(b), q3, true) }
 
+// --- prepared statements (plan cache) ---
+//
+// The pair measures what the plan cache buys: Unprepared re-parses and
+// re-analyzes q1 every iteration; Prepared hits the cached plan and goes
+// straight to probing and execution. The corpus is deliberately small and
+// selective (100 docs, 5% match) so the pair isolates planning cost —
+// on large corpora execution dominates and the two converge, which is
+// exactly the point of caching only the plan, never the data.
+
+func preparedDB(b *testing.B) *DB {
+	b.Helper()
+	db := Open()
+	db.MustExecSQL(`create table orders (ordid integer, orddoc xml)`)
+	spec := workload.DefaultOrders(100)
+	spec.Selectivity = 0.05
+	for i, doc := range workload.Orders(spec) {
+		db.MustExecSQL(fmt.Sprintf(`insert into orders values (%d, '%s')`, i, doc))
+	}
+	db.MustExecSQL(`create index li_price on orders(orddoc) using xmlpattern '//lineitem/@price' as double`)
+	return db
+}
+
+func BenchmarkPrepared_Q1IndexedUnprepared(b *testing.B) {
+	benchXQ(b, preparedDB(b), q1, true)
+}
+
+func BenchmarkPrepared_Q1IndexedPrepared(b *testing.B) {
+	db := preparedDB(b)
+	db.UseIndexes = true
+	stmt, err := db.PrepareXQuery(q1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := stmt.Exec(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- E2: SQL/XML query functions (§3.2) ---
 
 const q5 = `SELECT XMLQuery('$order//lineitem[@price > 100]' passing orddoc as "order") FROM orders`
@@ -218,6 +259,21 @@ func BenchmarkE11_ZipRangeIndexed(b *testing.B) { benchXQ(b, zipDB(b), qZip, tru
 
 // --- E12: scaling (Definition 1) ---
 
+// benchXQPar is benchXQ with an explicit parallelism setting for the
+// document-at-a-time worker pool (1 = serial, results identical at any
+// setting).
+func benchXQPar(b *testing.B, db *DB, query string, useIndexes bool, par int) {
+	b.Helper()
+	db.UseIndexes = useIndexes
+	opts := QueryOptions{Parallelism: par}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := db.QueryXQueryOpts(query, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkE12_Scaling(b *testing.B) {
 	for _, size := range []int{500, 1000, 2000, 4000} {
 		b.Run(fmt.Sprintf("docs=%d", size), func(b *testing.B) {
@@ -234,7 +290,11 @@ func BenchmarkE12_Scaling(b *testing.B) {
 				idx  bool
 			}{{"scan", false}, {"indexed", true}} {
 				b.Run(mode.name, func(b *testing.B) {
-					benchXQ(b, db, q1, mode.idx)
+					for _, par := range []int{1, 8} {
+						b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+							benchXQPar(b, db, q1, mode.idx, par)
+						})
+					}
 				})
 			}
 		})

@@ -23,16 +23,14 @@ import (
 // Engine is one database instance.
 type Engine struct {
 	Catalog *storage.Catalog
-	exec    *sqlxml.Executor
+	// plans caches prepared plans keyed by (query, language,
+	// useIndexes), invalidated by the catalog's schema version.
+	plans *planCache
 }
 
 // New returns an empty database.
 func New() *Engine {
-	cat := storage.NewCatalog()
-	return &Engine{
-		Catalog: cat,
-		exec:    &sqlxml.Executor{Catalog: cat, Coll: cat},
-	}
+	return &Engine{Catalog: storage.NewCatalog(), plans: newPlanCache()}
 }
 
 // Stats reports what the planner and executor did for one query.
@@ -49,20 +47,31 @@ type Stats struct {
 	DocsScanned int
 	// RowsScanned is the SQL executor's base-row count.
 	RowsScanned int
+	// ParallelShards is the worker count document-at-a-time execution
+	// actually used (0 or 1 = serial).
+	ParallelShards int
 }
 
-// probePlan is one planned index probe. A semi-join plan carries the
-// distinct join values; its document set is the union of one equality
-// probe per value.
+// probePlan is one planned index probe — a template: everything here
+// derives from the query and the schema, so plans are cacheable. A
+// semi-join plan's document set is the union of one equality probe per
+// distinct join value; the values are data, gathered at execution time.
 type probePlan struct {
-	index      *xmlindex.Index
-	probe      xmlindex.Probe
-	semiValues []xdm.Value
-	label      string
-	table      *storage.Table
-	forRow     int // FROM index; -1 = collection-level
-	coll       string
-	occ        int
+	index  *xmlindex.Index
+	probe  xmlindex.Probe
+	semi   *semiJoinSpec // non-nil marks a semi-join probe
+	label  string
+	table  *storage.Table
+	forRow int // FROM index; -1 = collection-level
+	coll   string
+	occ    int
+}
+
+// semiJoinSpec names the SQL column whose distinct values a semi-join
+// probes.
+type semiJoinSpec struct {
+	table  string
+	column string
 }
 
 // planProbes turns the analysis into index probes. For each filtering
@@ -135,46 +144,72 @@ func (e *Engine) planProbes(a *core.Analysis) ([]probePlan, error) {
 func indexCompat(t xmlindex.Type) xmlindex.Type { return t }
 
 // semiJoinCap bounds the number of distinct values a semi-join probes;
-// larger joins fall back to scans.
-const semiJoinCap = 4096
+// larger joins fall back to scans. A variable so tests can lower it.
+var semiJoinCap = 4096
 
-// buildSemiJoinPlan gathers the distinct values of the join column for a
-// Query 13-style predicate (XML path compared with a SQL scalar variable)
-// and plans one equality probe per value.
+// buildSemiJoinPlan plans a Query 13-style semi-join probe (XML path
+// compared with a SQL scalar variable): one equality probe per distinct
+// value of the join column. Only the column reference is resolved here —
+// the values themselves are gathered per execution, so a cached plan
+// sees inserts and deletes on the join table.
 func (e *Engine) buildSemiJoinPlan(p core.Predicate, xi *storage.XMLIndex, tab *storage.Table) (probePlan, bool) {
 	joinTab, err := e.Catalog.Table(p.JoinTable)
 	if err != nil {
 		return probePlan{}, false
 	}
-	ci, err := joinTab.ColumnIndex(p.JoinColumn)
-	if err != nil {
+	if _, err := joinTab.ColumnIndex(p.JoinColumn); err != nil {
 		return probePlan{}, false
+	}
+	return probePlan{
+		index: xi.Index,
+		probe: xmlindex.Probe{QueryPattern: p.Pattern},
+		semi:  &semiJoinSpec{table: p.JoinTable, column: p.JoinColumn},
+		label: fmt.Sprintf("%s(semi-join %s in %s.%s)",
+			xi.Name, p.Pattern, p.JoinTable, p.JoinColumn),
+		table: tab, forRow: p.FromIndex, coll: p.Collection, occ: p.Occurrence,
+	}, true
+}
+
+// semiJoinValues gathers the distinct non-null values of the join column,
+// iterating under the table's read lock without snapshotting the rows.
+// ok=false (join table gone, or more than semiJoinCap distinct values)
+// degrades the probe to "no filter".
+func (e *Engine) semiJoinValues(spec *semiJoinSpec) ([]xdm.Value, bool) {
+	joinTab, err := e.Catalog.Table(spec.table)
+	if err != nil {
+		return nil, false
+	}
+	ci, err := joinTab.ColumnIndex(spec.column)
+	if err != nil {
+		return nil, false
 	}
 	seen := map[string]bool{}
 	var values []xdm.Value
-	for _, row := range joinTab.Rows() {
+	ok := true
+	joinTab.ForEachRow(func(row *storage.Row) bool {
 		cell := row.Cells[ci]
 		if cell.Null {
-			continue
+			return true
 		}
 		key := cell.V.Lexical()
 		if seen[key] {
-			continue
+			return true
+		}
+		// The cap check precedes the append: exactly semiJoinCap distinct
+		// values are admitted, and one more stops the iteration early
+		// instead of collecting it first.
+		if len(values) >= semiJoinCap {
+			ok = false
+			return false
 		}
 		seen[key] = true
 		values = append(values, cell.V)
-		if len(values) > semiJoinCap {
-			return probePlan{}, false
-		}
+		return true
+	})
+	if !ok {
+		return nil, false
 	}
-	return probePlan{
-		index:      xi.Index,
-		probe:      xmlindex.Probe{QueryPattern: p.Pattern},
-		semiValues: values,
-		label: fmt.Sprintf("%s(semi-join %s in %s.%s, %d values)",
-			xi.Name, p.Pattern, p.JoinTable, p.JoinColumn, len(values)),
-		table: tab, forRow: p.FromIndex, coll: p.Collection, occ: p.Occurrence,
-	}, true
+	return values, true
 }
 
 // buildProbe converts a predicate (and its between partner, if any) to an
@@ -248,7 +283,7 @@ func opRange(op xdm.CompareOp, v xdm.Value) (xmlindex.Range, bool) {
 // binding must survive even if another binding's predicate rejects it).
 // A collection with an occurrence that has no probe cannot be
 // pre-filtered at all.
-func runProbes(g *guard.Guard, plans []probePlan, a *core.Analysis, stats *Stats) (map[string]map[uint32]bool, map[int]map[uint32]bool, error) {
+func (e *Engine) runProbes(g *guard.Guard, plans []probePlan, a *core.Analysis, stats *Stats) (map[string]map[uint32]bool, map[int]map[uint32]bool, error) {
 	type occKey struct {
 		coll string
 		occ  int
@@ -258,14 +293,26 @@ func runProbes(g *guard.Guard, plans []probePlan, a *core.Analysis, stats *Stats
 	for _, pl := range plans {
 		var docs map[uint32]bool
 		var err error
-		if pl.semiValues != nil {
-			// Semi-join: union of one equality probe per join value.
+		label := pl.label
+		if pl.semi != nil {
+			// Semi-join: union of one equality probe per distinct value
+			// of the join column, gathered now — the values are data.
+			values, ok := e.semiJoinValues(pl.semi)
+			if !ok {
+				// Join too large (or the table went away): this
+				// occurrence stays unprobed, which poisons the
+				// collection's pre-filter below — a full scan, never a
+				// wrong answer.
+				continue
+			}
 			docs = map[uint32]bool{}
-			for _, v := range pl.semiValues {
+			for _, v := range values {
 				probe := pl.probe
 				probe.Range = xmlindex.Equality(v)
 				probe.Guard = g
-				set, perr := pl.index.DocSet(probe)
+				set, visited, perr := pl.index.DocSetStats(probe)
+				stats.Probes++
+				stats.KeysVisited += visited
 				if perr != nil {
 					if _, isViolation := guard.AsViolation(perr); isViolation {
 						return nil, nil, perr
@@ -276,10 +323,14 @@ func runProbes(g *guard.Guard, plans []probePlan, a *core.Analysis, stats *Stats
 					docs[id] = true
 				}
 			}
+			label = fmt.Sprintf("%s, %d values)", strings.TrimSuffix(pl.label, ")"), len(values))
 		} else {
 			probe := pl.probe
 			probe.Guard = g
-			docs, err = pl.index.DocSet(probe)
+			var visited int
+			docs, visited, err = pl.index.DocSetStats(probe)
+			stats.Probes++
+			stats.KeysVisited += visited
 		}
 		if _, isViolation := guard.AsViolation(err); isViolation {
 			// Cancellation/timeout mid-probe aborts the query; it must
@@ -292,8 +343,7 @@ func runProbes(g *guard.Guard, plans []probePlan, a *core.Analysis, stats *Stats
 			// checking; treat as non-probeable rather than failing.
 			continue
 		}
-		st := pl.index.Stats()
-		stats.IndexesUsed = append(stats.IndexesUsed, pl.label)
+		stats.IndexesUsed = append(stats.IndexesUsed, label)
 		if pl.forRow >= 0 {
 			// SQL row-level predicates on the same FROM item all
 			// constrain the same document: intersect.
@@ -310,7 +360,6 @@ func runProbes(g *guard.Guard, plans []probePlan, a *core.Analysis, stats *Stats
 				occSets[k] = docs
 			}
 		}
-		_ = st
 	}
 
 	// Occurrences of a collection that produced no probe poison the
@@ -413,18 +462,6 @@ func (f *filteredResolver) Collection(name string) ([]*xdm.Node, error) {
 	return f.cat.Collection(name)
 }
 
-// snapshotIndexStats accumulates probe counters into stats.
-func snapshotIndexStats(e *Engine, stats *Stats) {
-	for _, tab := range e.Catalog.Tables() {
-		for _, xi := range tab.XMLIndexes("") {
-			s := xi.Index.Stats()
-			stats.Probes += s.Probes
-			stats.KeysVisited += s.KeysVisited
-			xi.Index.ResetStats()
-		}
-	}
-}
-
 // countDocs measures collection sizes touched by the filter sets; SQL
 // row-level filters count against their table's row count.
 func countDocs(e *Engine, collSets map[string]map[uint32]bool, rowSets map[int]map[uint32]bool, rowColl map[int]string, stats *Stats, collections []string) {
@@ -499,105 +536,25 @@ func recoverPanic(err *error) {
 // ExecXQuery plans and runs a stand-alone XQuery. useIndexes=false forces
 // a full collection scan (the experimental baseline).
 func (e *Engine) ExecXQuery(query string, useIndexes bool) (xdm.Sequence, *Stats, error) {
-	return e.ExecXQueryGuarded(nil, query, useIndexes)
+	return e.ExecXQueryOpts(query, ExecOptions{UseIndexes: useIndexes})
 }
 
 // ExecXQueryGuarded is ExecXQuery bounded by a per-query guard (nil =
 // unlimited). Panics inside planning or evaluation surface as Internal
 // guard violations, never as process crashes.
-func (e *Engine) ExecXQueryGuarded(g *guard.Guard, query string, useIndexes bool) (_ xdm.Sequence, _ *Stats, err error) {
-	defer recoverPanic(&err)
-	m, err := xquery.Parse(query)
-	if err != nil {
-		return nil, nil, err
-	}
-	stats := &Stats{}
-	resolver := xquery.CollectionResolver(e.Catalog)
-	var analysis *core.Analysis
-	if useIndexes {
-		analysis = core.AnalyzeXQuery(m, nil, true, "")
-		plans, err := e.planProbes(analysis)
-		if err != nil {
-			return nil, nil, err
-		}
-		collSets, _, err := runProbes(g, plans, analysis, stats)
-		if err != nil {
-			return nil, nil, err
-		}
-		if len(collSets) > 0 {
-			resolver = &filteredResolver{cat: e.Catalog, allowed: collSets}
-		}
-		countDocs(e, collSets, nil, nil, stats, collectCollections(analysis))
-		snapshotIndexStats(e, stats)
-	}
-	if err := g.Check(); err != nil {
-		return nil, nil, err
-	}
-	seq, err := xquery.EvalGuarded(m, nil, resolver, g)
-	if err != nil {
-		return nil, nil, err
-	}
-	if err := g.Items(len(seq)); err != nil {
-		return nil, nil, err
-	}
-	return seq, stats, nil
+func (e *Engine) ExecXQueryGuarded(g *guard.Guard, query string, useIndexes bool) (xdm.Sequence, *Stats, error) {
+	return e.ExecXQueryOpts(query, ExecOptions{Guard: g, UseIndexes: useIndexes})
 }
 
 // ExecSQL plans and runs a SQL/XML statement.
 func (e *Engine) ExecSQL(sql string, useIndexes bool) (*sqlxml.Result, *Stats, error) {
-	return e.ExecSQLGuarded(nil, sql, useIndexes)
+	return e.ExecSQLOpts(sql, ExecOptions{UseIndexes: useIndexes})
 }
 
 // ExecSQLGuarded is ExecSQL bounded by a per-query guard (nil =
 // unlimited).
-func (e *Engine) ExecSQLGuarded(g *guard.Guard, sql string, useIndexes bool) (_ *sqlxml.Result, _ *Stats, err error) {
-	defer recoverPanic(&err)
-	stmt, err := sqlxml.Parse(sql)
-	if err != nil {
-		return nil, nil, err
-	}
-	stats := &Stats{}
-	pf := sqlxml.Prefilter{}
-	exec := e.exec
-	if g != nil {
-		// Per-query copy: the shared executor must stay guard-free for
-		// concurrent callers.
-		exec = &sqlxml.Executor{Catalog: e.Catalog, Coll: e.Catalog, Guard: g}
-	}
-	if useIndexes {
-		if _, ok := stmt.(*sqlxml.CreateIndex); !ok {
-			analysis, err := core.AnalyzeSQL(stmt, e.Catalog)
-			if err != nil {
-				return nil, nil, err
-			}
-			plans, err := e.planProbes(analysis)
-			if err != nil {
-				return nil, nil, err
-			}
-			collSets, rowSets, err := runProbes(g, plans, analysis, stats)
-			if err != nil {
-				return nil, nil, err
-			}
-			e.applyRelProbes(analysis, rowSets, stats)
-			for fi, set := range rowSets {
-				pf[fi] = set
-			}
-			if len(collSets) > 0 {
-				exec = &sqlxml.Executor{Catalog: e.Catalog, Coll: &filteredResolver{cat: e.Catalog, allowed: collSets}, Guard: g}
-			}
-			countDocs(e, collSets, rowSets, rowCollections(analysis), stats, collectCollections(analysis))
-			snapshotIndexStats(e, stats)
-		}
-	}
-	if err := g.Check(); err != nil {
-		return nil, nil, err
-	}
-	res, err := exec.ExecFiltered(stmt, pf)
-	if err != nil {
-		return nil, nil, err
-	}
-	stats.RowsScanned = res.RowsScanned
-	return res, stats, nil
+func (e *Engine) ExecSQLGuarded(g *guard.Guard, sql string, useIndexes bool) (*sqlxml.Result, *Stats, error) {
+	return e.ExecSQLOpts(sql, ExecOptions{Guard: g, UseIndexes: useIndexes})
 }
 
 // Explain analyzes a query (SQL if it parses as SQL, else XQuery) and

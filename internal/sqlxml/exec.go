@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"github.com/xqdb/xqdb/internal/guard"
 	"github.com/xqdb/xqdb/internal/storage"
@@ -21,6 +23,10 @@ type Executor struct {
 	Catalog *storage.Catalog
 	Coll    xquery.CollectionResolver
 	Guard   *guard.Guard
+	// Parallel caps the worker count for partitioning a SELECT's outer
+	// base-table scan; <= 1 runs serially. Shard results are gathered in
+	// shard order, so output is byte-identical to the serial order.
+	Parallel int
 }
 
 // ResultCell is one output cell: NULL, a SQL scalar, or an XML value
@@ -51,6 +57,9 @@ type Result struct {
 	// RowsScanned counts base-table rows visited, the measure the
 	// Definition-1 pre-filter reduces.
 	RowsScanned int
+	// ParallelShards is the worker count the outer scan used (0 or 1 =
+	// serial).
+	ParallelShards int
 }
 
 // Prefilter restricts which rows of FROM tables are scanned: it maps a
@@ -271,109 +280,66 @@ func (e *Executor) execSelect(s *Select, pf Prefilter) (*Result, error) {
 		}
 	}
 
-	type keyedRow struct {
-		cells []ResultCell
-		keys  []ResultCell
+	// The join loop runs in one or more workers. With Parallel > 1 and an
+	// outer FROM table of enough rows, the outer scan is partitioned into
+	// contiguous shards, one worker each; shard outputs concatenate in
+	// shard order, which reproduces the serial row order exactly. Workers
+	// share the guard (atomic counters) and an output-row count for the
+	// result-item limit.
+	var emitted atomic.Int64
+	newWorker := func() *selectWorker {
+		return &selectWorker{e: e, s: s, pf: pf, outCols: res.Columns, emitted: &emitted}
 	}
-	var keyed []keyedRow
-	var env []binding
-	var loop func(i int) error
-	loop = func(i int) error {
-		if i == len(s.From) {
-			if s.Where != nil {
-				keep, err := e.evalPredicate(s.Where, env)
-				if err != nil {
-					return err
-				}
-				if !keep {
-					return nil
-				}
-			}
-			var out []ResultCell
-			for _, item := range s.Items {
-				if item.Star {
-					for _, b := range env {
-						out = append(out, b.cells...)
+	var workers []*selectWorker
+	if par := e.Parallel; par > 1 && len(s.From) > 0 {
+		if ft, ok := s.From[0].(*FromTable); ok {
+			if tab, err := e.Catalog.Table(ft.Table); err == nil {
+				rows := tab.Rows()
+				if len(rows) >= minParallelRows {
+					if par > len(rows) {
+						par = len(rows)
 					}
-					continue
-				}
-				v, err := e.evalExpr(item.Expr, env)
-				if err != nil {
-					return err
-				}
-				out = append(out, v)
-			}
-			if len(s.OrderBy) > 0 {
-				kr := keyedRow{cells: out}
-				for _, ob := range s.OrderBy {
-					// A bare name matching a select-list alias refers
-					// to the output column (standard SQL).
-					if cr, ok := ob.Expr.(*ColRef); ok && cr.Table == "" {
-						if idx := outputColumn(res.Columns, cr.Column); idx >= 0 && idx < len(out) {
-							kr.keys = append(kr.keys, out[idx])
-							continue
+					ws := make([]*selectWorker, par)
+					errs := make([]error, par)
+					var wg sync.WaitGroup
+					for i := 0; i < par; i++ {
+						ws[i] = newWorker()
+						lo, hi := i*len(rows)/par, (i+1)*len(rows)/par
+						wg.Add(1)
+						go func(i int, shard []storage.Row) {
+							defer wg.Done()
+							defer func() {
+								if r := recover(); r != nil {
+									errs[i] = &guard.Violation{Kind: guard.Internal, Msg: fmt.Sprintf("panic: %v", r)}
+								}
+							}()
+							errs[i] = ws[i].loop(0, shard)
+						}(i, rows[lo:hi])
+					}
+					wg.Wait()
+					for _, err := range errs {
+						if err != nil {
+							return nil, err
 						}
 					}
-					k, err := e.evalExpr(ob.Expr, env)
-					if err != nil {
-						return err
-					}
-					kr.keys = append(kr.keys, k)
+					workers = ws
+					res.ParallelShards = par
 				}
-				keyed = append(keyed, kr)
-				return e.Guard.Items(len(keyed))
 			}
-			res.Rows = append(res.Rows, out)
-			return e.Guard.Items(len(res.Rows))
 		}
-		switch fi := s.From[i].(type) {
-		case *FromTable:
-			tab, err := e.Catalog.Table(fi.Table)
-			if err != nil {
-				return err
-			}
-			var cols []string
-			for _, c := range tab.Columns {
-				cols = append(cols, c.Name)
-			}
-			allowed := pf[i]
-			for _, row := range tab.Rows() {
-				if err := e.Guard.Step(); err != nil {
-					return err
-				}
-				if allowed != nil && !allowed[row.ID] {
-					continue
-				}
-				res.RowsScanned++
-				cells := make([]ResultCell, len(row.Cells))
-				for ci, cell := range row.Cells {
-					cells[ci] = storageCellToResult(cell)
-				}
-				env = append(env, binding{alias: fi.Alias, cols: cols, cells: cells})
-				if err := loop(i + 1); err != nil {
-					return err
-				}
-				env = env[:len(env)-1]
-			}
-			return nil
-		case *FromXMLTable:
-			rows, cols, err := e.evalXMLTable(fi, env)
-			if err != nil {
-				return err
-			}
-			for _, cells := range rows {
-				env = append(env, binding{alias: fi.Alias, cols: cols, cells: cells})
-				if err := loop(i + 1); err != nil {
-					return err
-				}
-				env = env[:len(env)-1]
-			}
-			return nil
-		}
-		return fmt.Errorf("unsupported FROM item")
 	}
-	if err := loop(0); err != nil {
-		return nil, err
+	if workers == nil {
+		w := newWorker()
+		if err := w.loop(0, nil); err != nil {
+			return nil, err
+		}
+		workers = []*selectWorker{w}
+	}
+	var keyed []keyedRow
+	for _, w := range workers {
+		res.Rows = append(res.Rows, w.rows...)
+		keyed = append(keyed, w.keyed...)
+		res.RowsScanned += w.scanned
 	}
 	if len(s.OrderBy) > 0 {
 		var sortErr error
@@ -403,6 +369,143 @@ func (e *Executor) execSelect(s *Select, pf Prefilter) (*Result, error) {
 		res.Rows = res.Rows[:s.Limit]
 	}
 	return res, nil
+}
+
+// minParallelRows is the smallest outer table worth sharding; below it
+// the goroutine overhead outweighs the work. A variable so tests can
+// lower it.
+var minParallelRows = 32
+
+// keyedRow pairs an output row with its ORDER BY keys.
+type keyedRow struct {
+	cells []ResultCell
+	keys  []ResultCell
+}
+
+// selectWorker evaluates the join loop for one shard of the outer table
+// (or the whole table when running serially). Each worker accumulates
+// its own output so no synchronization happens on the hot path; the
+// shared emitted counter feeds the guard's result-item limit with the
+// global count.
+type selectWorker struct {
+	e       *Executor
+	s       *Select
+	pf      Prefilter
+	outCols []string
+	emitted *atomic.Int64
+
+	env     []binding
+	rows    [][]ResultCell
+	keyed   []keyedRow
+	scanned int
+}
+
+// loop recurses over the FROM items; outer, when non-nil, replaces the
+// first FROM table's row scan with a pre-resolved shard.
+func (w *selectWorker) loop(i int, outer []storage.Row) error {
+	e, s := w.e, w.s
+	if i == len(s.From) {
+		return w.emit()
+	}
+	switch fi := s.From[i].(type) {
+	case *FromTable:
+		tab, err := e.Catalog.Table(fi.Table)
+		if err != nil {
+			return err
+		}
+		var cols []string
+		for _, c := range tab.Columns {
+			cols = append(cols, c.Name)
+		}
+		rows := outer
+		if rows == nil {
+			rows = tab.Rows()
+		}
+		allowed := w.pf[i]
+		for _, row := range rows {
+			if err := e.Guard.Step(); err != nil {
+				return err
+			}
+			if allowed != nil && !allowed[row.ID] {
+				continue
+			}
+			w.scanned++
+			cells := make([]ResultCell, len(row.Cells))
+			for ci, cell := range row.Cells {
+				cells[ci] = storageCellToResult(cell)
+			}
+			w.env = append(w.env, binding{alias: fi.Alias, cols: cols, cells: cells})
+			if err := w.loop(i+1, nil); err != nil {
+				return err
+			}
+			w.env = w.env[:len(w.env)-1]
+		}
+		return nil
+	case *FromXMLTable:
+		rows, cols, err := e.evalXMLTable(fi, w.env)
+		if err != nil {
+			return err
+		}
+		for _, cells := range rows {
+			w.env = append(w.env, binding{alias: fi.Alias, cols: cols, cells: cells})
+			if err := w.loop(i+1, nil); err != nil {
+				return err
+			}
+			w.env = w.env[:len(w.env)-1]
+		}
+		return nil
+	}
+	return fmt.Errorf("unsupported FROM item")
+}
+
+// emit evaluates WHERE and the select list for the current join row.
+func (w *selectWorker) emit() error {
+	e, s := w.e, w.s
+	if s.Where != nil {
+		keep, err := e.evalPredicate(s.Where, w.env)
+		if err != nil {
+			return err
+		}
+		if !keep {
+			return nil
+		}
+	}
+	var out []ResultCell
+	for _, item := range s.Items {
+		if item.Star {
+			for _, b := range w.env {
+				out = append(out, b.cells...)
+			}
+			continue
+		}
+		v, err := e.evalExpr(item.Expr, w.env)
+		if err != nil {
+			return err
+		}
+		out = append(out, v)
+	}
+	if len(s.OrderBy) > 0 {
+		kr := keyedRow{cells: out}
+		for _, ob := range s.OrderBy {
+			// A bare name matching a select-list alias refers to the
+			// output column (standard SQL).
+			if cr, ok := ob.Expr.(*ColRef); ok && cr.Table == "" {
+				if idx := outputColumn(w.outCols, cr.Column); idx >= 0 && idx < len(out) {
+					kr.keys = append(kr.keys, out[idx])
+					continue
+				}
+			}
+			k, err := e.evalExpr(ob.Expr, w.env)
+			if err != nil {
+				return err
+			}
+			kr.keys = append(kr.keys, k)
+		}
+		w.keyed = append(w.keyed, kr)
+		return e.Guard.Items(int(w.emitted.Add(1)))
+	}
+	w.rows = append(w.rows, out)
+	return e.Guard.Items(int(w.emitted.Add(1)))
 }
 
 // outputColumn finds a select-list column by name (-1 if absent). Star

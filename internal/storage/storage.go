@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/xqdb/xqdb/internal/btree"
 	"github.com/xqdb/xqdb/internal/guard"
@@ -99,6 +100,18 @@ type Table struct {
 
 	xmlIndexes []*XMLIndex
 	relIndexes []*RelIndex
+
+	// catVersion points at the owning catalog's schema version counter;
+	// index DDL on this table bumps it. Nil for tables created outside a
+	// catalog (tests).
+	catVersion *atomic.Uint64
+}
+
+// bumpVersion records a schema change against the owning catalog.
+func (t *Table) bumpVersion() {
+	if t.catVersion != nil {
+		t.catVersion.Add(1)
+	}
 }
 
 // XMLIndex couples an xmlindex.Index with the column it indexes.
@@ -121,7 +134,16 @@ type RelIndex struct {
 type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
+	// version counts schema changes: CREATE/DROP TABLE and CREATE/DROP
+	// INDEX on any table of this catalog. Cached query plans embed the
+	// version they were built against and are invalidated when it moves;
+	// data changes (insert/delete) do not bump it — plans hold live table
+	// and index objects, not data snapshots.
+	version atomic.Uint64
 }
+
+// Version returns the current schema version counter.
+func (c *Catalog) Version() uint64 { return c.version.Load() }
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
@@ -144,8 +166,9 @@ func (c *Catalog) CreateTable(name string, cols []Column) (*Table, error) {
 		}
 		seen[k] = true
 	}
-	t := &Table{Name: strings.ToLower(name), Columns: cols, byID: map[uint32]int{}, nextID: 1}
+	t := &Table{Name: strings.ToLower(name), Columns: cols, byID: map[uint32]int{}, nextID: 1, catVersion: &c.version}
 	c.tables[key] = t
+	c.version.Add(1)
 	return t, nil
 }
 
@@ -158,6 +181,7 @@ func (c *Catalog) DropTable(name string) error {
 		return fmt.Errorf("unknown table %s", name)
 	}
 	delete(c.tables, key)
+	c.version.Add(1)
 	return nil
 }
 
@@ -370,6 +394,20 @@ func (t *Table) Rows() []Row {
 	return append([]Row(nil), t.rows...)
 }
 
+// ForEachRow visits rows in insertion order under the read lock, without
+// copying the row slice. Returning false stops the iteration. The
+// callback must not re-enter this table (Insert/Delete/DDL or another
+// query) — RWMutex read locks do not nest across a pending writer.
+func (t *Table) ForEachRow(f func(*Row) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for i := range t.rows {
+		if !f(&t.rows[i]) {
+			return
+		}
+	}
+}
+
 // RowByID fetches one row.
 func (t *Table) RowByID(id uint32) (Row, bool) {
 	t.mu.RLock()
@@ -420,6 +458,7 @@ func (t *Table) CreateXMLIndex(name, column, xmlPattern string, typ xmlindex.Typ
 		}
 	}
 	t.xmlIndexes = append(t.xmlIndexes, xi)
+	t.bumpVersion()
 	return xi, nil
 }
 
@@ -444,12 +483,14 @@ func (t *Table) DropIndex(name string) bool {
 	for i, xi := range t.xmlIndexes {
 		if strings.EqualFold(xi.Name, name) {
 			t.xmlIndexes = append(t.xmlIndexes[:i], t.xmlIndexes[i+1:]...)
+			t.bumpVersion()
 			return true
 		}
 	}
 	for i, ri := range t.relIndexes {
 		if strings.EqualFold(ri.Name, name) {
 			t.relIndexes = append(t.relIndexes[:i], t.relIndexes[i+1:]...)
+			t.bumpVersion()
 			return true
 		}
 	}
@@ -472,6 +513,7 @@ func (t *Table) CreateRelIndex(name, column string) (*RelIndex, error) {
 		ri.insert(row)
 	}
 	t.relIndexes = append(t.relIndexes, ri)
+	t.bumpVersion()
 	return ri, nil
 }
 

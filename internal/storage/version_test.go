@@ -1,0 +1,101 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/xqdb/xqdb/internal/xmlindex"
+)
+
+// The plan cache keys its staleness check on Catalog.Version: every DDL
+// statement must bump it, and plain data changes must not (cached plans
+// hold live table and index objects, so data flows through unchanged).
+func TestCatalogVersionBumpsOnDDLOnly(t *testing.T) {
+	c := NewCatalog()
+	v := c.Version()
+	step := func(what string, want bool) {
+		t.Helper()
+		now := c.Version()
+		if bumped := now != v; bumped != want {
+			t.Fatalf("%s: version bump = %v, want %v (version %d -> %d)", what, bumped, want, v, now)
+		}
+		v = now
+	}
+
+	tab, err := c.CreateTable("orders", []Column{
+		{Name: "ordid", Type: Integer},
+		{Name: "orddoc", Type: XML},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	step("CreateTable", true)
+
+	id := insertOrder(t, tab, 1, `<order><lineitem price="150"/></order>`)
+	step("Insert", false)
+
+	if _, err := tab.CreateXMLIndex("li_price", "orddoc", "//lineitem/@price", xmlindex.Double); err != nil {
+		t.Fatal(err)
+	}
+	step("CreateXMLIndex", true)
+
+	if _, err := tab.CreateRelIndex("by_ordid", "ordid"); err != nil {
+		t.Fatal(err)
+	}
+	step("CreateRelIndex", true)
+
+	if err := tab.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	step("Delete", false)
+
+	if !tab.DropIndex("li_price") {
+		t.Fatal("DropIndex li_price: not found")
+	}
+	step("DropIndex xml", true)
+
+	if !tab.DropIndex("by_ordid") {
+		t.Fatal("DropIndex by_ordid: not found")
+	}
+	step("DropIndex rel", true)
+
+	if tab.DropIndex("nope") {
+		t.Fatal("DropIndex of a missing index reported true")
+	}
+	step("DropIndex missing", false)
+
+	if err := c.DropTable("orders"); err != nil {
+		t.Fatal(err)
+	}
+	step("DropTable", true)
+}
+
+func TestForEachRow(t *testing.T) {
+	_, tab := ordersTable(t)
+	for i := int64(0); i < 5; i++ {
+		insertOrder(t, tab, i, `<order/>`)
+	}
+
+	var ids []string
+	tab.ForEachRow(func(r *Row) bool {
+		ids = append(ids, r.Cells[0].V.Lexical())
+		return true
+	})
+	if len(ids) != 5 {
+		t.Fatalf("visited %d rows, want 5", len(ids))
+	}
+	for i, id := range ids {
+		if want := fmt.Sprint(i); id != want {
+			t.Fatalf("insertion order violated: ids = %v", ids)
+		}
+	}
+
+	visited := 0
+	tab.ForEachRow(func(r *Row) bool {
+		visited++
+		return visited < 2
+	})
+	if visited != 2 {
+		t.Fatalf("early stop visited %d rows, want 2", visited)
+	}
+}

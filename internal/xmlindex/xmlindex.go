@@ -66,7 +66,9 @@ type Entry struct {
 	NodeID uint32
 }
 
-// Stats counts index activity; the benchmark harness reads these.
+// Stats counts cumulative index activity since creation (or the last
+// ResetStats). Per-query accounting uses the counts ScanStats/DocSetStats
+// return instead — these totals are a monitoring aid only.
 type Stats struct {
 	Probes      int // number of Scan calls
 	KeysVisited int // B+Tree entries touched across all probes
@@ -295,15 +297,23 @@ type Probe struct {
 	Guard *guard.Guard
 }
 
-// Scan runs a probe and returns the matching entries in key order. The
-// returned count of visited keys includes entries rejected by the query
-// pattern restriction.
+// Scan runs a probe and returns the matching entries in key order.
 func (ix *Index) Scan(p Probe) ([]Entry, error) {
+	entries, _, err := ix.ScanStats(p)
+	return entries, err
+}
+
+// ScanStats is Scan plus the number of B+Tree keys this probe visited
+// (including entries the query-pattern restriction rejected). Returning
+// the count per probe — instead of accumulating it in shared index
+// counters a caller would have to read and reset — keeps concurrent
+// queries' statistics independent.
+func (ix *Index) ScanStats(p Probe) ([]Entry, int, error) {
 	if err := guard.Fault("xmlindex.scan:" + ix.Name); err != nil {
-		return nil, fmt.Errorf("index %s: %w", ix.Name, err)
+		return nil, 0, fmt.Errorf("index %s: %w", ix.Name, err)
 	}
 	if err := p.Guard.Check(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
@@ -311,7 +321,7 @@ func (ix *Index) Scan(p Probe) ([]Entry, error) {
 
 	lo, hi, err := ix.bounds(p.Range)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	// Path verdict cache: pathID → matches query pattern.
 	verdicts := map[uint32]bool{}
@@ -338,23 +348,29 @@ func (ix *Index) Scan(p Probe) ([]Entry, error) {
 		})
 	ix.keysVisited.Add(int64(visited))
 	if err != nil {
-		return nil, err
+		return nil, visited, err
 	}
-	return out, nil
+	return out, visited, nil
 }
 
 // DocSet runs a probe and returns the distinct matching document ids —
 // the document pre-filter I(P, D) of Definition 1.
 func (ix *Index) DocSet(p Probe) (map[uint32]bool, error) {
-	entries, err := ix.Scan(p)
+	docs, _, err := ix.DocSetStats(p)
+	return docs, err
+}
+
+// DocSetStats is DocSet plus the per-probe visited-key count.
+func (ix *Index) DocSetStats(p Probe) (map[uint32]bool, int, error) {
+	entries, visited, err := ix.ScanStats(p)
 	if err != nil {
-		return nil, err
+		return nil, visited, err
 	}
 	docs := make(map[uint32]bool)
 	for _, e := range entries {
 		docs[e.DocID] = true
 	}
-	return docs, nil
+	return docs, visited, nil
 }
 
 // bounds converts a value range to B+Tree key bounds.

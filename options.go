@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/xqdb/xqdb/internal/engine"
 	"github.com/xqdb/xqdb/internal/guard"
 	"github.com/xqdb/xqdb/internal/sqlxml"
 	"github.com/xqdb/xqdb/internal/xdm"
@@ -74,6 +75,11 @@ type QueryOptions struct {
 	// query execution (XMLPARSE); 0 falls back to the parser defaults.
 	MaxParseDepth int
 	MaxDocBytes   int
+	// Parallelism caps the worker count for document-at-a-time execution
+	// (the top-level collection binding of an XQuery, or a SELECT's
+	// outer base-table scan). 0 means GOMAXPROCS; 1 runs serially.
+	// Results are byte-identical to the serial order at any setting.
+	Parallelism int
 }
 
 // guard builds the per-query guard; a fully zero options value yields a
@@ -113,9 +119,24 @@ func wrapQueryErr(query string, err error) error {
 	return &QueryError{Kind: kind, Query: query, Err: v}
 }
 
+// engineOptions translates QueryOptions into the engine's execution
+// options.
+func (db *DB) engineOptions(opts QueryOptions, prepared bool) engine.ExecOptions {
+	return engine.ExecOptions{
+		Guard:       opts.guard(),
+		UseIndexes:  db.UseIndexes,
+		Parallelism: opts.Parallelism,
+		Prepared:    prepared,
+	}
+}
+
 // ExecSQLOpts runs a SQL/XML statement under the given guardrails.
 func (db *DB) ExecSQLOpts(sql string, opts QueryOptions) (*Result, *Stats, error) {
-	res, stats, err := db.eng.ExecSQLGuarded(opts.guard(), sql, db.UseIndexes)
+	return db.execSQL(sql, opts, false)
+}
+
+func (db *DB) execSQL(sql string, opts QueryOptions, prepared bool) (*Result, *Stats, error) {
+	res, stats, err := db.eng.ExecSQLOpts(sql, db.engineOptions(opts, prepared))
 	if err != nil {
 		return nil, nil, wrapQueryErr(sql, err)
 	}
@@ -124,7 +145,11 @@ func (db *DB) ExecSQLOpts(sql string, opts QueryOptions) (*Result, *Stats, error
 
 // QueryXQueryOpts runs a stand-alone XQuery under the given guardrails.
 func (db *DB) QueryXQueryOpts(query string, opts QueryOptions) (*Result, *Stats, error) {
-	seq, stats, err := db.eng.ExecXQueryGuarded(opts.guard(), query, db.UseIndexes)
+	return db.execXQuery(query, opts, false)
+}
+
+func (db *DB) execXQuery(query string, opts QueryOptions, prepared bool) (*Result, *Stats, error) {
+	seq, stats, err := db.eng.ExecXQueryOpts(query, db.engineOptions(opts, prepared))
 	if err != nil {
 		return nil, nil, wrapQueryErr(query, err)
 	}

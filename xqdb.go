@@ -108,6 +108,56 @@ func (db *DB) QueryXQuery(query string) (*Result, *Stats, error) {
 	return db.QueryXQueryOpts(query, QueryOptions{})
 }
 
+// Stmt is a prepared statement: its plan — parsed AST, eligibility
+// analysis, and probe templates — is cached in the engine's plan cache,
+// so repeated executions skip parsing and planning entirely. The cache
+// entry is keyed by (query text, language, UseIndexes at execution time)
+// and invalidated automatically when the schema changes (CREATE/DROP
+// TABLE or INDEX), so eligibility decisions never go stale: the next
+// execution replans against the new schema. Index probes themselves run
+// on every execution — their inputs are data-dependent.
+//
+// A Stmt is safe for concurrent use.
+type Stmt struct {
+	db   *DB
+	text string
+	lang engine.Lang
+}
+
+// Prepare parses and plans a SQL/XML statement, caching the plan for
+// repeated execution. Parse and analysis errors surface here.
+func (db *DB) Prepare(sql string) (*Stmt, error) {
+	if err := db.eng.Prepare(sql, engine.LangSQL, db.UseIndexes); err != nil {
+		return nil, err
+	}
+	return &Stmt{db: db, text: sql, lang: engine.LangSQL}, nil
+}
+
+// PrepareXQuery parses and plans a stand-alone XQuery, caching the plan
+// for repeated execution.
+func (db *DB) PrepareXQuery(query string) (*Stmt, error) {
+	if err := db.eng.Prepare(query, engine.LangXQuery, db.UseIndexes); err != nil {
+		return nil, err
+	}
+	return &Stmt{db: db, text: query, lang: engine.LangXQuery}, nil
+}
+
+// Text returns the statement's query text.
+func (s *Stmt) Text() string { return s.text }
+
+// Exec runs the prepared statement with no guardrails.
+func (s *Stmt) Exec() (*Result, *Stats, error) {
+	return s.ExecOpts(QueryOptions{})
+}
+
+// ExecOpts runs the prepared statement under the given guardrails.
+func (s *Stmt) ExecOpts(opts QueryOptions) (*Result, *Stats, error) {
+	if s.lang == engine.LangXQuery {
+		return s.db.execXQuery(s.text, opts, true)
+	}
+	return s.db.execSQL(s.text, opts, true)
+}
+
 // Explain analyzes a query without running it: extracted predicates,
 // per-index eligibility verdicts with reasons, and tip warnings.
 func (db *DB) Explain(query string) (string, error) {
