@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify bench fuzz
+.PHONY: build test vet race fmt-check verify bench fuzz
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,11 @@ vet:
 race:
 	$(GO) test -race ./...
 
-verify: test vet race bench
+# fmt-check fails (and lists the offenders) when any file is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+verify: fmt-check test vet race bench
 
 # Full-suite benchmark run emitting BENCH_PR2.json: every E1-E12 pair
 # plus the prepared-statement and parallelism pairs, with the paper's

@@ -102,7 +102,9 @@ func pairs(benches []Benchmark) []Pair {
 		byName[b.Name] = b
 	}
 	seen := make(map[string]bool)
-	var out []Pair
+	// Non-nil so a run with no pairable benchmarks (a partial bench.out,
+	// a -bench filter) still emits "pairs": [] rather than null.
+	out := make([]Pair, 0)
 	for _, b := range benches {
 		for _, rule := range pairRules {
 			if !strings.Contains(b.Name, rule.from) {

@@ -1,14 +1,18 @@
 // Command xqshell is an interactive shell for xqdb. It accepts SQL/XML
-// statements and stand-alone XQuery expressions, with meta-commands:
+// statements (including EXPLAIN <statement>) and stand-alone XQuery
+// expressions, with meta-commands:
 //
 //	\explain <query>   analyze a query without running it
 //	\stats on|off      print planner statistics after each query
+//	\trace on|off      print timed execution spans after each query
+//	\slow <dur>|off    log queries slower than dur (e.g. \slow 100ms)
+//	\metrics           print the metrics registry snapshot as JSON
 //	\noindex on|off    disable index pre-filtering (full scans)
 //	\load <file>       run statements from a file (separated by ;)
 //	\quit
 //
-// Lines are dispatched by first keyword: CREATE/INSERT/SELECT/VALUES go to
-// the SQL engine, everything else to XQuery.
+// Lines are dispatched by first keyword: CREATE/INSERT/SELECT/VALUES/
+// EXPLAIN go to the SQL engine, everything else to XQuery.
 package main
 
 import (
@@ -20,13 +24,21 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"github.com/xqdb/xqdb"
 )
 
+// shellOpts is the shell's per-session display and guardrail state.
+type shellOpts struct {
+	stats bool
+	trace bool
+	slow  time.Duration // 0 = slow-query log off
+}
+
 func main() {
 	db := xqdb.Open()
-	showStats := true
+	opts := &shellOpts{stats: true}
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	// SIGINT cancels the running statement via its guard context instead
@@ -40,7 +52,7 @@ func main() {
 		line := in.Text()
 		trimmed := strings.TrimSpace(line)
 		if strings.HasPrefix(trimmed, "\\") {
-			if !meta(db, trimmed, &showStats) {
+			if !meta(db, trimmed, opts) {
 				return
 			}
 			fmt.Print("xqdb> ")
@@ -59,7 +71,7 @@ func main() {
 		}
 		stmt := strings.TrimSuffix(strings.TrimSpace(buf.String()), ";")
 		buf.Reset()
-		runInterruptible(db, sig, stmt, showStats)
+		runInterruptible(db, sig, stmt, opts)
 		fmt.Print("xqdb> ")
 	}
 }
@@ -67,7 +79,7 @@ func main() {
 // runInterruptible runs one statement under a context canceled by SIGINT.
 // A canceled, timed-out, or panicking query prints an error and returns
 // to the prompt; it never takes the shell down.
-func runInterruptible(db *xqdb.DB, sig <-chan os.Signal, stmt string, showStats bool) {
+func runInterruptible(db *xqdb.DB, sig <-chan os.Signal, stmt string, opts *shellOpts) {
 	// Drain a SIGINT delivered while the shell sat at the prompt so it
 	// does not cancel this statement immediately.
 	select {
@@ -83,22 +95,42 @@ func runInterruptible(db *xqdb.DB, sig <-chan os.Signal, stmt string, showStats 
 		case <-done:
 		}
 	}()
-	runStatementCtx(os.Stdout, db, ctx, stmt, showStats)
+	runStatementCtx(os.Stdout, db, ctx, stmt, *opts)
 	close(done)
 	cancel()
 }
 
-func meta(db *xqdb.DB, cmd string, showStats *bool) bool {
-	return metaTo(os.Stdout, db, cmd, showStats)
+func meta(db *xqdb.DB, cmd string, opts *shellOpts) bool {
+	return metaTo(os.Stdout, db, cmd, opts)
 }
 
-func metaTo(w io.Writer, db *xqdb.DB, cmd string, showStats *bool) bool {
+func metaTo(w io.Writer, db *xqdb.DB, cmd string, opts *shellOpts) bool {
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case "\\quit", "\\q":
 		return false
 	case "\\stats":
-		*showStats = len(fields) > 1 && fields[1] == "on"
+		opts.stats = len(fields) > 1 && fields[1] == "on"
+	case "\\trace":
+		opts.trace = len(fields) > 1 && fields[1] == "on"
+	case "\\slow":
+		if len(fields) < 2 || fields[1] == "off" {
+			opts.slow = 0
+			break
+		}
+		d, err := time.ParseDuration(fields[1])
+		if err != nil {
+			fmt.Fprintln(w, "usage: \\slow <duration>|off  (e.g. \\slow 100ms)")
+			break
+		}
+		opts.slow = d
+	case "\\metrics":
+		data, err := db.MetricsJSON()
+		if err != nil {
+			fmt.Fprintln(w, "error:", err)
+			break
+		}
+		fmt.Fprintf(w, "%s\n", data)
 	case "\\noindex":
 		db.UseIndexes = !(len(fields) > 1 && fields[1] == "on")
 	case "\\explain":
@@ -111,7 +143,7 @@ func metaTo(w io.Writer, db *xqdb.DB, cmd string, showStats *bool) bool {
 		}
 	case "\\load":
 		if len(fields) < 2 {
-			fmt.Println("usage: \\load <file>")
+			fmt.Fprintln(w, "usage: \\load <file>")
 			break
 		}
 		data, err := os.ReadFile(fields[1])
@@ -122,33 +154,39 @@ func metaTo(w io.Writer, db *xqdb.DB, cmd string, showStats *bool) bool {
 		for _, stmt := range strings.Split(string(data), ";") {
 			stmt = strings.TrimSpace(stmt)
 			if stmt != "" {
-				runStatementTo(w, db, stmt, false)
+				runStatementTo(w, db, stmt, shellOpts{})
 			}
 		}
 	default:
-		fmt.Fprintln(w, "commands: \\explain <q>, \\stats on|off, \\noindex on|off, \\load <file>, \\quit")
+		fmt.Fprintln(w, "commands: \\explain <q>, \\stats on|off, \\trace on|off, \\slow <dur>|off, \\metrics, \\noindex on|off, \\load <file>, \\quit")
 	}
 	return true
 }
 
 // runStatementTo dispatches SQL vs XQuery by leading keyword.
-func runStatementTo(w io.Writer, db *xqdb.DB, stmt string, showStats bool) {
-	runStatementCtx(w, db, context.Background(), stmt, showStats)
+func runStatementTo(w io.Writer, db *xqdb.DB, stmt string, opts shellOpts) {
+	runStatementCtx(w, db, context.Background(), stmt, opts)
 }
 
-func runStatementCtx(w io.Writer, db *xqdb.DB, ctx context.Context, stmt string, showStats bool) {
+func runStatementCtx(w io.Writer, db *xqdb.DB, ctx context.Context, stmt string, opts shellOpts) {
 	first := strings.ToLower(strings.Fields(stmt)[0])
-	opts := xqdb.QueryOptions{Context: ctx}
+	qopts := xqdb.QueryOptions{Context: ctx, Trace: opts.trace}
+	if opts.slow > 0 {
+		qopts.SlowThreshold = opts.slow
+		qopts.OnSlow = func(sq xqdb.SlowQuery) {
+			fmt.Fprintf(w, "slow query (%s, %s): %.120s\n", sq.Duration.Round(time.Microsecond), sq.Language, sq.Query)
+		}
+	}
 	var (
 		res   *xqdb.Result
 		stats *xqdb.Stats
 		err   error
 	)
 	switch first {
-	case "create", "insert", "select", "values", "drop", "delete":
-		res, stats, err = db.ExecSQLOpts(stmt, opts)
+	case "create", "insert", "select", "values", "drop", "delete", "explain":
+		res, stats, err = db.ExecSQLOpts(stmt, qopts)
 	default:
-		res, stats, err = db.QueryXQueryOpts(stmt, opts)
+		res, stats, err = db.QueryXQueryOpts(stmt, qopts)
 	}
 	var qe *xqdb.QueryError
 	if errors.As(err, &qe) {
@@ -167,11 +205,19 @@ func runStatementCtx(w io.Writer, db *xqdb.DB, ctx context.Context, stmt string,
 	for i, row := range res.Rows() {
 		fmt.Fprintf(w, "row %d: %s\n", i+1, strings.Join(row, " | "))
 	}
-	if showStats && stats != nil {
+	if opts.stats && stats != nil {
 		fmt.Fprintf(w, "-- %d rows", res.Len())
 		if len(stats.IndexesUsed) > 0 {
 			fmt.Fprintf(w, "; indexes: %s; docs %d/%d", strings.Join(stats.IndexesUsed, ", "), stats.DocsScanned, stats.DocsTotal)
 		}
+		if stats.PlanCache != "" {
+			fmt.Fprintf(w, "; plan cache: %s", stats.PlanCache)
+		}
 		fmt.Fprintln(w)
+	}
+	if opts.trace && stats != nil && stats.Trace != nil {
+		for _, s := range stats.Trace.Spans {
+			fmt.Fprintf(w, "trace: %-8s +%-10s %-10s %s\n", s.Name, s.Start.Round(time.Microsecond), s.Dur.Round(time.Microsecond), s.Note)
+		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/xqdb/xqdb"
 )
@@ -12,11 +13,11 @@ import (
 func TestRunStatementDispatch(t *testing.T) {
 	db := xqdb.Open()
 	var out strings.Builder
-	runStatementTo(&out, db, `create table t (a integer, d xml)`, false)
-	runStatementTo(&out, db, `insert into t values (1, '<x><y>7</y></x>')`, false)
-	runStatementTo(&out, db, `select a from t`, true)
-	runStatementTo(&out, db, `db2-fn:xmlcolumn("T.D")//y`, true)
-	runStatementTo(&out, db, `select bogus syntax here`, false)
+	runStatementTo(&out, db, `create table t (a integer, d xml)`, shellOpts{})
+	runStatementTo(&out, db, `insert into t values (1, '<x><y>7</y></x>')`, shellOpts{})
+	runStatementTo(&out, db, `select a from t`, shellOpts{stats: true})
+	runStatementTo(&out, db, `db2-fn:xmlcolumn("T.D")//y`, shellOpts{stats: true})
+	runStatementTo(&out, db, `select bogus syntax here`, shellOpts{})
 	got := out.String()
 	for _, want := range []string{"row 1: 1", "row 1: <y>7</y>", "-- 1 rows", "error:"} {
 		if !strings.Contains(got, want) {
@@ -25,26 +26,60 @@ func TestRunStatementDispatch(t *testing.T) {
 	}
 }
 
+func TestRunStatementExplainAndTrace(t *testing.T) {
+	db := xqdb.Open()
+	var out strings.Builder
+	runStatementTo(&out, db, `create table t (a integer, d xml)`, shellOpts{})
+	runStatementTo(&out, db, `insert into t values (1, '<x><y>7</y></x>')`, shellOpts{})
+
+	out.Reset()
+	runStatementTo(&out, db, `explain select a from t`, shellOpts{})
+	if !strings.Contains(out.String(), "plan: language=sql") {
+		t.Errorf("EXPLAIN should dispatch to SQL and print a plan report:\n%s", out.String())
+	}
+
+	out.Reset()
+	runStatementTo(&out, db, `select a from t`, shellOpts{trace: true})
+	got := out.String()
+	if !strings.Contains(got, "trace: plan") || !strings.Contains(got, "trace: scan") {
+		t.Errorf("trace output missing spans:\n%s", got)
+	}
+}
+
 func TestMetaCommands(t *testing.T) {
 	db := xqdb.Open()
 	db.MustExecSQL(`create table t (a integer, d xml)`)
-	show := true
+	opts := &shellOpts{stats: true}
 	var out strings.Builder
-	if metaTo(&out, db, `\quit`, &show) {
+	if metaTo(&out, db, `\quit`, opts) {
 		t.Error("\\quit should stop the loop")
 	}
-	if !metaTo(&out, db, `\stats off`, &show) || show {
+	if !metaTo(&out, db, `\stats off`, opts) || opts.stats {
 		t.Error("\\stats off failed")
 	}
-	if !metaTo(&out, db, `\noindex on`, &show) || db.UseIndexes {
+	if !metaTo(&out, db, `\trace on`, opts) || !opts.trace {
+		t.Error("\\trace on failed")
+	}
+	if !metaTo(&out, db, `\slow 100ms`, opts) || opts.slow != 100*time.Millisecond {
+		t.Error("\\slow 100ms failed")
+	}
+	if !metaTo(&out, db, `\slow off`, opts) || opts.slow != 0 {
+		t.Error("\\slow off failed")
+	}
+	if !metaTo(&out, db, `\noindex on`, opts) || db.UseIndexes {
 		t.Error("\\noindex on failed")
 	}
-	metaTo(&out, db, `\explain db2-fn:xmlcolumn("T.D")//y[z > 1]`, &show)
+	metaTo(&out, db, `\explain db2-fn:xmlcolumn("T.D")//y[z > 1]`, opts)
 	if !strings.Contains(out.String(), "no XML indexes") {
 		t.Errorf("explain output:\n%s", out.String())
 	}
 	out.Reset()
-	metaTo(&out, db, `\help`, &show)
+	metaTo(&out, db, `\metrics`, opts)
+	if !strings.Contains(out.String(), "counters") {
+		t.Errorf("\\metrics should print the snapshot JSON:\n%s", out.String())
+	}
+	out.Reset()
+	metaTo(&out, db, `\help`, opts)
 	if !strings.Contains(out.String(), "commands:") {
 		t.Error("unknown meta should print help")
 	}
@@ -60,10 +95,9 @@ func TestLoadScript(t *testing.T) {
 		t.Fatal(err)
 	}
 	db := xqdb.Open()
-	show := false
 	var out strings.Builder
-	metaTo(&out, db, `\load `+script, &show)
-	runStatementTo(&out, db, `select a from t`, false)
+	metaTo(&out, db, `\load `+script, &shellOpts{})
+	runStatementTo(&out, db, `select a from t`, shellOpts{})
 	if !strings.Contains(out.String(), "row 1: 1") {
 		t.Errorf("load script failed:\n%s", out.String())
 	}

@@ -4,7 +4,11 @@
 // indexes reuse the same structure.
 package btree
 
-import "bytes"
+import (
+	"bytes"
+
+	"github.com/xqdb/xqdb/internal/metrics"
+)
 
 // degree is the maximum number of keys per node. 64 keeps nodes around a
 // cache-line-friendly size for 16-40 byte keys.
@@ -16,6 +20,19 @@ const degree = 64
 type Tree struct {
 	root *node
 	size int
+
+	// mScans/mKeys, when set via Instrument, count range scans and the
+	// entries they visit. Counters are atomic, so scans under a shared
+	// read lock may update them concurrently.
+	mScans *metrics.Counter
+	mKeys  *metrics.Counter
+}
+
+// Instrument attaches scan counters: scans counts ScanCheck/Scan calls,
+// keys the entries they visit. Nil counters (or never calling Instrument)
+// keep the tree unobserved at zero cost beyond one nil check per scan.
+func (t *Tree) Instrument(scans, keys *metrics.Counter) {
+	t.mScans, t.mKeys = scans, keys
 }
 
 // node is either an interior node (children non-nil) or a leaf.
@@ -200,6 +217,13 @@ const scanCheckEvery = 512
 // count, and a non-nil error stops the scan and is returned. A nil check
 // behaves exactly like Scan.
 func (t *Tree) ScanCheck(lo, hi []byte, check func(visited int) error, f func(key, value []byte) bool) (int, error) {
+	visited, err := t.scanCheck(lo, hi, check, f)
+	t.mScans.Inc()
+	t.mKeys.Add(int64(visited))
+	return visited, err
+}
+
+func (t *Tree) scanCheck(lo, hi []byte, check func(visited int) error, f func(key, value []byte) bool) (int, error) {
 	var n *node
 	if lo == nil {
 		n = t.firstLeaf()

@@ -164,7 +164,11 @@ func (a *Analysis) warnf(tip int, format string, args ...any) {
 // Verdict is the eligibility decision for one (predicate, index) pair.
 type Verdict struct {
 	IndexName string
-	Eligible  bool
+	// Pattern and IdxType describe the candidate index ("//a/@b",
+	// "double") so a report can be rendered from the verdict alone.
+	Pattern  string
+	IdxType  string
+	Eligible bool
 	// Reasons lists the failed conditions when ineligible, phrased in
 	// the paper's terms.
 	Reasons []string
@@ -206,7 +210,7 @@ func typeCompatible(idx xmlindex.Type, comp CompType) (bool, string) {
 // CheckIndex decides whether one index is eligible to answer one
 // predicate, and diagnoses failures with the relevant tips.
 func CheckIndex(idxName string, idxPattern *pattern.Pattern, idxType xmlindex.Type, p Predicate) Verdict {
-	v := Verdict{IndexName: idxName}
+	v := Verdict{IndexName: idxName, Pattern: fmt.Sprint(idxPattern), IdxType: fmt.Sprint(idxType)}
 	if !p.Filtering {
 		reason := p.Reason
 		if reason == "" {

@@ -13,24 +13,34 @@ import (
 
 	"github.com/xqdb/xqdb/internal/core"
 	"github.com/xqdb/xqdb/internal/guard"
+	"github.com/xqdb/xqdb/internal/metrics"
 	"github.com/xqdb/xqdb/internal/sqlxml"
 	"github.com/xqdb/xqdb/internal/storage"
 	"github.com/xqdb/xqdb/internal/xdm"
 	"github.com/xqdb/xqdb/internal/xmlindex"
-	"github.com/xqdb/xqdb/internal/xquery"
 )
 
 // Engine is one database instance.
 type Engine struct {
 	Catalog *storage.Catalog
+	// Metrics aggregates engine-lifetime observability counters (query
+	// counts, guard trips, plan-cache and index activity, latency). One
+	// registry per engine, so two databases in a process never mix.
+	Metrics *metrics.Registry
 	// plans caches prepared plans keyed by (query, language,
 	// useIndexes), invalidated by the catalog's schema version.
 	plans *planCache
+	inst  instruments
 }
 
 // New returns an empty database.
 func New() *Engine {
-	return &Engine{Catalog: storage.NewCatalog(), plans: newPlanCache()}
+	reg := metrics.NewRegistry()
+	cat := storage.NewCatalog()
+	cat.SetMetrics(reg)
+	e := &Engine{Catalog: cat, Metrics: reg, plans: newPlanCache(reg)}
+	e.inst.init(reg)
+	return e
 }
 
 // Stats reports what the planner and executor did for one query.
@@ -50,6 +60,12 @@ type Stats struct {
 	// ParallelShards is the worker count document-at-a-time execution
 	// actually used (0 or 1 = serial).
 	ParallelShards int
+	// PlanCache reports how the plan was obtained: "hit" or "miss" for
+	// prepared execution, "bypass" when the cache was not consulted.
+	PlanCache string
+	// Trace holds timed execution spans when ExecOptions.Trace is set;
+	// nil otherwise.
+	Trace *Trace
 }
 
 // probePlan is one planned index probe — a template: everything here
@@ -75,9 +91,12 @@ type semiJoinSpec struct {
 }
 
 // planProbes turns the analysis into index probes. For each filtering
-// predicate it picks the first eligible index on the owning table.
-func (e *Engine) planProbes(a *core.Analysis) ([]probePlan, error) {
+// predicate it picks the first eligible index on the owning table, and
+// records a decision per predicate — every candidate's verdict plus the
+// planner's choice — for EXPLAIN.
+func (e *Engine) planProbes(a *core.Analysis) ([]probePlan, []predDecision, error) {
 	var plans []probePlan
+	decisions := make([]predDecision, 0, len(a.Predicates))
 	consumed := map[int]bool{}
 	// A structural (existence) probe scans the index's full value range;
 	// it is pure overhead when a value predicate of the same binding
@@ -94,50 +113,77 @@ func (e *Engine) planProbes(a *core.Analysis) ([]probePlan, error) {
 		}
 	}
 	for pi, p := range a.Predicates {
-		if !p.Filtering || consumed[pi] {
-			continue
-		}
-		if p.Value == nil && p.Op == 0 && hasValueProbe[occ{p.Collection, p.FromIndex, p.Occurrence}] {
+		d := predDecision{pred: p, chosen: -1}
+		if consumed[pi] {
+			d.note = "merged into the between-range probe of its partner predicate"
+			decisions = append(decisions, d)
 			continue
 		}
 		dot := strings.IndexByte(p.Collection, '.')
 		if dot < 0 {
+			decisions = append(decisions, d)
 			continue
 		}
 		tab, err := e.Catalog.Table(p.Collection[:dot])
 		if err != nil {
-			continue // collection may not exist (dynamic names)
+			// The collection may not exist (dynamic names).
+			d.collMissing = true
+			decisions = append(decisions, d)
+			continue
 		}
 		column := p.Collection[dot+1:]
-		for _, xi := range tab.XMLIndexes(column) {
-			verdict := core.CheckIndex(xi.Name, xi.Index.Pattern, indexCompat(xi.Index.Type), p)
-			if !verdict.Eligible {
-				continue
-			}
-			if p.Value == nil && p.JoinColumn != "" && p.Op == xdm.OpEq {
-				// Index semi-join (Query 13): probe once per distinct
-				// value of the SQL column the comparison references.
-				if pl, ok := e.buildSemiJoinPlan(p, xi, tab); ok {
-					plans = append(plans, pl)
-				}
-				break
-			}
-			probe, label, partner := buildProbe(p, pi, a)
-			if probe == nil {
-				break
-			}
-			if partner >= 0 {
-				consumed[partner] = true
-			}
-			plans = append(plans, probePlan{
-				index: xi.Index, probe: *probe,
-				label: fmt.Sprintf("%s(%s)", xi.Name, label),
-				table: tab, forRow: p.FromIndex, coll: p.Collection, occ: p.Occurrence,
-			})
-			break
+		indexes := tab.XMLIndexes(column)
+		if len(indexes) == 0 {
+			d.noIndexes = true
+			decisions = append(decisions, d)
+			continue
 		}
+		// Check every candidate so the decision shows the whole field,
+		// not just the indexes up to the first eligible one.
+		for _, xi := range indexes {
+			d.verdicts = append(d.verdicts, core.CheckIndex(xi.Name, xi.Index.Pattern, indexCompat(xi.Index.Type), p))
+		}
+		switch {
+		case !p.Filtering:
+			// The verdicts already carry the "context:" rejection reason.
+		case p.Value == nil && p.Op == 0 && hasValueProbe[occ{p.Collection, p.FromIndex, p.Occurrence}]:
+			d.note = "structural probe skipped: a value probe on the same binding occurrence already pre-filters"
+		default:
+			for vi, xi := range indexes {
+				if !d.verdicts[vi].Eligible {
+					continue
+				}
+				if p.Value == nil && p.JoinColumn != "" && p.Op == xdm.OpEq {
+					// Index semi-join (Query 13): probe once per distinct
+					// value of the SQL column the comparison references.
+					if pl, ok := e.buildSemiJoinPlan(p, xi, tab); ok {
+						plans = append(plans, pl)
+						d.chosen, d.chosenLabel = vi, pl.label
+					} else {
+						d.note = "semi-join not plannable: join table or column not found"
+					}
+					break
+				}
+				probe, label, partner := buildProbe(p, pi, a)
+				if probe == nil {
+					d.note = fmt.Sprintf("operator %s cannot be answered by a single range probe", p.Op.GeneralSymbol())
+					break
+				}
+				if partner >= 0 {
+					consumed[partner] = true
+				}
+				plans = append(plans, probePlan{
+					index: xi.Index, probe: *probe,
+					label: fmt.Sprintf("%s(%s)", xi.Name, label),
+					table: tab, forRow: p.FromIndex, coll: p.Collection, occ: p.Occurrence,
+				})
+				d.chosen, d.chosenLabel = vi, plans[len(plans)-1].label
+				break
+			}
+		}
+		decisions = append(decisions, d)
 	}
-	return plans, nil
+	return plans, decisions, nil
 }
 
 // indexCompat adapts the storage index type to the analyzer's view.
@@ -294,6 +340,8 @@ func (e *Engine) runProbes(g *guard.Guard, plans []probePlan, a *core.Analysis, 
 		var docs map[uint32]bool
 		var err error
 		label := pl.label
+		t0 := stats.Trace.now()
+		keysBefore := stats.KeysVisited
 		if pl.semi != nil {
 			// Semi-join: union of one equality probe per distinct value
 			// of the join column, gathered now — the values are data.
@@ -343,6 +391,7 @@ func (e *Engine) runProbes(g *guard.Guard, plans []probePlan, a *core.Analysis, 
 			// checking; treat as non-probeable rather than failing.
 			continue
 		}
+		stats.Trace.add("probe", fmt.Sprintf("%s: %d keys, %d docs", label, stats.KeysVisited-keysBefore, len(docs)), t0)
 		stats.IndexesUsed = append(stats.IndexesUsed, label)
 		if pl.forRow >= 0 {
 			// SQL row-level predicates on the same FROM item all
@@ -555,64 +604,4 @@ func (e *Engine) ExecSQL(sql string, useIndexes bool) (*sqlxml.Result, *Stats, e
 // unlimited).
 func (e *Engine) ExecSQLGuarded(g *guard.Guard, sql string, useIndexes bool) (*sqlxml.Result, *Stats, error) {
 	return e.ExecSQLOpts(sql, ExecOptions{Guard: g, UseIndexes: useIndexes})
-}
-
-// Explain analyzes a query (SQL if it parses as SQL, else XQuery) and
-// renders the advisor report: extracted predicates, per-index verdicts,
-// and pitfall warnings.
-func (e *Engine) Explain(query string) (_ string, err error) {
-	defer recoverPanic(&err)
-	var analysis *core.Analysis
-	if stmt, err := sqlxml.Parse(query); err == nil {
-		analysis, err = core.AnalyzeSQL(stmt, e.Catalog)
-		if err != nil {
-			return "", err
-		}
-	} else if m, err2 := xquery.Parse(query); err2 == nil {
-		analysis = core.AnalyzeXQuery(m, nil, true, "")
-	} else {
-		return "", fmt.Errorf("not parseable as SQL (%v) nor as XQuery (%v)", err, err2)
-	}
-	return e.renderReport(analysis), nil
-}
-
-func (e *Engine) renderReport(a *core.Analysis) string {
-	var b strings.Builder
-	if len(a.Predicates) == 0 {
-		b.WriteString("no indexable predicates found\n")
-	}
-	for _, p := range a.Predicates {
-		fmt.Fprintf(&b, "predicate: %s\n", p.Describe())
-		dot := strings.IndexByte(p.Collection, '.')
-		if dot < 0 {
-			continue
-		}
-		tab, err := e.Catalog.Table(p.Collection[:dot])
-		if err != nil {
-			fmt.Fprintf(&b, "  (collection %s not found)\n", p.Collection)
-			continue
-		}
-		indexes := tab.XMLIndexes(p.Collection[dot+1:])
-		if len(indexes) == 0 {
-			b.WriteString("  no XML indexes on this column\n")
-		}
-		for _, xi := range indexes {
-			v := core.CheckIndex(xi.Name, xi.Index.Pattern, xi.Index.Type, p)
-			if v.Eligible {
-				fmt.Fprintf(&b, "  index %s [%s AS %s]: ELIGIBLE\n", xi.Name, xi.Index.Pattern, xi.Index.Type)
-			} else {
-				fmt.Fprintf(&b, "  index %s [%s AS %s]: not eligible\n", xi.Name, xi.Index.Pattern, xi.Index.Type)
-				for _, r := range v.Reasons {
-					fmt.Fprintf(&b, "    - %s\n", r)
-				}
-			}
-		}
-	}
-	for _, rp := range a.RelPredicates {
-		fmt.Fprintf(&b, "relational predicate: %s.%s %s ...\n", rp.Table, rp.Column, rp.Op.GeneralSymbol())
-	}
-	for _, w := range a.Warnings {
-		fmt.Fprintf(&b, "warning (Tip %d — %s): %s\n", w.Tip, core.TipTitle(w.Tip), w.Message)
-	}
-	return b.String()
 }

@@ -1,0 +1,140 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+
+	"github.com/xqdb/xqdb/internal/core"
+	"github.com/xqdb/xqdb/internal/sqlxml"
+	"github.com/xqdb/xqdb/internal/xquery"
+)
+
+// predDecision records the planner's full reasoning for one predicate:
+// every candidate index's eligibility verdict, which index (if any) was
+// chosen for a probe, and planner-level notes for predicates the planner
+// skipped before or after index selection. Decisions are recorded during
+// planning — not re-derived at explain time — so the report shows what
+// the plan actually does.
+type predDecision struct {
+	pred     core.Predicate
+	verdicts []core.Verdict
+	// chosen indexes into verdicts; -1 = no index chosen.
+	chosen      int
+	chosenLabel string
+	// note carries a planner-level reason independent of any single
+	// index: a skip, a merge, or an unprobeable operator.
+	note        string
+	collMissing bool
+	noIndexes   bool
+}
+
+// renderPlan renders the full report for a plan: per-predicate index
+// decisions with rejection reasons, relational predicates, tip warnings,
+// and a plan summary (language, cache state, partitionability).
+func (e *Engine) renderPlan(p *plan, cache string) string {
+	var b strings.Builder
+	if p.analysis == nil || len(p.analysis.Predicates) == 0 {
+		b.WriteString("no indexable predicates found\n")
+	}
+	renderDecisions(&b, p.decisions)
+	if p.analysis != nil {
+		for _, rp := range p.analysis.RelPredicates {
+			fmt.Fprintf(&b, "relational predicate: %s.%s %s ...\n", rp.Table, rp.Column, rp.Op.GeneralSymbol())
+		}
+		for _, w := range p.analysis.Warnings {
+			fmt.Fprintf(&b, "warning (Tip %d — %s): %s\n", w.Tip, core.TipTitle(w.Tip), w.Message)
+		}
+	}
+	indexes := "off"
+	if p.useIndexes {
+		indexes = "on"
+	}
+	fmt.Fprintf(&b, "plan: language=%s, indexes=%s, cache=%s, probes=%d\n", langName(p.lang), indexes, cache, len(p.probes))
+	if p.lang == LangXQuery {
+		if p.partColl != "" {
+			fmt.Fprintf(&b, "partitionable: yes — document-at-a-time over collection %q (up to %d shards)\n",
+				p.partColl, runtime.GOMAXPROCS(0))
+		} else {
+			b.WriteString("partitionable: no — not a single top-level collection iteration\n")
+		}
+	}
+	return b.String()
+}
+
+func langName(l Lang) string {
+	if l == LangSQL {
+		return "sql"
+	}
+	return "xquery"
+}
+
+// renderDecisions writes the per-predicate blocks. The line formats for
+// eligible/ineligible indexes are stable — they are part of the public
+// Explain output.
+func renderDecisions(b *strings.Builder, decisions []predDecision) {
+	for _, d := range decisions {
+		fmt.Fprintf(b, "predicate: %s\n", d.pred.Describe())
+		switch {
+		case d.collMissing:
+			fmt.Fprintf(b, "  (collection %s not found)\n", d.pred.Collection)
+			continue
+		case d.noIndexes:
+			b.WriteString("  no XML indexes on this column\n")
+			continue
+		}
+		for vi, v := range d.verdicts {
+			head := fmt.Sprintf("  index %s [%s AS %s]", v.IndexName, v.Pattern, v.IdxType)
+			switch {
+			case v.Eligible && vi == d.chosen:
+				fmt.Fprintf(b, "%s: ELIGIBLE (chosen: %s)\n", head, d.chosenLabel)
+			case v.Eligible && d.chosen >= 0:
+				fmt.Fprintf(b, "%s: ELIGIBLE (not chosen: index %s selected first)\n", head, d.verdicts[d.chosen].IndexName)
+			case v.Eligible:
+				fmt.Fprintf(b, "%s: ELIGIBLE (not chosen)\n", head)
+			default:
+				fmt.Fprintf(b, "%s: not eligible\n", head)
+				for _, r := range v.Reasons {
+					fmt.Fprintf(b, "    - %s\n", r)
+				}
+			}
+		}
+		if d.note != "" {
+			fmt.Fprintf(b, "  note: %s\n", d.note)
+		}
+	}
+}
+
+// Explain analyzes a query (SQL if it parses as SQL, else XQuery)
+// without running it and renders the plan report: extracted predicates,
+// per-index decisions with Definition-1 / pitfall rejection reasons, tip
+// warnings, and the plan summary. The plan is built fresh, bypassing the
+// plan cache, so the report reflects the current schema.
+func (e *Engine) Explain(query string) (_ string, err error) {
+	defer recoverPanic(&err)
+	lang := LangSQL
+	if _, serr := sqlxml.Parse(query); serr != nil {
+		if _, xerr := xquery.Parse(query); xerr != nil {
+			return "", fmt.Errorf("not parseable as SQL (%v) nor as XQuery (%v)", serr, xerr)
+		}
+		lang = LangXQuery
+	}
+	p, err := e.buildPlan(query, lang, true)
+	if err != nil {
+		return "", err
+	}
+	return e.renderPlan(p, "bypass"), nil
+}
+
+// ExplainPrepared renders the plan report for a prepared query, going
+// through the plan cache so the report's cache line reflects a real hit
+// or miss. The plan it builds (or finds) is the one Exec would run.
+func (e *Engine) ExplainPrepared(query string, lang Lang, useIndexes bool) (_ string, err error) {
+	defer recoverPanic(&err)
+	stats := &Stats{}
+	p, err := e.planFor(query, lang, useIndexes, true, stats)
+	if err != nil {
+		return "", err
+	}
+	return e.renderPlan(p, stats.PlanCache), nil
+}

@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"time"
+
+	"github.com/xqdb/xqdb/internal/guard"
+	"github.com/xqdb/xqdb/internal/metrics"
+)
+
+// instruments holds the engine's pre-resolved metric handles so the
+// per-query recording path never takes the registry lock. All fields are
+// nil-safe: an engine constructed without New (tests building the struct
+// directly) records nothing.
+type instruments struct {
+	queries, sqlQueries, xqQueries, errors *metrics.Counter
+	probes, keys                           *metrics.Counter
+	docsTotal, docsScanned, rowsScanned    *metrics.Counter
+	parallelQueries, parallelShards        *metrics.Counter
+	latency                                *metrics.Histogram
+}
+
+func (in *instruments) init(reg *metrics.Registry) {
+	in.queries = reg.Counter("queries.total")
+	in.sqlQueries = reg.Counter("queries.sql")
+	in.xqQueries = reg.Counter("queries.xquery")
+	in.errors = reg.Counter("queries.errors")
+	in.probes = reg.Counter("probes.total")
+	in.keys = reg.Counter("probes.keys_visited")
+	in.docsTotal = reg.Counter("docs.total")
+	in.docsScanned = reg.Counter("docs.scanned")
+	in.rowsScanned = reg.Counter("sql.rows_scanned")
+	in.parallelQueries = reg.Counter("exec.parallel_queries")
+	in.parallelShards = reg.Counter("exec.parallel_shards")
+	in.latency = reg.Histogram("query.latency")
+}
+
+// guardTripName maps a violation kind to its trip counter. The kinds are
+// mapped explicitly because their String forms ("limit exceeded") are not
+// valid metric name segments.
+func guardTripName(k guard.Kind) string {
+	switch k {
+	case guard.Canceled:
+		return "guard.trips.canceled"
+	case guard.Timeout:
+		return "guard.trips.timeout"
+	case guard.LimitExceeded:
+		return "guard.trips.limit"
+	}
+	return "guard.trips.internal"
+}
+
+// record feeds the per-query metrics after execution. Callers defer it
+// BEFORE recoverPanic: deferred calls run last-in-first-out, so
+// recoverPanic converts any panic into *err first and record sees the
+// final outcome.
+func (e *Engine) record(lang Lang, start time.Time, stats *Stats, err *error) {
+	in := &e.inst
+	in.queries.Inc()
+	if lang == LangSQL {
+		in.sqlQueries.Inc()
+	} else {
+		in.xqQueries.Inc()
+	}
+	in.latency.Observe(time.Since(start))
+	if *err != nil {
+		in.errors.Inc()
+		if v, ok := guard.AsViolation(*err); ok {
+			e.Metrics.Counter(guardTripName(v.Kind)).Inc()
+		}
+	}
+	// Work counters record even for failed queries: the probes and scans
+	// that ran before the error are real work.
+	in.probes.Add(int64(stats.Probes))
+	in.keys.Add(int64(stats.KeysVisited))
+	in.docsTotal.Add(int64(stats.DocsTotal))
+	in.docsScanned.Add(int64(stats.DocsScanned))
+	in.rowsScanned.Add(int64(stats.RowsScanned))
+	if stats.ParallelShards > 1 {
+		in.parallelQueries.Inc()
+		in.parallelShards.Add(int64(stats.ParallelShards))
+	}
+}

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"github.com/xqdb/xqdb/internal/core"
 	"github.com/xqdb/xqdb/internal/guard"
+	"github.com/xqdb/xqdb/internal/metrics"
 	"github.com/xqdb/xqdb/internal/sqlxml"
 	"github.com/xqdb/xqdb/internal/xdm"
 	"github.com/xqdb/xqdb/internal/xquery"
@@ -36,6 +38,8 @@ type ExecOptions struct {
 	// parsed AST, analysis, and probe templates are reused across calls
 	// until a schema change invalidates them.
 	Prepared bool
+	// Trace collects timed execution spans on Stats.Trace.
+	Trace bool
 }
 
 // plan is a prepared execution plan — everything derivable from the query
@@ -54,6 +58,13 @@ type plan struct {
 
 	analysis *core.Analysis
 	probes   []probePlan
+	// decisions records the planner's per-predicate reasoning (candidate
+	// verdicts, chosen index, skip notes) for EXPLAIN.
+	decisions []predDecision
+
+	// explain marks a SQL EXPLAIN wrapper: execution renders the plan
+	// report instead of running the statement.
+	explain bool
 
 	// partColl names the collection over which document-at-a-time
 	// execution may be partitioned; "" forces serial evaluation.
@@ -77,6 +88,10 @@ type planCache struct {
 	mu    sync.Mutex
 	items map[planKey]*list.Element
 	order *list.List // front = most recently used
+
+	// Cache traffic counters (nil-safe when built without a registry).
+	mHits, mMisses, mStale, mEvict *metrics.Counter
+	mSize                          *metrics.Gauge
 }
 
 type planEntry struct {
@@ -84,8 +99,16 @@ type planEntry struct {
 	p   *plan
 }
 
-func newPlanCache() *planCache {
-	return &planCache{items: map[planKey]*list.Element{}, order: list.New()}
+func newPlanCache(reg *metrics.Registry) *planCache {
+	return &planCache{
+		items:   map[planKey]*list.Element{},
+		order:   list.New(),
+		mHits:   reg.Counter("plancache.hits"),
+		mMisses: reg.Counter("plancache.misses"),
+		mStale:  reg.Counter("plancache.stale"),
+		mEvict:  reg.Counter("plancache.evictions"),
+		mSize:   reg.Gauge("plancache.size"),
+	}
 }
 
 // get returns the cached plan for k if it was built against the current
@@ -95,15 +118,20 @@ func (c *planCache) get(k planKey, version uint64) *plan {
 	defer c.mu.Unlock()
 	el, ok := c.items[k]
 	if !ok {
+		c.mMisses.Inc()
 		return nil
 	}
 	ent := el.Value.(*planEntry)
 	if ent.p.version != version {
 		c.order.Remove(el)
 		delete(c.items, k)
+		c.mStale.Inc()
+		c.mMisses.Inc()
+		c.mSize.Set(int64(len(c.items)))
 		return nil
 	}
 	c.order.MoveToFront(el)
+	c.mHits.Inc()
 	return ent.p
 }
 
@@ -122,7 +150,9 @@ func (c *planCache) put(k planKey, p *plan) {
 		el := c.order.Back()
 		c.order.Remove(el)
 		delete(c.items, el.Value.(*planEntry).key)
+		c.mEvict.Inc()
 	}
+	c.mSize.Set(int64(len(c.items)))
 }
 
 func (c *planCache) len() int {
@@ -139,21 +169,25 @@ func (e *Engine) PlanCacheLen() int { return e.plans.len() }
 // still run per call — their inputs are data-dependent.
 func (e *Engine) Prepare(query string, lang Lang, useIndexes bool) (err error) {
 	defer recoverPanic(&err)
-	_, err = e.planFor(query, lang, useIndexes, true)
+	_, err = e.planFor(query, lang, useIndexes, true, &Stats{})
 	return err
 }
 
 // planFor returns the plan for a query, consulting the cache only for
 // prepared execution: unprepared calls always pay the full parse +
-// analysis cost, keeping the prepared/unprepared comparison honest.
-func (e *Engine) planFor(query string, lang Lang, useIndexes, prepared bool) (*plan, error) {
+// analysis cost, keeping the prepared/unprepared comparison honest. The
+// cache outcome is reported on stats.PlanCache.
+func (e *Engine) planFor(query string, lang Lang, useIndexes, prepared bool, stats *Stats) (*plan, error) {
 	if !prepared {
+		stats.PlanCache = "bypass"
 		return e.buildPlan(query, lang, useIndexes)
 	}
 	k := planKey{query: query, lang: lang, useIndexes: useIndexes}
 	if p := e.plans.get(k, e.Catalog.Version()); p != nil {
+		stats.PlanCache = "hit"
 		return p, nil
 	}
+	stats.PlanCache = "miss"
 	p, err := e.buildPlan(query, lang, useIndexes)
 	if err != nil {
 		return nil, err
@@ -179,7 +213,7 @@ func (e *Engine) buildPlan(query string, lang Lang, useIndexes bool) (*plan, err
 		}
 		if useIndexes {
 			p.analysis = core.AnalyzeXQuery(m, nil, true, "")
-			p.probes, err = e.planProbes(p.analysis)
+			p.probes, p.decisions, err = e.planProbes(p.analysis)
 			if err != nil {
 				return nil, err
 			}
@@ -189,14 +223,22 @@ func (e *Engine) buildPlan(query string, lang Lang, useIndexes bool) (*plan, err
 		if err != nil {
 			return nil, err
 		}
+		if ex, ok := stmt.(*sqlxml.Explain); ok {
+			// EXPLAIN <stmt>: plan the inner statement, but mark the plan
+			// so execution renders the report instead of running it. The
+			// analysis runs even with indexes off so the report can say
+			// what the planner would have done.
+			p.explain = true
+			stmt = ex.Stmt
+		}
 		p.sqlStmt = stmt
-		if useIndexes {
+		if useIndexes || p.explain {
 			if _, ok := stmt.(*sqlxml.CreateIndex); !ok {
 				p.analysis, err = core.AnalyzeSQL(stmt, e.Catalog)
 				if err != nil {
 					return nil, err
 				}
-				p.probes, err = e.planProbes(p.analysis)
+				p.probes, p.decisions, err = e.planProbes(p.analysis)
 				if err != nil {
 					return nil, err
 				}
@@ -217,17 +259,31 @@ func parallelism(n int) int {
 // ExecXQueryOpts plans (or fetches a cached plan) and runs a stand-alone
 // XQuery under the given options.
 func (e *Engine) ExecXQueryOpts(query string, o ExecOptions) (_ xdm.Sequence, _ *Stats, err error) {
+	stats := newStats(o)
+	start := time.Now()
+	defer func() { e.record(LangXQuery, start, stats, &err) }()
 	defer recoverPanic(&err)
-	p, err := e.planFor(query, LangXQuery, o.UseIndexes, o.Prepared)
+	t0 := stats.Trace.now()
+	p, err := e.planFor(query, LangXQuery, o.UseIndexes, o.Prepared, stats)
+	stats.Trace.add("plan", "cache="+stats.PlanCache, t0)
 	if err != nil {
 		return nil, nil, err
 	}
-	return e.execXQueryPlan(p, o)
+	return e.execXQueryPlan(p, o, stats)
 }
 
-func (e *Engine) execXQueryPlan(p *plan, o ExecOptions) (xdm.Sequence, *Stats, error) {
-	g := o.Guard
+// newStats builds the Stats for one execution, attaching a live trace
+// when requested.
+func newStats(o ExecOptions) *Stats {
 	stats := &Stats{}
+	if o.Trace {
+		stats.Trace = newTrace()
+	}
+	return stats
+}
+
+func (e *Engine) execXQueryPlan(p *plan, o ExecOptions, stats *Stats) (xdm.Sequence, *Stats, error) {
+	g := o.Guard
 	resolver := xquery.CollectionResolver(e.Catalog)
 	if p.analysis != nil {
 		collSets, _, err := e.runProbes(g, p.probes, p.analysis, stats)
@@ -242,7 +298,9 @@ func (e *Engine) execXQueryPlan(p *plan, o ExecOptions) (xdm.Sequence, *Stats, e
 	if err := g.Check(); err != nil {
 		return nil, nil, err
 	}
+	t0 := stats.Trace.now()
 	seq, err := e.evalXQuery(p, resolver, g, parallelism(o.Parallelism), stats)
+	stats.Trace.add("eval", fmt.Sprintf("%d items, shards=%d", len(seq), stats.ParallelShards), t0)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -320,6 +378,7 @@ func evalPartitioned(p *plan, resolver xquery.CollectionResolver, g *guard.Guard
 		}(i, docs[lo:hi])
 	}
 	wg.Wait()
+	t0 := stats.Trace.now()
 	total := 0
 	for i := range outs {
 		if errs[i] != nil {
@@ -332,6 +391,7 @@ func evalPartitioned(p *plan, resolver xquery.CollectionResolver, g *guard.Guard
 	for i := range outs {
 		seq = append(seq, outs[i]...)
 	}
+	stats.Trace.add("merge", fmt.Sprintf("%d shards, %d items", shards, total), t0)
 	stats.ParallelShards = shards
 	return seq, true, nil
 }
@@ -339,17 +399,30 @@ func evalPartitioned(p *plan, resolver xquery.CollectionResolver, g *guard.Guard
 // ExecSQLOpts plans (or fetches a cached plan) and runs a SQL/XML
 // statement under the given options.
 func (e *Engine) ExecSQLOpts(query string, o ExecOptions) (_ *sqlxml.Result, _ *Stats, err error) {
+	stats := newStats(o)
+	start := time.Now()
+	defer func() { e.record(LangSQL, start, stats, &err) }()
 	defer recoverPanic(&err)
-	p, err := e.planFor(query, LangSQL, o.UseIndexes, o.Prepared)
+	t0 := stats.Trace.now()
+	p, err := e.planFor(query, LangSQL, o.UseIndexes, o.Prepared, stats)
+	stats.Trace.add("plan", "cache="+stats.PlanCache, t0)
 	if err != nil {
 		return nil, nil, err
 	}
-	return e.execSQLPlan(p, o)
+	return e.execSQLPlan(p, o, stats)
 }
 
-func (e *Engine) execSQLPlan(p *plan, o ExecOptions) (*sqlxml.Result, *Stats, error) {
+func (e *Engine) execSQLPlan(p *plan, o ExecOptions, stats *Stats) (*sqlxml.Result, *Stats, error) {
+	if p.explain {
+		// EXPLAIN renders the plan report instead of touching any data:
+		// no probes, no scans. One row, one column.
+		text := e.renderPlan(p, stats.PlanCache)
+		return &sqlxml.Result{
+			Columns: []string{"plan"},
+			Rows:    [][]sqlxml.ResultCell{{{V: xdm.NewString(text)}}},
+		}, stats, nil
+	}
 	g := o.Guard
-	stats := &Stats{}
 	pf := sqlxml.Prefilter{}
 	coll := xquery.CollectionResolver(e.Catalog)
 	if p.analysis != nil {
@@ -370,10 +443,12 @@ func (e *Engine) execSQLPlan(p *plan, o ExecOptions) (*sqlxml.Result, *Stats, er
 		return nil, nil, err
 	}
 	exec := &sqlxml.Executor{Catalog: e.Catalog, Coll: coll, Guard: g, Parallel: parallelism(o.Parallelism)}
+	t0 := stats.Trace.now()
 	res, err := exec.ExecFiltered(p.sqlStmt, pf)
 	if err != nil {
 		return nil, nil, err
 	}
+	stats.Trace.add("scan", fmt.Sprintf("%d rows, shards=%d", res.RowsScanned, res.ParallelShards), t0)
 	stats.RowsScanned = res.RowsScanned
 	stats.ParallelShards = res.ParallelShards
 	return res, stats, nil

@@ -1,0 +1,280 @@
+// Package metrics is a small concurrency-safe metrics registry: named
+// atomic counters and gauges plus a fixed-bucket latency histogram,
+// exported as an expvar-style JSON snapshot. One Registry belongs to one
+// engine instance (not the process), so two databases in one process
+// never mix their numbers.
+//
+// All hot-path operations — Counter.Add, Gauge.Set, Histogram.Observe —
+// are single atomic instructions; name resolution (Registry.Counter etc.)
+// takes a lock, so instrumented code should resolve its instruments once
+// and hold the pointers. Every instrument method is nil-receiver safe:
+// uninstrumented components pass nil pointers around freely and pay one
+// predictable branch.
+package metrics
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (nil-safe no-op).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value (nil-safe no-op).
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add shifts the value by n (nil-safe no-op).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// latencyBounds are the histogram bucket upper bounds in nanoseconds:
+// powers of four from 1µs to 4s, wide enough for an in-memory engine's
+// microsecond probes and a pathological multi-second scan alike. A final
+// implicit +Inf bucket catches the rest.
+var latencyBounds = []int64{
+	1_000, 4_000, 16_000, 64_000, 256_000, // 1µs .. 256µs
+	1_000_000, 4_000_000, 16_000_000, 64_000_000, 256_000_000, // 1ms .. 256ms
+	1_000_000_000, 4_000_000_000, // 1s, 4s
+}
+
+// Histogram counts duration observations into exponential latency
+// buckets. Observations are lock-free; the bucket layout is fixed at
+// construction.
+type Histogram struct {
+	bounds  []int64
+	buckets []atomic.Int64 // len(bounds)+1; last = overflow (+Inf)
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{bounds: latencyBounds, buckets: make([]atomic.Int64, len(latencyBounds)+1)}
+}
+
+// Observe records one duration (nil-safe no-op).
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	i := 0
+	for ; i < len(h.bounds); i++ {
+		if ns <= h.bounds[i] {
+			break
+		}
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Bucket is one histogram bucket in a snapshot: the count of observations
+// at most UpperNanos (UpperNanos < 0 marks the +Inf overflow bucket).
+// Counts are per-bucket, not cumulative.
+type Bucket struct {
+	UpperNanos int64 `json:"le_ns"`
+	Count      int64 `json:"n"`
+}
+
+// HistogramSnapshot is a point-in-time copy of one histogram.
+type HistogramSnapshot struct {
+	Count    int64    `json:"count"`
+	SumNanos int64    `json:"sum_ns"`
+	Buckets  []Bucket `json:"buckets"`
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry.
+// JSON field names are stable — the snapshot is the wire format the debug
+// HTTP handler serves.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Registry holds named instruments. The zero value is not usable; call
+// NewRegistry. A nil *Registry is safe: instrument lookups return nil
+// instruments whose methods are no-ops.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named latency histogram, creating it on first
+// use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h = newHistogram()
+	r.hists[name] = h
+	return h
+}
+
+// Snapshot copies every instrument's current value. Counters keep
+// counting while the snapshot is taken; the result is each instrument's
+// value at its own read instant, not a global atomic cut.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{Count: h.count.Load(), SumNanos: h.sum.Load()}
+		for i := range h.buckets {
+			upper := int64(-1) // +Inf overflow bucket
+			if i < len(h.bounds) {
+				upper = h.bounds[i]
+			}
+			hs.Buckets = append(hs.Buckets, Bucket{UpperNanos: upper, Count: h.buckets[i].Load()})
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// JSON renders a snapshot as indented JSON with stable (sorted) keys —
+// encoding/json orders map keys — so diffs between two snapshots line up.
+func (r *Registry) JSON() ([]byte, error) {
+	return json.MarshalIndent(r.Snapshot(), "", "  ")
+}
+
+// Handler returns an http.Handler serving the registry snapshot as JSON,
+// for mounting on a debug mux (e.g. /debug/xqdb/metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		data, err := r.JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(data, '\n'))
+	})
+}

@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.b")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.b") != c {
+		t.Error("Counter should return the same instrument for one name")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge = %d, want 5", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	// None of these may panic.
+	r.Counter("x").Inc()
+	r.Counter("x").Add(3)
+	r.Gauge("x").Set(1)
+	r.Histogram("x").Observe(time.Millisecond)
+	if r.Counter("x").Value() != 0 || r.Gauge("x").Value() != 0 || r.Histogram("x").Count() != 0 {
+		t.Error("nil instruments must read zero")
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 {
+		t.Error("nil registry snapshot must be empty")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	h.Observe(500 * time.Nanosecond) // first bucket (<= 1µs)
+	h.Observe(2 * time.Millisecond)  // 1ms < x <= 4ms bucket
+	h.Observe(10 * time.Second)      // overflow
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	hs := r.Snapshot().Histograms["lat"]
+	if hs.Count != 3 || hs.SumNanos <= 0 {
+		t.Errorf("snapshot count/sum = %d/%d", hs.Count, hs.SumNanos)
+	}
+	var total int64
+	sawOverflow := false
+	for _, b := range hs.Buckets {
+		total += b.Count
+		if b.UpperNanos < 0 && b.Count == 1 {
+			sawOverflow = true
+		}
+	}
+	if total != 3 || !sawOverflow {
+		t.Errorf("bucket totals = %d (overflow seen: %v), want 3 with one overflow", total, sawOverflow)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.Counter("shared").Inc()
+				r.Gauge("g").Set(int64(j))
+				r.Histogram("h").Observe(time.Duration(j) * time.Microsecond)
+				if j%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 8*500 {
+		t.Errorf("shared counter = %d, want %d", got, 8*500)
+	}
+}
+
+func TestJSONAndHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("queries.total").Add(3)
+	r.Histogram("query.latency").Observe(time.Millisecond)
+	data, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if s.Counters["queries.total"] != 3 {
+		t.Errorf("counters = %v", s.Counters)
+	}
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || rec.Header().Get("Content-Type") != "application/json" {
+		t.Errorf("handler status=%d content-type=%q", rec.Code, rec.Header().Get("Content-Type"))
+	}
+}

@@ -75,6 +75,12 @@ type Values struct {
 	Exprs []Expr
 }
 
+// Explain is EXPLAIN <statement>: the engine plans the wrapped statement
+// and renders the plan report instead of executing it.
+type Explain struct {
+	Stmt Statement
+}
+
 func (*CreateTable) stmtNode() {}
 func (*CreateIndex) stmtNode() {}
 func (*Insert) stmtNode()      {}
@@ -83,6 +89,7 @@ func (*Values) stmtNode()      {}
 func (*Delete) stmtNode()      {}
 func (*DropTable) stmtNode()   {}
 func (*DropIndex) stmtNode()   {}
+func (*Explain) stmtNode()     {}
 
 // SelectItem is one select-list entry.
 type SelectItem struct {

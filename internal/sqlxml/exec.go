@@ -95,6 +95,10 @@ func (e *Executor) ExecFiltered(stmt Statement, pf Prefilter) (*Result, error) {
 		return e.execValues(s)
 	case *Delete:
 		return e.execDelete(s)
+	case *Explain:
+		// The engine planner unwraps EXPLAIN before execution; a bare
+		// executor has no plan to render.
+		return nil, fmt.Errorf("EXPLAIN requires the engine planner")
 	case *DropTable:
 		return &Result{}, e.Catalog.DropTable(s.Name)
 	case *DropIndex:

@@ -105,6 +105,18 @@ func (p *sqlParser) stringLit() (string, error) {
 
 func (p *sqlParser) parseStatement() (Statement, error) {
 	switch {
+	case p.isKw("explain"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := inner.(*Explain); ok {
+			return nil, p.errf("EXPLAIN cannot be nested")
+		}
+		return &Explain{Stmt: inner}, nil
 	case p.isKw("create"):
 		return p.parseCreate()
 	case p.isKw("insert"):

@@ -14,6 +14,7 @@ import (
 
 	"github.com/xqdb/xqdb/internal/btree"
 	"github.com/xqdb/xqdb/internal/guard"
+	"github.com/xqdb/xqdb/internal/metrics"
 	"github.com/xqdb/xqdb/internal/pattern"
 	"github.com/xqdb/xqdb/internal/xdm"
 	"github.com/xqdb/xqdb/internal/xmlindex"
@@ -105,6 +106,9 @@ type Table struct {
 	// index DDL on this table bumps it. Nil for tables created outside a
 	// catalog (tests).
 	catVersion *atomic.Uint64
+	// metrics is the owning catalog's registry (nil outside an engine);
+	// indexes created on this table are instrumented against it.
+	metrics *metrics.Registry
 }
 
 // bumpVersion records a schema change against the owning catalog.
@@ -123,11 +127,12 @@ type XMLIndex struct {
 
 // RelIndex is a relational single-column B-tree index.
 type RelIndex struct {
-	Name   string
-	Column string
-	tree   *btree.Tree
-	table  *Table
-	col    int
+	Name     string
+	Column   string
+	tree     *btree.Tree
+	table    *Table
+	col      int
+	mLookups *metrics.Counter
 }
 
 // Catalog is the set of tables.
@@ -140,6 +145,22 @@ type Catalog struct {
 	// data changes (insert/delete) do not bump it — plans hold live table
 	// and index objects, not data snapshots.
 	version atomic.Uint64
+	// metrics, when set via SetMetrics, instruments indexes created
+	// through this catalog.
+	metrics *metrics.Registry
+}
+
+// SetMetrics attaches a metrics registry: indexes created on tables of
+// this catalog from now on feed it (xmlindex.*, btree.*, relindex.*
+// instruments). Call once, right after NewCatalog and before any DDL —
+// already-existing indexes are not retrofitted.
+func (c *Catalog) SetMetrics(reg *metrics.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.metrics = reg
+	for _, t := range c.tables {
+		t.metrics = reg
+	}
 }
 
 // Version returns the current schema version counter.
@@ -166,7 +187,7 @@ func (c *Catalog) CreateTable(name string, cols []Column) (*Table, error) {
 		}
 		seen[k] = true
 	}
-	t := &Table{Name: strings.ToLower(name), Columns: cols, byID: map[uint32]int{}, nextID: 1, catVersion: &c.version}
+	t := &Table{Name: strings.ToLower(name), Columns: cols, byID: map[uint32]int{}, nextID: 1, catVersion: &c.version, metrics: c.metrics}
 	c.tables[key] = t
 	c.version.Add(1)
 	return t, nil
@@ -448,6 +469,7 @@ func (t *Table) CreateXMLIndex(name, column, xmlPattern string, typ xmlindex.Typ
 		}
 	}
 	xi := &XMLIndex{Name: name, Column: strings.ToLower(column), Index: xmlindex.New(name, pat, typ)}
+	xi.Index.Instrument(t.metrics)
 	for _, row := range t.rows {
 		cell := row.Cells[ci]
 		if cell.Null || cell.Doc == nil {
@@ -509,6 +531,10 @@ func (t *Table) CreateRelIndex(name, column string) (*RelIndex, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	ri := &RelIndex{Name: name, Column: strings.ToLower(column), tree: btree.New(), table: t, col: ci}
+	if t.metrics != nil {
+		ri.mLookups = t.metrics.Counter("relindex.lookups")
+		ri.tree.Instrument(t.metrics.Counter("btree.scans"), t.metrics.Counter("btree.keys_visited"))
+	}
 	for _, row := range t.rows {
 		ri.insert(row)
 	}
@@ -563,6 +589,7 @@ func (ri *RelIndex) Lookup(v xdm.Value) ([]uint32, error) {
 	}
 	ri.table.mu.RLock()
 	defer ri.table.mu.RUnlock()
+	ri.mLookups.Inc()
 	prefix := encodeSQLKey(cv)
 	var ids []uint32
 	ri.tree.ScanPrefix(prefix, func(k, _ []byte) bool {

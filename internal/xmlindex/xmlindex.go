@@ -17,6 +17,7 @@ import (
 
 	"github.com/xqdb/xqdb/internal/btree"
 	"github.com/xqdb/xqdb/internal/guard"
+	"github.com/xqdb/xqdb/internal/metrics"
 	"github.com/xqdb/xqdb/internal/pattern"
 	"github.com/xqdb/xqdb/internal/xdm"
 )
@@ -90,6 +91,27 @@ type Index struct {
 
 	probes      atomic.Int64
 	keysVisited atomic.Int64
+
+	// Registry instruments, shared across the indexes of one engine;
+	// nil (uninstrumented) when the index lives outside an engine.
+	mProbes  *metrics.Counter
+	mKeys    *metrics.Counter
+	mEntries *metrics.Gauge
+}
+
+// Instrument wires the index (and its B+Tree) into a metrics registry:
+// xmlindex.probes / xmlindex.keys_visited count probe activity across all
+// instrumented indexes, xmlindex.entries gauges the total live entries,
+// and the underlying tree feeds btree.scans / btree.keys_visited. Call
+// before the index is shared between goroutines.
+func (ix *Index) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	ix.mProbes = reg.Counter("xmlindex.probes")
+	ix.mKeys = reg.Counter("xmlindex.keys_visited")
+	ix.mEntries = reg.Gauge("xmlindex.entries")
+	ix.tree.Instrument(reg.Counter("btree.scans"), reg.Counter("btree.keys_visited"))
 }
 
 // New creates an empty index over the given pattern and type.
@@ -198,6 +220,8 @@ func (ix *Index) indexableValue(n *xdm.Node) (xdm.Value, bool, error) {
 func (ix *Index) InsertDoc(docID uint32, doc *xdm.Node) error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	before := ix.tree.Len()
+	defer func() { ix.mEntries.Add(int64(ix.tree.Len() - before)) }()
 	var insertErr error
 	ix.forMatching(doc, func(n *xdm.Node, labels []pattern.Label) {
 		if insertErr != nil {
@@ -221,6 +245,8 @@ func (ix *Index) InsertDoc(docID uint32, doc *xdm.Node) error {
 func (ix *Index) DeleteDoc(docID uint32, doc *xdm.Node) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	before := ix.tree.Len()
+	defer func() { ix.mEntries.Add(int64(ix.tree.Len() - before)) }()
 	ix.forMatching(doc, func(n *xdm.Node, labels []pattern.Label) {
 		v, ok, err := ix.indexableValue(n)
 		if err != nil || !ok {
@@ -318,6 +344,7 @@ func (ix *Index) ScanStats(p Probe) ([]Entry, int, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	ix.probes.Add(1)
+	ix.mProbes.Inc()
 
 	lo, hi, err := ix.bounds(p.Range)
 	if err != nil {
@@ -347,6 +374,7 @@ func (ix *Index) ScanStats(p Probe) ([]Entry, int, error) {
 			return true
 		})
 	ix.keysVisited.Add(int64(visited))
+	ix.mKeys.Add(int64(visited))
 	if err != nil {
 		return nil, visited, err
 	}

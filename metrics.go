@@ -1,0 +1,30 @@
+package xqdb
+
+import (
+	"net/http"
+
+	"github.com/xqdb/xqdb/internal/metrics"
+)
+
+// MetricsSnapshot is a point-in-time copy of one database's
+// observability instruments: counters (query counts by language and
+// outcome, guard trips by kind, plan-cache hits/misses/evictions, index
+// probe and scan work), gauges (plan-cache size, index entries), and the
+// query latency histogram. See the Snapshot JSON tags for the stable
+// wire format.
+type MetricsSnapshot = metrics.Snapshot
+
+// MetricsSnapshot returns the database's metrics at this instant.
+// Counters keep counting while the snapshot is taken; each value is read
+// atomically at its own instant.
+func (db *DB) MetricsSnapshot() MetricsSnapshot { return db.eng.Metrics.Snapshot() }
+
+// MetricsJSON renders the snapshot as indented JSON with stable (sorted)
+// keys, so two snapshots diff cleanly.
+func (db *DB) MetricsJSON() ([]byte, error) { return db.eng.Metrics.JSON() }
+
+// MetricsHandler returns an http.Handler serving the metrics snapshot as
+// JSON, for mounting on a debug mux:
+//
+//	http.Handle("/debug/xqdb/metrics", db.MetricsHandler())
+func (db *DB) MetricsHandler() http.Handler { return db.eng.Metrics.Handler() }

@@ -1,0 +1,375 @@
+package xqdb
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestExplainPitfalls drives one query into each pitfall class the paper
+// catalogs and checks that Explain names the rejected index and states
+// the rejection reason in the paper's terms — structure, type, or
+// context — rather than just declaring the index unused.
+func TestExplainPitfalls(t *testing.T) {
+	cases := []struct {
+		name  string
+		index string
+		query string
+		// wantReasons must all appear in the report, alongside the index
+		// name and "not eligible".
+		wantReasons []string
+	}{
+		{
+			name:  "type mismatch string vs double",
+			index: `create index li_price on orders(orddoc) using xmlpattern '//lineitem/@price' as double`,
+			query: `db2-fn:xmlcolumn("ORDERS.ORDDOC")//order[lineitem/@price = "100"]`,
+			wantReasons: []string{
+				"type: string comparison cannot use a double index",
+			},
+		},
+		{
+			name:  "pattern containment failure",
+			index: `create index cust_id on orders(orddoc) using xmlpattern '/order/custid' as double`,
+			query: `db2-fn:xmlcolumn("ORDERS.ORDDOC")//order[lineitem/@price > 100]`,
+			wantReasons: []string{
+				"structure: index pattern",
+				"does not contain query path",
+			},
+		},
+		{
+			name:  "namespace mismatch (Tip 10)",
+			index: `create index nation_v on orders(orddoc) using xmlpattern '//nation' as varchar`,
+			query: `declare default element namespace "urn:geo";
+				db2-fn:xmlcolumn("ORDERS.ORDDOC")/customer[nation = "1"]`,
+			wantReasons: []string{
+				"namespace mismatch — Tip 10",
+			},
+		},
+		{
+			name:  "text() misalignment (Tip 11)",
+			index: `create index price_el on orders(orddoc) using xmlpattern '//lineitem/price' as varchar`,
+			query: `db2-fn:xmlcolumn("ORDERS.ORDDOC")//order[lineitem/price/text() = "99.50"]`,
+			wantReasons: []string{
+				"/text() steps are not aligned — Tip 11",
+			},
+		},
+		{
+			name:  "attribute axis mismatch (Tip 12)",
+			index: `create index li_any on orders(orddoc) using xmlpattern '//lineitem/*' as double`,
+			query: `db2-fn:xmlcolumn("ORDERS.ORDDOC")//order[lineitem/@price > 100]`,
+			wantReasons: []string{
+				"reaches no attribute nodes — Tip 12",
+			},
+		},
+		{
+			name:  "non-filtering constructor context (Tip 7)",
+			index: `create index li_price on orders(orddoc) using xmlpattern '//lineitem/@price' as double`,
+			query: `for $ord in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order
+				return <result>{$ord/lineitem[@price > 100]}</result>`,
+			wantReasons: []string{
+				"context:",
+				"warning (Tip 7",
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			db := Open()
+			db.MustExecSQL(`create table orders (ordid integer, orddoc xml)`)
+			db.MustExecSQL(tc.index)
+			rep, err := db.Explain(tc.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			idxName := strings.Fields(tc.index)[2]
+			if !strings.Contains(rep, "index "+idxName) {
+				t.Errorf("report should name the rejected index %s:\n%s", idxName, rep)
+			}
+			if !strings.Contains(rep, "not eligible") {
+				t.Errorf("report should mark the index not eligible:\n%s", rep)
+			}
+			for _, want := range tc.wantReasons {
+				if !strings.Contains(rep, want) {
+					t.Errorf("report missing reason %q:\n%s", want, rep)
+				}
+			}
+		})
+	}
+}
+
+// TestExplainChosenIndex is the positive counterpart: an eligible index
+// shows up as chosen, and the summary reports the probe.
+func TestExplainChosenIndex(t *testing.T) {
+	db := Open()
+	db.MustExecSQL(`create table orders (ordid integer, orddoc xml)`)
+	db.MustExecSQL(`create index li_price on orders(orddoc) using xmlpattern '//lineitem/@price' as double`)
+	rep, err := db.Explain(`db2-fn:xmlcolumn("ORDERS.ORDDOC")//order[lineitem/@price > 100]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ELIGIBLE (chosen:", "li_price", "probes=1", "cache=bypass", "partitionable: yes"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+// TestExplainSQLStatement runs EXPLAIN as a SQL statement: it must
+// return the report as a one-row result without executing the inner
+// statement.
+func TestExplainSQLStatement(t *testing.T) {
+	db := Open()
+	db.MustExecSQL(`create table orders (ordid integer, orddoc xml)`)
+	db.MustExecSQL(`insert into orders values (1, '<order><lineitem price="150"/></order>')`)
+	res, _, err := db.ExecSQL(`explain select ordid from orders
+		where XMLExists('$o//lineitem[@price > 100]' passing orddoc as "o")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || len(res.Columns) != 1 || res.Columns[0] != "plan" {
+		t.Fatalf("EXPLAIN result shape: cols=%v rows=%d", res.Columns, res.Len())
+	}
+	rep := res.Cell(0, 0)
+	if !strings.Contains(rep, "plan: language=sql") {
+		t.Errorf("EXPLAIN should render the plan report:\n%s", rep)
+	}
+	// EXPLAIN DDL must not execute the DDL.
+	if _, _, err := db.ExecSQL(`explain create table t2 (a integer, d xml)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Prepare(`select a from t2`); err == nil {
+		t.Error("EXPLAIN CREATE TABLE must not create the table")
+	}
+	// Nested EXPLAIN is a parse error.
+	if _, _, err := db.ExecSQL(`explain explain select ordid from orders`); err == nil ||
+		!strings.Contains(err.Error(), "EXPLAIN cannot be nested") {
+		t.Errorf("nested EXPLAIN: %v", err)
+	}
+}
+
+// TestStmtExplainCache checks the prepared path's cache line: Prepare
+// warms the cache (hit), a schema change invalidates it (miss), and the
+// explain itself re-warms it (hit).
+func TestStmtExplainCache(t *testing.T) {
+	db := Open()
+	db.MustExecSQL(`create table orders (ordid integer, orddoc xml)`)
+	stmt, err := db.Prepare(`select ordid from orders`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := stmt.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep, "cache=hit") {
+		t.Errorf("after Prepare the plan should be cached:\n%s", rep)
+	}
+	db.MustExecSQL(`create table other (a integer, d xml)`)
+	if rep, _ = stmt.Explain(); !strings.Contains(rep, "cache=miss") {
+		t.Errorf("schema change should invalidate the cached plan:\n%s", rep)
+	}
+	if rep, _ = stmt.Explain(); !strings.Contains(rep, "cache=hit") {
+		t.Errorf("explain should have re-cached the plan:\n%s", rep)
+	}
+}
+
+// TestTraceSpans checks the opt-in span trace on both languages, and
+// that untraced queries carry no trace.
+func TestTraceSpans(t *testing.T) {
+	db := Open()
+	db.MustExecSQL(`create table orders (ordid integer, orddoc xml)`)
+	db.MustExecSQL(`insert into orders values (1, '<order><lineitem price="150"/></order>')`)
+	db.MustExecSQL(`create index li_price on orders(orddoc) using xmlpattern '//lineitem/@price' as double`)
+
+	_, stats, err := db.QueryXQueryOpts(`db2-fn:xmlcolumn("ORDERS.ORDDOC")//order[lineitem/@price > 100]`,
+		QueryOptions{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Trace == nil {
+		t.Fatal("Trace requested but Stats.Trace is nil")
+	}
+	names := map[string]bool{}
+	for _, s := range stats.Trace.Spans {
+		names[s.Name] = true
+		if s.Dur < 0 {
+			t.Errorf("span %s has negative duration", s.Name)
+		}
+	}
+	for _, want := range []string{"plan", "probe", "eval"} {
+		if !names[want] {
+			t.Errorf("XQuery trace missing %q span; spans=%v", want, names)
+		}
+	}
+	if rendered := stats.Trace.Render(); !strings.Contains(rendered, "probe") {
+		t.Errorf("Render output:\n%s", rendered)
+	}
+
+	_, stats, err = db.ExecSQLOpts(`select ordid from orders`, QueryOptions{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names = map[string]bool{}
+	for _, s := range stats.Trace.Spans {
+		names[s.Name] = true
+	}
+	if !names["plan"] || !names["scan"] {
+		t.Errorf("SQL trace missing plan/scan spans; spans=%v", names)
+	}
+
+	if _, stats, err = db.ExecSQL(`select ordid from orders`); err != nil {
+		t.Fatal(err)
+	} else if stats.Trace != nil {
+		t.Error("untraced query should carry no trace")
+	}
+}
+
+// TestSlowQueryHook: a threshold of 1ns marks every query slow, firing
+// the callback (with forced tracing) and the queries.slow counter.
+func TestSlowQueryHook(t *testing.T) {
+	db := Open()
+	db.MustExecSQL(`create table orders (ordid integer, orddoc xml)`)
+	db.MustExecSQL(`insert into orders values (1, '<order/>')`)
+	var got []SlowQuery
+	opts := QueryOptions{
+		SlowThreshold: time.Nanosecond,
+		OnSlow:        func(sq SlowQuery) { got = append(got, sq) },
+	}
+	if _, _, err := db.QueryXQueryOpts(`db2-fn:xmlcolumn("ORDERS.ORDDOC")/order`, opts); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("OnSlow calls = %d", len(got))
+	}
+	sq := got[0]
+	if sq.Language != "xquery" || sq.Duration <= 0 || sq.Err != nil {
+		t.Errorf("slow query record: %+v", sq)
+	}
+	if sq.Stats == nil || sq.Stats.Trace == nil {
+		t.Error("OnSlow should force tracing so the report shows where time went")
+	}
+	if n := db.MetricsSnapshot().Counters["queries.slow"]; n != 1 {
+		t.Errorf("queries.slow = %d", n)
+	}
+	// A failing query still fires the hook, with the pre-wrapping error.
+	if _, _, err := db.QueryXQueryOpts(`db2-fn:xmlcolumn("MISSING.D")/x`, opts); err == nil {
+		t.Fatal("query on missing collection should fail")
+	}
+	if len(got) != 2 || got[1].Err == nil {
+		t.Fatalf("failing slow query should fire the hook with its error: %+v", got)
+	}
+}
+
+// TestMetricsMixedWorkload drives successful, erroring, and guard-tripped
+// queries and checks the registry tells them apart.
+func TestMetricsMixedWorkload(t *testing.T) {
+	db := Open()
+	db.MustExecSQL(`create table orders (ordid integer, orddoc xml)`)
+	db.MustExecSQL(`insert into orders values
+		(1, '<order><lineitem price="150"/></order>'),
+		(2, '<order><lineitem price="50"/></order>')`)
+	db.MustExecSQL(`create index li_price on orders(orddoc) using xmlpattern '//lineitem/@price' as double`)
+
+	if _, _, err := db.QueryXQuery(`db2-fn:xmlcolumn("ORDERS.ORDDOC")//order[lineitem/@price > 100]`); err != nil {
+		t.Fatal(err)
+	}
+	// Guard trip: canceled context.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := db.QueryXQueryOpts(`db2-fn:xmlcolumn("ORDERS.ORDDOC")//order`, QueryOptions{Context: ctx}); err == nil {
+		t.Fatal("canceled query should fail")
+	}
+	// Guard trip: step limit.
+	if _, _, err := db.QueryXQueryOpts(`db2-fn:xmlcolumn("ORDERS.ORDDOC")//order`, QueryOptions{MaxEvalSteps: 1}); err == nil {
+		t.Fatal("step-limited query should fail")
+	}
+
+	snap := db.MetricsSnapshot()
+	// queries.total also counts the setup DDL/DML, so only the targeted
+	// counters get exact expectations.
+	checks := map[string]int64{
+		"queries.xquery":       3,
+		"queries.errors":       2,
+		"guard.trips.canceled": 1,
+		"guard.trips.limit":    1,
+	}
+	if snap.Counters["queries.total"] < 3 {
+		t.Errorf("queries.total = %d", snap.Counters["queries.total"])
+	}
+	for name, want := range checks {
+		if snap.Counters[name] != want {
+			t.Errorf("%s = %d, want %d", name, snap.Counters[name], want)
+		}
+	}
+	if snap.Counters["xmlindex.probes"] == 0 {
+		t.Error("indexed query should count a probe")
+	}
+	if snap.Histograms["query.latency"].Count == 0 {
+		t.Error("latency histogram empty")
+	}
+	if data, err := db.MetricsJSON(); err != nil || !strings.Contains(string(data), "queries.total") {
+		t.Errorf("MetricsJSON: %v\n%s", err, data)
+	}
+}
+
+// TestMetricsSnapshotConcurrency hammers the registry from query
+// goroutines while snapshotting concurrently; run under -race this
+// checks the registry's synchronization discipline.
+func TestMetricsSnapshotConcurrency(t *testing.T) {
+	db := Open()
+	db.MustExecSQL(`create table orders (ordid integer, orddoc xml)`)
+	db.MustExecSQL(`insert into orders values (1, '<order><lineitem price="150"/></order>')`)
+	db.MustExecSQL(`create index li_price on orders(orddoc) using xmlpattern '//lineitem/@price' as double`)
+	stmt, err := db.PrepareXQuery(`db2-fn:xmlcolumn("ORDERS.ORDDOC")//order[lineitem/@price > 100]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				switch {
+				case j%5 == 0:
+					ctx, cancel := context.WithCancel(context.Background())
+					cancel()
+					_, _, _ = db.QueryXQueryOpts(`db2-fn:xmlcolumn("ORDERS.ORDDOC")//order`, QueryOptions{Context: ctx})
+				case i%2 == 0:
+					if _, _, err := stmt.Exec(); err != nil {
+						t.Error(err)
+					}
+				default:
+					if _, _, err := db.ExecSQL(`select ordid from orders`); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				snap := db.MetricsSnapshot()
+				if snap.Counters == nil {
+					t.Error("nil counters in snapshot")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	snap := db.MetricsSnapshot()
+	if snap.Counters["queries.total"] < 100 {
+		t.Errorf("queries.total = %d, want >= 100", snap.Counters["queries.total"])
+	}
+	if snap.Counters["plancache.hits"] == 0 {
+		t.Error("prepared executions should hit the plan cache")
+	}
+	if snap.Counters["guard.trips.canceled"] == 0 {
+		t.Error("canceled queries should trip the guard counter")
+	}
+}

@@ -80,6 +80,30 @@ type QueryOptions struct {
 	// outer base-table scan). 0 means GOMAXPROCS; 1 runs serially.
 	// Results are byte-identical to the serial order at any setting.
 	Parallelism int
+	// Trace collects timed execution spans (plan, per-probe, eval/scan,
+	// merge) on Stats.Trace. Untraced queries pay no tracing cost.
+	Trace bool
+	// SlowThreshold enables the slow-query hook: a query whose wall-clock
+	// time reaches the threshold increments the "queries.slow" metric and,
+	// when OnSlow is set, invokes it. 0 disables.
+	SlowThreshold time.Duration
+	// OnSlow is called synchronously after a slow query completes (even
+	// one that errored). Setting it alongside SlowThreshold forces
+	// tracing, so the report shows where the time went.
+	OnSlow func(SlowQuery)
+}
+
+// SlowQuery describes one query that crossed QueryOptions.SlowThreshold.
+type SlowQuery struct {
+	Query    string
+	Language string // "sql" or "xquery"
+	Duration time.Duration
+	// Stats carries the execution stats, including Stats.Trace when
+	// tracing was on; nil when the query failed before producing stats.
+	Stats *Stats
+	// Err is the query's outcome (nil on success), before *QueryError
+	// wrapping.
+	Err error
 }
 
 // guard builds the per-query guard; a fully zero options value yields a
@@ -127,6 +151,22 @@ func (db *DB) engineOptions(opts QueryOptions, prepared bool) engine.ExecOptions
 		UseIndexes:  db.UseIndexes,
 		Parallelism: opts.Parallelism,
 		Prepared:    prepared,
+		Trace:       opts.Trace || (opts.SlowThreshold > 0 && opts.OnSlow != nil),
+	}
+}
+
+// observeSlow applies the slow-query hook after one execution.
+func (db *DB) observeSlow(lang, query string, opts QueryOptions, start time.Time, stats *Stats, err error) {
+	if opts.SlowThreshold <= 0 {
+		return
+	}
+	d := time.Since(start)
+	if d < opts.SlowThreshold {
+		return
+	}
+	db.eng.Metrics.Counter("queries.slow").Inc()
+	if opts.OnSlow != nil {
+		opts.OnSlow(SlowQuery{Query: query, Language: lang, Duration: d, Stats: stats, Err: err})
 	}
 }
 
@@ -136,7 +176,9 @@ func (db *DB) ExecSQLOpts(sql string, opts QueryOptions) (*Result, *Stats, error
 }
 
 func (db *DB) execSQL(sql string, opts QueryOptions, prepared bool) (*Result, *Stats, error) {
+	start := time.Now()
 	res, stats, err := db.eng.ExecSQLOpts(sql, db.engineOptions(opts, prepared))
+	db.observeSlow("sql", sql, opts, start, stats, err)
 	if err != nil {
 		return nil, nil, wrapQueryErr(sql, err)
 	}
@@ -149,7 +191,9 @@ func (db *DB) QueryXQueryOpts(query string, opts QueryOptions) (*Result, *Stats,
 }
 
 func (db *DB) execXQuery(query string, opts QueryOptions, prepared bool) (*Result, *Stats, error) {
+	start := time.Now()
 	seq, stats, err := db.eng.ExecXQueryOpts(query, db.engineOptions(opts, prepared))
+	db.observeSlow("xquery", query, opts, start, stats, err)
 	if err != nil {
 		return nil, nil, wrapQueryErr(query, err)
 	}

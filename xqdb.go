@@ -159,9 +159,23 @@ func (s *Stmt) ExecOpts(opts QueryOptions) (*Result, *Stats, error) {
 }
 
 // Explain analyzes a query without running it: extracted predicates,
-// per-index eligibility verdicts with reasons, and tip warnings.
+// per-index eligibility verdicts with reasons (which Definition-1
+// condition or Section-3 pitfall rejected each candidate), tip warnings,
+// and a plan summary (language, cache state, partitionability). The plan
+// is built fresh against the current schema, bypassing the plan cache.
+//
+// SQL statements can also be explained inline: ExecSQL("EXPLAIN SELECT
+// ...") returns the same report as a one-row result instead of running
+// the statement.
 func (db *DB) Explain(query string) (string, error) {
 	return db.eng.Explain(query)
+}
+
+// Explain renders the plan report for the prepared statement, going
+// through the plan cache: the report's cache line shows whether the plan
+// Exec would run is already cached ("hit") or was just built ("miss").
+func (s *Stmt) Explain() (string, error) {
+	return s.db.eng.ExplainPrepared(s.text, s.lang, s.db.UseIndexes)
 }
 
 // Schema is a named set of type declarations for per-document validation.
