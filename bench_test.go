@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"testing"
 
+	"github.com/xqdb/xqdb/internal/postings"
 	"github.com/xqdb/xqdb/internal/workload"
 )
 
@@ -299,6 +300,131 @@ func BenchmarkE12_Scaling(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- probe pipeline: posting lists vs map sets, cold vs cached ---
+
+// synthDocStreams builds doc-id streams shaped like a B+Tree range scan:
+// one ascending run of doc ids per indexed value (composite keys sort by
+// value first, then doc), with adjacent duplicates where one document
+// holds several matching nodes. Deterministic, so both pipeline variants
+// see identical input.
+func synthDocStreams(streams, runs, idsPerRun int) [][]uint32 {
+	state := uint32(2463534242)
+	rnd := func(n uint32) uint32 { // xorshift32
+		state ^= state << 13
+		state ^= state >> 17
+		state ^= state << 5
+		return state % n
+	}
+	out := make([][]uint32, streams)
+	for s := range out {
+		ids := make([]uint32, 0, runs*idsPerRun*2)
+		for r := 0; r < runs; r++ {
+			doc := rnd(500) // each value's run restarts near the front
+			for i := 0; i < idsPerRun; i++ {
+				doc += 1 + rnd(3)
+				ids = append(ids, doc)
+				if rnd(4) == 0 { // same doc matches at a second node
+					ids = append(ids, doc)
+				}
+			}
+		}
+		out[s] = ids
+	}
+	return out
+}
+
+// CombineMapSets replicates the pre-posting-list pipeline: build one
+// map[uint32]bool per probe from its entry stream, then intersect the
+// first two and union in the third — the engine's occurrence combine.
+func BenchmarkProbePipeline_CombineMapSets(b *testing.B) {
+	streams := synthDocStreams(3, 16, 250)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sets := make([]map[uint32]bool, len(streams))
+		for s, ids := range streams {
+			m := make(map[uint32]bool)
+			for _, id := range ids {
+				m[id] = true
+			}
+			sets[s] = m
+		}
+		inter := map[uint32]bool{}
+		for k := range sets[0] {
+			if sets[1][k] {
+				inter[k] = true
+			}
+		}
+		union := make(map[uint32]bool, len(inter)+len(sets[2]))
+		for k := range inter {
+			union[k] = true
+		}
+		for k := range sets[2] {
+			union[k] = true
+		}
+		if len(union) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// CombinePostingLists is the same combine over sorted posting lists, the
+// way docCollector + DocList run it: append doc ids with adjacent-run
+// dedup, one k-way run merge per stream, then galloping intersection and
+// merge union with no hashing.
+func BenchmarkProbePipeline_CombinePostingLists(b *testing.B) {
+	streams := synthDocStreams(3, 16, 250)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lists := make([]postings.List, len(streams))
+		for s, ids := range streams {
+			docs := make([]uint32, 0, len(ids))
+			for _, id := range ids {
+				if n := len(docs); n > 0 && docs[n-1] == id {
+					continue
+				}
+				docs = append(docs, id)
+			}
+			lists[s] = postings.FromRuns(docs)
+		}
+		union := postings.Union(postings.Intersect(lists[0], lists[1]), lists[2])
+		if len(union) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// benchXQOpts is benchXQ under explicit QueryOptions.
+func benchXQOpts(b *testing.B, db *DB, query string, opts QueryOptions) {
+	b.Helper()
+	db.UseIndexes = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := db.QueryXQueryOpts(query, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Cold forces a B+Tree scan per probe on every run; Cached serves both
+// probes of the two-probe query from the versioned probe cache.
+func BenchmarkProbePipeline_QueryTwoProbesCold(b *testing.B) {
+	db := multiPriceDB(b)
+	b.ReportAllocs()
+	benchXQOpts(b, db, q30general, QueryOptions{NoProbeCache: true})
+}
+
+func BenchmarkProbePipeline_QueryTwoProbesCached(b *testing.B) {
+	db := multiPriceDB(b)
+	db.UseIndexes = true
+	if _, _, err := db.QueryXQuery(q30general); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	benchXQOpts(b, db, q30general, QueryOptions{})
 }
 
 // --- substrate micro-benchmarks ---

@@ -1,0 +1,155 @@
+// Command benchdiff compares two benchjson artifacts and renders a
+// markdown summary of how each benchmark and experiment-pair ratio moved
+// between them. It exists for the bench-trend CI job: every run diffs its
+// fresh BENCH_PR2.json against the previous run's artifact, so drift in
+// the probe pipeline or the index ratios is visible on the PR without
+// gating it (shared runners are too noisy to fail a build over).
+//
+//	go run ./cmd/benchdiff -old prev/BENCH_PR2.json -new BENCH_PR2.json
+//
+// A benchmark is flagged as a regression when new ns/op exceeds old
+// ns/op by more than -threshold (default 1.10, i.e. 10% slower). The
+// exit code stays 0 unless -gate is set; a missing or unreadable -old
+// baseline prints a note and exits 0 so the first run of a fresh
+// repository does not fail.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// Benchmark and Pair mirror the cmd/benchjson artifact layout; only the
+// fields the diff needs are decoded.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type Pair struct {
+	Kind     string  `json:"kind"`
+	Baseline string  `json:"baseline"`
+	Ratio    float64 `json:"ratio"`
+}
+
+type Report struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+	Pairs      []Pair      `json:"pairs"`
+}
+
+func load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// diff renders the markdown comparison and reports how many benchmarks
+// regressed past the threshold.
+func diff(old, cur *Report, threshold float64, w io.Writer) int {
+	oldBench := make(map[string]Benchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		oldBench[b.Name] = b
+	}
+
+	regressions := 0
+	fmt.Fprintf(w, "### Benchmark diff (threshold %.2fx)\n\n", threshold)
+	fmt.Fprintln(w, "| benchmark | old ns/op | new ns/op | ratio | allocs old→new | |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---:|---|")
+	for _, b := range cur.Benchmarks {
+		prev, ok := oldBench[b.Name]
+		if !ok || prev.NsPerOp == 0 {
+			fmt.Fprintf(w, "| %s | – | %.0f | – | –→%d | new |\n", b.Name, b.NsPerOp, b.AllocsPerOp)
+			continue
+		}
+		ratio := b.NsPerOp / prev.NsPerOp
+		note := ""
+		switch {
+		case ratio > threshold:
+			note = "⚠️ slower"
+			regressions++
+		case ratio < 1/threshold:
+			note = "✅ faster"
+		}
+		fmt.Fprintf(w, "| %s | %.0f | %.0f | %.2fx | %d→%d | %s |\n",
+			b.Name, prev.NsPerOp, b.NsPerOp, ratio, prev.AllocsPerOp, b.AllocsPerOp, note)
+	}
+
+	oldPairs := make(map[string]Pair, len(old.Pairs))
+	for _, p := range old.Pairs {
+		oldPairs[p.Kind+"/"+p.Baseline] = p
+	}
+	keys := make([]string, 0, len(cur.Pairs))
+	curPairs := make(map[string]Pair, len(cur.Pairs))
+	for _, p := range cur.Pairs {
+		k := p.Kind + "/" + p.Baseline
+		keys = append(keys, k)
+		curPairs[k] = p
+	}
+	sort.Strings(keys)
+	if len(keys) > 0 {
+		fmt.Fprint(w, "\n### Experiment-pair speedup ratios\n\n")
+		fmt.Fprintln(w, "| pair | old ratio | new ratio |")
+		fmt.Fprintln(w, "|---|---:|---:|")
+		for _, k := range keys {
+			p := curPairs[k]
+			if prev, ok := oldPairs[k]; ok && !math.IsNaN(prev.Ratio) {
+				fmt.Fprintf(w, "| %s | %.2fx | %.2fx |\n", k, prev.Ratio, p.Ratio)
+			} else {
+				fmt.Fprintf(w, "| %s | – | %.2fx |\n", k, p.Ratio)
+			}
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "\n%d benchmark(s) regressed past %.2fx.\n", regressions, threshold)
+	} else {
+		fmt.Fprintf(w, "\nNo benchmark regressed past %.2fx.\n", threshold)
+	}
+	return regressions
+}
+
+func run(args []string, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	oldPath := fs.String("old", "", "baseline benchjson artifact (previous run)")
+	newPath := fs.String("new", "BENCH_PR2.json", "current benchjson artifact")
+	threshold := fs.Float64("threshold", 1.10, "ns/op ratio above which a benchmark counts as regressed")
+	gate := fs.Bool("gate", false, "exit non-zero when regressions exceed the threshold")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	cur, err := load(*newPath)
+	if err != nil {
+		return 2, err
+	}
+	old, err := load(*oldPath)
+	if err != nil {
+		// First run of a fresh repo, or the previous artifact expired:
+		// nothing to diff against is not a failure.
+		fmt.Fprintf(stdout, "### Benchmark diff\n\nNo baseline artifact (%v); skipping diff.\n", err)
+		return 0, nil
+	}
+	regressions := diff(old, cur, *threshold, stdout)
+	if *gate && regressions > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	}
+	os.Exit(code)
+}

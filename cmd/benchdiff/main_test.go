@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const oldReport = `{
+  "benchmarks": [
+    {"name": "BenchmarkA", "ns_per_op": 1000, "allocs_per_op": 80},
+    {"name": "BenchmarkB", "ns_per_op": 2000, "allocs_per_op": 10},
+    {"name": "BenchmarkGone", "ns_per_op": 5, "allocs_per_op": 1}
+  ],
+  "pairs": [
+    {"kind": "map-vs-postings", "baseline": "BenchmarkA", "ratio": 1.2}
+  ]
+}`
+
+const newReport = `{
+  "benchmarks": [
+    {"name": "BenchmarkA", "ns_per_op": 500, "allocs_per_op": 10},
+    {"name": "BenchmarkB", "ns_per_op": 3000, "allocs_per_op": 10},
+    {"name": "BenchmarkFresh", "ns_per_op": 42, "allocs_per_op": 2}
+  ],
+  "pairs": [
+    {"kind": "map-vs-postings", "baseline": "BenchmarkA", "ratio": 1.7},
+    {"kind": "cold-vs-cached", "baseline": "BenchmarkCold", "ratio": 1.1}
+  ]
+}`
+
+// The diff must mark B (3000/2000 = 1.5x) as the one regression, A as an
+// improvement, and render Fresh and the new pair with no baseline column.
+func TestDiffFlagsRegressionsAndImprovements(t *testing.T) {
+	oldPath := writeReport(t, "old.json", oldReport)
+	newPath := writeReport(t, "new.json", newReport)
+	var out strings.Builder
+	code, err := run([]string{"-old", oldPath, "-new", newPath}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("ungated run must exit 0: code=%d err=%v", code, err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"BenchmarkB | 2000 | 3000 | 1.50x", "⚠️ slower",
+		"BenchmarkA | 1000 | 500 | 0.50x", "✅ faster",
+		"BenchmarkFresh | – | 42", "new",
+		"map-vs-postings/BenchmarkA | 1.20x | 1.70x",
+		"cold-vs-cached/BenchmarkCold | – | 1.10x",
+		"1 benchmark(s) regressed past 1.10x",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// -gate turns the regression count into the exit code; a looser
+// threshold that clears every benchmark must stay green even gated.
+func TestGateAndThreshold(t *testing.T) {
+	oldPath := writeReport(t, "old.json", oldReport)
+	newPath := writeReport(t, "new.json", newReport)
+	var out strings.Builder
+	code, err := run([]string{"-old", oldPath, "-new", newPath, "-gate"}, &out)
+	if err != nil || code != 1 {
+		t.Fatalf("gated regression must exit 1: code=%d err=%v", code, err)
+	}
+	out.Reset()
+	code, err = run([]string{"-old", oldPath, "-new", newPath, "-gate", "-threshold", "2.0"}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("1.5x under a 2.0x threshold must pass the gate: code=%d err=%v", code, err)
+	}
+	if !strings.Contains(out.String(), "No benchmark regressed past 2.00x") {
+		t.Errorf("summary should report a clean pass:\n%s", out.String())
+	}
+}
+
+// A missing baseline is the first-run case: report it, exit 0. A missing
+// or corrupt current artifact is a real failure.
+func TestMissingInputs(t *testing.T) {
+	newPath := writeReport(t, "new.json", newReport)
+	var out strings.Builder
+	code, err := run([]string{"-old", filepath.Join(t.TempDir(), "nope.json"), "-new", newPath}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("missing baseline must be a soft skip: code=%d err=%v", code, err)
+	}
+	if !strings.Contains(out.String(), "No baseline artifact") {
+		t.Errorf("skip note missing:\n%s", out.String())
+	}
+	if code, err = run([]string{"-new", filepath.Join(t.TempDir(), "nope.json")}, &out); err == nil || code != 2 {
+		t.Fatalf("missing current artifact must fail: code=%d err=%v", code, err)
+	}
+	bad := writeReport(t, "bad.json", "{not json")
+	if code, err = run([]string{"-new", bad}, &out); err == nil || code != 2 {
+		t.Fatalf("corrupt current artifact must fail: code=%d err=%v", code, err)
+	}
+}

@@ -7,6 +7,8 @@
 //   - scan vs indexed        ("Scan"/"scan" ↔ "Indexed"/"indexed")
 //   - unprepared vs prepared ("Unprepared" ↔ "Prepared")
 //   - serial vs parallel     ("par=1" ↔ "par=8")
+//   - map vs posting lists   ("MapSets" ↔ "PostingLists")
+//   - cold vs cached probes  ("Cold" ↔ "Cached")
 //
 // Each pair records the speedup ratio baseline_ns / variant_ns — above 1.0
 // means the variant (indexed, prepared, parallel) is faster. Usage:
@@ -94,6 +96,8 @@ var pairRules = []struct {
 	{"scan-vs-indexed", "scan", "indexed"},
 	{"unprepared-vs-prepared", "Unprepared", "Prepared"},
 	{"serial-vs-parallel", "par=1", "par=8"},
+	{"map-vs-postings", "MapSets", "PostingLists"},
+	{"cold-vs-cached", "Cold", "Cached"},
 }
 
 func pairs(benches []Benchmark) []Pair {

@@ -212,18 +212,54 @@ func (t *Tree) Scan(lo, hi []byte, f func(key, value []byte) bool) int {
 // ScanCheck; long range scans notice cancellation at this granularity.
 const scanCheckEvery = 512
 
+// Visitor receives the entries of a range scan. Implementing it on a
+// struct lets hot scan loops accumulate state through method calls with
+// no per-scan closure captures — the streaming doc-set collectors of the
+// XML indexes are the motivating caller.
+type Visitor interface {
+	// Visit is called once per entry in key order; returning false stops
+	// the scan early.
+	Visit(key, value []byte) bool
+	// Check runs once up front and every scanCheckEvery visited entries
+	// with the running visit count; a non-nil error aborts the scan and
+	// is returned. Return nil to keep scanning.
+	Check(visited int) error
+}
+
+// funcVisitor adapts the closure-based ScanCheck API onto Visitor.
+type funcVisitor struct {
+	check func(visited int) error
+	f     func(key, value []byte) bool
+}
+
+func (v *funcVisitor) Visit(key, value []byte) bool { return v.f(key, value) }
+
+func (v *funcVisitor) Check(visited int) error {
+	if v.check == nil {
+		return nil
+	}
+	return v.check(visited)
+}
+
 // ScanCheck is Scan with a periodic abort check: every scanCheckEvery
 // visited entries (and once up front) check runs with the running visit
 // count, and a non-nil error stops the scan and is returned. A nil check
 // behaves exactly like Scan.
 func (t *Tree) ScanCheck(lo, hi []byte, check func(visited int) error, f func(key, value []byte) bool) (int, error) {
-	visited, err := t.scanCheck(lo, hi, check, f)
+	return t.ScanVisit(lo, hi, &funcVisitor{check: check, f: f})
+}
+
+// ScanVisit is the visitor form of ScanCheck: all entries with
+// lo <= key < hi in key order, with the visitor's Check consulted
+// periodically for cancellation.
+func (t *Tree) ScanVisit(lo, hi []byte, v Visitor) (int, error) {
+	visited, err := t.scanVisit(lo, hi, v)
 	t.mScans.Inc()
 	t.mKeys.Add(int64(visited))
 	return visited, err
 }
 
-func (t *Tree) scanCheck(lo, hi []byte, check func(visited int) error, f func(key, value []byte) bool) (int, error) {
+func (t *Tree) scanVisit(lo, hi []byte, v Visitor) (int, error) {
 	var n *node
 	if lo == nil {
 		n = t.firstLeaf()
@@ -231,10 +267,8 @@ func (t *Tree) scanCheck(lo, hi []byte, check func(visited int) error, f func(ke
 		n = t.leafFor(lo)
 	}
 	visited := 0
-	if check != nil {
-		if err := check(visited); err != nil {
-			return visited, err
-		}
+	if err := v.Check(visited); err != nil {
+		return visited, err
 	}
 	for ; n != nil; n = n.next {
 		for i := range n.keys {
@@ -245,12 +279,12 @@ func (t *Tree) scanCheck(lo, hi []byte, check func(visited int) error, f func(ke
 				return visited, nil
 			}
 			visited++
-			if check != nil && visited%scanCheckEvery == 0 {
-				if err := check(visited); err != nil {
+			if visited%scanCheckEvery == 0 {
+				if err := v.Check(visited); err != nil {
 					return visited, err
 				}
 			}
-			if !f(n.keys[i], n.vals[i]) {
+			if !v.Visit(n.keys[i], n.vals[i]) {
 				return visited, nil
 			}
 		}

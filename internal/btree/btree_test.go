@@ -212,3 +212,73 @@ func TestHeightGrows(t *testing.T) {
 		t.Fatalf("height = %d for 100k keys", h)
 	}
 }
+
+// countingVisitor accumulates visited keys and records every Check call,
+// pinning the Visitor contract ScanVisit promises.
+type countingVisitor struct {
+	keys     [][]byte
+	checks   []int
+	failAt   int // abort when a Check sees this count (-1 = never)
+	stopAt   int // Visit returns false after this many keys (0 = never)
+	checkErr error
+}
+
+func (v *countingVisitor) Visit(k, _ []byte) bool {
+	v.keys = append(v.keys, append([]byte(nil), k...))
+	return v.stopAt == 0 || len(v.keys) < v.stopAt
+}
+
+func (v *countingVisitor) Check(visited int) error {
+	v.checks = append(v.checks, visited)
+	if v.failAt >= 0 && visited >= v.failAt {
+		return v.checkErr
+	}
+	return nil
+}
+
+func TestScanVisit(t *testing.T) {
+	tr := New()
+	for i := 0; i < 2000; i++ {
+		tr.Insert(key(i), nil)
+	}
+	v := &countingVisitor{failAt: -1}
+	visited, err := tr.ScanVisit(key(100), key(1700), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visited != 1600 || len(v.keys) != 1600 {
+		t.Fatalf("visited %d, collected %d, want 1600", visited, len(v.keys))
+	}
+	if int(binary.BigEndian.Uint64(v.keys[0])) != 100 || int(binary.BigEndian.Uint64(v.keys[1599])) != 1699 {
+		t.Fatal("wrong range")
+	}
+	// Check runs up front (0) and every scanCheckEvery entries.
+	if len(v.checks) == 0 || v.checks[0] != 0 {
+		t.Fatalf("first Check must see 0, got %v", v.checks[:1])
+	}
+	for _, c := range v.checks[1:] {
+		if c%scanCheckEvery != 0 {
+			t.Fatalf("Check at %d, not a multiple of %d", c, scanCheckEvery)
+		}
+	}
+
+	// A Check error aborts mid-scan and surfaces to the caller.
+	wantErr := fmt.Errorf("canceled")
+	v = &countingVisitor{failAt: scanCheckEvery, checkErr: wantErr}
+	visited, err = tr.ScanVisit(nil, nil, v)
+	if err != wantErr {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	if visited != scanCheckEvery {
+		t.Fatalf("aborted at %d, want %d", visited, scanCheckEvery)
+	}
+
+	// Visit returning false stops early without error.
+	v = &countingVisitor{failAt: -1, stopAt: 7}
+	if _, err := tr.ScanVisit(nil, nil, v); err != nil {
+		t.Fatal(err)
+	}
+	if len(v.keys) != 7 {
+		t.Fatalf("early stop collected %d keys, want 7", len(v.keys))
+	}
+}

@@ -10,10 +10,14 @@ package engine
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/xqdb/xqdb/internal/core"
 	"github.com/xqdb/xqdb/internal/guard"
 	"github.com/xqdb/xqdb/internal/metrics"
+	"github.com/xqdb/xqdb/internal/postings"
 	"github.com/xqdb/xqdb/internal/sqlxml"
 	"github.com/xqdb/xqdb/internal/storage"
 	"github.com/xqdb/xqdb/internal/xdm"
@@ -189,9 +193,18 @@ func (e *Engine) planProbes(a *core.Analysis) ([]probePlan, []predDecision, erro
 // indexCompat adapts the storage index type to the analyzer's view.
 func indexCompat(t xmlindex.Type) xmlindex.Type { return t }
 
-// semiJoinCap bounds the number of distinct values a semi-join probes;
-// larger joins fall back to scans. A variable so tests can lower it.
-var semiJoinCap = 4096
+// defaultSemiJoinCap bounds the number of distinct values a semi-join
+// probes when ExecOptions.SemiJoinMaxValues is unset; larger joins fall
+// back to scans.
+const defaultSemiJoinCap = 4096
+
+// semiJoinCapFor resolves the per-execution semi-join value cap.
+func semiJoinCapFor(o ExecOptions) int {
+	if o.SemiJoinMaxValues > 0 {
+		return o.SemiJoinMaxValues
+	}
+	return defaultSemiJoinCap
+}
 
 // buildSemiJoinPlan plans a Query 13-style semi-join probe (XML path
 // compared with a SQL scalar variable): one equality probe per distinct
@@ -218,9 +231,9 @@ func (e *Engine) buildSemiJoinPlan(p core.Predicate, xi *storage.XMLIndex, tab *
 
 // semiJoinValues gathers the distinct non-null values of the join column,
 // iterating under the table's read lock without snapshotting the rows.
-// ok=false (join table gone, or more than semiJoinCap distinct values)
+// ok=false (join table gone, or more than maxValues distinct values)
 // degrades the probe to "no filter".
-func (e *Engine) semiJoinValues(spec *semiJoinSpec) ([]xdm.Value, bool) {
+func (e *Engine) semiJoinValues(spec *semiJoinSpec, maxValues int) ([]xdm.Value, bool) {
 	joinTab, err := e.Catalog.Table(spec.table)
 	if err != nil {
 		return nil, false
@@ -241,10 +254,10 @@ func (e *Engine) semiJoinValues(spec *semiJoinSpec) ([]xdm.Value, bool) {
 		if seen[key] {
 			return true
 		}
-		// The cap check precedes the append: exactly semiJoinCap distinct
+		// The cap check precedes the append: exactly maxValues distinct
 		// values are admitted, and one more stops the iteration early
 		// instead of collecting it first.
-		if len(values) >= semiJoinCap {
+		if len(values) >= maxValues {
 			ok = false
 			return false
 		}
@@ -323,90 +336,172 @@ func opRange(op xdm.CompareOp, v xdm.Value) (xmlindex.Range, bool) {
 	return xmlindex.Range{}, false // != cannot be answered by one range
 }
 
-// runProbes executes the plans and combines the resulting document sets:
+// probeOutcome is one plan's probe result. Workers fill outcomes
+// concurrently; the merge phase reads them serially in plan order, so
+// Stats (probe counts, IndexesUsed order, trace spans, the violation
+// that aborts the query) stay deterministic regardless of scheduling.
+type probeOutcome struct {
+	docs    postings.List
+	label   string
+	probes  int
+	visited int
+	cached  bool
+	// ok=false marks a non-probeable outcome (semi-join too large, bound
+	// does not cast): the occurrence stays unprobed and poisons its
+	// collection below — a full scan, never a wrong answer.
+	ok bool
+	// err is set only for guard violations and worker panics; the merge
+	// phase aborts the query with it.
+	err error
+	t0  time.Time
+}
+
+// runProbe executes one probe plan to completion.
+func (e *Engine) runProbe(g *guard.Guard, pl probePlan, o ExecOptions, t0 time.Time) probeOutcome {
+	out := probeOutcome{label: pl.label, t0: t0}
+	if pl.semi != nil {
+		// Semi-join: union of one equality probe per distinct value of
+		// the join column, gathered now — the values are data.
+		values, ok := e.semiJoinValues(pl.semi, semiJoinCapFor(o))
+		if !ok {
+			return out
+		}
+		lists := make([]postings.List, 0, len(values))
+		allCached := len(values) > 0
+		for _, v := range values {
+			probe := pl.probe
+			probe.Range = xmlindex.Equality(v)
+			probe.Guard = g
+			probe.NoCache = o.NoProbeCache
+			docs, visited, cached, perr := pl.index.DocList(probe)
+			out.probes++
+			out.visited += visited
+			if perr != nil {
+				if _, isViolation := guard.AsViolation(perr); isViolation {
+					// Cancellation/timeout mid-probe aborts the query; it
+					// must not degrade into "no filter".
+					out.err = perr
+					return out
+				}
+				continue // non-castable join value matches nothing
+			}
+			if !cached {
+				allCached = false
+			}
+			lists = append(lists, docs)
+		}
+		out.docs = postings.Union(lists...)
+		out.label = fmt.Sprintf("%s, %d values)", strings.TrimSuffix(pl.label, ")"), len(values))
+		out.cached = allCached
+		out.ok = true
+	} else {
+		probe := pl.probe
+		probe.Guard = g
+		probe.NoCache = o.NoProbeCache
+		docs, visited, cached, err := pl.index.DocList(probe)
+		out.probes = 1
+		out.visited = visited
+		if err != nil {
+			if _, isViolation := guard.AsViolation(err); isViolation {
+				out.err = err
+			}
+			// Otherwise: a probe bound that does not cast (e.g. a string
+			// constant against a double index) should have been rejected
+			// by type checking; treat as non-probeable rather than failing.
+			return out
+		}
+		out.docs = docs
+		out.cached = cached
+		out.ok = true
+	}
+	if out.cached {
+		out.label += " [cached]"
+	}
+	return out
+}
+
+// runProbeSafe is runProbe with panic containment: the probe workers run
+// off the query goroutine, where the boundary recoverPanic cannot reach.
+func (e *Engine) runProbeSafe(g *guard.Guard, pl probePlan, o ExecOptions, t0 time.Time) (out probeOutcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = probeOutcome{label: pl.label, t0: t0,
+				err: &guard.Violation{Kind: guard.Internal, Msg: fmt.Sprintf("panic: %v", r)}}
+		}
+	}()
+	return e.runProbe(g, pl, o, t0)
+}
+
+// runProbes executes the plans — independent plans concurrently, bounded
+// by ExecOptions.Parallelism — and combines the resulting posting lists:
 // within one binding occurrence, probe results intersect; across
 // occurrences of the same collection they union (a document needed by one
 // binding must survive even if another binding's predicate rejects it).
 // A collection with an occurrence that has no probe cannot be
 // pre-filtered at all.
-func (e *Engine) runProbes(g *guard.Guard, plans []probePlan, a *core.Analysis, stats *Stats) (map[string]map[uint32]bool, map[int]map[uint32]bool, error) {
+func (e *Engine) runProbes(g *guard.Guard, plans []probePlan, a *core.Analysis, o ExecOptions, stats *Stats) (map[string]postings.List, map[int]postings.List, error) {
 	type occKey struct {
 		coll string
 		occ  int
 	}
-	occSets := map[occKey]map[uint32]bool{}
-	rowSets := map[int]map[uint32]bool{}
-	for _, pl := range plans {
-		var docs map[uint32]bool
-		var err error
-		label := pl.label
-		t0 := stats.Trace.now()
-		keysBefore := stats.KeysVisited
-		if pl.semi != nil {
-			// Semi-join: union of one equality probe per distinct value
-			// of the join column, gathered now — the values are data.
-			values, ok := e.semiJoinValues(pl.semi)
-			if !ok {
-				// Join too large (or the table went away): this
-				// occurrence stays unprobed, which poisons the
-				// collection's pre-filter below — a full scan, never a
-				// wrong answer.
-				continue
-			}
-			docs = map[uint32]bool{}
-			for _, v := range values {
-				probe := pl.probe
-				probe.Range = xmlindex.Equality(v)
-				probe.Guard = g
-				set, visited, perr := pl.index.DocSetStats(probe)
-				stats.Probes++
-				stats.KeysVisited += visited
-				if perr != nil {
-					if _, isViolation := guard.AsViolation(perr); isViolation {
-						return nil, nil, perr
+	outcomes := make([]probeOutcome, len(plans))
+	if par := parallelism(o.Parallelism); par > 1 && len(plans) > 1 {
+		if par > len(plans) {
+			par = len(plans)
+		}
+		// Work-stealing by atomic cursor: each worker claims the next
+		// unstarted plan, so a slow probe never strands queued fast ones.
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < par; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(plans) {
+						return
 					}
-					continue // non-castable join value matches nothing
+					outcomes[i] = e.runProbeSafe(g, plans[i], o, stats.Trace.now())
 				}
-				for id := range set {
-					docs[id] = true
-				}
-			}
-			label = fmt.Sprintf("%s, %d values)", strings.TrimSuffix(pl.label, ")"), len(values))
-		} else {
-			probe := pl.probe
-			probe.Guard = g
-			var visited int
-			docs, visited, err = pl.index.DocSetStats(probe)
-			stats.Probes++
-			stats.KeysVisited += visited
+			}()
 		}
-		if _, isViolation := guard.AsViolation(err); isViolation {
-			// Cancellation/timeout mid-probe aborts the query; it must
-			// not degrade into "no filter" (a full scan would follow).
-			return nil, nil, err
+		wg.Wait()
+	} else {
+		for i, pl := range plans {
+			outcomes[i] = e.runProbeSafe(g, pl, o, stats.Trace.now())
 		}
-		if err != nil {
-			// A probe bound that does not cast (e.g. a string constant
-			// against a double index) should have been rejected by type
-			// checking; treat as non-probeable rather than failing.
+	}
+
+	// Merge serially in plan order.
+	occSets := map[occKey]postings.List{}
+	rowSets := map[int]postings.List{}
+	for i, r := range outcomes {
+		stats.Probes += r.probes
+		stats.KeysVisited += r.visited
+		if r.err != nil {
+			return nil, nil, r.err
+		}
+		if !r.ok {
 			continue
 		}
-		stats.Trace.add("probe", fmt.Sprintf("%s: %d keys, %d docs", label, stats.KeysVisited-keysBefore, len(docs)), t0)
-		stats.IndexesUsed = append(stats.IndexesUsed, label)
+		stats.Trace.add("probe", fmt.Sprintf("%s: %d keys, %d docs", r.label, r.visited, len(r.docs)), r.t0)
+		stats.IndexesUsed = append(stats.IndexesUsed, r.label)
+		pl := plans[i]
 		if pl.forRow >= 0 {
 			// SQL row-level predicates on the same FROM item all
 			// constrain the same document: intersect.
 			if cur, ok := rowSets[pl.forRow]; ok {
-				rowSets[pl.forRow] = intersect(cur, docs)
+				rowSets[pl.forRow] = postings.Intersect(cur, r.docs)
 			} else {
-				rowSets[pl.forRow] = docs
+				rowSets[pl.forRow] = r.docs
 			}
 		} else {
 			k := occKey{pl.coll, pl.occ}
 			if cur, ok := occSets[k]; ok {
-				occSets[k] = intersect(cur, docs)
+				occSets[k] = postings.Intersect(cur, r.docs)
 			} else {
-				occSets[k] = docs
+				occSets[k] = r.docs
 			}
 		}
 	}
@@ -429,13 +524,13 @@ func (e *Engine) runProbes(g *guard.Guard, plans []probePlan, a *core.Analysis, 
 		}
 	}
 
-	collSets := map[string]map[uint32]bool{}
+	collSets := map[string]postings.List{}
 	for k, set := range occSets {
 		if poisoned[k.coll] {
 			continue
 		}
 		if cur, ok := collSets[k.coll]; ok {
-			collSets[k.coll] = union(cur, set)
+			collSets[k.coll] = postings.Union(cur, set)
 		} else {
 			collSets[k.coll] = set
 		}
@@ -443,31 +538,10 @@ func (e *Engine) runProbes(g *guard.Guard, plans []probePlan, a *core.Analysis, 
 	return collSets, rowSets, nil
 }
 
-func intersect(a, b map[uint32]bool) map[uint32]bool {
-	out := map[uint32]bool{}
-	for k := range a {
-		if b[k] {
-			out[k] = true
-		}
-	}
-	return out
-}
-
-func union(a, b map[uint32]bool) map[uint32]bool {
-	out := make(map[uint32]bool, len(a)+len(b))
-	for k := range a {
-		out[k] = true
-	}
-	for k := range b {
-		out[k] = true
-	}
-	return out
-}
-
 // applyRelProbes installs relational-index row filters for SQL equality
 // predicates on scalar columns (the Query 14 side of §3.3: when the join
 // or comparison lives on the SQL side, only a relational index applies).
-func (e *Engine) applyRelProbes(a *core.Analysis, rowSets map[int]map[uint32]bool, stats *Stats) {
+func (e *Engine) applyRelProbes(a *core.Analysis, rowSets map[int]postings.List, stats *Stats) {
 	for _, rp := range a.RelPredicates {
 		if !rp.Filtering || rp.Value == nil || rp.Op != xdm.OpEq {
 			continue
@@ -481,15 +555,15 @@ func (e *Engine) applyRelProbes(a *core.Analysis, rowSets map[int]map[uint32]boo
 			if err != nil {
 				break // value does not cast to the column type
 			}
-			set := make(map[uint32]bool, len(ids))
-			for _, id := range ids {
-				set[id] = true
-			}
+			// Lookup returns a fresh slice, already ascending for an
+			// equality probe (fixed value prefix, big-endian row-id
+			// suffix); FromUnsorted just validates that.
+			set := postings.FromUnsorted(ids)
 			stats.IndexesUsed = append(stats.IndexesUsed,
 				fmt.Sprintf("%s(%s.%s = %s)", ri.Name, rp.Table, rp.Column, rp.Value.Lexical()))
 			stats.Probes++
 			if cur, ok := rowSets[rp.FromIndex]; ok {
-				rowSets[rp.FromIndex] = intersect(cur, set)
+				rowSets[rp.FromIndex] = postings.Intersect(cur, set)
 			} else {
 				rowSets[rp.FromIndex] = set
 			}
@@ -501,7 +575,7 @@ func (e *Engine) applyRelProbes(a *core.Analysis, rowSets map[int]map[uint32]boo
 // filteredResolver serves pre-filtered collections.
 type filteredResolver struct {
 	cat     *storage.Catalog
-	allowed map[string]map[uint32]bool
+	allowed map[string]postings.List
 }
 
 func (f *filteredResolver) Collection(name string) ([]*xdm.Node, error) {
@@ -513,7 +587,7 @@ func (f *filteredResolver) Collection(name string) ([]*xdm.Node, error) {
 
 // countDocs measures collection sizes touched by the filter sets; SQL
 // row-level filters count against their table's row count.
-func countDocs(e *Engine, collSets map[string]map[uint32]bool, rowSets map[int]map[uint32]bool, rowColl map[int]string, stats *Stats, collections []string) {
+func countDocs(e *Engine, collSets map[string]postings.List, rowSets map[int]postings.List, rowColl map[int]string, stats *Stats, collections []string) {
 	seen := map[string]bool{}
 	for fi, set := range rowSets {
 		c := strings.ToLower(rowColl[fi])

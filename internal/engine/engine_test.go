@@ -71,11 +71,20 @@ func assertEquivalentXQ(t *testing.T, e *Engine, query string) (*Stats, *Stats) 
 
 func assertEquivalentSQL(t *testing.T, e *Engine, sql string) (*Stats, *Stats) {
 	t.Helper()
-	full, fstats, err := e.ExecSQL(sql, false)
+	return assertEquivalentSQLOpts(t, e, sql, ExecOptions{})
+}
+
+// assertEquivalentSQLOpts compares a full scan with an indexed run under
+// extra execution options (semi-join cap, cache bypass, parallelism).
+func assertEquivalentSQLOpts(t *testing.T, e *Engine, sql string, o ExecOptions) (*Stats, *Stats) {
+	t.Helper()
+	o.UseIndexes = false
+	full, fstats, err := e.ExecSQLOpts(sql, o)
 	if err != nil {
 		t.Fatalf("full scan: %v", err)
 	}
-	idx, istats, err := e.ExecSQL(sql, true)
+	o.UseIndexes = true
+	idx, istats, err := e.ExecSQLOpts(sql, o)
 	if err != nil {
 		t.Fatalf("indexed: %v", err)
 	}

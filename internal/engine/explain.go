@@ -46,6 +46,9 @@ func (e *Engine) renderPlan(p *plan, cache string) string {
 			fmt.Fprintf(&b, "warning (Tip %d — %s): %s\n", w.Tip, core.TipTitle(w.Tip), w.Message)
 		}
 	}
+	for _, pl := range p.probes {
+		fmt.Fprintf(&b, "probe %s: probe cache: %s\n", pl.label, probeCacheState(pl))
+	}
 	indexes := "off"
 	if p.useIndexes {
 		indexes = "on"
@@ -60,6 +63,19 @@ func (e *Engine) renderPlan(p *plan, cache string) string {
 		}
 	}
 	return b.String()
+}
+
+// probeCacheState reports whether running this probe now would hit the
+// index's probe-result cache. EXPLAIN never runs probes, so the check is
+// a metrics-free peek that leaves the cache untouched.
+func probeCacheState(pl probePlan) string {
+	if pl.semi != nil {
+		return "per-value (semi-join values probed at execution)"
+	}
+	if pl.index.ProbeCached(pl.probe) {
+		return "hit"
+	}
+	return "cold"
 }
 
 func langName(l Lang) string {

@@ -40,6 +40,14 @@ type ExecOptions struct {
 	Prepared bool
 	// Trace collects timed execution spans on Stats.Trace.
 	Trace bool
+	// SemiJoinMaxValues caps the distinct join values a semi-join probe
+	// gathers before degrading to a full scan; <= 0 means the default
+	// (4096).
+	SemiJoinMaxValues int
+	// NoProbeCache bypasses the per-index probe-result cache (neither
+	// read nor populated) — the uncached baseline for benchmarks and
+	// determinism tests.
+	NoProbeCache bool
 }
 
 // plan is a prepared execution plan — everything derivable from the query
@@ -286,7 +294,7 @@ func (e *Engine) execXQueryPlan(p *plan, o ExecOptions, stats *Stats) (xdm.Seque
 	g := o.Guard
 	resolver := xquery.CollectionResolver(e.Catalog)
 	if p.analysis != nil {
-		collSets, _, err := e.runProbes(g, p.probes, p.analysis, stats)
+		collSets, _, err := e.runProbes(g, p.probes, p.analysis, o, stats)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -426,7 +434,7 @@ func (e *Engine) execSQLPlan(p *plan, o ExecOptions, stats *Stats) (*sqlxml.Resu
 	pf := sqlxml.Prefilter{}
 	coll := xquery.CollectionResolver(e.Catalog)
 	if p.analysis != nil {
-		collSets, rowSets, err := e.runProbes(g, p.probes, p.analysis, stats)
+		collSets, rowSets, err := e.runProbes(g, p.probes, p.analysis, o, stats)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -108,13 +108,10 @@ func TestPrepareSurfacesParseErrors(t *testing.T) {
 	}
 }
 
-// Exactly semiJoinCap distinct join values may probe; one more bails out
-// of the semi-join — the occurrence stays unprobed (poisoned), the scan
-// stays full, and results must be unchanged either way.
+// Exactly SemiJoinMaxValues distinct join values may probe; one more
+// bails out of the semi-join — the occurrence stays unprobed (poisoned),
+// the scan stays full, and results must be unchanged either way.
 func TestSemiJoinCapBoundary(t *testing.T) {
-	old := semiJoinCap
-	defer func() { semiJoinCap = old }()
-
 	q := `SELECT p.name, o.ordid FROM products p, orders o
 		WHERE XMLExists('$order//lineitem/product[id eq $pid]' passing o.orddoc as "order", p.id as "pid")`
 	setup := func() *Engine {
@@ -124,14 +121,14 @@ func TestSemiJoinCapBoundary(t *testing.T) {
 		return e
 	}
 
-	semiJoinCap = 2 // two distinct values: exactly at the cap
-	_, istats := assertEquivalentSQL(t, setup(), q)
+	// Two distinct values: exactly at the cap.
+	_, istats := assertEquivalentSQLOpts(t, setup(), q, ExecOptions{SemiJoinMaxValues: 2})
 	if len(istats.IndexesUsed) == 0 || !strings.Contains(istats.IndexesUsed[0], "semi-join") {
 		t.Fatalf("at the cap the semi-join must run: %v", istats.IndexesUsed)
 	}
 
-	semiJoinCap = 1 // one past the cap
-	_, istats = assertEquivalentSQL(t, setup(), q)
+	// One past the cap.
+	_, istats = assertEquivalentSQLOpts(t, setup(), q, ExecOptions{SemiJoinMaxValues: 1})
 	for _, u := range istats.IndexesUsed {
 		if strings.Contains(u, "semi-join") {
 			t.Fatalf("past the cap the semi-join must bail: %v", istats.IndexesUsed)

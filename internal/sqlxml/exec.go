@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"github.com/xqdb/xqdb/internal/guard"
+	"github.com/xqdb/xqdb/internal/postings"
 	"github.com/xqdb/xqdb/internal/storage"
 	"github.com/xqdb/xqdb/internal/xdm"
 	"github.com/xqdb/xqdb/internal/xmlparse"
@@ -63,9 +64,11 @@ type Result struct {
 }
 
 // Prefilter restricts which rows of FROM tables are scanned: it maps a
-// FROM-item position to the set of admissible row ids. Installed by the
-// engine planner when an XML index is eligible (Definition 1).
-type Prefilter map[int]map[uint32]bool
+// FROM-item position to the sorted posting list of admissible row ids.
+// Installed by the engine planner when an XML index is eligible
+// (Definition 1). A missing (nil) entry means no filter; an empty
+// non-nil list filters everything.
+type Prefilter map[int]postings.List
 
 // binding is one FROM item's contribution to the current join row.
 type binding struct {
@@ -430,7 +433,7 @@ func (w *selectWorker) loop(i int, outer []storage.Row) error {
 			if err := e.Guard.Step(); err != nil {
 				return err
 			}
-			if allowed != nil && !allowed[row.ID] {
+			if allowed != nil && !allowed.Contains(row.ID) {
 				continue
 			}
 			w.scanned++

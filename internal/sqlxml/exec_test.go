@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/xqdb/xqdb/internal/postings"
 	"github.com/xqdb/xqdb/internal/storage"
 )
 
@@ -312,7 +313,7 @@ func TestPrefilterReducesScan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	filtered, err := e.ExecFiltered(stmt, Prefilter{0: {1: true, 3: true}})
+	filtered, err := e.ExecFiltered(stmt, Prefilter{0: postings.List{1, 3}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,7 @@ package storage
 import (
 	"testing"
 
+	"github.com/xqdb/xqdb/internal/postings"
 	"github.com/xqdb/xqdb/internal/xdm"
 )
 
@@ -32,7 +33,7 @@ func TestCollectionFiltered(t *testing.T) {
 	c, tab := ordersTable(t)
 	id1 := insertOrder(t, tab, 1, `<order><a/></order>`)
 	insertOrder(t, tab, 2, `<order><b/></order>`)
-	docs, err := c.CollectionFiltered("orders.orddoc", map[uint32]bool{id1: true})
+	docs, err := c.CollectionFiltered("orders.orddoc", postings.List{id1})
 	if err != nil || len(docs) != 1 {
 		t.Fatalf("filtered: %d %v", len(docs), err)
 	}

@@ -16,6 +16,7 @@ import (
 	"github.com/xqdb/xqdb/internal/guard"
 	"github.com/xqdb/xqdb/internal/metrics"
 	"github.com/xqdb/xqdb/internal/pattern"
+	"github.com/xqdb/xqdb/internal/postings"
 	"github.com/xqdb/xqdb/internal/xdm"
 	"github.com/xqdb/xqdb/internal/xmlindex"
 	"github.com/xqdb/xqdb/internal/xmlparse"
@@ -264,7 +265,9 @@ func (c *Catalog) Collection(name string) ([]*xdm.Node, error) {
 
 // CollectionFiltered is Collection restricted to the given row ids — the
 // I(P, D) pre-filter of Definition 1 applied to a whole-column access.
-func (c *Catalog) CollectionFiltered(name string, allowed map[uint32]bool) ([]*xdm.Node, error) {
+// allowed is a sorted posting list; an empty (or nil) list admits no
+// documents.
+func (c *Catalog) CollectionFiltered(name string, allowed postings.List) ([]*xdm.Node, error) {
 	dot := strings.IndexByte(name, '.')
 	if dot < 0 {
 		return nil, fmt.Errorf("db2-fn:xmlcolumn: argument %q must be TABLE.COLUMN", name)
@@ -281,7 +284,7 @@ func (c *Catalog) CollectionFiltered(name string, allowed map[uint32]bool) ([]*x
 	defer t.mu.RUnlock()
 	var docs []*xdm.Node
 	for _, row := range t.rows {
-		if !allowed[row.ID] {
+		if !allowed.Contains(row.ID) {
 			continue
 		}
 		cell := row.Cells[ci]

@@ -1,0 +1,246 @@
+package xmlindex
+
+import (
+	"math"
+	"testing"
+
+	"github.com/xqdb/xqdb/internal/metrics"
+	"github.com/xqdb/xqdb/internal/pattern"
+	"github.com/xqdb/xqdb/internal/postings"
+	"github.com/xqdb/xqdb/internal/xdm"
+)
+
+// allFFValue is the one value whose order-preserving encoding is all
+// 0xff bytes: the positive NaN with every mantissa/exponent bit set.
+// encodeFloat flips the sign bit of a positive double, turning
+// 0x7fffffffffffffff into 0xffffffffffffffff. (String encodings always
+// end in the 0x00 0x00 terminator, so they can never reach this edge.)
+func allFFValue() *xdm.Value {
+	v := xdm.Value{T: xdm.Double, F: math.Float64frombits(0x7fffffffffffffff)}
+	return &v
+}
+
+// Regression: an exclusive lower bound at the maximal encodable value has
+// no successor — prefixSuccessor returns nil. nil-as-lo means
+// "scan from the start", the exact opposite of "nothing is greater", so
+// the old code returned every entry in the index. The probe must return
+// none.
+func TestExclusiveLoAtMaxEncodingReturnsNothing(t *testing.T) {
+	ix := liPrice(t)
+	insert(t, ix, 1, `<order><lineitem price="150"/></order>`)
+	insert(t, ix, 2, `<order><lineitem price="80"/></order>`)
+
+	p := Probe{Range: Range{Lo: allFFValue(), LoInc: false}}
+	entries, visited, err := ix.ScanStats(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 || visited != 0 {
+		t.Fatalf("exclusive > max-encoding must match nothing, got %d entries (%d visited)", len(entries), visited)
+	}
+	docs, visited, cached, err := ix.DocList(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 0 || visited != 0 || cached {
+		t.Fatalf("DocList past max encoding = %v (visited %d, cached %v), want empty", docs, visited, cached)
+	}
+	// The sentinel must not degrade the inclusive form: >= max-encoding
+	// scans normally (and here matches nothing real either).
+	if _, _, err := ix.ScanStats(Probe{Range: Range{Lo: allFFValue(), LoInc: true}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// DocList must agree with the map-based DocSet on every probe shape —
+// it is the streaming replacement for the same Definition-1 pre-filter.
+func TestDocListMatchesDocSet(t *testing.T) {
+	ix := liPrice(t)
+	insert(t, ix, 3, `<order><lineitem price="150"/><lineitem price="90"/></order>`)
+	insert(t, ix, 1, `<order><lineitem price="110"/><lineitem price="120"/></order>`)
+	insert(t, ix, 2, `<order><lineitem price="50"/></order>`)
+	insert(t, ix, 7, `<order><other price="150"/></order>`)
+
+	probes := []Probe{
+		{Range: Range{Lo: dbl(100), LoInc: false}},
+		{Range: Range{Lo: dbl(40), LoInc: true, Hi: dbl(115), HiInc: true}},
+		{Range: Equality(xdm.NewDouble(150))},
+		{}, // structural: full range
+		{Range: Range{Lo: dbl(100)}, QueryPattern: pattern.MustParse("/order/lineitem/@price")},
+	}
+	for i, p := range probes {
+		want, _, err := ix.DocSetStats(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.NoCache = true
+		got, _, cached, err := ix.DocList(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cached {
+			t.Fatalf("probe %d: NoCache probe reported cached", i)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("probe %d: DocList %v vs DocSet %v", i, got, want)
+		}
+		for _, id := range got {
+			if !want[id] {
+				t.Fatalf("probe %d: DocList has %d, DocSet %v", i, id, want)
+			}
+		}
+		for j := 1; j < len(got); j++ {
+			if got[j] <= got[j-1] {
+				t.Fatalf("probe %d: DocList not strictly ascending: %v", i, got)
+			}
+		}
+	}
+}
+
+// The version counter moves only when the entry set changes, so cached
+// probes survive inserts of documents the index does not cover.
+func TestVersionBumpsOnlyOnEntryChange(t *testing.T) {
+	ix := liPrice(t)
+	v0 := ix.Version()
+	doc := insert(t, ix, 1, `<order><lineitem price="150"/></order>`)
+	v1 := ix.Version()
+	if v1 == v0 {
+		t.Fatal("insert with entries must bump the version")
+	}
+	insert(t, ix, 2, `<order><cancel-date>2001-01-01</cancel-date></order>`) // no price
+	if ix.Version() != v1 {
+		t.Fatal("insert without matching entries must not bump the version")
+	}
+	ix.DeleteDoc(1, doc)
+	if ix.Version() == v1 {
+		t.Fatal("delete with entries must bump the version")
+	}
+}
+
+func TestProbeCacheHitAndInvalidation(t *testing.T) {
+	ix := liPrice(t)
+	reg := metrics.NewRegistry()
+	ix.Instrument(reg)
+	insert(t, ix, 1, `<order><lineitem price="150"/></order>`)
+	insert(t, ix, 2, `<order><lineitem price="80"/></order>`)
+
+	p := Probe{Range: Range{Lo: dbl(100), LoInc: false}}
+	cold, visited, cached, err := ix.DocList(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached || visited == 0 {
+		t.Fatalf("first probe must scan: cached=%v visited=%d", cached, visited)
+	}
+	if !ix.ProbeCached(p) {
+		t.Fatal("ProbeCached must see the stored result")
+	}
+	warm, visited, cached, err := ix.DocList(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached || visited != 0 {
+		t.Fatalf("second probe must hit: cached=%v visited=%d", cached, visited)
+	}
+	if len(warm) != len(cold) {
+		t.Fatalf("cached result differs: %v vs %v", warm, cold)
+	}
+
+	// An insert that changes the entry set invalidates the cached probe.
+	insert(t, ix, 3, `<order><lineitem price="120"/></order>`)
+	if ix.ProbeCached(p) {
+		t.Fatal("ProbeCached must report stale after an entry-set change")
+	}
+	after, _, cached, err := ix.DocList(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("post-insert probe must rescan")
+	}
+	if !after.Contains(3) {
+		t.Fatalf("rescan missed the new document: %v", after)
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["probecache.hits"] != 1 {
+		t.Fatalf("hits = %d, want 1", snap.Counters["probecache.hits"])
+	}
+	if snap.Counters["probecache.invalidations"] != 1 {
+		t.Fatalf("invalidations = %d, want 1", snap.Counters["probecache.invalidations"])
+	}
+	if snap.Counters["probecache.misses"] != 2 {
+		t.Fatalf("misses = %d, want 2 (cold + post-invalidation)", snap.Counters["probecache.misses"])
+	}
+}
+
+func TestProbeCacheNoCacheBypass(t *testing.T) {
+	ix := liPrice(t)
+	insert(t, ix, 1, `<order><lineitem price="150"/></order>`)
+	p := Probe{Range: Range{Lo: dbl(100), LoInc: false}, NoCache: true}
+	for i := 0; i < 2; i++ {
+		_, visited, cached, err := ix.DocList(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cached || visited == 0 {
+			t.Fatalf("run %d: NoCache must always scan (cached=%v visited=%d)", i, cached, visited)
+		}
+	}
+	if ix.cache.len() != 0 {
+		t.Fatalf("NoCache populated the cache: %d entries", ix.cache.len())
+	}
+}
+
+func TestProbeCacheLRUEviction(t *testing.T) {
+	ix := liPrice(t)
+	insert(t, ix, 1, `<order><lineitem price="150"/></order>`)
+	for i := 0; i <= probeCacheCap+10; i++ {
+		lo := xdm.NewDouble(float64(i))
+		if _, _, _, err := ix.DocList(Probe{Range: Range{Lo: &lo, LoInc: true}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := ix.cache.len(); n != probeCacheCap {
+		t.Fatalf("cache holds %d entries, want the cap %d", n, probeCacheCap)
+	}
+}
+
+// Distinct bounds must never collide to one cache key: the key uses
+// length-prefixed bound encodings plus the query-pattern source.
+func TestProbeKeyDistinguishesBounds(t *testing.T) {
+	keys := map[string]bool{
+		probeKey([]byte{1, 2}, []byte{3}, nil):                     true,
+		probeKey([]byte{1}, []byte{2, 3}, nil):                     true,
+		probeKey([]byte{1, 2, 3}, nil, nil):                        true,
+		probeKey(nil, []byte{1, 2, 3}, nil):                        true,
+		probeKey(nil, nil, nil):                                    true,
+		probeKey(nil, nil, pattern.MustParse("//lineitem/@price")): true,
+		probeKey(nil, nil, pattern.MustParse("/order/lineitem")):   true,
+	}
+	if len(keys) != 7 {
+		t.Fatalf("probe keys collided: %d distinct of 7", len(keys))
+	}
+}
+
+// A cached list is shared between the cache and callers; combining ops
+// must not mutate it (postings ops are copy-on-write by contract).
+func TestCachedListSurvivesCombination(t *testing.T) {
+	ix := liPrice(t)
+	insert(t, ix, 1, `<order><lineitem price="150"/></order>`)
+	insert(t, ix, 2, `<order><lineitem price="120"/></order>`)
+	p := Probe{Range: Range{Lo: dbl(100), LoInc: false}}
+	first, _, _, err := ix.DocList(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = postings.Intersect(first, postings.List{1})
+	_ = postings.Union(first, postings.List{9})
+	again, _, cached, err := ix.DocList(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached || len(again) != 2 || again[0] != 1 || again[1] != 2 {
+		t.Fatalf("cached list corrupted: %v (cached=%v)", again, cached)
+	}
+}

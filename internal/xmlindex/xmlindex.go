@@ -19,6 +19,7 @@ import (
 	"github.com/xqdb/xqdb/internal/guard"
 	"github.com/xqdb/xqdb/internal/metrics"
 	"github.com/xqdb/xqdb/internal/pattern"
+	"github.com/xqdb/xqdb/internal/postings"
 	"github.com/xqdb/xqdb/internal/xdm"
 )
 
@@ -89,6 +90,13 @@ type Index struct {
 	tree  *btree.Tree
 	paths *pathDict
 
+	// version counts entry-set changes: InsertDoc/DeleteDoc bump it
+	// whenever they actually add or remove entries. Cached probe results
+	// embed the version they were computed against, so a bump invalidates
+	// every cached probe of this index at its next lookup.
+	version atomic.Uint64
+	cache   *probeCache
+
 	probes      atomic.Int64
 	keysVisited atomic.Int64
 
@@ -111,13 +119,18 @@ func (ix *Index) Instrument(reg *metrics.Registry) {
 	ix.mProbes = reg.Counter("xmlindex.probes")
 	ix.mKeys = reg.Counter("xmlindex.keys_visited")
 	ix.mEntries = reg.Gauge("xmlindex.entries")
+	ix.cache.instrument(reg)
 	ix.tree.Instrument(reg.Counter("btree.scans"), reg.Counter("btree.keys_visited"))
 }
 
 // New creates an empty index over the given pattern and type.
 func New(name string, pat *pattern.Pattern, typ Type) *Index {
-	return &Index{Name: name, Pattern: pat, Type: typ, tree: btree.New(), paths: newPathDict()}
+	return &Index{Name: name, Pattern: pat, Type: typ, tree: btree.New(), paths: newPathDict(), cache: newProbeCache()}
 }
+
+// Version returns the entry-set version counter. It moves only when an
+// insert or delete changes the set of indexed entries.
+func (ix *Index) Version() uint64 { return ix.version.Load() }
 
 // Stats returns a snapshot of the index statistics.
 func (ix *Index) Stats() Stats {
@@ -221,7 +234,14 @@ func (ix *Index) InsertDoc(docID uint32, doc *xdm.Node) error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	before := ix.tree.Len()
-	defer func() { ix.mEntries.Add(int64(ix.tree.Len() - before)) }()
+	defer func() {
+		if delta := ix.tree.Len() - before; delta != 0 {
+			// A document with no matching nodes leaves cached probe
+			// results valid; only an actual entry change invalidates.
+			ix.version.Add(1)
+			ix.mEntries.Add(int64(delta))
+		}
+	}()
 	var insertErr error
 	ix.forMatching(doc, func(n *xdm.Node, labels []pattern.Label) {
 		if insertErr != nil {
@@ -246,7 +266,12 @@ func (ix *Index) DeleteDoc(docID uint32, doc *xdm.Node) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	before := ix.tree.Len()
-	defer func() { ix.mEntries.Add(int64(ix.tree.Len() - before)) }()
+	defer func() {
+		if delta := ix.tree.Len() - before; delta != 0 {
+			ix.version.Add(1)
+			ix.mEntries.Add(int64(delta))
+		}
+	}()
 	ix.forMatching(doc, func(n *xdm.Node, labels []pattern.Label) {
 		v, ok, err := ix.indexableValue(n)
 		if err != nil || !ok {
@@ -321,6 +346,9 @@ type Probe struct {
 	// Guard, when non-nil, is checked periodically during the B+Tree
 	// scan so canceled or timed-out queries abort mid-probe.
 	Guard *guard.Guard
+	// NoCache bypasses the probe-result cache entirely (neither read nor
+	// populated) — the uncached baseline for benchmarks and tests.
+	NoCache bool
 }
 
 // Scan runs a probe and returns the matching entries in key order.
@@ -346,9 +374,12 @@ func (ix *Index) ScanStats(p Probe) ([]Entry, int, error) {
 	ix.probes.Add(1)
 	ix.mProbes.Inc()
 
-	lo, hi, err := ix.bounds(p.Range)
+	lo, hi, empty, err := ix.bounds(p.Range)
 	if err != nil {
 		return nil, 0, err
+	}
+	if empty {
+		return nil, 0, nil
 	}
 	// Path verdict cache: pathID → matches query pattern.
 	verdicts := map[uint32]bool{}
@@ -381,6 +412,109 @@ func (ix *Index) ScanStats(p Probe) ([]Entry, int, error) {
 	return out, visited, nil
 }
 
+// docCollector is the btree.Visitor behind DocList: it streams document
+// ids straight off the B+Tree leaf walk. Keys are ordered
+// [value][pathID][docID][nodeID], so within one (value, path) run the
+// doc ids arrive ascending — comparing against the last appended id
+// strips those runs for free, and one sort+dedup at the end handles the
+// restarts across values and paths. No []Entry is materialized.
+type docCollector struct {
+	ix       *Index
+	pat      *pattern.Pattern
+	g        *guard.Guard
+	verdicts map[uint32]bool // pathID → matches query pattern
+	docs     []uint32
+}
+
+func (c *docCollector) Visit(key, _ []byte) bool {
+	pathID, docID, _ := c.ix.decodeSuffix(key)
+	if c.pat != nil {
+		v, ok := c.verdicts[pathID]
+		if !ok {
+			v = c.pat.Match(c.ix.paths.paths[pathID])
+			c.verdicts[pathID] = v
+		}
+		if !v {
+			return true
+		}
+	}
+	if n := len(c.docs); n > 0 && c.docs[n-1] == docID {
+		return true
+	}
+	c.docs = append(c.docs, docID)
+	return true
+}
+
+func (c *docCollector) Check(int) error { return c.g.Check() }
+
+// DocList runs a probe and returns the distinct matching document ids as
+// a sorted posting list — the document pre-filter I(P, D) of
+// Definition 1 — plus the visited-key count and whether the result came
+// from the probe cache (visited is 0 on a hit). The returned list is
+// shared with the cache and must not be mutated.
+func (ix *Index) DocList(p Probe) (postings.List, int, bool, error) {
+	if err := guard.Fault("xmlindex.scan:" + ix.Name); err != nil {
+		return nil, 0, false, fmt.Errorf("index %s: %w", ix.Name, err)
+	}
+	if err := p.Guard.Check(); err != nil {
+		return nil, 0, false, err
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ix.probes.Add(1)
+	ix.mProbes.Inc()
+
+	lo, hi, empty, err := ix.bounds(p.Range)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if empty {
+		return postings.List{}, 0, false, nil
+	}
+	version := ix.version.Load()
+	var key string
+	if !p.NoCache {
+		key = probeKey(lo, hi, p.QueryPattern)
+		if docs, ok := ix.cache.get(key, version); ok {
+			return docs, 0, true, nil
+		}
+	}
+	c := docCollector{ix: ix, pat: p.QueryPattern, g: p.Guard}
+	if p.QueryPattern != nil {
+		c.verdicts = map[uint32]bool{}
+	}
+	visited, err := ix.tree.ScanVisit(lo, hi, &c)
+	ix.keysVisited.Add(int64(visited))
+	ix.mKeys.Add(int64(visited))
+	if err != nil {
+		return nil, visited, false, err
+	}
+	// The collector never appends adjacent equals, and doc ids ascend
+	// within each (value, path) key run, so c.docs is a concatenation of
+	// strictly ascending runs — merged in O(n log runs), no full sort.
+	docs := postings.FromRuns(c.docs)
+	if !p.NoCache {
+		// Both version and the scan ran under the index read lock, so no
+		// insert or delete can have interleaved: the cached list is
+		// exactly the entry set at this version.
+		ix.cache.put(key, version, docs)
+	}
+	return docs, visited, false, nil
+}
+
+// ProbeCached reports whether the probe's result is currently served
+// from the cache (the EXPLAIN "probe cache" line). It records no cache
+// traffic and does not disturb the LRU order.
+func (ix *Index) ProbeCached(p Probe) bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	lo, hi, empty, err := ix.bounds(p.Range)
+	if err != nil || empty {
+		return false
+	}
+	return ix.cache.peek(probeKey(lo, hi, p.QueryPattern), ix.version.Load())
+}
+
 // DocSet runs a probe and returns the distinct matching document ids —
 // the document pre-filter I(P, D) of Definition 1.
 func (ix *Index) DocSet(p Probe) (map[uint32]bool, error) {
@@ -401,33 +535,42 @@ func (ix *Index) DocSetStats(p Probe) (map[uint32]bool, int, error) {
 	return docs, visited, nil
 }
 
-// bounds converts a value range to B+Tree key bounds.
-func (ix *Index) bounds(r Range) (lo, hi []byte, err error) {
+// bounds converts a value range to B+Tree key bounds. empty reports a
+// provably empty scan: an exclusive lower bound whose encoding is all
+// 0xff has no successor (prefixSuccessor returns nil), and nil-as-lo
+// means scan-from-start — the opposite of "nothing is greater", which
+// used to return every entry in the index.
+func (ix *Index) bounds(r Range) (lo, hi []byte, empty bool, err error) {
 	if r.Lo != nil {
 		v, err := r.Lo.Cast(ix.Type.xdmType())
 		if err != nil {
-			return nil, nil, fmt.Errorf("index %s: probe bound: %w", ix.Name, err)
+			return nil, nil, false, fmt.Errorf("index %s: probe bound: %w", ix.Name, err)
 		}
 		enc := ix.encodeValue(v)
 		if r.LoInc {
 			lo = enc
 		} else {
 			lo = prefixSuccessor(enc)
+			if lo == nil {
+				return nil, nil, true, nil
+			}
 		}
 	}
 	if r.Hi != nil {
 		v, err := r.Hi.Cast(ix.Type.xdmType())
 		if err != nil {
-			return nil, nil, fmt.Errorf("index %s: probe bound: %w", ix.Name, err)
+			return nil, nil, false, fmt.Errorf("index %s: probe bound: %w", ix.Name, err)
 		}
 		enc := ix.encodeValue(v)
 		if r.HiInc {
+			// nil here is fine: no key exceeds the all-0xff prefix, so an
+			// unbounded upper end is exactly right.
 			hi = prefixSuccessor(enc)
 		} else {
 			hi = enc
 		}
 	}
-	return lo, hi, nil
+	return lo, hi, false, nil
 }
 
 // prefixSuccessor returns the smallest byte string greater than every

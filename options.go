@@ -83,6 +83,15 @@ type QueryOptions struct {
 	// Trace collects timed execution spans (plan, per-probe, eval/scan,
 	// merge) on Stats.Trace. Untraced queries pay no tracing cost.
 	Trace bool
+	// SemiJoinMaxValues caps the distinct join values an index semi-join
+	// gathers before falling back to a full scan; 0 means the engine
+	// default (4096). Results are identical either way — the cap only
+	// trades probe work against scan work.
+	SemiJoinMaxValues int
+	// NoProbeCache bypasses the per-index probe-result cache for this
+	// query (neither consulted nor populated). Useful for benchmarking
+	// the uncached path; results are identical either way.
+	NoProbeCache bool
 	// SlowThreshold enables the slow-query hook: a query whose wall-clock
 	// time reaches the threshold increments the "queries.slow" metric and,
 	// when OnSlow is set, invokes it. 0 disables.
@@ -147,11 +156,13 @@ func wrapQueryErr(query string, err error) error {
 // options.
 func (db *DB) engineOptions(opts QueryOptions, prepared bool) engine.ExecOptions {
 	return engine.ExecOptions{
-		Guard:       opts.guard(),
-		UseIndexes:  db.UseIndexes,
-		Parallelism: opts.Parallelism,
-		Prepared:    prepared,
-		Trace:       opts.Trace || (opts.SlowThreshold > 0 && opts.OnSlow != nil),
+		Guard:             opts.guard(),
+		UseIndexes:        db.UseIndexes,
+		Parallelism:       opts.Parallelism,
+		Prepared:          prepared,
+		Trace:             opts.Trace || (opts.SlowThreshold > 0 && opts.OnSlow != nil),
+		SemiJoinMaxValues: opts.SemiJoinMaxValues,
+		NoProbeCache:      opts.NoProbeCache,
 	}
 }
 
