@@ -12,8 +12,12 @@ build:
 test: build
 	$(GO) test ./...
 
+# vet runs the stock toolchain vet plus xqvet, the project's own
+# analyzer suite (guard discipline, posting-list doc sets, atomics,
+# lock escapes, map-order determinism).
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/xqvet ./...
 
 race:
 	$(GO) test -race ./...

@@ -67,7 +67,9 @@ func diff(old, cur *Report, threshold float64, w io.Writer) int {
 	fmt.Fprintf(w, "### Benchmark diff (threshold %.2fx)\n\n", threshold)
 	fmt.Fprintln(w, "| benchmark | old ns/op | new ns/op | ratio | allocs old→new | |")
 	fmt.Fprintln(w, "|---|---:|---:|---:|---:|---|")
+	curNames := make(map[string]bool, len(cur.Benchmarks))
 	for _, b := range cur.Benchmarks {
+		curNames[b.Name] = true
 		prev, ok := oldBench[b.Name]
 		if !ok || prev.NsPerOp == 0 {
 			fmt.Fprintf(w, "| %s | – | %.0f | – | –→%d | new |\n", b.Name, b.NsPerOp, b.AllocsPerOp)
@@ -85,6 +87,20 @@ func diff(old, cur *Report, threshold float64, w io.Writer) int {
 		fmt.Fprintf(w, "| %s | %.0f | %.0f | %.2fx | %d→%d | %s |\n",
 			b.Name, prev.NsPerOp, b.NsPerOp, ratio, prev.AllocsPerOp, b.AllocsPerOp, note)
 	}
+	// Benchmarks only the baseline knows (deleted or renamed since the
+	// previous run) are a soft skip: row them as removed so the diff never
+	// pretends they existed in the new run, and count them in a note.
+	removed := make([]string, 0)
+	for name := range oldBench {
+		if !curNames[name] {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		prev := oldBench[name]
+		fmt.Fprintf(w, "| %s | %.0f | – | – | %d→– | removed |\n", name, prev.NsPerOp, prev.AllocsPerOp)
+	}
 
 	oldPairs := make(map[string]Pair, len(old.Pairs))
 	for _, p := range old.Pairs {
@@ -97,19 +113,31 @@ func diff(old, cur *Report, threshold float64, w io.Writer) int {
 		keys = append(keys, k)
 		curPairs[k] = p
 	}
+	for k := range oldPairs {
+		if _, ok := curPairs[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
 	sort.Strings(keys)
 	if len(keys) > 0 {
 		fmt.Fprint(w, "\n### Experiment-pair speedup ratios\n\n")
 		fmt.Fprintln(w, "| pair | old ratio | new ratio |")
 		fmt.Fprintln(w, "|---|---:|---:|")
 		for _, k := range keys {
-			p := curPairs[k]
-			if prev, ok := oldPairs[k]; ok && !math.IsNaN(prev.Ratio) {
+			p, inCur := curPairs[k]
+			prev, inOld := oldPairs[k]
+			switch {
+			case !inCur:
+				fmt.Fprintf(w, "| %s | %.2fx | – (removed) |\n", k, prev.Ratio)
+			case inOld && !math.IsNaN(prev.Ratio):
 				fmt.Fprintf(w, "| %s | %.2fx | %.2fx |\n", k, prev.Ratio, p.Ratio)
-			} else {
+			default:
 				fmt.Fprintf(w, "| %s | – | %.2fx |\n", k, p.Ratio)
 			}
 		}
+	}
+	if len(removed) > 0 {
+		fmt.Fprintf(w, "\n%d benchmark(s) present only in the baseline; skipped (removed or renamed).\n", len(removed))
 	}
 	if regressions > 0 {
 		fmt.Fprintf(w, "\n%d benchmark(s) regressed past %.2fx.\n", regressions, threshold)

@@ -64,6 +64,42 @@ func TestDiffFlagsRegressionsAndImprovements(t *testing.T) {
 	}
 }
 
+// Entries only the baseline knows — a deleted benchmark, a retired
+// experiment pair — must surface as removed rows plus a soft-skip note,
+// not vanish from the diff or fail the run.
+func TestOldOnlyEntriesAreSoftSkipped(t *testing.T) {
+	oldPath := writeReport(t, "old.json", `{
+	  "benchmarks": [
+	    {"name": "BenchmarkGone", "ns_per_op": 5, "allocs_per_op": 1},
+	    {"name": "BenchmarkA", "ns_per_op": 1000, "allocs_per_op": 80}
+	  ],
+	  "pairs": [
+	    {"kind": "idx-vs-scan", "baseline": "BenchmarkRetired", "ratio": 3.5}
+	  ]
+	}`)
+	newPath := writeReport(t, "new.json", `{
+	  "benchmarks": [
+	    {"name": "BenchmarkA", "ns_per_op": 1000, "allocs_per_op": 80}
+	  ],
+	  "pairs": []
+	}`)
+	var out strings.Builder
+	code, err := run([]string{"-old", oldPath, "-new", newPath, "-gate"}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("old-only entries must not fail even gated: code=%d err=%v", code, err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"BenchmarkGone | 5 | – | – | 1→– | removed",
+		"idx-vs-scan/BenchmarkRetired | 3.50x | – (removed)",
+		"1 benchmark(s) present only in the baseline; skipped (removed or renamed).",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary missing %q:\n%s", want, got)
+		}
+	}
+}
+
 // -gate turns the regression count into the exit code; a looser
 // threshold that clears every benchmark must stay green even gated.
 func TestGateAndThreshold(t *testing.T) {

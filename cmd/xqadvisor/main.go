@@ -23,14 +23,30 @@ import (
 )
 
 func main() {
-	setup := flag.String("setup", "", "path to a DDL script (CREATE TABLE / CREATE INDEX)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is main with its exits, streams, and arguments made explicit so
+// tests can drive both failure paths. It returns the process exit code:
+// 0 on success, 1 on any setup or query failure (reported on stderr).
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xqadvisor", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	setup := fs.String("setup", "", "path to a DDL script (CREATE TABLE / CREATE INDEX)")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "xqadvisor:", err)
+		return 1
+	}
 
 	db := xqdb.Open()
 	if *setup != "" {
 		data, err := os.ReadFile(*setup)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		for _, stmt := range strings.Split(string(data), ";") {
 			stmt = strings.TrimSpace(stmt)
@@ -38,30 +54,26 @@ func main() {
 				continue
 			}
 			if _, _, err := db.ExecSQL(stmt); err != nil {
-				fatal(fmt.Errorf("setup: %s: %w", stmt, err))
+				return fail(fmt.Errorf("setup: %s: %w", stmt, err))
 			}
 		}
 	}
 
-	query := strings.Join(flag.Args(), " ")
+	query := strings.Join(fs.Args(), " ")
 	if strings.TrimSpace(query) == "" {
-		data, err := io.ReadAll(os.Stdin)
+		data, err := io.ReadAll(stdin)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		query = string(data)
 	}
 	if strings.TrimSpace(query) == "" {
-		fatal(fmt.Errorf("no query given (argument or stdin)"))
+		return fail(fmt.Errorf("no query given (argument or stdin)"))
 	}
 	rep, err := db.Explain(query)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	fmt.Print(rep)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "xqadvisor:", err)
-	os.Exit(1)
+	fmt.Fprint(stdout, rep)
+	return 0
 }

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runAdvisor(t *testing.T, args []string, stdin string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr strings.Builder
+	code := run(args, strings.NewReader(stdin), &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func writeSetup(t *testing.T, ddl string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "setup.sql")
+	if err := os.WriteFile(path, []byte(ddl), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunReportsEligibleIndex(t *testing.T) {
+	setup := writeSetup(t, `
+		create table orders (ordid integer, orddoc xml);
+		create index li_price on orders(orddoc) using xmlpattern '//lineitem/@price' as double;
+	`)
+	code, stdout, stderr := runAdvisor(t,
+		[]string{"-setup", setup, `db2-fn:xmlcolumn("ORDERS.ORDDOC")//lineitem[@price > 100]`}, "")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "li_price") {
+		t.Fatalf("report does not mention the index:\n%s", stdout)
+	}
+}
+
+func TestRunQueryParseFailureExitsNonZero(t *testing.T) {
+	code, stdout, stderr := runAdvisor(t, []string{`for $i in (((`}, "")
+	if code == 0 {
+		t.Fatal("malformed query must exit non-zero")
+	}
+	if stdout != "" {
+		t.Fatalf("failure must not write a report to stdout: %q", stdout)
+	}
+	if !strings.Contains(stderr, "xqadvisor:") {
+		t.Fatalf("stderr must carry the diagnostic, got: %q", stderr)
+	}
+}
+
+func TestRunSetupParseFailureExitsNonZero(t *testing.T) {
+	setup := writeSetup(t, `create tble orders (ordid integer, orddoc xml)`)
+	code, stdout, stderr := runAdvisor(t, []string{"-setup", setup, `1 + 1`}, "")
+	if code == 0 {
+		t.Fatal("malformed setup DDL must exit non-zero")
+	}
+	if stdout != "" {
+		t.Fatalf("failure must not write a report to stdout: %q", stdout)
+	}
+	if !strings.Contains(stderr, "setup:") || !strings.Contains(stderr, "xqadvisor:") {
+		t.Fatalf("stderr must name the failing setup statement, got: %q", stderr)
+	}
+}
+
+func TestRunMissingSetupFileExitsNonZero(t *testing.T) {
+	code, _, stderr := runAdvisor(t, []string{"-setup", filepath.Join(t.TempDir(), "absent.sql"), `1`}, "")
+	if code == 0 {
+		t.Fatal("missing setup file must exit non-zero")
+	}
+	if !strings.Contains(stderr, "xqadvisor:") {
+		t.Fatalf("stderr must carry the diagnostic, got: %q", stderr)
+	}
+}
+
+func TestRunReadsQueryFromStdin(t *testing.T) {
+	code, stdout, stderr := runAdvisor(t, nil, `1 + 1`)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if stdout == "" {
+		t.Fatal("stdin query must produce a report")
+	}
+}
+
+func TestRunNoQueryExitsNonZero(t *testing.T) {
+	code, _, stderr := runAdvisor(t, nil, "")
+	if code == 0 {
+		t.Fatal("empty query must exit non-zero")
+	}
+	if !strings.Contains(stderr, "no query given") {
+		t.Fatalf("stderr = %q", stderr)
+	}
+}

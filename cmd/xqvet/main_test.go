@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"reflect"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// codeRe extracts the diagnostic code of one `pos: [code] msg` line.
+var codeRe = regexp.MustCompile(`(?m)^\S+: \[(\w+)\]`)
+
+// The quarantined badmod fixture plants exactly one violation per
+// analyzer; xqvet pointed at it must exit 1 and report exactly those
+// diagnostic codes.
+func TestBadModuleOneViolationPerAnalyzer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run("testdata/badmod", nil, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	var got []string
+	for _, m := range codeRe.FindAllStringSubmatch(stdout.String(), -1) {
+		got = append(got, m[1])
+	}
+	sort.Strings(got)
+	want := []string{"atomicfield", "docset", "guardloop", "lockescape", "maporder"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("diagnostic codes = %v, want %v\noutput:\n%s", got, want, stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "5 finding(s)") {
+		t.Fatalf("stderr summary missing: %s", stderr.String())
+	}
+}
+
+// The analyzer package itself must be xqvet-clean, and -codes must list
+// every analyzer without loading any packages.
+func TestCodesFlagListsAllAnalyzers(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(".", []string{"-codes"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-codes exit = %d, stderr: %s", code, stderr.String())
+	}
+	for _, name := range []string{"atomicfield", "docset", "guardloop", "lockescape", "maporder"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Fatalf("-codes output missing %s:\n%s", name, stdout.String())
+		}
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(".", nil, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d over cmd/xqvet itself\nstdout: %s\nstderr: %s",
+			code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("clean run printed findings:\n%s", stdout.String())
+	}
+}

@@ -1,0 +1,68 @@
+// Package badmod plants exactly one violation of each xqvet invariant;
+// the cmd/xqvet integration test asserts one diagnostic per analyzer.
+// It is a standalone module (own go.mod) so the go tool ignores it from
+// the repo root and xqvet can be pointed at it as a quarantined target.
+package badmod
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// guardloop: a B+Tree-style leaf-chain walk that never consults a guard.
+type leaf struct {
+	next *leaf
+	keys [][]byte
+}
+
+func countKeys(n *leaf) int {
+	total := 0
+	for ; n != nil; n = n.next {
+		total += len(n.keys)
+	}
+	return total
+}
+
+// docset: an ad-hoc map-shaped document set.
+func distinctDocs(ids []uint32) int {
+	seen := map[uint32]bool{}
+	for _, id := range ids {
+		seen[id] = true
+	}
+	return len(seen)
+}
+
+// atomicfield: a field accessed both atomically and plainly.
+type stats struct {
+	probes int64
+}
+
+func (s *stats) inc() {
+	atomic.AddInt64(&s.probes, 1)
+}
+
+func (s *stats) read() int64 {
+	return s.probes
+}
+
+// lockescape: a user callback invoked while the mutex is held.
+type store struct {
+	mu     sync.Mutex
+	rows   []int
+	OnSlow func(int)
+}
+
+func (st *store) scan() {
+	st.mu.Lock()
+	st.OnSlow(len(st.rows))
+	st.mu.Unlock()
+}
+
+// maporder: ordered output assembled in map-iteration order.
+func labels(set map[string]bool) []string {
+	var out []string
+	for name := range set {
+		out = append(out, name)
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+// Package analysis is a stdlib-only mirror of the
+// golang.org/x/tools/go/analysis API surface the xqvet suite needs:
+// an Analyzer is a named check, a Pass hands it one type-checked
+// package, and Report emits a Diagnostic. The container has no network
+// access and no vendored x/tools, so the suite carries its own (tiny)
+// framework; analyzers are written exactly as they would be against the
+// real API, which keeps a later migration mechanical.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name is the diagnostic code: lower-case, stable, printed in
+	// brackets before every message ("[guardloop] ...") and matched by
+	// the //xqvet: suppression comments.
+	Name string
+	// Doc is the one-paragraph description `xqvet -codes` prints.
+	Doc string
+	// Run inspects one package and reports findings via pass.Report.
+	Run func(*Pass) error
+}
+
+// Pass hands an Analyzer one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report emits one diagnostic. The driver fills it in.
+	Report func(Diagnostic)
+
+	// suppressions maps file -> set of lines carrying an //xqvet:
+	// comment, resolved lazily per pass.
+	suppressions map[*ast.File]map[int][]string
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf emits a formatted diagnostic at pos unless an //xqvet:
+// suppression for this analyzer covers the position's line (or the line
+// above it, so annotations read naturally above the flagged statement).
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	if p.Suppressed(pos) {
+		return
+	}
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Suppressed reports whether pos is covered by a suppression comment for
+// this analyzer: `//xqvet:<name>-ok [reason]` — or, for guardloop, the
+// historically named `//xqvet:unbounded-ok [reason]` — on the same line
+// or the line immediately above.
+func (p *Pass) Suppressed(pos token.Pos) bool {
+	file := p.fileFor(pos)
+	if file == nil {
+		return false
+	}
+	if p.suppressions == nil {
+		p.suppressions = map[*ast.File]map[int][]string{}
+	}
+	lines, ok := p.suppressions[file]
+	if !ok {
+		lines = map[int][]string{}
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, "xqvet:") {
+					continue
+				}
+				tag := strings.TrimPrefix(text, "xqvet:")
+				if i := strings.IndexAny(tag, " \t"); i >= 0 {
+					tag = tag[:i]
+				}
+				line := p.Fset.Position(c.Pos()).Line
+				lines[line] = append(lines[line], tag)
+			}
+		}
+		p.suppressions[file] = lines
+	}
+	line := p.Fset.Position(pos).Line
+	for _, tag := range append(lines[line], lines[line-1]...) {
+		if p.tagMatches(tag) {
+			return true
+		}
+	}
+	return false
+}
+
+// tagMatches reports whether one xqvet: suppression tag applies to this
+// analyzer.
+func (p *Pass) tagMatches(tag string) bool {
+	if tag == p.Analyzer.Name+"-ok" {
+		return true
+	}
+	// The guardloop justification comment keeps the name the invariant
+	// is known by in review discussions.
+	return p.Analyzer.Name == "guardloop" && tag == "unbounded-ok"
+}
+
+// fileFor returns the *ast.File containing pos.
+func (p *Pass) fileFor(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+// Package analysistest runs one analyzer over fixture packages under a
+// testdata directory and checks its diagnostics against `// want "re"`
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under testdata/src/<pkgpath>/ — the package path is the
+// directory path relative to src, so a fixture can simulate any import
+// path (testdata/src/internal/postings/ type-checks as a package whose
+// path ends in "internal/postings"). Fixture imports resolve against
+// the real module: both stdlib and github.com/xqdb/xqdb/... packages
+// work, because the export data is produced by `go list` running inside
+// the module.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/xqdb/xqdb/internal/analyzers/analysis"
+	"github.com/xqdb/xqdb/internal/analyzers/load"
+)
+
+// wantRe extracts the quoted regexp of one `// want "re"` comment.
+var wantRe = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one `// want` comment.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run analyzes each fixture package under <testdata>/src and reports
+// mismatches between the analyzer's diagnostics and the fixtures'
+// `// want` comments as test failures.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	for _, pkgPath := range pkgPaths {
+		runOne(t, testdata, a, pkgPath)
+	}
+}
+
+func runOne(t *testing.T, testdata string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var expectations []*expectation
+	importSet := map[string]bool{}
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, ent.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			importSet[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+		expectations = append(expectations, parseWants(path, src)...)
+	}
+	if len(files) == 0 {
+		t.Fatalf("%s: no fixture files in %s", a.Name, dir)
+	}
+
+	var imports []string
+	for imp := range importSet {
+		imports = append(imports, imp)
+	}
+	sort.Strings(imports)
+	imp, err := load.FixtureImporter(fset, ".", imports)
+	if err != nil {
+		t.Fatalf("%s: resolving fixture imports: %v", a.Name, err)
+	}
+	info := load.NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("%s: type-checking fixture %s: %v", a.Name, pkgPath, err)
+	}
+
+	var got []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer: a, Fset: fset, Files: files, Pkg: tpkg, TypesInfo: info,
+		Report: func(d analysis.Diagnostic) { got = append(got, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	for _, d := range got {
+		pos := fset.Position(d.Pos)
+		exp := findExpectation(expectations, pos.Filename, pos.Line, d.Message)
+		if exp == nil {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s", a.Name, pos.Filename, pos.Line, d.Message)
+			continue
+		}
+		exp.matched = true
+	}
+	for _, exp := range expectations {
+		if !exp.matched {
+			t.Errorf("%s: expected diagnostic matching %q at %s:%d, got none", a.Name, exp.re, exp.file, exp.line)
+		}
+	}
+}
+
+// parseWants scans one file's source for `// want "re"` comments.
+func parseWants(path string, src []byte) []*expectation {
+	var out []*expectation
+	for i, line := range strings.Split(string(src), "\n") {
+		for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+			re, err := regexp.Compile(m[1])
+			if err != nil {
+				panic("bad want regexp in " + path + ": " + m[1])
+			}
+			out = append(out, &expectation{file: path, line: i + 1, re: re})
+		}
+	}
+	return out
+}
+
+// findExpectation returns the first unmatched expectation on the
+// diagnostic's line whose regexp matches the message.
+func findExpectation(exps []*expectation, file string, line int, msg string) *expectation {
+	for _, e := range exps {
+		if !e.matched && e.file == file && e.line == line && e.re.MatchString(msg) {
+			return e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+// Package analyzers registers the xqvet suite: the custom static
+// checks that mechanically enforce this engine's concurrency, guard,
+// and determinism invariants. Each analyzer exists because a shipped PR
+// violated the invariant it checks by hand first — see DESIGN.md for
+// the analyzer-to-bug-class mapping.
+package analyzers
+
+import (
+	"github.com/xqdb/xqdb/internal/analyzers/analysis"
+	"github.com/xqdb/xqdb/internal/analyzers/atomicfield"
+	"github.com/xqdb/xqdb/internal/analyzers/docset"
+	"github.com/xqdb/xqdb/internal/analyzers/guardloop"
+	"github.com/xqdb/xqdb/internal/analyzers/lockescape"
+	"github.com/xqdb/xqdb/internal/analyzers/maporder"
+)
+
+// All lists every analyzer xqvet runs, in diagnostic-code order.
+var All = []*analysis.Analyzer{
+	atomicfield.Analyzer,
+	docset.Analyzer,
+	guardloop.Analyzer,
+	lockescape.Analyzer,
+	maporder.Analyzer,
+}

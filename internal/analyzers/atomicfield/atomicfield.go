@@ -1,0 +1,106 @@
+// Package atomicfield enforces all-or-nothing atomics on struct fields:
+// a field that is ever passed to a sync/atomic function (&s.f with
+// atomic.AddInt64, atomic.LoadUint32, ...) must never also be read or
+// written plainly — mixed access is a data race the race detector only
+// catches when both sides actually interleave under test. Fields of the
+// atomic.Int64-style wrapper types are safe by construction (their only
+// access is through methods; copying is caught by go vet's copylocks)
+// and are not tracked here.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/xqdb/xqdb/internal/analyzers/analysis"
+	"github.com/xqdb/xqdb/internal/analyzers/typeutil"
+)
+
+// Analyzer is the atomicfield check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc: "flags plain reads/writes of struct fields that are elsewhere accessed " +
+		"through sync/atomic functions; mixed access races. Prefer the atomic.IntNN " +
+		"wrapper types, or annotate //xqvet:atomicfield-ok <reason>",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: every field object that appears as &x.f in a sync/atomic
+	// call, and the selector nodes of those sanctioned accesses.
+	atomicFields := map[*types.Var]token.Pos{}
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass.TypesInfo, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				unary, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || unary.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(unary.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if f := fieldObject(pass.TypesInfo, sel); f != nil {
+					if _, seen := atomicFields[f]; !seen {
+						atomicFields[f] = sel.Pos()
+					}
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other selector resolving to one of those fields is a
+	// plain (racy) access.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			f := fieldObject(pass.TypesInfo, sel)
+			if f == nil {
+				return true
+			}
+			if atomicPos, tracked := atomicFields[f]; tracked {
+				pass.Reportf(sel.Pos(),
+					"field %s is accessed with sync/atomic at %s; this plain access races — use the atomic API here too, or annotate //xqvet:atomicfield-ok <reason>",
+					f.Name(), pass.Fset.Position(atomicPos))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic package-level
+// function (Load*, Store*, Add*, Swap*, CompareAndSwap*).
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	for _, prefix := range []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"} {
+		if typeutil.IsPkgFunc(info, call, "sync/atomic", prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldObject resolves a selector to the struct field it names, or nil
+// when it is not a field selection.
+func fieldObject(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}

@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"github.com/xqdb/xqdb/internal/analyzers/analysistest"
+	"github.com/xqdb/xqdb/internal/analyzers/atomicfield"
+)
+
+func TestAtomicfield(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicfield.Analyzer, "atomicfix")
+}

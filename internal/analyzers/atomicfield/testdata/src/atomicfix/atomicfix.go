@@ -1,0 +1,37 @@
+// Package atomicfix exercises the atomicfield analyzer: a field touched
+// through sync/atomic anywhere must be touched through sync/atomic
+// everywhere; fields never used atomically, and annotated quiesce-time
+// reads, are not flagged.
+package atomicfix
+
+import "sync/atomic"
+
+type counter struct {
+	hits  int64
+	total int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) read() int64 {
+	return c.hits // want "field hits is accessed with sync/atomic"
+}
+
+func (c *counter) plainTotal() int64 {
+	c.total++
+	return c.total
+}
+
+type drained struct {
+	n int64
+}
+
+func (d *drained) inc() {
+	atomic.AddInt64(&d.n, 1)
+}
+
+func (d *drained) snapshot() int64 {
+	return d.n //xqvet:atomicfield-ok read after the workers are joined; no concurrent writers
+}

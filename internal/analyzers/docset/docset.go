@@ -1,0 +1,74 @@
+// Package docset forbids ad-hoc map[uint32]bool / map[uint32]struct{}
+// document sets outside internal/postings. PR 4 migrated the whole
+// probe pipeline to sorted posting lists (postings.List) — combination
+// runs over sorted slices, results are deterministic by construction —
+// and a new map-shaped doc set would silently regress that. Maps keyed
+// by uint32 that are not document sets (a pathID verdict cache, say)
+// carry an `//xqvet:docset-ok <reason>` annotation.
+package docset
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/xqdb/xqdb/internal/analyzers/analysis"
+)
+
+// Analyzer is the docset check.
+var Analyzer = &analysis.Analyzer{
+	Name: "docset",
+	Doc: "flags map[uint32]bool and map[uint32]struct{} document sets outside " +
+		"internal/postings: use a sorted postings.List; annotate non-doc-set " +
+		"uint32-keyed maps with //xqvet:docset-ok <reason>",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if strings.HasSuffix(pass.Pkg.Path(), "internal/postings") {
+		// The posting-list package itself may build map sets (e.g. as a
+		// reference implementation in helpers).
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			mt, ok := n.(*ast.MapType)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[ast.Expr(mt)]
+			if !ok {
+				return true
+			}
+			m, ok := tv.Type.Underlying().(*types.Map)
+			if !ok {
+				return true
+			}
+			if !isUint32(m.Key()) {
+				return true
+			}
+			if isBool(m.Elem()) || isEmptyStruct(m.Elem()) {
+				pass.Reportf(mt.Pos(),
+					"map[uint32]%s document set: use a sorted postings.List (internal/postings), or annotate //xqvet:docset-ok <reason> if this is not a document set",
+					types.TypeString(m.Elem(), nil))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isUint32(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint32
+}
+
+func isBool(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}
+
+func isEmptyStruct(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Struct)
+	return ok && s.NumFields() == 0
+}

@@ -1,0 +1,12 @@
+package docset_test
+
+import (
+	"testing"
+
+	"github.com/xqdb/xqdb/internal/analyzers/analysistest"
+	"github.com/xqdb/xqdb/internal/analyzers/docset"
+)
+
+func TestDocset(t *testing.T) {
+	analysistest.Run(t, "testdata", docset.Analyzer, "docsetfix", "internal/postings")
+}

@@ -1,0 +1,24 @@
+// Package docsetfix exercises the docset analyzer: map-shaped document
+// sets are flagged; other map shapes, annotated verdict caches, and the
+// internal/postings package itself (see the sibling fixture) are not.
+package docsetfix
+
+type probe struct {
+	seen map[uint32]struct{} // want "map\[uint32\]struct\{\} document set"
+}
+
+func countDistinct(ids []uint32) int {
+	m := map[uint32]bool{} // want "map\[uint32\]bool document set"
+	for _, id := range ids {
+		m[id] = true
+	}
+	return len(m)
+}
+
+// Not document sets: different key or element shapes.
+var names map[string]bool
+
+var counts map[uint32]int
+
+// Annotated: a uint32-keyed cache that is not a document set.
+var verdicts map[uint32]bool //xqvet:docset-ok pathID verdict cache, not a doc set

@@ -1,0 +1,12 @@
+// Package postings simulates the real internal/postings package, which
+// is exempt: the posting-list package itself may build map sets as
+// reference implementations.
+package postings
+
+func refSet(ids []uint32) map[uint32]bool {
+	m := map[uint32]bool{}
+	for _, id := range ids {
+		m[id] = true
+	}
+	return m
+}

@@ -1,0 +1,12 @@
+package guardloop_test
+
+import (
+	"testing"
+
+	"github.com/xqdb/xqdb/internal/analyzers/analysistest"
+	"github.com/xqdb/xqdb/internal/analyzers/guardloop"
+)
+
+func TestGuardloop(t *testing.T) {
+	analysistest.Run(t, "testdata", guardloop.Analyzer, "guardfix")
+}

@@ -1,0 +1,70 @@
+// Package guardfix exercises the guardloop analyzer: unguarded walks
+// over posting lists, storage rows, and B+Tree-style leaf chains are
+// flagged; loops that consult the guard, and annotated loops, are not.
+package guardfix
+
+import (
+	"github.com/xqdb/xqdb/internal/guard"
+	"github.com/xqdb/xqdb/internal/postings"
+	"github.com/xqdb/xqdb/internal/storage"
+)
+
+type node struct {
+	next *node
+	keys [][]byte
+}
+
+func sumUnguarded(l postings.List) uint32 {
+	var total uint32
+	for _, id := range l { // want "posting list .* does not consult the guard"
+		total += id
+	}
+	return total
+}
+
+func sumGuarded(g *guard.Guard, l postings.List) (uint32, error) {
+	var total uint32
+	for _, id := range l {
+		if err := g.Step(); err != nil {
+			return 0, err
+		}
+		total += id
+	}
+	return total, nil
+}
+
+func countRows(rows []storage.Row) int {
+	n := 0
+	for range rows { // want "storage rows .* does not consult the guard"
+		n++
+	}
+	return n
+}
+
+func walkChain(n *node) int {
+	total := 0
+	for ; n != nil; n = n.next { // want "leaf-chain walk does not consult the guard"
+		total += len(n.keys)
+	}
+	return total
+}
+
+func walkChainChecked(g *guard.Guard, n *node) (int, error) {
+	total := 0
+	for ; n != nil; n = n.next {
+		if err := g.Check(); err != nil {
+			return 0, err
+		}
+		total += len(n.keys)
+	}
+	return total, nil
+}
+
+func sumAnnotated(l postings.List) uint32 {
+	var total uint32
+	//xqvet:unbounded-ok fixture: deliberately unbounded kernel
+	for _, id := range l {
+		total += id
+	}
+	return total
+}

@@ -1,0 +1,50 @@
+package load
+
+import (
+	"go/types"
+	"testing"
+)
+
+// TestPackagesTypechecks loads a real module package through the go
+// list + export-data pipeline and spot-checks the type information.
+func TestPackagesTypechecks(t *testing.T) {
+	pkgs, err := Packages(".", "github.com/xqdb/xqdb/internal/postings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.PkgPath != "github.com/xqdb/xqdb/internal/postings" {
+		t.Fatalf("PkgPath = %q", p.PkgPath)
+	}
+	obj := p.Types.Scope().Lookup("List")
+	if obj == nil {
+		t.Fatal("postings.List not found in package scope")
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		t.Fatalf("List is %T, want *types.Named", obj.Type())
+	}
+	if _, ok := named.Underlying().(*types.Slice); !ok {
+		t.Fatalf("List underlying is %T, want slice", named.Underlying())
+	}
+	if len(p.Files) == 0 || len(p.TypesInfo.Defs) == 0 {
+		t.Fatal("missing syntax or type info")
+	}
+}
+
+// TestPackagesTransitiveImports loads a package whose imports span the
+// module (engine pulls in storage, xmlindex, guard, metrics, ...) to
+// prove export-data resolution covers transitive module-internal deps.
+func TestPackagesTransitiveImports(t *testing.T) {
+	pkgs, err := Packages(".", "github.com/xqdb/xqdb/internal/xmlindex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pkgs[0]
+	if p.Types.Scope().Lookup("Index") == nil {
+		t.Fatal("xmlindex.Index not found")
+	}
+}

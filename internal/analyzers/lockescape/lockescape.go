@@ -1,0 +1,224 @@
+// Package lockescape flags code that lets control escape a held mutex:
+// invoking a user callback (a func-typed struct field like an OnSlow or
+// fault-injection hook, or a func-typed parameter like a ForEachRow
+// visitor) or sending on a channel while a sync.Mutex/RWMutex field is
+// locked. A callback that blocks, or re-enters the locked structure,
+// deadlocks every other user of the lock — the bug class the RelIndex
+// Lookup race of PR 1 belonged to. Callbacks whose contract documents
+// the restriction carry an `//xqvet:lockescape-ok <reason>` annotation.
+package lockescape
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/xqdb/xqdb/internal/analyzers/analysis"
+	"github.com/xqdb/xqdb/internal/analyzers/typeutil"
+)
+
+// Analyzer is the lockescape check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockescape",
+	Doc: "flags user-callback invocations (func-typed fields or parameters) and " +
+		"channel sends while a sync.Mutex/RWMutex is held; annotate documented " +
+		"hold-the-lock callback contracts with //xqvet:lockescape-ok <reason>",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			params := paramObjects(pass.TypesInfo, fn)
+			scanBlock(pass, fn.Body.List, params)
+		}
+	}
+	return nil
+}
+
+// paramObjects collects the function's func-typed parameters.
+func paramObjects(info *types.Info, fn *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if _, ok := obj.Type().Underlying().(*types.Signature); ok {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// scanBlock walks one statement list looking for Lock() calls, resolves
+// each one's locked region, and checks the region. Nested blocks are
+// scanned recursively so a lock taken inside an if/for body is tracked
+// within that body.
+func scanBlock(pass *analysis.Pass, stmts []ast.Stmt, params map[types.Object]bool) {
+	for i, stmt := range stmts {
+		if mu, kind := lockCall(pass.TypesInfo, stmt); mu != "" {
+			region := lockedRegion(pass.TypesInfo, stmts[i+1:], mu, kind)
+			for _, s := range region {
+				checkRegionStmt(pass, s, mu, params)
+			}
+		}
+		for _, nested := range nestedBlocks(stmt) {
+			scanBlock(pass, nested, params)
+		}
+	}
+}
+
+// nestedBlocks returns the statement lists nested directly inside stmt
+// (if/else, for, range, switch and select bodies). Function literals
+// are excluded: a closure body runs when the closure is called, which
+// is not necessarily under the lock.
+func nestedBlocks(stmt ast.Stmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		out = append(out, s.List)
+	case *ast.IfStmt:
+		out = append(out, s.Body.List)
+		if s.Else != nil {
+			out = append(out, nestedBlocks(s.Else)...)
+		}
+	case *ast.ForStmt:
+		out = append(out, s.Body.List)
+	case *ast.RangeStmt:
+		out = append(out, s.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		out = append(out, nestedBlocks(s.Stmt)...)
+	}
+	return out
+}
+
+// lockCall matches `<expr>.Lock()` / `<expr>.RLock()` where <expr> is a
+// sync.Mutex or sync.RWMutex, returning the rendered mutex expression
+// and the lock kind.
+func lockCall(info *types.Info, stmt ast.Stmt) (mu, kind string) {
+	expr, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return "", ""
+	}
+	return mutexMethod(info, expr.X, "Lock", "RLock")
+}
+
+// mutexMethod matches a call to one of the named methods on a mutex
+// expression.
+func mutexMethod(info *types.Info, e ast.Expr, names ...string) (mu, name string) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	match := false
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			match = true
+		}
+	}
+	if !match {
+		return "", ""
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || !typeutil.MutexType(tv.Type) {
+		return "", ""
+	}
+	rendered := typeutil.ExprString(sel.X)
+	if rendered == "" {
+		return "", ""
+	}
+	return rendered, sel.Sel.Name
+}
+
+// lockedRegion returns the statements that execute with the lock held:
+// up to the matching Unlock in the same list, or the whole rest of the
+// list when the unlock is deferred (or missing).
+func lockedRegion(info *types.Info, rest []ast.Stmt, mu, kind string) []ast.Stmt {
+	unlock := "Unlock"
+	if kind == "RLock" {
+		unlock = "RUnlock"
+	}
+	for i, stmt := range rest {
+		expr, ok := stmt.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		if m, _ := mutexMethod(info, expr.X, unlock); m == mu {
+			return rest[:i]
+		}
+	}
+	return rest
+}
+
+// checkRegionStmt inspects one locked statement for callback calls and
+// channel sends, skipping deferred statements and closure bodies (both
+// may run after the unlock).
+func checkRegionStmt(pass *analysis.Pass, stmt ast.Stmt, mu string, params map[types.Object]bool) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt, *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send while %s is held; move the send after the unlock or annotate //xqvet:lockescape-ok <reason>", mu)
+		case *ast.CallExpr:
+			checkCallback(pass, n, mu, params)
+		}
+		return true
+	})
+}
+
+// checkCallback flags calls through func-typed struct fields or
+// func-typed parameters of the enclosing function.
+func checkCallback(pass *analysis.Pass, call *ast.CallExpr, mu string, params map[types.Object]bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		s, ok := pass.TypesInfo.Selections[fun]
+		if !ok || s.Kind() != types.FieldVal {
+			return
+		}
+		if _, isFunc := s.Obj().Type().Underlying().(*types.Signature); isFunc {
+			pass.Reportf(call.Pos(),
+				"callback field %s invoked while %s is held; a blocking or re-entrant callback deadlocks the lock — invoke it after the unlock or annotate //xqvet:lockescape-ok <reason>",
+				s.Obj().Name(), mu)
+		}
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[fun]
+		if obj == nil || !params[obj] {
+			return
+		}
+		if !strings.Contains(strings.ToLower(fun.Name), "check") {
+			pass.Reportf(call.Pos(),
+				"callback parameter %s invoked while %s is held; a blocking or re-entrant callback deadlocks the lock — snapshot under the lock and call it after, or annotate //xqvet:lockescape-ok <reason>",
+				fun.Name, mu)
+		}
+	}
+}

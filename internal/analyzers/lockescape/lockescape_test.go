@@ -1,0 +1,12 @@
+package lockescape_test
+
+import (
+	"testing"
+
+	"github.com/xqdb/xqdb/internal/analyzers/analysistest"
+	"github.com/xqdb/xqdb/internal/analyzers/lockescape"
+)
+
+func TestLockescape(t *testing.T) {
+	analysistest.Run(t, "testdata", lockescape.Analyzer, "lockfix")
+}

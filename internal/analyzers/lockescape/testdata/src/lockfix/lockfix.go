@@ -1,0 +1,73 @@
+// Package lockfix exercises the lockescape analyzer: user callbacks and
+// channel sends under a held mutex are flagged; snapshotting the
+// callback and invoking it after the unlock, guard-check hooks, and
+// annotated documented contracts are not.
+package lockfix
+
+import "sync"
+
+type table struct {
+	mu     sync.RWMutex
+	rows   []int
+	OnSlow func(int)
+}
+
+func (t *table) notifyLocked(n int) {
+	t.mu.Lock()
+	t.OnSlow(n) // want "callback field OnSlow invoked while t.mu is held"
+	t.mu.Unlock()
+}
+
+func (t *table) notifyAfter(n int) {
+	t.mu.Lock()
+	cb := t.OnSlow
+	t.mu.Unlock()
+	cb(n)
+}
+
+func (t *table) publish(ch chan int) {
+	t.mu.RLock()
+	ch <- len(t.rows) // want "channel send while t.mu is held"
+	t.mu.RUnlock()
+}
+
+func (t *table) publishAfter(ch chan int) {
+	t.mu.RLock()
+	n := len(t.rows)
+	t.mu.RUnlock()
+	ch <- n
+}
+
+func (t *table) forEach(f func(int) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, r := range t.rows {
+		if !f(r) { // want "callback parameter f invoked while t.mu is held"
+			return
+		}
+	}
+}
+
+// A check-every-N guard hook is the sanctioned exception: its contract
+// is to be cheap and non-re-entrant.
+func (t *table) scan(check func(int) error) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, r := range t.rows {
+		if err := check(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *table) forEachDocumented(f func(int) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, r := range t.rows {
+		//xqvet:lockescape-ok fixture: documented contract, f must not re-enter the table
+		if !f(r) {
+			return
+		}
+	}
+}

@@ -1,0 +1,179 @@
+// Package maporder flags map iteration that builds ordered, user-visible
+// output — appending to a result slice with no subsequent sort, or
+// writing directly to an output stream — because Go map order is
+// deliberately randomized: Stats.IndexesUsed labels, EXPLAIN lines,
+// trace spans, and error lists assembled that way flap between runs,
+// breaking golden tests and byte-identical-results guarantees. Collect
+// keys, sort, then emit; aggregations whose order genuinely does not
+// matter carry an `//xqvet:maporder-ok <reason>` annotation.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/xqdb/xqdb/internal/analyzers/analysis"
+	"github.com/xqdb/xqdb/internal/analyzers/typeutil"
+)
+
+// Analyzer is the maporder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flags ranging over a map to build ordered output (append without a " +
+		"later sort, or direct writes to a writer/builder): map order is " +
+		"randomized; sort keys first, or annotate //xqvet:maporder-ok <reason>",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapRange(pass.TypesInfo, loop) {
+			return true
+		}
+		// Direct writes inside the loop: order-dependent output with no
+		// way to sort afterwards.
+		for _, call := range writeCalls(pass.TypesInfo, loop.Body) {
+			pass.Reportf(call.Pos(),
+				"output written inside a map range; map iteration order is randomized — iterate sorted keys instead, or annotate //xqvet:maporder-ok <reason>")
+		}
+		// Appends into a slice: fine if the slice is sorted after the
+		// loop, flagged otherwise.
+		for _, target := range appendTargets(pass.TypesInfo, loop.Body) {
+			if !sortedAfter(pass.TypesInfo, body, loop, target) {
+				pass.Reportf(loop.Pos(),
+					"map range appends to %s without a subsequent sort; map iteration order is randomized — sort %s after the loop, or annotate //xqvet:maporder-ok <reason>",
+					target.Name(), target.Name())
+			}
+		}
+		return true
+	})
+}
+
+func isMapRange(info *types.Info, loop *ast.RangeStmt) bool {
+	tv, ok := info.Types[loop.X]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// appendTargets returns the distinct variables assigned with
+// `v = append(v, ...)` inside the loop body.
+func appendTargets(info *types.Info, body *ast.BlockStmt) []*types.Var {
+	seen := map[*types.Var]bool{}
+	var out []*types.Var
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || typeutil.CalleeName(call) != "append" || len(call.Args) == 0 || i >= len(assign.Lhs) {
+				continue
+			}
+			lhs, ok := ast.Unparen(assign.Lhs[i]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v, ok := objectOf(info, lhs).(*types.Var)
+			if !ok || seen[v] {
+				continue
+			}
+			seen[v] = true
+			out = append(out, v)
+		}
+		return true
+	})
+	return out
+}
+
+// writeCalls returns calls that emit output inside the loop body:
+// fmt.Fprint* on a writer, or Write*/String-building methods.
+func writeCalls(info *types.Info, body *ast.BlockStmt) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if typeutil.IsPkgFunc(info, call, "fmt", "Fprint") ||
+			strings.HasPrefix(typeutil.CalleeName(call), "WriteString") ||
+			typeutil.CalleeName(call) == "WriteByte" ||
+			typeutil.CalleeName(call) == "WriteRune" {
+			out = append(out, call)
+		}
+		return true
+	})
+	return out
+}
+
+// sortedAfter reports whether some call after the loop, into package
+// sort or slices, mentions the target variable.
+func sortedAfter(info *types.Info, body *ast.BlockStmt, loop *ast.RangeStmt, target *types.Var) bool {
+	sorted := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < loop.End() {
+			return true
+		}
+		if !isSortCall(info, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsVar(info, arg, target) {
+				sorted = true
+			}
+		}
+		return !sorted
+	})
+	return sorted
+}
+
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := info.Uses[sel.Sel]
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "sort" || path == "slices"
+}
+
+func mentionsVar(info *types.Info, e ast.Expr, v *types.Var) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if ok && objectOf(info, id) == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}

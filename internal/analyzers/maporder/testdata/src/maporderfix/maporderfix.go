@@ -1,0 +1,60 @@
+// Package maporderfix exercises the maporder analyzer: map ranges that
+// write output or append to a result slice without a later sort are
+// flagged; sorted-after appends, pure aggregations, and annotated
+// order-free collection are not.
+package maporderfix
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func renderUnsorted(w io.Writer, counts map[string]int) {
+	for name, n := range counts {
+		fmt.Fprintf(w, "%s=%d\n", name, n) // want "output written inside a map range"
+	}
+}
+
+func renderBuilder(counts map[string]int) string {
+	var b strings.Builder
+	for name := range counts {
+		b.WriteString(name) // want "output written inside a map range"
+	}
+	return b.String()
+}
+
+func labelsUnsorted(set map[string]bool) []string {
+	var out []string
+	for name := range set { // want "map range appends to out without a subsequent sort"
+		out = append(out, name)
+	}
+	return out
+}
+
+func labelsSorted(set map[string]bool) []string {
+	var out []string
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func total(counts map[string]int) int {
+	sum := 0
+	for _, n := range counts {
+		sum += n
+	}
+	return sum
+}
+
+func labelsAnnotated(set map[string]bool) []string {
+	var out []string
+	//xqvet:maporder-ok fixture: consumer treats the result as a set
+	for name := range set {
+		out = append(out, name)
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+// Package typeutil holds the small type- and AST-interrogation helpers
+// the xqvet analyzers share.
+package typeutil
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Deref removes one level of pointer indirection.
+func Deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// IsNamed reports whether t is the named type pkgPath.name (pointers
+// dereferenced, aliases resolved).
+func IsNamed(t types.Type, pkgPath, name string) bool {
+	named, ok := Deref(types.Unalias(t)).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// SliceOfNamed reports whether t is a slice (or array) whose element
+// type is the named type pkgPath.name.
+func SliceOfNamed(t types.Type, pkgPath, name string) bool {
+	switch u := types.Unalias(t).Underlying().(type) {
+	case *types.Slice:
+		return IsNamed(u.Elem(), pkgPath, name)
+	case *types.Array:
+		return IsNamed(u.Elem(), pkgPath, name)
+	}
+	return false
+}
+
+// CalleeName returns the bare name of a call's callee: the method name
+// for selector calls, the identifier for direct calls, "" otherwise.
+func CalleeName(call *ast.CallExpr) string {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// IsPkgFunc reports whether the call invokes the named function of the
+// named package (e.g. sync/atomic's AddInt64), resolved through the
+// type info rather than the import name.
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, prefix string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := info.Uses[sel.Sel]
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && strings.HasPrefix(obj.Name(), prefix)
+}
+
+// MutexType reports whether t (pointers dereferenced) is sync.Mutex or
+// sync.RWMutex.
+func MutexType(t types.Type) bool {
+	return IsNamed(t, "sync", "Mutex") || IsNamed(t, "sync", "RWMutex")
+}
+
+// ExprString renders a (small) expression for region matching and
+// messages: identifiers and selector chains only.
+func ExprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return ExprString(e.X) + "." + e.Sel.Name
+	}
+	return ""
+}

@@ -37,11 +37,31 @@ type Engine struct {
 	inst  instruments
 }
 
-// New returns an empty database.
+// Config carries Open-time engine knobs.
+type Config struct {
+	// ProbeCacheCapacity bounds each XML index's probe-result LRU;
+	// <= 0 selects xmlindex.DefaultProbeCacheCap.
+	ProbeCacheCapacity int
+}
+
+// New returns an empty database with default configuration.
 func New() *Engine {
+	return NewWithConfig(Config{})
+}
+
+// NewWithConfig returns an empty database with the given knobs applied.
+func NewWithConfig(cfg Config) *Engine {
 	reg := metrics.NewRegistry()
 	cat := storage.NewCatalog()
 	cat.SetMetrics(reg)
+	capacity := cfg.ProbeCacheCapacity
+	if capacity <= 0 {
+		capacity = xmlindex.DefaultProbeCacheCap
+	}
+	cat.SetProbeCacheCapacity(capacity)
+	// Recorded as a gauge so MetricsSnapshot reports the configured
+	// capacity alongside the probecache hit/miss/eviction counters.
+	reg.Gauge("probecache.capacity").Set(int64(capacity))
 	e := &Engine{Catalog: cat, Metrics: reg, plans: newPlanCache(reg)}
 	e.inst.init(reg)
 	return e
@@ -232,20 +252,27 @@ func (e *Engine) buildSemiJoinPlan(p core.Predicate, xi *storage.XMLIndex, tab *
 // semiJoinValues gathers the distinct non-null values of the join column,
 // iterating under the table's read lock without snapshotting the rows.
 // ok=false (join table gone, or more than maxValues distinct values)
-// degrades the probe to "no filter".
-func (e *Engine) semiJoinValues(spec *semiJoinSpec, maxValues int) ([]xdm.Value, bool) {
+// degrades the probe to "no filter"; a guard violation (cancellation,
+// timeout, step budget) aborts instead — the walk is proportional to the
+// join table's row count, so it must answer to the query's guard like
+// every other data-sized loop.
+func (e *Engine) semiJoinValues(g *guard.Guard, spec *semiJoinSpec, maxValues int) ([]xdm.Value, bool, error) {
 	joinTab, err := e.Catalog.Table(spec.table)
 	if err != nil {
-		return nil, false
+		return nil, false, nil
 	}
 	ci, err := joinTab.ColumnIndex(spec.column)
 	if err != nil {
-		return nil, false
+		return nil, false, nil
 	}
 	seen := map[string]bool{}
 	var values []xdm.Value
 	ok := true
+	var gerr error
 	joinTab.ForEachRow(func(row *storage.Row) bool {
+		if gerr = g.Step(); gerr != nil {
+			return false
+		}
 		cell := row.Cells[ci]
 		if cell.Null {
 			return true
@@ -265,10 +292,13 @@ func (e *Engine) semiJoinValues(spec *semiJoinSpec, maxValues int) ([]xdm.Value,
 		values = append(values, cell.V)
 		return true
 	})
-	if !ok {
-		return nil, false
+	if gerr != nil {
+		return nil, false, gerr
 	}
-	return values, true
+	if !ok {
+		return nil, false, nil
+	}
+	return values, true, nil
 }
 
 // buildProbe converts a predicate (and its between partner, if any) to an
@@ -362,7 +392,11 @@ func (e *Engine) runProbe(g *guard.Guard, pl probePlan, o ExecOptions, t0 time.T
 	if pl.semi != nil {
 		// Semi-join: union of one equality probe per distinct value of
 		// the join column, gathered now — the values are data.
-		values, ok := e.semiJoinValues(pl.semi, semiJoinCapFor(o))
+		values, ok, gerr := e.semiJoinValues(g, pl.semi, semiJoinCapFor(o))
+		if gerr != nil {
+			out.err = gerr
+			return out
+		}
 		if !ok {
 			return out
 		}

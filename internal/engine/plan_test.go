@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
 
+	"github.com/xqdb/xqdb/internal/guard"
 	"github.com/xqdb/xqdb/internal/xdm"
 )
 
@@ -133,6 +135,34 @@ func TestSemiJoinCapBoundary(t *testing.T) {
 		if strings.Contains(u, "semi-join") {
 			t.Fatalf("past the cap the semi-join must bail: %v", istats.IndexesUsed)
 		}
+	}
+}
+
+// Semi-join value gathering walks the whole join table, so it must
+// answer to the query's guard: a canceled context aborts the walk with a
+// violation instead of completing it (or silently degrading the probe).
+// Regression test for the one unguarded row loop xqvet's guardloop
+// analyzer found on the query path.
+func TestSemiJoinValuesGuarded(t *testing.T) {
+	e := newPaperDB(t, 1)
+	// Enough distinct rows that the guard's periodic check (every 256
+	// steps) fires mid-walk.
+	for i := 0; i < 300; i += 10 {
+		vals := make([]string, 0, 10)
+		for j := i; j < i+10; j++ {
+			vals = append(vals, fmt.Sprintf("('%d', 'p%d')", j, j))
+		}
+		mustSQL(t, e, `insert into products values `+strings.Join(vals, ", "))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := guard.New(ctx, 0, guard.Limits{})
+	values, ok, err := e.semiJoinValues(g, &semiJoinSpec{table: "products", column: "id"}, 1<<20)
+	if err == nil {
+		t.Fatalf("canceled guard did not abort the gather: values=%d ok=%v", len(values), ok)
+	}
+	if _, isViolation := guard.AsViolation(err); !isViolation {
+		t.Fatalf("gather abort is not a guard violation: %v", err)
 	}
 }
 

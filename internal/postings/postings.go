@@ -169,6 +169,7 @@ func Intersect(a, b List) List {
 	}
 	out := make(List, 0, len(a))
 	j := 0
+	//xqvet:unbounded-ok bounded in-memory set kernel; callers guard per probe, not per element
 	for _, x := range a {
 		j = gallop(b, j, x)
 		if j >= len(b) {
@@ -192,6 +193,7 @@ func Difference(a, b List) List {
 	}
 	out := make(List, 0, len(a))
 	j := 0
+	//xqvet:unbounded-ok bounded in-memory set kernel; callers guard per probe, not per element
 	for _, x := range a {
 		j = gallop(b, j, x)
 		if j < len(b) && b[j] == x {

@@ -44,11 +44,22 @@ func TestCollectionFiltered(t *testing.T) {
 
 func TestTablesListing(t *testing.T) {
 	c, _ := ordersTable(t)
-	if _, err := c.CreateTable("extra", []Column{{Name: "x", Type: Integer}}); err != nil {
-		t.Fatal(err)
+	// Created out of name order: Tables() must still list them sorted,
+	// not in map-iteration order.
+	for _, name := range []string{"zeta", "extra", "middle"} {
+		if _, err := c.CreateTable(name, []Column{{Name: "x", Type: Integer}}); err != nil {
+			t.Fatal(err)
+		}
 	}
-	if got := len(c.Tables()); got != 2 {
+	tabs := c.Tables()
+	if got := len(tabs); got != 4 {
 		t.Fatalf("tables = %d", got)
+	}
+	want := []string{"extra", "middle", "orders", "zeta"}
+	for i, tab := range tabs {
+		if tab.Name != want[i] {
+			t.Fatalf("Tables()[%d] = %s, want %s (listing must be name-sorted)", i, tab.Name, want[i])
+		}
 	}
 }
 

@@ -8,6 +8,7 @@ package storage
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -110,6 +111,9 @@ type Table struct {
 	// metrics is the owning catalog's registry (nil outside an engine);
 	// indexes created on this table are instrumented against it.
 	metrics *metrics.Registry
+	// probeCacheCap bounds the probe-result cache of XML indexes created
+	// on this table; 0 keeps the xmlindex default.
+	probeCacheCap int
 }
 
 // bumpVersion records a schema change against the owning catalog.
@@ -149,6 +153,9 @@ type Catalog struct {
 	// metrics, when set via SetMetrics, instruments indexes created
 	// through this catalog.
 	metrics *metrics.Registry
+	// probeCacheCap, when set via SetProbeCacheCapacity, bounds the
+	// probe-result cache of XML indexes created through this catalog.
+	probeCacheCap int
 }
 
 // SetMetrics attaches a metrics registry: indexes created on tables of
@@ -161,6 +168,19 @@ func (c *Catalog) SetMetrics(reg *metrics.Registry) {
 	c.metrics = reg
 	for _, t := range c.tables {
 		t.metrics = reg
+	}
+}
+
+// SetProbeCacheCapacity follows the SetMetrics pattern: XML indexes
+// created on tables of this catalog from now on bound their probe-result
+// LRU at n entries (n <= 0 keeps the xmlindex default). Call right after
+// NewCatalog — already-existing indexes are not resized.
+func (c *Catalog) SetProbeCacheCapacity(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.probeCacheCap = n
+	for _, t := range c.tables {
+		t.probeCacheCap = n
 	}
 }
 
@@ -188,7 +208,8 @@ func (c *Catalog) CreateTable(name string, cols []Column) (*Table, error) {
 		}
 		seen[k] = true
 	}
-	t := &Table{Name: strings.ToLower(name), Columns: cols, byID: map[uint32]int{}, nextID: 1, catVersion: &c.version, metrics: c.metrics}
+	t := &Table{Name: strings.ToLower(name), Columns: cols, byID: map[uint32]int{}, nextID: 1,
+		catVersion: &c.version, metrics: c.metrics, probeCacheCap: c.probeCacheCap}
 	c.tables[key] = t
 	c.version.Add(1)
 	return t, nil
@@ -218,7 +239,8 @@ func (c *Catalog) Table(name string) (*Table, error) {
 	return t, nil
 }
 
-// Tables lists all tables.
+// Tables lists all tables, sorted by name so callers that render the
+// list (SHOW TABLES, the advisor's setup dump) see a stable order.
 func (c *Catalog) Tables() []*Table {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -226,6 +248,7 @@ func (c *Catalog) Tables() []*Table {
 	for _, t := range c.tables {
 		out = append(out, t)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
@@ -254,6 +277,7 @@ func (c *Catalog) Collection(name string) ([]*xdm.Node, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	var docs []*xdm.Node
+	//xqvet:unbounded-ok the CollectionResolver interface has no guard; the engine guards per document downstream
 	for _, row := range t.rows {
 		cell := row.Cells[ci]
 		if !cell.Null && cell.Doc != nil {
@@ -283,6 +307,7 @@ func (c *Catalog) CollectionFiltered(name string, allowed postings.List) ([]*xdm
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	var docs []*xdm.Node
+	//xqvet:unbounded-ok the CollectionResolver interface has no guard; the engine guards per document downstream
 	for _, row := range t.rows {
 		if !allowed.Contains(row.ID) {
 			continue
@@ -425,7 +450,9 @@ func (t *Table) Rows() []Row {
 func (t *Table) ForEachRow(f func(*Row) bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	//xqvet:unbounded-ok the visitor's contract is the bound: callers thread the guard through f
 	for i := range t.rows {
+		//xqvet:lockescape-ok documented contract above: f must not re-enter the table
 		if !f(&t.rows[i]) {
 			return
 		}
@@ -473,6 +500,10 @@ func (t *Table) CreateXMLIndex(name, column, xmlPattern string, typ xmlindex.Typ
 	}
 	xi := &XMLIndex{Name: name, Column: strings.ToLower(column), Index: xmlindex.New(name, pat, typ)}
 	xi.Index.Instrument(t.metrics)
+	if t.probeCacheCap > 0 {
+		xi.Index.SetProbeCacheCapacity(t.probeCacheCap)
+	}
+	//xqvet:unbounded-ok DDL index build runs outside any query; no guard is in scope by design
 	for _, row := range t.rows {
 		cell := row.Cells[ci]
 		if cell.Null || cell.Doc == nil {
@@ -538,6 +569,7 @@ func (t *Table) CreateRelIndex(name, column string) (*RelIndex, error) {
 		ri.mLookups = t.metrics.Counter("relindex.lookups")
 		ri.tree.Instrument(t.metrics.Counter("btree.scans"), t.metrics.Counter("btree.keys_visited"))
 	}
+	//xqvet:unbounded-ok DDL index build runs outside any query; no guard is in scope by design
 	for _, row := range t.rows {
 		ri.insert(row)
 	}

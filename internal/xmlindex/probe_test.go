@@ -52,8 +52,8 @@ func TestExclusiveLoAtMaxEncodingReturnsNothing(t *testing.T) {
 	}
 }
 
-// DocList must agree with the map-based DocSet on every probe shape —
-// it is the streaming replacement for the same Definition-1 pre-filter.
+// DocList must agree with the map-based docSet reference on every probe
+// shape — it is the streaming form of the same Definition-1 pre-filter.
 func TestDocListMatchesDocSet(t *testing.T) {
 	ix := liPrice(t)
 	insert(t, ix, 3, `<order><lineitem price="150"/><lineitem price="90"/></order>`)
@@ -69,7 +69,7 @@ func TestDocListMatchesDocSet(t *testing.T) {
 		{Range: Range{Lo: dbl(100)}, QueryPattern: pattern.MustParse("/order/lineitem/@price")},
 	}
 	for i, p := range probes {
-		want, _, err := ix.DocSetStats(p)
+		want, _, err := docSetStats(ix, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -195,14 +195,54 @@ func TestProbeCacheNoCacheBypass(t *testing.T) {
 func TestProbeCacheLRUEviction(t *testing.T) {
 	ix := liPrice(t)
 	insert(t, ix, 1, `<order><lineitem price="150"/></order>`)
-	for i := 0; i <= probeCacheCap+10; i++ {
+	for i := 0; i <= DefaultProbeCacheCap+10; i++ {
 		lo := xdm.NewDouble(float64(i))
 		if _, _, _, err := ix.DocList(Probe{Range: Range{Lo: &lo, LoInc: true}}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if n := ix.cache.len(); n != probeCacheCap {
-		t.Fatalf("cache holds %d entries, want the cap %d", n, probeCacheCap)
+	if n := ix.cache.len(); n != DefaultProbeCacheCap {
+		t.Fatalf("cache holds %d entries, want the cap %d", n, DefaultProbeCacheCap)
+	}
+}
+
+// The capacity knob bounds the LRU, and shrinking it below the live
+// entry count evicts cold-end entries immediately.
+func TestProbeCacheConfiguredCapacity(t *testing.T) {
+	ix := liPrice(t)
+	insert(t, ix, 1, `<order><lineitem price="150"/></order>`)
+	if got := ix.ProbeCacheCapacity(); got != DefaultProbeCacheCap {
+		t.Fatalf("default capacity = %d, want %d", got, DefaultProbeCacheCap)
+	}
+	ix.SetProbeCacheCapacity(3)
+	if got := ix.ProbeCacheCapacity(); got != 3 {
+		t.Fatalf("capacity = %d, want 3", got)
+	}
+	probe := func(i int) Probe {
+		lo := xdm.NewDouble(float64(i))
+		return Probe{Range: Range{Lo: &lo, LoInc: true}}
+	}
+	for i := 0; i < 10; i++ {
+		if _, _, _, err := ix.DocList(probe(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := ix.cache.len(); n != 3 {
+		t.Fatalf("cache holds %d entries, want the configured cap 3", n)
+	}
+	// The most recent probes survive; the cold end is gone.
+	if !ix.ProbeCached(probe(9)) || ix.ProbeCached(probe(0)) {
+		t.Fatal("eviction must drop the cold end and keep the hot end")
+	}
+	// Shrinking below the live count evicts immediately.
+	ix.SetProbeCacheCapacity(1)
+	if n := ix.cache.len(); n != 1 {
+		t.Fatalf("cache holds %d entries after shrink, want 1", n)
+	}
+	// n <= 0 restores the default.
+	ix.SetProbeCacheCapacity(0)
+	if got := ix.ProbeCacheCapacity(); got != DefaultProbeCacheCap {
+		t.Fatalf("capacity after reset = %d, want %d", got, DefaultProbeCacheCap)
 	}
 }
 

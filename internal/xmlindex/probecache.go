@@ -9,8 +9,9 @@ import (
 	"github.com/xqdb/xqdb/internal/postings"
 )
 
-// probeCacheCap bounds the number of cached probe results per index.
-const probeCacheCap = 128
+// DefaultProbeCacheCap bounds the number of cached probe results per
+// index when no capacity is configured (Index.SetProbeCacheCapacity).
+const DefaultProbeCacheCap = 128
 
 // probeCache is a per-index LRU of probe results: the sorted document
 // list a (range, query-pattern) probe produced, stamped with the index
@@ -20,9 +21,10 @@ const probeCacheCap = 128
 // pre-filters. The cache has its own mutex — it is touched under the
 // index's read lock, where concurrent probes are the point.
 type probeCache struct {
-	mu    sync.Mutex
-	items map[string]*list.Element
-	order *list.List // front = most recently used
+	mu       sync.Mutex
+	capacity int
+	items    map[string]*list.Element
+	order    *list.List // front = most recently used
 
 	// Registry instruments shared across the indexes of one engine;
 	// nil-safe when the index lives outside an engine.
@@ -37,7 +39,27 @@ type probeCacheEntry struct {
 }
 
 func newProbeCache() *probeCache {
-	return &probeCache{items: map[string]*list.Element{}, order: list.New()}
+	return &probeCache{capacity: DefaultProbeCacheCap, items: map[string]*list.Element{}, order: list.New()}
+}
+
+// setCapacity rebounds the LRU, evicting from the cold end if the live
+// entry count already exceeds the new capacity. n <= 0 restores the
+// default.
+func (c *probeCache) setCapacity(n int) {
+	if n <= 0 {
+		n = DefaultProbeCacheCap
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.capacity = n
+	c.evictLocked()
+}
+
+// cap returns the configured capacity.
+func (c *probeCache) cap() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.capacity
 }
 
 func (c *probeCache) instrument(reg *metrics.Registry) {
@@ -86,7 +108,13 @@ func (c *probeCache) put(key string, version uint64, docs postings.List) {
 	}
 	c.items[key] = c.order.PushFront(&probeCacheEntry{key: key, version: version, docs: docs})
 	c.entries.Add(1)
-	for len(c.items) > probeCacheCap {
+	c.evictLocked()
+}
+
+// evictLocked drops least-recently-used entries until the cache fits its
+// capacity. Callers hold c.mu.
+func (c *probeCache) evictLocked() {
+	for len(c.items) > c.capacity {
 		el := c.order.Back()
 		c.order.Remove(el)
 		delete(c.items, el.Value.(*probeCacheEntry).key)

@@ -69,7 +69,7 @@ type Entry struct {
 }
 
 // Stats counts cumulative index activity since creation (or the last
-// ResetStats). Per-query accounting uses the counts ScanStats/DocSetStats
+// ResetStats). Per-query accounting uses the counts ScanStats/DocList
 // return instead — these totals are a monitoring aid only.
 type Stats struct {
 	Probes      int // number of Scan calls
@@ -77,7 +77,7 @@ type Stats struct {
 	Entries     int // live entries
 }
 
-// Index is one XML value index. Probes (Scan, DocSet) take the read lock,
+// Index is one XML value index. Probes (Scan, DocList) take the read lock,
 // so concurrent readers proceed in parallel; document insertion and
 // deletion take the write lock. The probe counters are atomics so read
 // locks never mutate shared state.
@@ -121,6 +121,18 @@ func (ix *Index) Instrument(reg *metrics.Registry) {
 	ix.mEntries = reg.Gauge("xmlindex.entries")
 	ix.cache.instrument(reg)
 	ix.tree.Instrument(reg.Counter("btree.scans"), reg.Counter("btree.keys_visited"))
+}
+
+// SetProbeCacheCapacity rebounds the probe-result LRU (n <= 0 restores
+// DefaultProbeCacheCap). Entries past the new capacity are evicted
+// cold-end first. Safe at any point in the index's life.
+func (ix *Index) SetProbeCacheCapacity(n int) {
+	ix.cache.setCapacity(n)
+}
+
+// ProbeCacheCapacity returns the probe cache's configured capacity.
+func (ix *Index) ProbeCacheCapacity() int {
+	return ix.cache.cap()
 }
 
 // New creates an empty index over the given pattern and type.
@@ -382,7 +394,7 @@ func (ix *Index) ScanStats(p Probe) ([]Entry, int, error) {
 		return nil, 0, nil
 	}
 	// Path verdict cache: pathID → matches query pattern.
-	verdicts := map[uint32]bool{}
+	verdicts := map[uint32]bool{} //xqvet:docset-ok keyed by pathID, a pattern-verdict cache, not a doc set
 	pathOK := func(id uint32) bool {
 		if p.QueryPattern == nil {
 			return true
@@ -422,7 +434,7 @@ type docCollector struct {
 	ix       *Index
 	pat      *pattern.Pattern
 	g        *guard.Guard
-	verdicts map[uint32]bool // pathID → matches query pattern
+	verdicts map[uint32]bool //xqvet:docset-ok pathID → pattern verdict, not a doc set
 	docs     []uint32
 }
 
@@ -481,7 +493,7 @@ func (ix *Index) DocList(p Probe) (postings.List, int, bool, error) {
 	}
 	c := docCollector{ix: ix, pat: p.QueryPattern, g: p.Guard}
 	if p.QueryPattern != nil {
-		c.verdicts = map[uint32]bool{}
+		c.verdicts = map[uint32]bool{} //xqvet:docset-ok pathID verdict cache, see the field
 	}
 	visited, err := ix.tree.ScanVisit(lo, hi, &c)
 	ix.keysVisited.Add(int64(visited))
@@ -513,26 +525,6 @@ func (ix *Index) ProbeCached(p Probe) bool {
 		return false
 	}
 	return ix.cache.peek(probeKey(lo, hi, p.QueryPattern), ix.version.Load())
-}
-
-// DocSet runs a probe and returns the distinct matching document ids —
-// the document pre-filter I(P, D) of Definition 1.
-func (ix *Index) DocSet(p Probe) (map[uint32]bool, error) {
-	docs, _, err := ix.DocSetStats(p)
-	return docs, err
-}
-
-// DocSetStats is DocSet plus the per-probe visited-key count.
-func (ix *Index) DocSetStats(p Probe) (map[uint32]bool, int, error) {
-	entries, visited, err := ix.ScanStats(p)
-	if err != nil {
-		return nil, visited, err
-	}
-	docs := make(map[uint32]bool)
-	for _, e := range entries {
-		docs[e.DocID] = true
-	}
-	return docs, visited, nil
 }
 
 // bounds converts a value range to B+Tree key bounds. empty reports a

@@ -37,6 +37,7 @@ type env struct {
 }
 
 func (e *env) lookup(name string) (xdm.Sequence, bool) {
+	//xqvet:unbounded-ok binding-environment chain, bounded by query nesting depth, not data size
 	for ; e != nil; e = e.next {
 		if e.name == name {
 			return e.val, true

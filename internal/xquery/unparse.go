@@ -2,6 +2,7 @@ package xquery
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"github.com/xqdb/xqdb/internal/xdm"
@@ -33,10 +34,18 @@ func UnparseModule(m *Module) string {
 	if m.DefaultElementNS != "" {
 		fmt.Fprintf(&b, "declare default element namespace %s; ", quoteLit(m.DefaultElementNS))
 	}
-	for prefix, uri := range m.Namespaces {
+	// Sorted prefixes: map order would render the prolog declarations in
+	// a different order run to run.
+	prefixes := make([]string, 0, len(m.Namespaces))
+	for prefix := range m.Namespaces {
 		if _, builtin := builtinPrefixes[prefix]; builtin {
 			continue
 		}
+		prefixes = append(prefixes, prefix)
+	}
+	sort.Strings(prefixes)
+	for _, prefix := range prefixes {
+		uri := m.Namespaces[prefix]
 		fmt.Fprintf(&b, "declare namespace %s=%s; ", prefix, quoteLit(uri))
 		env.prefixes[uri] = prefix
 	}

@@ -75,6 +75,23 @@ func TestUnparseNamespaces(t *testing.T) {
 	}
 }
 
+// TestUnparseNamespaceOrderDeterministic pins the prolog rendering:
+// namespace declarations come out in sorted-prefix order, not map order,
+// so repeated unparses of the same module are byte-identical.
+func TestUnparseNamespaceOrderDeterministic(t *testing.T) {
+	q := `declare namespace z="urn:z"; declare namespace a="urn:a"; declare namespace m="urn:m"; <z:root/>`
+	m, err := Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `declare namespace a="urn:a"; declare namespace m="urn:m"; declare namespace z="urn:z"; <z:root/>`
+	for i := 0; i < 16; i++ {
+		if got := UnparseModule(m); got != want {
+			t.Fatalf("iteration %d:\n got  %s\n want %s", i, got, want)
+		}
+	}
+}
+
 func TestUnparseNamespacedPaths(t *testing.T) {
 	q := `declare default element namespace "urn:o"; declare namespace c="urn:c";
 		/order[c:nation = 1]/c:*/lineitem//*:x`

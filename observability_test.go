@@ -2,6 +2,7 @@ package xqdb
 
 import (
 	"context"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -311,6 +312,39 @@ func TestMetricsMixedWorkload(t *testing.T) {
 	}
 	if data, err := db.MetricsJSON(); err != nil || !strings.Contains(string(data), "queries.total") {
 		t.Errorf("MetricsJSON: %v\n%s", err, data)
+	}
+}
+
+// The probe-cache capacity rides from Open through catalog and table to
+// every index created afterwards, is reported in MetricsSnapshot, and
+// actually bounds the per-index LRU.
+func TestProbeCacheCapacityOption(t *testing.T) {
+	if got := Open().MetricsSnapshot().Gauges["probecache.capacity"]; got != 128 {
+		t.Fatalf("default probecache.capacity = %d, want 128", got)
+	}
+
+	db := Open(WithProbeCacheCapacity(2))
+	if got := db.MetricsSnapshot().Gauges["probecache.capacity"]; got != 2 {
+		t.Fatalf("probecache.capacity = %d, want 2", got)
+	}
+	db.MustExecSQL(`create table orders (ordid integer, orddoc xml)`)
+	db.MustExecSQL(`insert into orders values (1, '<order><lineitem price="150"/></order>')`)
+	db.MustExecSQL(`create index li_price on orders(orddoc) using xmlpattern '//lineitem/@price' as double`)
+
+	// Six distinct probes against a capacity-2 cache: entries stay
+	// bounded and the overflow shows up as evictions.
+	for i := 0; i < 6; i++ {
+		q := fmt.Sprintf(`db2-fn:xmlcolumn("ORDERS.ORDDOC")//order[lineitem/@price > %d]`, i)
+		if _, _, err := db.QueryXQuery(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := db.MetricsSnapshot()
+	if got := snap.Gauges["probecache.entries"]; got != 2 {
+		t.Fatalf("probecache.entries = %d, want the configured cap 2", got)
+	}
+	if got := snap.Counters["probecache.evictions"]; got != 4 {
+		t.Fatalf("probecache.evictions = %d, want 4", got)
 	}
 }
 

@@ -52,9 +52,30 @@ type DB struct {
 // engine.Stats for field documentation.
 type Stats = engine.Stats
 
+// openConfig collects Open-time knobs.
+type openConfig struct {
+	probeCacheCapacity int
+}
+
+// Option configures a DB at Open time.
+type Option func(*openConfig)
+
+// WithProbeCacheCapacity bounds each XML index's probe-result cache at n
+// entries (LRU eviction past it). n <= 0 keeps the default of 128. The
+// configured capacity is reported as the probecache.capacity gauge in
+// MetricsSnapshot.
+func WithProbeCacheCapacity(n int) Option {
+	return func(c *openConfig) { c.probeCacheCapacity = n }
+}
+
 // Open creates an empty database.
-func Open() *DB {
-	return &DB{eng: engine.New(), UseIndexes: true}
+func Open(opts ...Option) *DB {
+	var c openConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	eng := engine.NewWithConfig(engine.Config{ProbeCacheCapacity: c.probeCacheCapacity})
+	return &DB{eng: eng, UseIndexes: true}
 }
 
 // Result is a query result: column names and stringified rows plus the
