@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fmt-check verify bench fuzz
+.PHONY: build test vet race fmt-check verify bench fuzz loadtest
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,32 @@ BENCHOUT ?= BENCH_PR2.json
 bench: build
 	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) . > bench.out
 	$(GO) run ./cmd/benchjson -o $(BENCHOUT) bench.out
+
+# End-to-end load test: boot xqserve under the race detector with a
+# demo corpus and a deliberately tight admission budget, hammer it with
+# cmd/serverload, then SIGTERM it to exercise the drain path. Leaves the
+# latency/shed-rate report in loadtest.json (+ loadtest.out, and the
+# server's own log in loadtest-server.log). Fails on transport errors
+# (a request that never resolved — the one outcome admission control
+# exists to prevent), on a race-detector report, or on a drain that
+# never ran; latency and shed-rate numbers themselves are a trend, not
+# a gate.
+LOADC ?= 48
+LOADN ?= 2000
+LOADADDR ?= :18080
+
+loadtest:
+	$(GO) build -race -o bin/xqserve ./cmd/xqserve
+	$(GO) build -o bin/serverload ./cmd/serverload
+	@set -e; \
+	./bin/xqserve -addr $(LOADADDR) -demo 400 -max-inflight 2 -max-queue 8 \
+	  -max-wait 100ms -retry-after 250ms >loadtest-server.log 2>&1 & pid=$$!; \
+	trap 'kill -TERM '"$$pid"' 2>/dev/null || true' EXIT; \
+	./bin/serverload -addr http://localhost$(LOADADDR) -c $(LOADC) -n $(LOADN) \
+	  -timeout-ms 500 -json loadtest.json >loadtest.out; \
+	cat loadtest.out; \
+	kill -TERM $$pid; wait $$pid; \
+	grep -q 'drain:' loadtest-server.log
 
 # Short fuzz burns over the parser entry points; failures become seed
 # corpus regressions under testdata/fuzz/.

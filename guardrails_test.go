@@ -241,3 +241,27 @@ func TestQueryErrorFormatting(t *testing.T) {
 		t.Fatal("out-of-range kind should print unknown")
 	}
 }
+
+// TestCanceledBeatsTimeoutDeterministically pins the public half of the
+// guard's tie-break contract: a query submitted with a canceled context
+// AND an already-expired wall-clock timeout must always classify as
+// ErrCanceled — the client hung up, and misreporting that as ErrTimeout
+// would send the server layer down the wrong status-code path.
+func TestCanceledBeatsTimeoutDeterministically(t *testing.T) {
+	db := loadedDB(t, 50)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i := 0; i < 50; i++ {
+		_, _, err := db.QueryXQueryOpts(heavyQuery, QueryOptions{
+			Context: ctx,
+			Timeout: time.Nanosecond,
+		})
+		var qe *QueryError
+		if !errors.As(err, &qe) {
+			t.Fatalf("run %d: want *QueryError, got %v", i, err)
+		}
+		if qe.Kind != ErrCanceled {
+			t.Fatalf("run %d: Kind = %v, want ErrCanceled", i, qe.Kind)
+		}
+	}
+}

@@ -123,22 +123,44 @@ func (g *Guard) Steps() int64 {
 
 // Check tests cancellation and the deadline immediately. Called at phase
 // boundaries (before probes, per B+Tree scan batch) and from Step.
+//
+// When a client cancellation races the wall-clock deadline, cancellation
+// wins: whenever both conditions hold at the moment of decision the
+// violation is Canceled, never Timeout. Without the re-check below, a
+// cancel landing between the context poll and the deadline comparison
+// would be misreported as a timeout — confusing for a client that
+// deliberately hung up (and for the server layer, which maps the two
+// kinds to different HTTP statuses).
 func (g *Guard) Check() error {
 	if g == nil {
 		return nil
 	}
-	if g.ctx != nil {
-		if err := g.ctx.Err(); err != nil {
-			if errors.Is(err, context.DeadlineExceeded) {
-				return &Violation{Kind: Timeout, Msg: "context deadline exceeded"}
-			}
-			return &Violation{Kind: Canceled, Msg: err.Error()}
-		}
+	if v := g.ctxViolation(); v != nil {
+		return v
 	}
 	if !g.deadline.IsZero() && time.Now().After(g.deadline) {
+		if v := g.ctxViolation(); v != nil && v.Kind == Canceled {
+			return v
+		}
 		return &Violation{Kind: Timeout, Msg: "query deadline exceeded"}
 	}
 	return nil
+}
+
+// ctxViolation polls the context, mapping its error to a violation (nil
+// when the context is nil or still live).
+func (g *Guard) ctxViolation() *Violation {
+	if g.ctx == nil {
+		return nil
+	}
+	err := g.ctx.Err()
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return &Violation{Kind: Timeout, Msg: "context deadline exceeded"}
+	}
+	return &Violation{Kind: Canceled, Msg: err.Error()}
 }
 
 // Items fails once a result set holds more than MaxResultItems entries.

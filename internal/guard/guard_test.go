@@ -3,6 +3,7 @@ package guard
 import (
 	"context"
 	"errors"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -126,5 +127,53 @@ func TestFaultHook(t *testing.T) {
 	SetFaultHook(nil)
 	if err := Fault("storage.insert"); err != nil {
 		t.Fatalf("cleared hook still firing: %v", err)
+	}
+}
+
+// flipCtx simulates the narrowest cancel-vs-deadline race: its Err is nil
+// on the first poll and context.Canceled on every later one, modeling a
+// client that hangs up in the instant between Check's context poll and
+// its deadline comparison.
+type flipCtx struct {
+	context.Context
+	polls atomic.Int32
+}
+
+func (c *flipCtx) Err() error {
+	if c.polls.Add(1) == 1 {
+		return nil
+	}
+	return context.Canceled
+}
+
+// TestCancelBeatsDeadlineRace pins the deterministic tie-break: when a
+// cancellation lands while the wall-clock deadline has already passed,
+// Check must report Canceled, not Timeout.
+func TestCancelBeatsDeadlineRace(t *testing.T) {
+	ctx := &flipCtx{Context: context.Background()}
+	g := New(ctx, time.Nanosecond, Limits{})
+	time.Sleep(time.Millisecond) // let the wall-clock deadline expire
+	v, ok := AsViolation(g.Check())
+	if !ok {
+		t.Fatal("expired guard must report a violation")
+	}
+	if v.Kind != Canceled {
+		t.Fatalf("cancel racing the deadline reported %v, want Canceled", v.Kind)
+	}
+}
+
+// TestCanceledContextBeatsExpiredDeadline covers the easy half of the
+// same contract: a context already canceled at check time wins over an
+// already-expired deadline on every poll, not just sometimes.
+func TestCanceledContextBeatsExpiredDeadline(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := New(ctx, time.Nanosecond, Limits{})
+	time.Sleep(time.Millisecond)
+	for i := 0; i < 100; i++ {
+		v, ok := AsViolation(g.Check())
+		if !ok || v.Kind != Canceled {
+			t.Fatalf("poll %d: got %v, want Canceled", i, v)
+		}
 	}
 }

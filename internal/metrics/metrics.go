@@ -69,45 +69,53 @@ func (g *Gauge) Value() int64 {
 	return g.v.Load()
 }
 
-// latencyBounds are the histogram bucket upper bounds in nanoseconds:
+// defaultLatencyBounds are the histogram bucket upper bounds in nanoseconds:
 // powers of four from 1µs to 4s, wide enough for an in-memory engine's
 // microsecond probes and a pathological multi-second scan alike. A final
 // implicit +Inf bucket catches the rest.
-var latencyBounds = []int64{
+var defaultLatencyBounds = []int64{
 	1_000, 4_000, 16_000, 64_000, 256_000, // 1µs .. 256µs
 	1_000_000, 4_000_000, 16_000_000, 64_000_000, 256_000_000, // 1ms .. 256ms
 	1_000_000_000, 4_000_000_000, // 1s, 4s
 }
 
-// Histogram counts duration observations into exponential latency
-// buckets. Observations are lock-free; the bucket layout is fixed at
-// construction.
+// Histogram counts observations into exponential buckets. The default
+// layout treats observations as latencies in nanoseconds; histograms
+// created via Registry.HistogramWith count plain values (queue depths,
+// batch sizes) against caller-chosen bounds. Observations are lock-free;
+// the bucket layout is fixed at construction.
 type Histogram struct {
 	bounds  []int64
 	buckets []atomic.Int64 // len(bounds)+1; last = overflow (+Inf)
 	count   atomic.Int64
-	sum     atomic.Int64 // nanoseconds
+	sum     atomic.Int64 // nanoseconds (or raw units for value histograms)
 }
 
-func newHistogram() *Histogram {
-	return &Histogram{bounds: latencyBounds, buckets: make([]atomic.Int64, len(latencyBounds)+1)}
+func newHistogram(bounds []int64) *Histogram {
+	return &Histogram{bounds: bounds, buckets: make([]atomic.Int64, len(bounds)+1)}
 }
 
 // Observe records one duration (nil-safe no-op).
 func (h *Histogram) Observe(d time.Duration) {
+	h.ObserveValue(int64(d))
+}
+
+// ObserveValue records one raw observation (nil-safe no-op). For latency
+// histograms the unit is nanoseconds; for HistogramWith histograms it is
+// whatever unit the bounds were declared in.
+func (h *Histogram) ObserveValue(v int64) {
 	if h == nil {
 		return
 	}
-	ns := int64(d)
 	i := 0
 	for ; i < len(h.bounds); i++ {
-		if ns <= h.bounds[i] {
+		if v <= h.bounds[i] {
 			break
 		}
 	}
 	h.buckets[i].Add(1)
 	h.count.Add(1)
-	h.sum.Add(ns)
+	h.sum.Add(v)
 }
 
 // Count returns the number of observations.
@@ -134,27 +142,39 @@ type HistogramSnapshot struct {
 }
 
 // Snapshot is a point-in-time copy of every instrument in a registry.
-// JSON field names are stable — the snapshot is the wire format the debug
-// HTTP handler serves.
+// JSON field names are stable AND key-sorted — the struct fields are
+// declared in alphabetical tag order and encoding/json sorts map keys, so
+// the snapshot is a diff-stable wire format. StartedAt/UptimeNanos anchor
+// the snapshot in time: a scraper dividing a counter delta by an uptime
+// delta gets a rate without guessing when the registry was born.
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]int64             `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	// StartedAt is the registry (engine/server) start time in RFC 3339
+	// UTC with nanoseconds.
+	StartedAt string `json:"started_at"`
+	// UptimeNanos is the time elapsed between registry creation and this
+	// snapshot.
+	UptimeNanos int64 `json:"uptime_ns"`
 }
 
 // Registry holds named instruments. The zero value is not usable; call
 // NewRegistry. A nil *Registry is safe: instrument lookups return nil
 // instruments whose methods are no-ops.
 type Registry struct {
+	start    time.Time
 	mu       sync.RWMutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty registry stamped with its creation time
+// (surfaced as Snapshot.StartedAt/UptimeNanos).
 func NewRegistry() *Registry {
 	return &Registry{
+		start:    time.Now(),
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
@@ -220,7 +240,33 @@ func (r *Registry) Histogram(name string) *Histogram {
 	if h, ok := r.hists[name]; ok {
 		return h
 	}
-	h = newHistogram()
+	h = newHistogram(defaultLatencyBounds)
+	r.hists[name] = h
+	return h
+}
+
+// HistogramWith returns the named histogram, creating it with the given
+// bucket upper bounds (ascending; a final +Inf overflow bucket is
+// implicit) on first use. Use for non-latency distributions — queue
+// depths, batch sizes — where the nanosecond buckets are meaningless.
+// If the name already exists, the existing histogram is returned and the
+// bounds argument is ignored: the layout is fixed at first creation.
+func (r *Registry) HistogramWith(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h = newHistogram(bounds)
 	r.hists[name] = h
 	return h
 }
@@ -237,6 +283,8 @@ func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return s
 	}
+	s.StartedAt = r.start.UTC().Format(time.RFC3339Nano)
+	s.UptimeNanos = int64(time.Since(r.start))
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	for name, c := range r.counters {

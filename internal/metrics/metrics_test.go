@@ -3,6 +3,7 @@ package metrics
 import (
 	"encoding/json"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -112,4 +113,101 @@ func TestJSONAndHandler(t *testing.T) {
 	if rec.Code != 200 || rec.Header().Get("Content-Type") != "application/json" {
 		t.Errorf("handler status=%d content-type=%q", rec.Code, rec.Header().Get("Content-Type"))
 	}
+}
+
+func TestSnapshotUptime(t *testing.T) {
+	r := NewRegistry()
+	time.Sleep(time.Millisecond)
+	s := r.Snapshot()
+	started, err := time.Parse(time.RFC3339Nano, s.StartedAt)
+	if err != nil {
+		t.Fatalf("StartedAt %q is not RFC3339Nano: %v", s.StartedAt, err)
+	}
+	if started.After(time.Now()) {
+		t.Errorf("StartedAt %v is in the future", started)
+	}
+	if s.UptimeNanos <= 0 {
+		t.Errorf("UptimeNanos = %d, want > 0", s.UptimeNanos)
+	}
+	later := r.Snapshot()
+	if later.UptimeNanos < s.UptimeNanos {
+		t.Errorf("uptime went backwards: %d then %d", s.UptimeNanos, later.UptimeNanos)
+	}
+	if later.StartedAt != s.StartedAt {
+		t.Errorf("StartedAt changed between snapshots: %q vs %q", s.StartedAt, later.StartedAt)
+	}
+	var nilReg *Registry
+	if got := nilReg.Snapshot().StartedAt; got != "" {
+		t.Errorf("nil registry StartedAt = %q, want empty", got)
+	}
+}
+
+// TestJSONKeysSorted pins the wire-format contract: every object in the
+// snapshot JSON — the top level included — has its keys in sorted order,
+// so two scraped snapshots diff line-for-line.
+func TestJSONKeysSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.last").Inc()
+	r.Counter("a.first").Inc()
+	r.Gauge("m.mid").Set(7)
+	r.Histogram("lat").Observe(time.Millisecond)
+	data, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(data, &top); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"counters", "gauges", "histograms", "started_at", "uptime_ns"} {
+		if _, ok := top[want]; !ok {
+			t.Errorf("top-level key %q missing from snapshot JSON", want)
+		}
+	}
+	// Verify physical key order in the emitted bytes.
+	keys := []string{`"counters"`, `"gauges"`, `"histograms"`, `"started_at"`, `"uptime_ns"`}
+	last := -1
+	for _, k := range keys {
+		i := strings.Index(string(data), k)
+		if i < 0 {
+			t.Fatalf("key %s not found in JSON", k)
+		}
+		if i < last {
+			t.Errorf("key %s out of sorted order", k)
+		}
+		last = i
+	}
+	if ai, zi := strings.Index(string(data), `"a.first"`), strings.Index(string(data), `"z.last"`); ai > zi {
+		t.Error("counter map keys not sorted")
+	}
+}
+
+func TestHistogramWithValueBounds(t *testing.T) {
+	r := NewRegistry()
+	depth := r.HistogramWith("queue.depth", []int64{0, 1, 2, 4, 8})
+	for _, v := range []int64{0, 0, 1, 3, 9, 100} {
+		depth.ObserveValue(v)
+	}
+	if got := depth.Count(); got != 6 {
+		t.Fatalf("count = %d, want 6", got)
+	}
+	s := r.Snapshot().Histograms["queue.depth"]
+	wantCounts := []int64{2, 1, 0, 1, 0, 2} // le 0,1,2,4,8,+Inf
+	if len(s.Buckets) != len(wantCounts) {
+		t.Fatalf("bucket count = %d, want %d", len(s.Buckets), len(wantCounts))
+	}
+	for i, want := range wantCounts {
+		if s.Buckets[i].Count != want {
+			t.Errorf("bucket %d count = %d, want %d", i, s.Buckets[i].Count, want)
+		}
+	}
+	if s.Buckets[len(s.Buckets)-1].UpperNanos != -1 {
+		t.Error("last bucket should be the +Inf overflow")
+	}
+	// Same name returns the same instrument, bounds ignored.
+	if r.HistogramWith("queue.depth", []int64{5}) != depth {
+		t.Error("HistogramWith should be idempotent per name")
+	}
+	var nilHist *Histogram
+	nilHist.ObserveValue(3) // must not panic
 }

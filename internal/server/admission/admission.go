@@ -1,0 +1,421 @@
+// Package admission turns the per-query guard machinery into a global
+// budget for a server front-end. A Controller enforces a max-in-flight
+// limit with a bounded FIFO wait queue; every queued request carries its
+// deadline, and requests whose deadline has already expired — or expires
+// while they wait — are rejected instead of occupying a slot they can no
+// longer use. When the queue is full, or the slow-query signal reports
+// sustained overload, new work is shed immediately with a Retry-After
+// hint so clients back off instead of piling on (graceful degradation
+// rather than collapse).
+//
+// The state machine per request:
+//
+//	submit ──► admitted            (free slot, not draining/overloaded)
+//	       ──► queued ──► admitted (slot freed before deadline)
+//	       │          ──► rejected (deadline expired / ctx canceled
+//	       │                        while queued, or drain started)
+//	       ──► shed                (queue full or sustained overload)
+//	       ──► rejected            (draining, or deadline already dead)
+//
+// Admitted requests hold a slot until Release; Release hands the slot to
+// the oldest live waiter (FIFO). Drain flips the controller into a
+// terminal draining state: new submissions and all queued waiters are
+// rejected, and AwaitIdle blocks until the last in-flight request
+// releases (the server force-cancels stragglers via their contexts when
+// the drain deadline passes).
+package admission
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/xqdb/xqdb/internal/metrics"
+)
+
+// Rejection errors. The server maps each to a distinct HTTP outcome.
+var (
+	// ErrQueueFull: no slot free and the wait queue is at capacity.
+	ErrQueueFull = errors.New("admission: queue full")
+	// ErrOverloaded: the slow-query signal reports sustained overload;
+	// requests that cannot run immediately are shed.
+	ErrOverloaded = errors.New("admission: sustained overload")
+	// ErrDeadline: the request's deadline expired before a slot freed
+	// (or had already expired on arrival).
+	ErrDeadline = errors.New("admission: deadline expired while queued")
+	// ErrCanceled: the request's context was canceled while queued.
+	ErrCanceled = errors.New("admission: canceled while queued")
+	// ErrDraining: the controller is draining; no new work is accepted.
+	ErrDraining = errors.New("admission: server draining")
+)
+
+// Config tunes one Controller. The zero value is unusable; call
+// (Config).withDefaults via New, which fills in conservative defaults.
+type Config struct {
+	// MaxInFlight is the global concurrent-query budget (default 16).
+	MaxInFlight int
+	// MaxQueue bounds the FIFO wait queue (default 64). 0 keeps the
+	// default; negative disables queuing entirely (admit or shed).
+	MaxQueue int
+	// MaxWait caps how long a request may sit queued even when its own
+	// deadline is later (default 1s). A queue that long means the server
+	// is not keeping up; better to shed early.
+	MaxWait time.Duration
+	// RetryAfter is the client backoff hint attached to sheds
+	// (default 1s).
+	RetryAfter time.Duration
+	// SlowWindow and SlowLimit define sustained overload: SlowLimit
+	// slow-query reports within SlowWindow flips the overload signal on
+	// until reports age out of the window. SlowLimit 0 disables the
+	// signal (defaults: 10s window, disabled).
+	SlowWindow time.Duration
+	SlowLimit  int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 16
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 64
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.SlowWindow <= 0 {
+		c.SlowWindow = 10 * time.Second
+	}
+	return c
+}
+
+// waiter is one queued request. All fields except ready are guarded by
+// the controller mutex; ready is closed exactly once (under the mutex)
+// to wake the waiter, which then reads err without the lock — the close
+// is the happens-before edge.
+type waiter struct {
+	ready chan struct{}
+	err   error // nil = admitted; set before ready is closed
+	gone  bool  // waiter gave up (canceled/deadline); skip on promote
+}
+
+// queueDepthBounds bucket the queue-depth histogram: depth observed at
+// each enqueue, so the distribution shows how deep the backlog ran.
+var queueDepthBounds = []int64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// instruments are the controller's pre-resolved metric handles (nil-safe
+// when no registry is attached).
+type instruments struct {
+	accepted, queued, shed, drained *metrics.Counter
+	rejected                        *metrics.Counter
+	inflight, queueLen              *metrics.Gauge
+	queueDepth                      *metrics.Histogram // depth at enqueue
+	queueWait                       *metrics.Histogram // time spent queued
+}
+
+// Controller is the admission state machine. Safe for concurrent use.
+type Controller struct {
+	cfg Config
+
+	mu       sync.Mutex
+	inflight int
+	queue    []*waiter
+	draining bool
+	idle     chan struct{} // non-nil once draining; closed at inflight==0
+	slow     []time.Time   // slow-query reports inside SlowWindow
+
+	inst instruments
+}
+
+// New builds a controller and registers its instruments on reg (which
+// may be nil for an unmetered controller):
+//
+//	admission.accepted / queued / shed / rejected / drained   counters
+//	queries.inflight, admission.queue.len                     gauges
+//	admission.queue.depth (value), admission.queue.wait (ns)  histograms
+func New(cfg Config, reg *metrics.Registry) *Controller {
+	c := &Controller{cfg: cfg.withDefaults()}
+	c.inst = instruments{
+		accepted:   reg.Counter("admission.accepted"),
+		queued:     reg.Counter("admission.queued"),
+		shed:       reg.Counter("admission.shed"),
+		rejected:   reg.Counter("admission.rejected"),
+		drained:    reg.Counter("admission.drained"),
+		inflight:   reg.Gauge("queries.inflight"),
+		queueLen:   reg.Gauge("admission.queue.len"),
+		queueDepth: reg.HistogramWith("admission.queue.depth", queueDepthBounds),
+		queueWait:  reg.Histogram("admission.queue.wait"),
+	}
+	return c
+}
+
+// RetryAfter returns the configured client backoff hint for sheds.
+func (c *Controller) RetryAfter() time.Duration { return c.cfg.RetryAfter }
+
+// Acquire admits the request, queues it until a slot frees, or rejects
+// it. done is the request's cancellation signal (may be nil); deadline
+// is the request's absolute deadline (zero = none beyond MaxWait). On
+// success the caller MUST call the returned release exactly once when
+// the request finishes; on error release is nil.
+func (c *Controller) Acquire(done <-chan struct{}, deadline time.Time) (release func(), err error) {
+	now := time.Now()
+	c.mu.Lock()
+	if c.draining {
+		c.mu.Unlock()
+		c.inst.rejected.Inc()
+		return nil, ErrDraining
+	}
+	// Promote first so abandoned (gone) queue entries cannot mask a free
+	// slot: without this, a queue holding only dead waiters would make a
+	// fresh request wait for a release that may never come.
+	if c.inflight < c.cfg.MaxInFlight {
+		c.promoteLocked()
+	}
+	if c.inflight < c.cfg.MaxInFlight && len(c.queue) == 0 {
+		c.admitLocked()
+		c.mu.Unlock()
+		return c.release, nil
+	}
+	// No free slot: the request must queue or be shed.
+	if c.overloadedLocked(now) {
+		c.mu.Unlock()
+		c.inst.shed.Inc()
+		return nil, ErrOverloaded
+	}
+	if len(c.queue) >= c.cfg.MaxQueue {
+		c.mu.Unlock()
+		c.inst.shed.Inc()
+		return nil, ErrQueueFull
+	}
+	// Every queue entry carries its effective deadline: the sooner of
+	// the request's own deadline and now+MaxWait. A request already past
+	// it would expire while queued — reject immediately rather than
+	// making it wait for the inevitable.
+	effective := now.Add(c.cfg.MaxWait)
+	if !deadline.IsZero() && deadline.Before(effective) {
+		effective = deadline
+	}
+	if !effective.After(now) {
+		c.mu.Unlock()
+		c.inst.rejected.Inc()
+		return nil, ErrDeadline
+	}
+	w := &waiter{ready: make(chan struct{})}
+	c.queue = append(c.queue, w)
+	depth := len(c.queue)
+	c.inst.queued.Inc()
+	c.inst.queueLen.Set(int64(depth))
+	c.inst.queueDepth.ObserveValue(int64(depth))
+	c.mu.Unlock()
+
+	timer := time.NewTimer(time.Until(effective))
+	defer timer.Stop()
+	select {
+	case <-w.ready:
+		c.inst.queueWait.Observe(time.Since(now))
+		if w.err != nil {
+			c.inst.rejected.Inc()
+			return nil, w.err
+		}
+		return c.release, nil
+	case <-done:
+		return nil, c.abandon(w, ErrCanceled)
+	case <-timer.C:
+		return nil, c.abandon(w, ErrDeadline)
+	}
+}
+
+// abandon resolves a waiter that stopped waiting (cancel or deadline).
+// If a slot was handed to it in the same instant, the slot is recycled
+// to the next waiter rather than leaked.
+func (c *Controller) abandon(w *waiter, cause error) error {
+	c.mu.Lock()
+	select {
+	case <-w.ready:
+		// Lost the race: promoteLocked already resolved this waiter.
+		err := w.err
+		if err == nil {
+			// It was admitted — give the slot back.
+			c.releaseLocked()
+			err = cause
+		}
+		c.mu.Unlock()
+		c.inst.rejected.Inc()
+		return err
+	default:
+	}
+	w.gone = true
+	c.mu.Unlock()
+	c.inst.rejected.Inc()
+	return cause
+}
+
+// admitLocked takes one slot. Caller holds mu.
+func (c *Controller) admitLocked() {
+	c.inflight++
+	c.inst.accepted.Inc()
+	c.inst.inflight.Set(int64(c.inflight))
+}
+
+// release returns a slot and promotes the oldest live waiter.
+func (c *Controller) release() {
+	c.mu.Lock()
+	c.releaseLocked()
+	c.mu.Unlock()
+}
+
+// releaseLocked is release with mu held (used by abandon's recycle path).
+func (c *Controller) releaseLocked() {
+	c.inflight--
+	c.inst.inflight.Set(int64(c.inflight))
+	if c.draining {
+		c.inst.drained.Inc()
+		if c.inflight == 0 && c.idle != nil {
+			close(c.idle)
+			c.idle = nil
+		}
+		return
+	}
+	c.promoteLocked()
+}
+
+// promoteLocked hands freed slots to queued waiters in FIFO order,
+// skipping waiters that gave up. Caller holds mu.
+func (c *Controller) promoteLocked() {
+	for c.inflight < c.cfg.MaxInFlight && len(c.queue) > 0 {
+		w := c.queue[0]
+		c.queue = c.queue[1:]
+		if w.gone {
+			continue
+		}
+		c.inflight++
+		c.inst.accepted.Inc()
+		close(w.ready)
+	}
+	c.inst.inflight.Set(int64(c.inflight))
+	c.inst.queueLen.Set(int64(len(c.queue)))
+}
+
+// ReportSlow feeds the overload detector: the server's slow-query hook
+// calls it once per slow query. Reports age out after SlowWindow.
+func (c *Controller) ReportSlow() {
+	if c.cfg.SlowLimit <= 0 {
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	c.pruneSlowLocked(now)
+	c.slow = append(c.slow, now)
+	c.mu.Unlock()
+}
+
+// pruneSlowLocked drops slow reports older than the window. Caller holds
+// mu. The slice stays small: at most SlowLimit entries survive (beyond
+// the limit the precise count no longer matters).
+func (c *Controller) pruneSlowLocked(now time.Time) {
+	cutoff := now.Add(-c.cfg.SlowWindow)
+	i := 0
+	for i < len(c.slow) && c.slow[i].Before(cutoff) {
+		i++
+	}
+	c.slow = c.slow[i:]
+	if len(c.slow) > c.cfg.SlowLimit {
+		c.slow = c.slow[len(c.slow)-c.cfg.SlowLimit:]
+	}
+}
+
+func (c *Controller) overloadedLocked(now time.Time) bool {
+	if c.cfg.SlowLimit <= 0 {
+		return false
+	}
+	c.pruneSlowLocked(now)
+	return len(c.slow) >= c.cfg.SlowLimit
+}
+
+// Overloaded reports whether the slow-query signal currently indicates
+// sustained overload.
+func (c *Controller) Overloaded() bool {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.overloadedLocked(now)
+}
+
+// StartDrain flips the controller into its terminal draining state:
+// every queued waiter is rejected with ErrDraining and all future
+// Acquires are refused. In-flight requests keep their slots; use
+// AwaitIdle to wait for them. Idempotent.
+func (c *Controller) StartDrain() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.draining {
+		return
+	}
+	c.draining = true
+	c.idle = make(chan struct{})
+	if c.inflight == 0 {
+		close(c.idle)
+		c.idle = nil
+	}
+	for _, w := range c.queue {
+		if !w.gone {
+			w.err = ErrDraining
+			close(w.ready)
+		}
+	}
+	c.queue = nil
+	c.inst.queueLen.Set(0)
+}
+
+// AwaitIdle blocks until every in-flight request has released its slot
+// or cancel fires, whichever comes first. It returns nil when idle and
+// a descriptive error (with the straggler count) on cancel. Must be
+// called after StartDrain.
+func (c *Controller) AwaitIdle(cancel <-chan struct{}) error {
+	c.mu.Lock()
+	if !c.draining {
+		c.mu.Unlock()
+		return errors.New("admission: AwaitIdle before StartDrain")
+	}
+	idle := c.idle
+	c.mu.Unlock()
+	if idle == nil {
+		return nil
+	}
+	select {
+	case <-idle:
+		return nil
+	case <-cancel:
+		c.mu.Lock()
+		n := c.inflight
+		c.mu.Unlock()
+		return fmt.Errorf("admission: drain canceled with %d queries in flight", n)
+	}
+}
+
+// Stats is a point-in-time view for health endpoints.
+type Stats struct {
+	InFlight   int  `json:"inflight"`
+	Queued     int  `json:"queued"`
+	Draining   bool `json:"draining"`
+	Overloaded bool `json:"overloaded"`
+}
+
+// Snapshot returns the controller's current state.
+func (c *Controller) Snapshot() Stats {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		InFlight:   c.inflight,
+		Queued:     len(c.queue),
+		Draining:   c.draining,
+		Overloaded: c.overloadedLocked(now),
+	}
+}

@@ -1,0 +1,344 @@
+package admission
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/xqdb/xqdb/internal/metrics"
+)
+
+func newTest(cfg Config) (*Controller, *metrics.Registry) {
+	reg := metrics.NewRegistry()
+	return New(cfg, reg), reg
+}
+
+func TestAdmitWithinBudget(t *testing.T) {
+	c, reg := newTest(Config{MaxInFlight: 2})
+	r1, err := c.Acquire(nil, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Acquire(nil, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Gauge("queries.inflight").Value(); got != 2 {
+		t.Fatalf("inflight gauge = %d, want 2", got)
+	}
+	r1()
+	r2()
+	if got := reg.Gauge("queries.inflight").Value(); got != 0 {
+		t.Fatalf("inflight gauge after release = %d, want 0", got)
+	}
+	if got := reg.Counter("admission.accepted").Value(); got != 2 {
+		t.Fatalf("accepted = %d, want 2", got)
+	}
+}
+
+func TestQueueFIFOAndPromotion(t *testing.T) {
+	c, _ := newTest(Config{MaxInFlight: 1, MaxQueue: 8, MaxWait: time.Second})
+	rel, err := c.Acquire(nil, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two queued requests must be admitted in submission order.
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 1; i <= 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i == 2 {
+				// Crude but sufficient: ensure 1 enqueues before 2.
+				time.Sleep(50 * time.Millisecond)
+			}
+			close(startOrNothing(start, i == 1))
+			r, err := c.Acquire(nil, time.Time{})
+			if err != nil {
+				t.Errorf("queued acquire %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			r()
+		}(i)
+	}
+	<-start
+	time.Sleep(100 * time.Millisecond) // both now queued
+	rel()
+	wg.Wait()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("promotion order = %v, want [1 2]", order)
+	}
+}
+
+// startOrNothing closes start only for the flagged goroutine; the others
+// get a throwaway channel so close never double-fires.
+func startOrNothing(start chan struct{}, first bool) chan struct{} {
+	if first {
+		return start
+	}
+	return make(chan struct{})
+}
+
+func TestShedWhenQueueFull(t *testing.T) {
+	c, reg := newTest(Config{MaxInFlight: 1, MaxQueue: -1}) // no queue
+	rel, err := c.Acquire(nil, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	if _, err := c.Acquire(nil, time.Time{}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("want ErrQueueFull, got %v", err)
+	}
+	if got := reg.Counter("admission.shed").Value(); got != 1 {
+		t.Fatalf("shed = %d, want 1", got)
+	}
+}
+
+func TestExpiredDeadlineRejectedImmediately(t *testing.T) {
+	c, _ := newTest(Config{MaxInFlight: 1, MaxQueue: 8})
+	rel, err := c.Acquire(nil, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	start := time.Now()
+	_, err = c.Acquire(nil, time.Now().Add(-time.Second))
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("want ErrDeadline, got %v", err)
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("already-dead request should be rejected without queuing")
+	}
+}
+
+func TestDeadlineExpiresWhileQueued(t *testing.T) {
+	c, _ := newTest(Config{MaxInFlight: 1, MaxQueue: 8, MaxWait: 30 * time.Millisecond})
+	rel, err := c.Acquire(nil, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	if _, err := c.Acquire(nil, time.Time{}); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("want ErrDeadline after MaxWait, got %v", err)
+	}
+}
+
+func TestCancelWhileQueued(t *testing.T) {
+	c, _ := newTest(Config{MaxInFlight: 1, MaxQueue: 8, MaxWait: time.Minute})
+	rel, err := c.Acquire(nil, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(done)
+	}()
+	if _, err := c.Acquire(done, time.Time{}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+}
+
+// TestAbandonedWaiterDoesNotBlockFreeSlot pins the promote-before-admit
+// fix: a queue holding only dead waiters must not make a fresh request
+// wait.
+func TestAbandonedWaiterDoesNotBlockFreeSlot(t *testing.T) {
+	c, _ := newTest(Config{MaxInFlight: 1, MaxQueue: 8, MaxWait: time.Minute})
+	rel, err := c.Acquire(nil, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	close(done)
+	if _, err := c.Acquire(done, time.Time{}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	rel() // queue now holds only the gone waiter
+	got := make(chan error, 1)
+	go func() {
+		r, err := c.Acquire(nil, time.Time{})
+		if err == nil {
+			r()
+		}
+		got <- err
+	}()
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("fresh request blocked by dead waiter: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("fresh request hung behind an abandoned waiter")
+	}
+}
+
+func TestOverloadShedsQueuedWork(t *testing.T) {
+	c, reg := newTest(Config{MaxInFlight: 1, MaxQueue: 8, SlowLimit: 3, SlowWindow: time.Minute})
+	rel, err := c.Acquire(nil, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	for i := 0; i < 3; i++ {
+		c.ReportSlow()
+	}
+	if !c.Overloaded() {
+		t.Fatal("3 reports within window should flip the overload signal")
+	}
+	if _, err := c.Acquire(nil, time.Time{}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded, got %v", err)
+	}
+	if got := reg.Counter("admission.shed").Value(); got != 1 {
+		t.Fatalf("shed = %d, want 1", got)
+	}
+}
+
+func TestOverloadAgesOut(t *testing.T) {
+	c, _ := newTest(Config{MaxInFlight: 1, SlowLimit: 2, SlowWindow: 20 * time.Millisecond})
+	c.ReportSlow()
+	c.ReportSlow()
+	if !c.Overloaded() {
+		t.Fatal("should be overloaded right after the reports")
+	}
+	time.Sleep(40 * time.Millisecond)
+	if c.Overloaded() {
+		t.Fatal("overload signal should decay once reports age out")
+	}
+	// A free slot still admits even under overload — shedding only
+	// refuses work that would have to wait.
+	c.ReportSlow()
+	c.ReportSlow()
+	r, err := c.Acquire(nil, time.Time{})
+	if err != nil {
+		t.Fatalf("free slot under overload: %v", err)
+	}
+	r()
+}
+
+func TestDrain(t *testing.T) {
+	c, reg := newTest(Config{MaxInFlight: 2, MaxQueue: 8, MaxWait: time.Minute})
+	rel, err := c.Acquire(nil, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := c.Acquire(nil, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queuedErr := make(chan error, 1)
+	go func() {
+		_, err := c.Acquire(nil, time.Time{})
+		queuedErr <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let it enqueue
+	c.StartDrain()
+	c.StartDrain() // idempotent
+	if err := <-queuedErr; !errors.Is(err, ErrDraining) {
+		t.Fatalf("queued waiter at drain: want ErrDraining, got %v", err)
+	}
+	if _, err := c.Acquire(nil, time.Time{}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("new work after drain: want ErrDraining, got %v", err)
+	}
+	// AwaitIdle blocks until both in-flight requests release.
+	idleDone := make(chan error, 1)
+	go func() { idleDone <- c.AwaitIdle(nil) }()
+	select {
+	case <-idleDone:
+		t.Fatal("AwaitIdle returned with queries still in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+	rel()
+	rel2()
+	select {
+	case err := <-idleDone:
+		if err != nil {
+			t.Fatalf("AwaitIdle: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("AwaitIdle hung after the last release")
+	}
+	if got := reg.Counter("admission.drained").Value(); got != 2 {
+		t.Fatalf("drained = %d, want 2", got)
+	}
+	if !c.Snapshot().Draining {
+		t.Fatal("snapshot should report draining")
+	}
+}
+
+func TestAwaitIdleCancel(t *testing.T) {
+	c, _ := newTest(Config{MaxInFlight: 1})
+	rel, err := c.Acquire(nil, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	c.StartDrain()
+	cancel := make(chan struct{})
+	close(cancel)
+	if err := c.AwaitIdle(cancel); err == nil {
+		t.Fatal("canceled AwaitIdle should report the stragglers")
+	}
+}
+
+// TestConcurrentChurn hammers the controller from many goroutines with
+// mixed outcomes (admit, queue, shed, cancel) and checks the accounting
+// invariant: after everything settles, no slot is leaked.
+func TestConcurrentChurn(t *testing.T) {
+	c, reg := newTest(Config{MaxInFlight: 4, MaxQueue: 16, MaxWait: 50 * time.Millisecond})
+	var wg sync.WaitGroup
+	var served atomic.Int64
+	for i := 0; i < 200; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var done chan struct{}
+			if i%7 == 0 {
+				done = make(chan struct{})
+				close(done)
+			}
+			var ch <-chan struct{}
+			if done != nil {
+				ch = done
+			}
+			rel, err := c.Acquire(ch, time.Now().Add(100*time.Millisecond))
+			if err != nil {
+				return
+			}
+			served.Add(1)
+			time.Sleep(time.Millisecond)
+			rel()
+		}(i)
+	}
+	wg.Wait()
+	snap := c.Snapshot()
+	if snap.InFlight != 0 {
+		t.Fatalf("leaked %d slots", snap.InFlight)
+	}
+	if snap.Queued != 0 {
+		t.Fatalf("leaked %d queue entries", snap.Queued)
+	}
+	if served.Load() == 0 {
+		t.Fatal("nothing was served")
+	}
+	if reg.Gauge("queries.inflight").Value() != 0 {
+		t.Fatal("inflight gauge leaked")
+	}
+}
+
+func TestNilRegistryController(t *testing.T) {
+	c := New(Config{MaxInFlight: 1}, nil)
+	r, err := c.Acquire(nil, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r()
+}

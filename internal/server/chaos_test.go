@@ -1,0 +1,272 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/xqdb/xqdb/internal/guard"
+	"github.com/xqdb/xqdb/internal/server/admission"
+)
+
+// withFaultHook installs a process-wide fault hook for one test and
+// removes it on cleanup. Chaos tests in this package must not run in
+// parallel with each other (the hook is global); none call t.Parallel.
+func withFaultHook(t testing.TB, f guard.FaultFunc) {
+	t.Helper()
+	guard.SetFaultHook(f)
+	t.Cleanup(func() { guard.SetFaultHook(nil) })
+}
+
+// chaosHook injects latency, errors, and panics at the admission,
+// handler, and engine layers on deterministic counters — every failure
+// mode the acceptance criterion names, with no randomness to flake on.
+func chaosHook() guard.FaultFunc {
+	var n atomic.Int64
+	return func(site string) error {
+		k := n.Add(1)
+		switch {
+		case site == "server.admission":
+			if k%97 == 0 {
+				return errors.New("injected admission error")
+			}
+			if k%13 == 0 {
+				time.Sleep(time.Duration(k%3) * time.Millisecond) // latency injection
+			}
+		case site == "server.handler":
+			if k%101 == 0 {
+				panic("injected handler panic")
+			}
+			if k%89 == 0 {
+				return errors.New("injected handler error")
+			}
+		case strings.HasPrefix(site, "xmlindex.scan") || strings.HasPrefix(site, "storage.collection"):
+			if k%211 == 0 {
+				return errors.New("injected engine fault")
+			}
+		}
+		return nil
+	}
+}
+
+// allowedStatus is every terminal outcome a chaos request may resolve
+// to: success, client errors, shed (429 must carry Retry-After),
+// timeout, client-gone, contained faults, and draining.
+func allowedStatus(code int) bool {
+	switch code {
+	case http.StatusOK, http.StatusBadRequest, http.StatusUnprocessableEntity,
+		http.StatusTooManyRequests, StatusClientClosedRequest,
+		http.StatusInternalServerError, http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// chaosRequest issues one request from the mix and validates the
+// response shape. Returns the status code.
+func chaosRequest(t *testing.T, s *Server, i int) int {
+	ctx := context.Background()
+	var cancel context.CancelFunc = func() {}
+	if i%17 == 0 {
+		// A slice of clients hang up almost immediately.
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(i%5)*time.Millisecond)
+	}
+	defer cancel()
+	var req QueryRequest
+	switch i % 5 {
+	case 0:
+		req = QueryRequest{Query: `select ordid from orders where ordid = 7`}
+	case 1:
+		req = QueryRequest{Query: `db2-fn:xmlcolumn("ORDERS.ORDDOC")//lineitem[@price > 150]`}
+	case 2:
+		req = QueryRequest{Query: heavyQuery, TimeoutMS: int64(5 + i%40)}
+	case 3:
+		req = QueryRequest{Query: `selec broken from`, TimeoutMS: 50} // parse error
+	case 4:
+		req = QueryRequest{Query: heavyQuery, TimeoutMS: 200, Parallelism: 2}
+	}
+	w := postCtx(t, s, ctx, "/query", req)
+	if !allowedStatus(w.Code) {
+		t.Errorf("request %d: unexpected status %d: %s", i, w.Code, w.Body.String())
+	}
+	if w.Code == http.StatusTooManyRequests && w.Header().Get("Retry-After") == "" {
+		t.Errorf("request %d: 429 without Retry-After", i)
+	}
+	// Every outcome must be a well-formed JSON body — a request never
+	// just vanishes.
+	if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("request %d: content-type %q", i, ct)
+	}
+	return w.Code
+}
+
+// waitGoroutines polls until the goroutine count settles back near the
+// baseline, failing with a dump if it never does (leak detector).
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+10 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestChaosConcurrentLoad is the acceptance criterion's first half:
+// >= 2000 concurrent connections with fault injection at every layer —
+// zero unrecovered panics, every request resolves to a response, and no
+// goroutine outlives its request.
+func TestChaosConcurrentLoad(t *testing.T) {
+	const clients = 2000
+	baseline := runtime.NumGoroutine()
+	s := New(Config{
+		DB: loadedDB(t, 80),
+		Admission: admission.Config{
+			MaxInFlight: 8,
+			MaxQueue:    32,
+			MaxWait:     50 * time.Millisecond,
+			SlowLimit:   50,
+			SlowWindow:  time.Second,
+		},
+		SlowThreshold: 50 * time.Millisecond,
+	})
+	withFaultHook(t, chaosHook())
+
+	var wg sync.WaitGroup
+	var byStatus sync.Map // status -> *atomic.Int64
+	count := func(code int) {
+		v, _ := byStatus.LoadOrStore(code, new(atomic.Int64))
+		v.(*atomic.Int64).Add(1)
+	}
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			count(chaosRequest(t, s, i))
+		}(i)
+	}
+	wg.Wait()
+
+	var total int64
+	summary := map[int]int64{}
+	byStatus.Range(func(k, v any) bool {
+		summary[k.(int)] = v.(*atomic.Int64).Load()
+		total += v.(*atomic.Int64).Load()
+		return true
+	})
+	if total != clients {
+		t.Fatalf("resolved %d of %d requests; summary %v", total, clients, summary)
+	}
+	if summary[http.StatusOK] == 0 {
+		t.Fatalf("nothing succeeded under chaos: %v", summary)
+	}
+	if got := s.Admission().Snapshot(); got.InFlight != 0 || got.Queued != 0 {
+		t.Fatalf("admission state leaked: %+v", got)
+	}
+	t.Logf("chaos outcomes by status: %v", summary)
+	waitGoroutines(t, baseline)
+}
+
+// TestDrainUnderLoad is the second half: SIGTERM-style drain while
+// thousands of requests are in various stages. In-flight queries finish
+// or are force-canceled within the drain deadline; late arrivals get
+// 503 + Retry-After; nothing leaks.
+func TestDrainUnderLoad(t *testing.T) {
+	const clients = 600
+	baseline := runtime.NumGoroutine()
+	s := New(Config{
+		DB: loadedDB(t, 150),
+		Admission: admission.Config{
+			MaxInFlight: 8,
+			MaxQueue:    64,
+			MaxWait:     200 * time.Millisecond,
+		},
+	})
+	withFaultHook(t, chaosHook())
+
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			chaosRequest(t, s, i)
+		}(i)
+	}
+	// Drain mid-flight with a hard deadline well under the longest
+	// query timeout: stragglers must be force-canceled.
+	time.Sleep(30 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_ = s.Drain(ctx) // an error just means stragglers were force-canceled
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("drain took %v; force-cancel is not interrupting queries", elapsed)
+	}
+	if got := s.Admission().Snapshot(); got.InFlight != 0 || !got.Draining {
+		t.Fatalf("after drain: %+v", got)
+	}
+	wg.Wait() // every client still gets its response
+	if w := post(t, s, "/query", QueryRequest{Query: `select ordid from orders`}); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain status = %d, want 503", w.Code)
+	}
+	waitGoroutines(t, baseline)
+}
+
+// TestChaosOverRealSockets drives a real listener with keep-alive
+// connections — sessions, ConnState accounting, and client disconnects
+// over TCP rather than synthesized contexts.
+func TestChaosOverRealSockets(t *testing.T) {
+	const conns = 128
+	s := New(Config{
+		DB:        loadedDB(t, 60),
+		Admission: admission.Config{MaxInFlight: 8, MaxQueue: 64, MaxWait: 500 * time.Millisecond},
+	})
+	withFaultHook(t, chaosHook())
+	ts := newRealServer(t, s)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, conns)
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 10 * time.Second}
+			defer client.CloseIdleConnections()
+			for j := 0; j < 4; j++ {
+				body := fmt.Sprintf(`{"query": "select ordid from orders where ordid = %d", "timeout_ms": 2000}`, (i+j)%60)
+				resp, err := client.Post(ts.URL+"/query", "application/json", strings.NewReader(body))
+				if err != nil {
+					errs <- fmt.Errorf("conn %d req %d: %w", i, j, err)
+					return
+				}
+				if !allowedStatus(resp.StatusCode) {
+					errs <- fmt.Errorf("conn %d req %d: status %d", i, j, resp.StatusCode)
+				}
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := s.Admission().Snapshot().InFlight; got != 0 {
+		t.Fatalf("inflight = %d after load, want 0", got)
+	}
+}

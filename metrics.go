@@ -9,9 +9,10 @@ import (
 // MetricsSnapshot is a point-in-time copy of one database's
 // observability instruments: counters (query counts by language and
 // outcome, guard trips by kind, plan-cache hits/misses/evictions, index
-// probe and scan work), gauges (plan-cache size, index entries), and the
-// query latency histogram. See the Snapshot JSON tags for the stable
-// wire format.
+// probe and scan work), gauges (plan-cache size, index entries), the
+// query latency histogram, and the registry start timestamp plus uptime
+// (StartedAt/UptimeNanos), so two scraped snapshots are rate-computable.
+// See the Snapshot JSON tags for the stable, key-sorted wire format.
 type MetricsSnapshot = metrics.Snapshot
 
 // MetricsSnapshot returns the database's metrics at this instant.
@@ -28,3 +29,12 @@ func (db *DB) MetricsJSON() ([]byte, error) { return db.eng.Metrics.JSON() }
 //
 //	http.Handle("/debug/xqdb/metrics", db.MetricsHandler())
 func (db *DB) MetricsHandler() http.Handler { return db.eng.Metrics.Handler() }
+
+// MetricsRegistry returns the database's live metrics registry so layers
+// wrapping the engine — xqserve's admission controller, an embedding
+// application's own instrumentation — can record into the same snapshot
+// that MetricsSnapshot/MetricsHandler export. The registry type lives in
+// an internal package: external modules can pass the value around and
+// call MetricsSnapshot, but extension points on it are reserved for this
+// module's own server layer.
+func (db *DB) MetricsRegistry() *metrics.Registry { return db.eng.Metrics }

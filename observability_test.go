@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -260,6 +261,83 @@ func TestSlowQueryHook(t *testing.T) {
 	}
 	if len(got) != 2 || got[1].Err == nil {
 		t.Fatalf("failing slow query should fire the hook with its error: %+v", got)
+	}
+}
+
+// TestSlowQueryHookParallelExecution pins the hook contract under
+// document-at-a-time parallelism: one query fanned across workers fires
+// OnSlow exactly once, with stats merged from every shard — not once per
+// worker, and not a partial shard's view. The concurrent half runs many
+// such queries at once so -race can see the callback and stat-merge
+// paths contending.
+func TestSlowQueryHookParallelExecution(t *testing.T) {
+	db := Open()
+	db.MustExecSQL(`create table orders (ordid integer, orddoc xml)`)
+	// Enough documents to clear the engine's minParallelDocs sharding
+	// floor, so Parallelism actually fans out.
+	const docs = 64
+	for i := 0; i < docs; i++ {
+		db.MustExecSQL(fmt.Sprintf(
+			`insert into orders values (%d, '<order><lineitem price="%d"/></order>')`, i, 100+i))
+	}
+
+	var (
+		mu  sync.Mutex
+		got []SlowQuery
+	)
+	opts := QueryOptions{
+		Parallelism:   4,
+		SlowThreshold: time.Nanosecond,
+		OnSlow: func(sq SlowQuery) {
+			mu.Lock()
+			got = append(got, sq)
+			mu.Unlock()
+		},
+	}
+	res, _, err := db.QueryXQueryOpts(`db2-fn:xmlcolumn("ORDERS.ORDDOC")//lineitem[@price >= 100]`, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != docs {
+		t.Fatalf("results = %d, want %d", res.Len(), docs)
+	}
+	if len(got) != 1 {
+		t.Fatalf("OnSlow fired %d times for one parallel query, want exactly 1", len(got))
+	}
+	sq := got[0]
+	if sq.Stats == nil {
+		t.Fatal("slow query carries no stats")
+	}
+	if sq.Stats.ParallelShards < 2 {
+		t.Errorf("ParallelShards = %d; query did not actually fan out", sq.Stats.ParallelShards)
+	}
+	// Merged stats must account for the whole corpus, not one shard.
+	if sq.Stats.DocsScanned != docs {
+		t.Errorf("DocsScanned = %d, want %d (stats not merged across shards)", sq.Stats.DocsScanned, docs)
+	}
+
+	// Concurrent parallel queries: every one fires once, counter matches.
+	base := db.MetricsSnapshot().Counters["queries.slow"]
+	const concurrent = 16
+	var fired atomic.Int64
+	copts := opts
+	copts.OnSlow = func(SlowQuery) { fired.Add(1) }
+	var wg sync.WaitGroup
+	for i := 0; i < concurrent; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := db.QueryXQueryOpts(`db2-fn:xmlcolumn("ORDERS.ORDDOC")//lineitem[@price >= 100]`, copts); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := fired.Load(); n != concurrent {
+		t.Errorf("OnSlow fired %d times for %d concurrent queries", n, concurrent)
+	}
+	if n := db.MetricsSnapshot().Counters["queries.slow"] - base; n != concurrent {
+		t.Errorf("queries.slow advanced by %d, want %d", n, concurrent)
 	}
 }
 
