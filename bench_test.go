@@ -10,6 +10,8 @@ package xqdb
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"github.com/xqdb/xqdb/internal/postings"
@@ -425,6 +427,76 @@ func BenchmarkProbePipeline_QueryTwoProbesCached(b *testing.B) {
 	}
 	b.ReportAllocs()
 	benchXQOpts(b, db, q30general, QueryOptions{})
+}
+
+// --- cold load: per-row inserts vs the streaming ingestion pipeline ---
+
+// coldLoadDir materializes the bench corpus once per benchmark; loading
+// is what's measured, so the files are written outside the timer. The
+// orders carry more lineitems than the query corpus so the pair measures
+// parse + index-build throughput rather than per-file open/close overhead.
+func coldLoadDir(b *testing.B, n int) string {
+	b.Helper()
+	dir := b.TempDir()
+	spec := workload.DefaultOrders(n)
+	spec.MaxLineitems = 16
+	for i, doc := range workload.Orders(spec) {
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("order-%05d.xml", i)), []byte(doc), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// coldLoadDB is a fresh database with the indexes already declared, so
+// both loaders pay full index maintenance for every document.
+func coldLoadDB() *DB {
+	db := Open()
+	db.MustExecSQL(`create table orders (id integer, doc xml)`)
+	db.MustExecSQL(`create index li_price on orders(doc) using xmlpattern '//lineitem/@price' as double`)
+	db.MustExecSQL(`create index prod_id on orders(doc) using xmlpattern '//lineitem/product/id' as varchar`)
+	return db
+}
+
+const coldLoadDocs = 400
+
+// PerRowLoader is the pre-pipeline path: read each file whole, parse it
+// from a string, insert row by row with incremental index maintenance.
+func BenchmarkColdLoad_PerRowLoader(b *testing.B) {
+	dir := coldLoadDir(b, coldLoadDocs)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db := coldLoadDB()
+		for j, ent := range entries {
+			data, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := db.InsertValidated("orders", int64(j), string(data), nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// StreamingPipeline pushes the same corpus through LoadXMLDir: SAX-style
+// streaming parse, single-pass extraction, sorted-run merge into
+// bulk-built B+Trees, one atomic append.
+func BenchmarkColdLoad_StreamingPipeline(b *testing.B) {
+	dir := coldLoadDir(b, coldLoadDocs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db := coldLoadDB()
+		if n, err := db.LoadXMLDir("orders", dir); err != nil || n != coldLoadDocs {
+			b.Fatalf("load: %d, %v", n, err)
+		}
+	}
 }
 
 // --- substrate micro-benchmarks ---

@@ -98,6 +98,7 @@ var pairRules = []struct {
 	{"serial-vs-parallel", "par=1", "par=8"},
 	{"map-vs-postings", "MapSets", "PostingLists"},
 	{"cold-vs-cached", "Cold", "Cached"},
+	{"perrow-vs-streaming", "PerRowLoader", "StreamingPipeline"},
 }
 
 func pairs(benches []Benchmark) []Pair {

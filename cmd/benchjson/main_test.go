@@ -73,6 +73,26 @@ func TestPairsPartial(t *testing.T) {
 	}
 }
 
+// TestPairsColdLoad: the ingestion pair rule relates the per-row loader
+// baseline to the streaming pipeline variant.
+func TestPairsColdLoad(t *testing.T) {
+	in := strings.NewReader(
+		"BenchmarkColdLoad_PerRowLoader-8        10  60000000 ns/op  24000000 B/op  350000 allocs/op\n" +
+			"BenchmarkColdLoad_StreamingPipeline-8   10  20000000 ns/op   7000000 B/op   80000 allocs/op\n")
+	benches, err := parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := pairs(benches)
+	if len(ps) != 1 {
+		t.Fatalf("want one pair, got %+v", ps)
+	}
+	p := ps[0]
+	if p.Kind != "perrow-vs-streaming" || p.Ratio < 2.9 || p.Ratio > 3.1 {
+		t.Errorf("cold-load pair wrong: %+v", p)
+	}
+}
+
 // TestRunEmitsEmptyPairsArray: a report with no pairable benchmarks must
 // still be valid JSON with "pairs": [], not null, so downstream tooling
 // can index into it unconditionally.

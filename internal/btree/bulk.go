@@ -1,0 +1,181 @@
+package btree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+)
+
+// ErrUnsorted reports a bulk-load input whose keys are not strictly
+// ascending — the one invariant the left-to-right builder cannot
+// recover from, since it never revisits a finished leaf.
+var ErrUnsorted = errors.New("btree: bulk load keys not strictly ascending")
+
+// BulkLoad builds a tree from a strictly ascending (key, value) stream,
+// writing leaves left to right and then stitching interior levels
+// bottom-up — O(n) with no per-key root-to-leaf descent, which is what
+// makes index builds over sorted runs cheap. next returns ok=false at
+// end of stream. Key and value slices are retained.
+//
+// Layout invariants (shared with Insert-built trees):
+//   - every leaf holds at most degree keys, linked left to right;
+//   - interior nodes have len(children) == len(keys)+1, at most
+//     degree+1 children;
+//   - the separator above each child is the smallest key in that
+//     child's subtree, so search("first key >= target, equal goes
+//     right") lands exactly;
+//   - no node has fewer than two children and no leaf except a lone
+//     root holds fewer than degree/2 keys: tails are rebalanced with
+//     their left neighbor, keeping later Inserts and Deletes on the
+//     same structural footing as a tree grown by splits.
+func BulkLoad(next func() (key, value []byte, ok bool)) (*Tree, error) {
+	t := New()
+	var (
+		leaves []*node
+		cur    = t.root // first leaf; replaced into leaves as it fills
+		last   []byte
+	)
+	for {
+		key, value, ok := next()
+		if !ok {
+			break
+		}
+		if t.size > 0 && bytes.Compare(key, last) <= 0 {
+			return nil, fmt.Errorf("%w: %q after %q", ErrUnsorted, key, last)
+		}
+		last = key
+		if len(cur.keys) == degree {
+			nl := &node{}
+			cur.next = nl
+			leaves = append(leaves, cur)
+			cur = nl
+		}
+		cur.keys = append(cur.keys, key)
+		cur.vals = append(cur.vals, value)
+		t.size++
+	}
+	leaves = append(leaves, cur)
+
+	// Rebalance the tail so a short last leaf borrows from its full
+	// left neighbor; a half-empty pair beats a full leaf plus a
+	// near-empty one for subsequent inserts.
+	if n := len(leaves); n > 1 && len(leaves[n-1].keys) < degree/2 {
+		l, r := leaves[n-2], leaves[n-1]
+		total := len(l.keys) + len(r.keys)
+		keep := total / 2
+		r.keys = append(append([][]byte(nil), l.keys[keep:]...), r.keys...)
+		r.vals = append(append([][]byte(nil), l.vals[keep:]...), r.vals...)
+		l.keys = l.keys[:keep:keep]
+		l.vals = l.vals[:keep:keep]
+	}
+
+	// Stitch interior levels bottom-up. Each level distributes its
+	// children over ceil(n/(degree+1)) parents in near-equal groups,
+	// so no parent ends up with a single child.
+	level := leaves
+	minKey := func(n *node) []byte {
+		for !n.leaf() {
+			n = n.children[0]
+		}
+		return n.keys[0]
+	}
+	for len(level) > 1 {
+		groups := (len(level) + degree) / (degree + 1)
+		parents := make([]*node, 0, groups)
+		base, rem := len(level)/groups, len(level)%groups
+		pos := 0
+		for g := 0; g < groups; g++ {
+			size := base
+			if g < rem {
+				size++
+			}
+			kids := level[pos : pos+size : pos+size]
+			pos += size
+			p := &node{children: kids}
+			for _, c := range kids[1:] {
+				p.keys = append(p.keys, minKey(c))
+			}
+			parents = append(parents, p)
+		}
+		level = parents
+	}
+	t.root = level[0]
+	return t, nil
+}
+
+// MergeLoad bulk-builds a tree from sorted key runs (nil values): a
+// k-way merge over the runs feeds BulkLoad directly, so no combined
+// run is ever materialized. Every run must be strictly ascending, and
+// no key may appear in two runs — each key names one distinct indexed
+// node, so a duplicate means the caller double-extracted. check, when
+// non-nil, runs once up front and every scanCheckEvery merged keys so
+// a guard can abort long builds.
+func MergeLoad(check func(merged int) error, runs ...[][]byte) (*Tree, error) {
+	heap := make([]runCursor, 0, len(runs))
+	for _, r := range runs {
+		if len(r) > 0 {
+			heap = append(heap, runCursor{run: r})
+		}
+	}
+	for i := len(heap)/2 - 1; i >= 0; i-- {
+		siftDown(heap, i)
+	}
+	if check != nil {
+		if err := check(0); err != nil {
+			return nil, err
+		}
+	}
+	merged := 0
+	var checkErr error
+	next := func() ([]byte, []byte, bool) {
+		if len(heap) == 0 || checkErr != nil {
+			return nil, nil, false
+		}
+		key := heap[0].run[heap[0].pos]
+		heap[0].pos++
+		if heap[0].pos == len(heap[0].run) {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+		}
+		siftDown(heap, 0)
+		merged++
+		if check != nil && merged%scanCheckEvery == 0 {
+			checkErr = check(merged)
+		}
+		return key, nil, true
+	}
+	t, err := BulkLoad(next)
+	if checkErr != nil {
+		return nil, checkErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// runCursor is a position in one sorted run.
+type runCursor struct {
+	run [][]byte
+	pos int
+}
+
+func (c runCursor) key() []byte { return c.run[c.pos] }
+
+func siftDown(h []runCursor, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && bytes.Compare(h[l].key(), h[small].key()) < 0 {
+			small = l
+		}
+		if r < len(h) && bytes.Compare(h[r].key(), h[small].key()) < 0 {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+}

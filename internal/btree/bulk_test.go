@@ -1,0 +1,255 @@
+package btree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func sliceFeed(keys [][]byte) func() ([]byte, []byte, bool) {
+	i := 0
+	return func() ([]byte, []byte, bool) {
+		if i == len(keys) {
+			return nil, nil, false
+		}
+		k := keys[i]
+		i++
+		return k, k, true
+	}
+}
+
+func seqKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%08d", i))
+	}
+	return keys
+}
+
+// checkInvariants walks the whole tree verifying the structural
+// contract BulkLoad promises to share with Insert-built trees.
+func checkInvariants(t *testing.T, tr *Tree) {
+	t.Helper()
+	var walk func(n *node, depth int) int
+	leafDepth := -1
+	var prevKey []byte
+	walk = func(n *node, depth int) int {
+		if n.leaf() {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if depth != leafDepth {
+				t.Fatalf("leaf at depth %d, expected %d", depth, leafDepth)
+			}
+			if len(n.keys) != len(n.vals) {
+				t.Fatalf("leaf keys/vals mismatch: %d vs %d", len(n.keys), len(n.vals))
+			}
+			for _, k := range n.keys {
+				if prevKey != nil && bytes.Compare(k, prevKey) <= 0 {
+					t.Fatalf("leaf keys not strictly ascending: %q after %q", k, prevKey)
+				}
+				prevKey = k
+			}
+			return len(n.keys)
+		}
+		if len(n.children) != len(n.keys)+1 {
+			t.Fatalf("interior node: %d children, %d keys", len(n.children), len(n.keys))
+		}
+		if len(n.children) < 2 {
+			t.Fatalf("interior node with %d children", len(n.children))
+		}
+		if len(n.keys) > degree {
+			t.Fatalf("interior node with %d keys", len(n.keys))
+		}
+		total := 0
+		for i, c := range n.children {
+			if i > 0 {
+				// The separator must equal the smallest key of the
+				// right subtree so "equal goes right" search lands.
+				m := c
+				for !m.leaf() {
+					m = m.children[0]
+				}
+				if !bytes.Equal(n.keys[i-1], m.keys[0]) {
+					t.Fatalf("separator %q != right subtree min %q", n.keys[i-1], m.keys[0])
+				}
+			}
+			total += walk(c, depth+1)
+		}
+		return total
+	}
+	if got := walk(tr.root, 0); got != tr.Len() {
+		t.Fatalf("walked %d keys, Len() says %d", got, tr.Len())
+	}
+}
+
+// TestBulkLoadEquivalence builds trees of many sizes both ways and
+// checks they are observationally identical: Get on every key and
+// missing keys, full scans, range scans, prefix scans.
+func TestBulkLoadEquivalence(t *testing.T) {
+	for _, n := range []int{0, 1, 2, degree - 1, degree, degree + 1,
+		degree * 2, degree*2 + 1, degree * (degree + 1), degree*(degree+1) + 7, 5000} {
+		keys := seqKeys(n)
+		bulk, err := BulkLoad(sliceFeed(keys))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		ref := New()
+		for _, k := range keys {
+			ref.Insert(k, k)
+		}
+		if bulk.Len() != ref.Len() {
+			t.Fatalf("n=%d: Len %d != %d", n, bulk.Len(), ref.Len())
+		}
+		checkInvariants(t, bulk)
+
+		for _, k := range keys {
+			v, ok := bulk.Get(k)
+			if !ok || !bytes.Equal(v, k) {
+				t.Fatalf("n=%d: Get(%q) = %q, %v", n, k, v, ok)
+			}
+		}
+		if _, ok := bulk.Get([]byte("key-zz")); ok {
+			t.Fatalf("n=%d: found missing key", n)
+		}
+
+		var want, got [][]byte
+		ref.Scan(nil, nil, func(k, _ []byte) bool { want = append(want, k); return true })
+		bulk.Scan(nil, nil, func(k, _ []byte) bool { got = append(got, k); return true })
+		if len(want) != len(got) {
+			t.Fatalf("n=%d: scan lengths %d vs %d", n, len(want), len(got))
+		}
+		for i := range want {
+			if !bytes.Equal(want[i], got[i]) {
+				t.Fatalf("n=%d: scan[%d] %q vs %q", n, i, want[i], got[i])
+			}
+		}
+		if n > 10 {
+			lo, hi := keys[3], keys[n-3]
+			var a, b int
+			ref.Scan(lo, hi, func(_, _ []byte) bool { a++; return true })
+			bulk.Scan(lo, hi, func(_, _ []byte) bool { b++; return true })
+			if a != b {
+				t.Fatalf("n=%d: range scan %d vs %d", n, a, b)
+			}
+		}
+	}
+}
+
+func TestBulkLoadRejectsUnsorted(t *testing.T) {
+	for _, keys := range [][][]byte{
+		{[]byte("b"), []byte("a")},
+		{[]byte("a"), []byte("a")},
+		{[]byte("a"), []byte("b"), []byte("b")},
+	} {
+		if _, err := BulkLoad(sliceFeed(keys)); !errors.Is(err, ErrUnsorted) {
+			t.Fatalf("keys %q: err = %v, want ErrUnsorted", keys, err)
+		}
+	}
+}
+
+func TestMergeLoad(t *testing.T) {
+	// Round-robin 5000 keys over 7 runs; each run stays sorted.
+	keys := seqKeys(5000)
+	runs := make([][][]byte, 7)
+	for i, k := range keys {
+		runs[i%7] = append(runs[i%7], k)
+	}
+	tr, err := MergeLoad(nil, runs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(keys))
+	}
+	checkInvariants(t, tr)
+	i := 0
+	tr.Scan(nil, nil, func(k, v []byte) bool {
+		if !bytes.Equal(k, keys[i]) {
+			t.Fatalf("scan[%d] = %q, want %q", i, k, keys[i])
+		}
+		if v != nil {
+			t.Fatalf("MergeLoad stored a value: %q", v)
+		}
+		i++
+		return true
+	})
+
+	// Empty and single-run cases.
+	if tr, err := MergeLoad(nil); err != nil || tr.Len() != 0 {
+		t.Fatalf("empty merge: %v, len %d", err, tr.Len())
+	}
+	if tr, err := MergeLoad(nil, runs[0]); err != nil || tr.Len() != len(runs[0]) {
+		t.Fatalf("single-run merge: %v", err)
+	}
+
+	// A key in two runs is a double-extraction bug, not a merge.
+	_, err = MergeLoad(nil, [][]byte{[]byte("a"), []byte("c")}, [][]byte{[]byte("c")})
+	if !errors.Is(err, ErrUnsorted) {
+		t.Fatalf("duplicate across runs: err = %v, want ErrUnsorted", err)
+	}
+}
+
+func TestMergeLoadCheckAborts(t *testing.T) {
+	keys := seqKeys(3000)
+	boom := errors.New("aborted")
+	calls := 0
+	_, err := MergeLoad(func(merged int) error {
+		calls++
+		if merged >= 1024 {
+			return boom
+		}
+		return nil
+	}, keys)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want abort", err)
+	}
+	if calls < 2 {
+		t.Fatalf("check consulted %d times", calls)
+	}
+}
+
+// TestBulkLoadThenMutate proves a bulk-built tree keeps working as a
+// live tree: inserts (including ones that split bulk-built leaves),
+// deletes, and overwrites behave as on a grown tree.
+func TestBulkLoadThenMutate(t *testing.T) {
+	keys := seqKeys(1000)
+	tr, err := BulkLoad(sliceFeed(keys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := New()
+	for _, k := range keys {
+		ref.Insert(k, k)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		k := []byte(fmt.Sprintf("key-%08d", rng.Intn(2000)))
+		switch rng.Intn(3) {
+		case 0:
+			v := []byte(fmt.Sprintf("v%d", i))
+			tr.Insert(k, v)
+			ref.Insert(k, v)
+		case 1:
+			if tr.Delete(k) != ref.Delete(k) {
+				t.Fatalf("delete %q diverged", k)
+			}
+		case 2:
+			gv, gok := tr.Get(k)
+			wv, wok := ref.Get(k)
+			if gok != wok || !bytes.Equal(gv, wv) {
+				t.Fatalf("get %q: (%q,%v) vs (%q,%v)", k, gv, gok, wv, wok)
+			}
+		}
+	}
+	if tr.Len() != ref.Len() {
+		t.Fatalf("Len %d != %d after mutation", tr.Len(), ref.Len())
+	}
+	var got, want int
+	tr.Scan(nil, nil, func(_, _ []byte) bool { got++; return true })
+	ref.Scan(nil, nil, func(_, _ []byte) bool { want++; return true })
+	if got != want {
+		t.Fatalf("scan counts %d vs %d", got, want)
+	}
+}

@@ -130,6 +130,21 @@ func (n *Node) Renumber() {
 	walk(n)
 }
 
+// SetTree stamps id as the TreeID of every node in the subtree rooted at
+// n, attributes included; ordinals are untouched. Parallel bulk loads use
+// it to re-issue tree identities in file order after parsing, since
+// cross-tree document order is (TreeID, Ordinal) and parse-time ids land
+// in worker-scheduling order.
+func (n *Node) SetTree(id uint64) {
+	n.TreeID = id
+	for _, a := range n.Attrs {
+		a.TreeID = id
+	}
+	for _, c := range n.Children {
+		c.SetTree(id)
+	}
+}
+
 // Root returns the root of n's tree (a document node for parsed documents,
 // an element node for constructed fragments).
 func (n *Node) Root() *Node {

@@ -1,0 +1,202 @@
+package xmlindex
+
+import (
+	"bytes"
+	"encoding/binary"
+	"slices"
+
+	"github.com/xqdb/xqdb/internal/btree"
+	"github.com/xqdb/xqdb/internal/pattern"
+	"github.com/xqdb/xqdb/internal/xdm"
+)
+
+// Extractor accumulates index entries for a batch of documents without
+// touching the index. AddDoc is entirely lock-free — it reads only the
+// index's immutable fields (Pattern, Type, Name) and writes into
+// extractor-local state — so one extractor per worker turns XMLPATTERN
+// extraction into an embarrassingly parallel stage of the ingestion
+// pipeline. Keys are encoded with extractor-local path ids; Run rewrites
+// them against the shared dictionary and sorts, yielding one strictly
+// ascending run for PrepareBulk.
+type Extractor struct {
+	ix    *Index
+	paths *pathDict // extractor-local interning; remapped in Run
+	keys  [][]byte
+	// verdicts memoizes Pattern.Match per distinct label path. A corpus
+	// shares a handful of element paths, so across a batch the dynamic-
+	// programming matcher runs once per path rather than once per node —
+	// the dominant cost of per-document extraction. InsertDoc cannot
+	// amortize such a table over a single document, which is why the memo
+	// lives here and not in forMatching.
+	verdicts map[string]bool
+	// labels and keyBuf are the walk's path stack: labels feeds the
+	// matcher and interning, keyBuf mirrors it in pathKey encoding so the
+	// memo lookup needs no per-node key allocation.
+	labels []pattern.Label
+	keyBuf []byte
+}
+
+// NewExtractor returns an empty extractor for this index.
+func (ix *Index) NewExtractor() *Extractor {
+	return &Extractor{ix: ix, paths: newPathDict(), verdicts: map[string]bool{}}
+}
+
+// AddDoc extracts the entries InsertDoc would create for doc, holding no
+// locks. It returns an error only for list-typed matches (the same
+// contract as InsertDoc); cast failures skip silently. Documents must
+// carry distinct docIDs across every extractor feeding one PrepareBulk,
+// or the merge will reject the duplicate keys.
+func (e *Extractor) AddDoc(docID uint32, doc *xdm.Node) error {
+	var addErr error
+	push := func(l pattern.Label) int {
+		mark := len(e.keyBuf)
+		e.keyBuf = append(e.keyBuf, byte(l.Kind))
+		e.keyBuf = append(e.keyBuf, l.Space...)
+		e.keyBuf = append(e.keyBuf, 0)
+		e.keyBuf = append(e.keyBuf, l.Local...)
+		e.keyBuf = append(e.keyBuf, 1)
+		e.labels = append(e.labels, l)
+		return mark
+	}
+	pop := func(mark int) {
+		e.keyBuf = e.keyBuf[:mark]
+		e.labels = e.labels[:len(e.labels)-1]
+	}
+	matches := func() bool {
+		if v, ok := e.verdicts[string(e.keyBuf)]; ok {
+			return v
+		}
+		v := e.ix.Pattern.Match(e.labels)
+		e.verdicts[string(e.keyBuf)] = v
+		return v
+	}
+	emit := func(n *xdm.Node) {
+		if addErr != nil {
+			return
+		}
+		v, ok, err := e.ix.indexableValue(n)
+		if err != nil {
+			addErr = err
+			return
+		}
+		if !ok {
+			return
+		}
+		pathID := e.paths.intern(e.labels)
+		e.keys = append(e.keys, e.ix.encodeKey(v, pathID, docID, n.Ordinal))
+	}
+	// The walk mirrors forMatching exactly: the node itself, then its
+	// attributes, then its children, document node transparent.
+	var walk func(*xdm.Node)
+	walk = func(n *xdm.Node) {
+		mark := -1
+		if n.Kind != xdm.DocumentNode {
+			mark = push(nodeLabel(n))
+			if matches() {
+				emit(n)
+			}
+		}
+		for _, a := range n.Attrs {
+			am := push(pattern.Label{Kind: pattern.AttributeLabel, Space: a.Name.Space, Local: a.Name.Local})
+			if matches() {
+				emit(a)
+			}
+			pop(am)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+		if mark >= 0 {
+			pop(mark)
+		}
+	}
+	walk(doc)
+	return addErr
+}
+
+// Len returns the number of entries extracted so far.
+func (e *Extractor) Len() int { return len(e.keys) }
+
+// Run finalizes the extractor into one sorted key run. It takes the
+// index lock exactly once — to re-intern the local paths into the shared
+// dictionary — then rewrites each key's pathID bytes in place and sorts.
+// Interning is append-only, so paths interned for a load that later
+// rolls back are harmless: unused dictionary entries are never consulted.
+// The extractor must not be reused after Run.
+func (e *Extractor) Run() [][]byte {
+	remap := make([]uint32, len(e.paths.paths))
+	e.ix.mu.Lock()
+	for local, labels := range e.paths.paths {
+		remap[local] = e.ix.paths.intern(labels)
+	}
+	e.ix.mu.Unlock()
+	for _, k := range e.keys {
+		n := len(k)
+		id := binary.BigEndian.Uint32(k[n-12 : n-8])
+		binary.BigEndian.PutUint32(k[n-12:n-8], remap[id])
+	}
+	slices.SortFunc(e.keys, bytes.Compare)
+	return e.keys
+}
+
+// BulkBuild is a staged index rebuild: the merged tree PrepareBulk
+// produced, waiting for CommitBulk to swap it in.
+type BulkBuild struct {
+	tree  *btree.Tree
+	delta int
+}
+
+// Delta returns the number of entries the build adds over the index's
+// current contents.
+func (bb *BulkBuild) Delta() int { return bb.delta }
+
+// PrepareBulk merges the index's current entries with the given sorted
+// runs (from Extractor.Run) into a fresh bulk-loaded tree. The existing
+// tree is only read, never modified, so probes keep working against it
+// until CommitBulk swaps the new tree in. check, when non-nil, is
+// consulted periodically during both the snapshot scan and the merge so
+// a guard can abort long builds.
+//
+// Contract: the caller must prevent index mutations (InsertDoc /
+// DeleteDoc) from the start of PrepareBulk through CommitBulk —
+// in-engine that means holding the owning table's write lock, under
+// which all index mutation runs — or entries written in between would
+// vanish in the swap. A duplicate key across the runs and the existing
+// tree reports btree.ErrUnsorted: each key names one distinct indexed
+// node, so a collision means a docID was reused.
+func (ix *Index) PrepareBulk(check func(done int) error, runs ...[][]byte) (*BulkBuild, error) {
+	ix.mu.RLock()
+	existing := make([][]byte, 0, ix.tree.Len())
+	before := ix.tree.Len()
+	_, err := ix.tree.ScanCheck(nil, nil, check, func(k, _ []byte) bool {
+		existing = append(existing, k)
+		return true
+	})
+	ix.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	all := make([][][]byte, 0, len(runs)+1)
+	all = append(all, existing)
+	all = append(all, runs...)
+	tree, err := btree.MergeLoad(check, all...)
+	if err != nil {
+		return nil, err
+	}
+	return &BulkBuild{tree: tree, delta: tree.Len() - before}, nil
+}
+
+// CommitBulk swaps the staged tree in, carrying the index's B+Tree
+// instruments over and bumping the entry-set version (invalidating
+// cached probes) when the build changed the entry set. See PrepareBulk
+// for the locking contract.
+func (ix *Index) CommitBulk(bb *BulkBuild) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	bb.tree.Instrument(ix.mTreeScans, ix.mTreeKeys)
+	ix.tree = bb.tree
+	if bb.delta != 0 {
+		ix.version.Add(1)
+		ix.mEntries.Add(int64(bb.delta))
+	}
+}

@@ -102,9 +102,13 @@ type Index struct {
 
 	// Registry instruments, shared across the indexes of one engine;
 	// nil (uninstrumented) when the index lives outside an engine.
-	mProbes  *metrics.Counter
-	mKeys    *metrics.Counter
-	mEntries *metrics.Gauge
+	// The tree counters are retained so CommitBulk can re-instrument a
+	// freshly bulk-built tree when it replaces the current one.
+	mProbes    *metrics.Counter
+	mKeys      *metrics.Counter
+	mEntries   *metrics.Gauge
+	mTreeScans *metrics.Counter
+	mTreeKeys  *metrics.Counter
 }
 
 // Instrument wires the index (and its B+Tree) into a metrics registry:
@@ -120,7 +124,9 @@ func (ix *Index) Instrument(reg *metrics.Registry) {
 	ix.mKeys = reg.Counter("xmlindex.keys_visited")
 	ix.mEntries = reg.Gauge("xmlindex.entries")
 	ix.cache.instrument(reg)
-	ix.tree.Instrument(reg.Counter("btree.scans"), reg.Counter("btree.keys_visited"))
+	ix.mTreeScans = reg.Counter("btree.scans")
+	ix.mTreeKeys = reg.Counter("btree.keys_visited")
+	ix.tree.Instrument(ix.mTreeScans, ix.mTreeKeys)
 }
 
 // SetProbeCacheCapacity rebounds the probe-result LRU (n <= 0 restores
@@ -192,6 +198,23 @@ func (d *pathDict) intern(labels []pattern.Label) uint32 {
 	d.byKey[k] = id
 	d.paths = append(d.paths, append([]pattern.Label(nil), labels...))
 	return id
+}
+
+// nodeLabel converts one node to its pattern label.
+func nodeLabel(n *xdm.Node) pattern.Label {
+	switch n.Kind {
+	case xdm.ElementNode:
+		return pattern.Label{Kind: pattern.ElementLabel, Space: n.Name.Space, Local: n.Name.Local}
+	case xdm.AttributeNode:
+		return pattern.Label{Kind: pattern.AttributeLabel, Space: n.Name.Space, Local: n.Name.Local}
+	case xdm.TextNode:
+		return pattern.Label{Kind: pattern.TextLabel}
+	case xdm.CommentNode:
+		return pattern.Label{Kind: pattern.CommentLabel}
+	case xdm.ProcessingInstructionNode:
+		return pattern.Label{Kind: pattern.PILabel, Local: n.Name.Local}
+	}
+	return pattern.Label{}
 }
 
 // labelPath converts a node's ancestor chain to a pattern label path
@@ -301,20 +324,7 @@ func (ix *Index) forMatching(doc *xdm.Node, f func(*xdm.Node, []pattern.Label)) 
 	var walk func(*xdm.Node)
 	walk = func(n *xdm.Node) {
 		if n.Kind != xdm.DocumentNode {
-			var l pattern.Label
-			switch n.Kind {
-			case xdm.ElementNode:
-				l = pattern.Label{Kind: pattern.ElementLabel, Space: n.Name.Space, Local: n.Name.Local}
-			case xdm.AttributeNode:
-				l = pattern.Label{Kind: pattern.AttributeLabel, Space: n.Name.Space, Local: n.Name.Local}
-			case xdm.TextNode:
-				l = pattern.Label{Kind: pattern.TextLabel}
-			case xdm.CommentNode:
-				l = pattern.Label{Kind: pattern.CommentLabel}
-			case xdm.ProcessingInstructionNode:
-				l = pattern.Label{Kind: pattern.PILabel, Local: n.Name.Local}
-			}
-			labels = append(labels, l)
+			labels = append(labels, nodeLabel(n))
 			if ix.Pattern.Match(labels) {
 				f(n, labels)
 			}

@@ -18,15 +18,16 @@
 package xqdb
 
 import (
+	"context"
 	"fmt"
-	"os"
-	"path/filepath"
-	"strings"
 
 	"github.com/xqdb/xqdb/internal/engine"
+	"github.com/xqdb/xqdb/internal/guard"
+	"github.com/xqdb/xqdb/internal/ingest"
 	"github.com/xqdb/xqdb/internal/sqlxml"
 	"github.com/xqdb/xqdb/internal/storage"
 	"github.com/xqdb/xqdb/internal/xdm"
+	"github.com/xqdb/xqdb/internal/xmlparse"
 	"github.com/xqdb/xqdb/internal/xmlschema"
 )
 
@@ -42,6 +43,9 @@ import (
 // and contained evaluator panics surface as *QueryError.
 type DB struct {
 	eng *engine.Engine
+	// loadParallelism is the Open-time default worker count for bulk
+	// loads (WithLoadParallelism); 0 means GOMAXPROCS.
+	loadParallelism int
 	// UseIndexes controls whether the planner may install index
 	// pre-filters (Definition 1). Disable to measure full-scan
 	// baselines; results must be identical either way.
@@ -55,6 +59,7 @@ type Stats = engine.Stats
 // openConfig collects Open-time knobs.
 type openConfig struct {
 	probeCacheCapacity int
+	loadParallelism    int
 }
 
 // Option configures a DB at Open time.
@@ -68,6 +73,15 @@ func WithProbeCacheCapacity(n int) Option {
 	return func(c *openConfig) { c.probeCacheCapacity = n }
 }
 
+// WithLoadParallelism sets the default worker count for bulk loads
+// (LoadXMLDir) — the load-side twin of QueryOptions.Parallelism. n <= 0
+// means GOMAXPROCS; 1 loads serially. LoadOptions.Parallelism overrides
+// it per call. Results are identical at any setting: rows land in file
+// order regardless of which worker parsed them.
+func WithLoadParallelism(n int) Option {
+	return func(c *openConfig) { c.loadParallelism = n }
+}
+
 // Open creates an empty database.
 func Open(opts ...Option) *DB {
 	var c openConfig
@@ -75,7 +89,7 @@ func Open(opts ...Option) *DB {
 		o(&c)
 	}
 	eng := engine.NewWithConfig(engine.Config{ProbeCacheCapacity: c.probeCacheCapacity})
-	return &DB{eng: eng, UseIndexes: true}
+	return &DB{eng: eng, loadParallelism: c.loadParallelism, UseIndexes: true}
 }
 
 // Result is a query result: column names and stringified rows plus the
@@ -218,12 +232,39 @@ func (s *Schema) Declare(key, typeName string) error {
 	return nil
 }
 
+// LoadOptions bounds one bulk load (LoadXMLDirOpts). The zero value uses
+// the Open-time load parallelism and the parser's default limits.
+type LoadOptions struct {
+	// Context cancels the load when done; nil means no cancellation. A
+	// canceled load is atomic like any failed load: nothing lands.
+	Context context.Context
+	// Parallelism caps this load's parse workers, overriding the
+	// WithLoadParallelism setting; 0 defers to it, 1 runs serially.
+	Parallelism int
+	// MaxParseDepth and MaxDocBytes bound each file's parse, enforced
+	// while streaming — an oversized file aborts the load just past the
+	// cap, not after reading the whole file. 0 falls back to the parser
+	// defaults.
+	MaxParseDepth int
+	MaxDocBytes   int
+	// Schema, when non-nil, validates every document (annotating its
+	// nodes with the declared types) before it is stored and indexed.
+	Schema *Schema
+}
+
 // LoadXMLDir bulk-loads every .xml file of a directory into a two-column
 // (key, xml) table, keyed by insertion order, and returns the number of
-// documents loaded. The load is atomic: a malformed file (or a failed
-// insert) rolls back every row this call inserted and returns an error
+// documents loaded. Documents stream through the ingestion pipeline
+// (internal/ingest): parallel SAX-style parsing with single-pass
+// XMLPATTERN extraction, then one bulk merge into each XML index. The
+// load is atomic: a malformed file fails the whole load with an error
 // naming the file, leaving the table exactly as it was.
 func (db *DB) LoadXMLDir(table, dir string) (int, error) {
+	return db.LoadXMLDirOpts(table, dir, LoadOptions{})
+}
+
+// LoadXMLDirOpts is LoadXMLDir under the given load options.
+func (db *DB) LoadXMLDirOpts(table, dir string, opts LoadOptions) (int, error) {
 	tab, err := db.eng.Catalog.Table(table)
 	if err != nil {
 		return 0, err
@@ -231,38 +272,27 @@ func (db *DB) LoadXMLDir(table, dir string) (int, error) {
 	if len(tab.Columns) != 2 || tab.Columns[1].Type != storage.XML {
 		return 0, fmt.Errorf("LoadXMLDir expects a (key, xml) table")
 	}
-	entries, err := os.ReadDir(dir)
+	var g *guard.Guard
+	if opts.Context != nil {
+		g = guard.New(opts.Context, 0, guard.Limits{})
+	}
+	par := opts.Parallelism
+	if par == 0 {
+		par = db.loadParallelism
+	}
+	var sch *xmlschema.Schema
+	if opts.Schema != nil {
+		sch = opts.Schema.s
+	}
+	n, err := ingest.LoadDir(tab, dir, ingest.Options{
+		Parallelism: par,
+		Guard:       g,
+		Limits:      xmlparse.Limits{MaxDepth: opts.MaxParseDepth, MaxBytes: opts.MaxDocBytes},
+		Schema:      sch,
+		Metrics:     db.eng.Metrics,
+	})
 	if err != nil {
-		return 0, err
-	}
-	var inserted []uint32
-	rollback := func(cause error) (int, error) {
-		for _, id := range inserted {
-			// Delete cannot fail for ids this call just inserted unless
-			// a concurrent writer removed them first, which is fine.
-			_ = tab.Delete(id)
-		}
-		return 0, fmt.Errorf("LoadXMLDir %s (rolled back %d rows): %w", dir, len(inserted), cause)
-	}
-	n := 0
-	for _, ent := range entries {
-		if ent.IsDir() || !strings.HasSuffix(strings.ToLower(ent.Name()), ".xml") {
-			continue
-		}
-		data, err := os.ReadFile(filepath.Join(dir, ent.Name()))
-		if err != nil {
-			return rollback(err)
-		}
-		doc, err := parseDoc(string(data))
-		if err != nil {
-			return rollback(fmt.Errorf("%s: %w", ent.Name(), err))
-		}
-		id, err := tab.Insert([]storage.Cell{{V: xdm.NewInteger(int64(n))}, {Doc: doc}})
-		if err != nil {
-			return rollback(fmt.Errorf("%s: %w", ent.Name(), err))
-		}
-		inserted = append(inserted, id)
-		n++
+		return 0, fmt.Errorf("LoadXMLDir %s: %w", dir, err)
 	}
 	return n, nil
 }
@@ -277,6 +307,11 @@ func (db *DB) InsertValidated(table string, key int64, docXML string, schema *Sc
 	if err != nil {
 		return err
 	}
+	// Validate the table shape before parsing: a bad target must not
+	// cost a full document parse.
+	if len(tab.Columns) != 2 || tab.Columns[1].Type != storage.XML {
+		return fmt.Errorf("InsertValidated expects a (key, xml) table, got %d columns", len(tab.Columns))
+	}
 	doc, err := parseDoc(docXML)
 	if err != nil {
 		return err
@@ -285,9 +320,6 @@ func (db *DB) InsertValidated(table string, key int64, docXML string, schema *Sc
 		if err := schema.s.Validate(doc); err != nil {
 			return err
 		}
-	}
-	if len(tab.Columns) != 2 || tab.Columns[1].Type != storage.XML {
-		return fmt.Errorf("InsertValidated expects a (key, xml) table, got %d columns", len(tab.Columns))
 	}
 	_, err = tab.Insert([]storage.Cell{{V: xdm.NewInteger(key)}, {Doc: doc}})
 	return err
