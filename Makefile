@@ -4,13 +4,17 @@
 
 GO ?= go
 
-.PHONY: build test vet race fmt-check verify bench fuzz loadtest
+.PHONY: build test vet race fmt-check verify bench bench-gate fuzz loadtest
 
 build:
 	$(GO) build ./...
 
+# TESTFLAGS threads extra `go test` flags through (CI passes
+# -coverprofile here so the tier-1 run doubles as the coverage run).
+TESTFLAGS ?=
+
 test: build
-	$(GO) test ./...
+	$(GO) test $(TESTFLAGS) ./...
 
 # vet runs the stock toolchain vet plus xqvet, the project's own
 # analyzer suite (guard discipline, posting-list doc sets, atomics,
@@ -41,6 +45,20 @@ BENCHOUT ?= BENCH_PR2.json
 bench: build
 	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) . > bench.out
 	$(GO) run ./cmd/benchjson -o $(BENCHOUT) bench.out
+
+# bench-gate: the small fixed subset CI *gates* on (the bench-gate job),
+# unlike the full non-gating sweep above. Three runs of two stable pairs
+# — the synopsis short-circuit and the probe-pipeline combine — are
+# collapsed to a per-benchmark median by `benchjson -agg median`; the CI
+# job then diffs BENCH_GATE.json against the previous run's artifact
+# with `benchdiff -fail-over 25`.
+GATEBENCH ?= SynopsisShortCircuit|ProbePipeline_Combine
+GATECOUNT ?= 3
+GATETIME ?= 200x
+
+bench-gate: build
+	$(GO) test -run='^$$' -bench='$(GATEBENCH)' -benchmem -benchtime=$(GATETIME) -count=$(GATECOUNT) . > bench-gate.out
+	$(GO) run ./cmd/benchjson -agg median -o BENCH_GATE.json bench-gate.out
 
 # End-to-end load test: boot xqserve under the race detector with a
 # demo corpus and a deliberately tight admission budget, hammer it with

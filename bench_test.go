@@ -499,6 +499,42 @@ func BenchmarkColdLoad_StreamingPipeline(b *testing.B) {
 	}
 }
 
+// --- path synopsis: short-circuit vs full probe ---
+
+// The query's pattern is index-eligible (li_price covers it by
+// containment) but matches no stored path — no order carries an
+// <archived> wrapper — so the synopsis can prove the probe empty
+// without touching the B+Tree. SynopsisOff runs the probe for real
+// (NoSynopsis baseline, and NoProbeCache so every iteration pays the
+// scan); SynopsisOn answers from the path summary. Results are
+// identical (empty) either way.
+const qSynSkip = `for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')//archived/lineitem[@price > 100] return $i`
+
+func BenchmarkSynopsisShortCircuit(b *testing.B) {
+	db := benchDB(b)
+	db.UseIndexes = true
+	stmt, err := db.PrepareXQuery(qSynSkip)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Prepared, so parse + analysis drop out and the pair isolates what
+	// the short-circuit saves: the per-execution index range scan.
+	run := func(b *testing.B, opts QueryOptions) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := stmt.ExecOpts(opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("SynopsisOff", func(b *testing.B) {
+		run(b, QueryOptions{NoSynopsis: true, NoProbeCache: true})
+	})
+	b.Run("SynopsisOn", func(b *testing.B) {
+		run(b, QueryOptions{NoProbeCache: true})
+	})
+}
+
 // --- substrate micro-benchmarks ---
 
 func BenchmarkSubstrate_ParseOrder(b *testing.B) {

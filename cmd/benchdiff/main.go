@@ -9,9 +9,18 @@
 //
 // A benchmark is flagged as a regression when new ns/op exceeds old
 // ns/op by more than -threshold (default 1.10, i.e. 10% slower). The
-// exit code stays 0 unless -gate is set; a missing or unreadable -old
-// baseline prints a note and exits 0 so the first run of a fresh
-// repository does not fail.
+// exit code stays 0 unless -gate or -fail-over is set; a missing or
+// unreadable -old baseline prints a note and exits 0 so the first run
+// of a fresh repository does not fail.
+//
+// -fail-over <pct> is the gating mode the bench-gate CI job runs:
+//
+//	go run ./cmd/benchdiff -old prev.json -new cur.json -fail-over 20
+//
+// exits non-zero when any benchmark slows down by more than pct
+// percent, or any tracked experiment pair's speedup ratio shrinks by
+// more than pct percent. It overrides -threshold (factor 1+pct/100) so
+// the rendered table and the gate always agree.
 package main
 
 import (
@@ -56,14 +65,14 @@ func load(path string) (*Report, error) {
 }
 
 // diff renders the markdown comparison and reports how many benchmarks
-// regressed past the threshold.
-func diff(old, cur *Report, threshold float64, w io.Writer) int {
+// regressed past the threshold and how many tracked pairs' speedup
+// ratios shrank by more than the same factor.
+func diff(old, cur *Report, threshold float64, w io.Writer) (benchRegr, pairRegr int) {
 	oldBench := make(map[string]Benchmark, len(old.Benchmarks))
 	for _, b := range old.Benchmarks {
 		oldBench[b.Name] = b
 	}
 
-	regressions := 0
 	fmt.Fprintf(w, "### Benchmark diff (threshold %.2fx)\n\n", threshold)
 	fmt.Fprintln(w, "| benchmark | old ns/op | new ns/op | ratio | allocs old→new | |")
 	fmt.Fprintln(w, "|---|---:|---:|---:|---:|---|")
@@ -80,7 +89,7 @@ func diff(old, cur *Report, threshold float64, w io.Writer) int {
 		switch {
 		case ratio > threshold:
 			note = "⚠️ slower"
-			regressions++
+			benchRegr++
 		case ratio < 1/threshold:
 			note = "✅ faster"
 		}
@@ -121,30 +130,43 @@ func diff(old, cur *Report, threshold float64, w io.Writer) int {
 	sort.Strings(keys)
 	if len(keys) > 0 {
 		fmt.Fprint(w, "\n### Experiment-pair speedup ratios\n\n")
-		fmt.Fprintln(w, "| pair | old ratio | new ratio |")
-		fmt.Fprintln(w, "|---|---:|---:|")
+		fmt.Fprintln(w, "| pair | old ratio | new ratio | |")
+		fmt.Fprintln(w, "|---|---:|---:|---|")
 		for _, k := range keys {
 			p, inCur := curPairs[k]
 			prev, inOld := oldPairs[k]
 			switch {
 			case !inCur:
-				fmt.Fprintf(w, "| %s | %.2fx | – (removed) |\n", k, prev.Ratio)
+				fmt.Fprintf(w, "| %s | %.2fx | – (removed) | |\n", k, prev.Ratio)
 			case inOld && !math.IsNaN(prev.Ratio):
-				fmt.Fprintf(w, "| %s | %.2fx | %.2fx |\n", k, prev.Ratio, p.Ratio)
+				// A pair regresses when the variant's speedup shrinks by
+				// the same factor that flags a single benchmark: the win
+				// the pair exists to protect is evaporating.
+				note := ""
+				if prev.Ratio > 0 && p.Ratio > 0 && prev.Ratio/p.Ratio > threshold {
+					note = "⚠️ regressed"
+					pairRegr++
+				}
+				fmt.Fprintf(w, "| %s | %.2fx | %.2fx | %s |\n", k, prev.Ratio, p.Ratio, note)
 			default:
-				fmt.Fprintf(w, "| %s | – | %.2fx |\n", k, p.Ratio)
+				fmt.Fprintf(w, "| %s | – | %.2fx | |\n", k, p.Ratio)
 			}
 		}
 	}
 	if len(removed) > 0 {
 		fmt.Fprintf(w, "\n%d benchmark(s) present only in the baseline; skipped (removed or renamed).\n", len(removed))
 	}
-	if regressions > 0 {
-		fmt.Fprintf(w, "\n%d benchmark(s) regressed past %.2fx.\n", regressions, threshold)
-	} else {
+	switch {
+	case benchRegr > 0 && pairRegr > 0:
+		fmt.Fprintf(w, "\n%d benchmark(s) and %d pair ratio(s) regressed past %.2fx.\n", benchRegr, pairRegr, threshold)
+	case benchRegr > 0:
+		fmt.Fprintf(w, "\n%d benchmark(s) regressed past %.2fx.\n", benchRegr, threshold)
+	case pairRegr > 0:
+		fmt.Fprintf(w, "\n%d pair ratio(s) regressed past %.2fx.\n", pairRegr, threshold)
+	default:
 		fmt.Fprintf(w, "\nNo benchmark regressed past %.2fx.\n", threshold)
 	}
-	return regressions
+	return benchRegr, pairRegr
 }
 
 func run(args []string, stdout io.Writer) (int, error) {
@@ -152,9 +174,17 @@ func run(args []string, stdout io.Writer) (int, error) {
 	oldPath := fs.String("old", "", "baseline benchjson artifact (previous run)")
 	newPath := fs.String("new", "BENCH_PR2.json", "current benchjson artifact")
 	threshold := fs.Float64("threshold", 1.10, "ns/op ratio above which a benchmark counts as regressed")
-	gate := fs.Bool("gate", false, "exit non-zero when regressions exceed the threshold")
+	gate := fs.Bool("gate", false, "exit non-zero when benchmark regressions exceed the threshold")
+	failOver := fs.Float64("fail-over", 0,
+		"gating percentage: exit non-zero when any benchmark slows down, or any tracked pair's speedup ratio shrinks, by more than this percent (0 disables; overrides -threshold)")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
+	}
+	if *failOver < 0 {
+		return 2, fmt.Errorf("-fail-over must be non-negative, got %v", *failOver)
+	}
+	if *failOver > 0 {
+		*threshold = 1 + *failOver/100
 	}
 	cur, err := load(*newPath)
 	if err != nil {
@@ -167,8 +197,11 @@ func run(args []string, stdout io.Writer) (int, error) {
 		fmt.Fprintf(stdout, "### Benchmark diff\n\nNo baseline artifact (%v); skipping diff.\n", err)
 		return 0, nil
 	}
-	regressions := diff(old, cur, *threshold, stdout)
-	if *gate && regressions > 0 {
+	benchRegr, pairRegr := diff(old, cur, *threshold, stdout)
+	if *failOver > 0 && benchRegr+pairRegr > 0 {
+		return 1, nil
+	}
+	if *gate && benchRegr > 0 {
 		return 1, nil
 	}
 	return 0, nil

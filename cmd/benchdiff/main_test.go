@@ -120,6 +120,60 @@ func TestGateAndThreshold(t *testing.T) {
 	}
 }
 
+// -fail-over is the bench-gate mode: an injected regression — either a
+// benchmark slowdown or a shrinking pair ratio — must flip the exit code.
+func TestFailOverGatesOnInjectedRegression(t *testing.T) {
+	oldPath := writeReport(t, "old.json", oldReport)
+
+	// Injected benchmark regression: B slows 2000 -> 3000 (1.5x).
+	slowPath := writeReport(t, "slow.json", newReport)
+	var out strings.Builder
+	code, err := run([]string{"-old", oldPath, "-new", slowPath, "-fail-over", "20"}, &out)
+	if err != nil || code != 1 {
+		t.Fatalf("injected 1.5x slowdown must fail -fail-over 20: code=%d err=%v", code, err)
+	}
+	if !strings.Contains(out.String(), "threshold 1.20x") {
+		t.Errorf("-fail-over should override -threshold in the rendered table:\n%s", out.String())
+	}
+
+	// Injected pair regression: the map-vs-postings speedup collapses
+	// 1.2x -> 0.8x while every benchmark holds steady.
+	pairPath := writeReport(t, "pair.json", `{
+	  "benchmarks": [
+	    {"name": "BenchmarkA", "ns_per_op": 1000, "allocs_per_op": 80},
+	    {"name": "BenchmarkB", "ns_per_op": 2000, "allocs_per_op": 10},
+	    {"name": "BenchmarkGone", "ns_per_op": 5, "allocs_per_op": 1}
+	  ],
+	  "pairs": [
+	    {"kind": "map-vs-postings", "baseline": "BenchmarkA", "ratio": 0.8}
+	  ]
+	}`)
+	out.Reset()
+	code, err = run([]string{"-old", oldPath, "-new", pairPath, "-fail-over", "20"}, &out)
+	if err != nil || code != 1 {
+		t.Fatalf("injected pair-ratio collapse must fail -fail-over 20: code=%d err=%v", code, err)
+	}
+	for _, want := range []string{"⚠️ regressed", "1 pair ratio(s) regressed past 1.20x"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// The same artifacts pass a gate loose enough to absorb the drift,
+	// and the ungated default never fails regardless.
+	out.Reset()
+	if code, err = run([]string{"-old", oldPath, "-new", pairPath, "-fail-over", "60"}, &out); err != nil || code != 0 {
+		t.Fatalf("1.5x shrink under a 60%% gate must pass: code=%d err=%v", code, err)
+	}
+	out.Reset()
+	if code, err = run([]string{"-old", oldPath, "-new", pairPath}, &out); err != nil || code != 0 {
+		t.Fatalf("ungated run must exit 0: code=%d err=%v", code, err)
+	}
+	if code, _ = run([]string{"-old", oldPath, "-new", pairPath, "-fail-over", "-5"}, &out); code != 2 {
+		t.Fatalf("negative -fail-over must be a usage error: code=%d", code)
+	}
+}
+
 // A missing baseline is the first-run case: report it, exit 0. A missing
 // or corrupt current artifact is a real failure.
 func TestMissingInputs(t *testing.T) {

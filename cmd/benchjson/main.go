@@ -9,12 +9,19 @@
 //   - serial vs parallel     ("par=1" ↔ "par=8")
 //   - map vs posting lists   ("MapSets" ↔ "PostingLists")
 //   - cold vs cached probes  ("Cold" ↔ "Cached")
+//   - synopsis off vs on     ("SynopsisOff" ↔ "SynopsisOn")
 //
 // Each pair records the speedup ratio baseline_ns / variant_ns — above 1.0
 // means the variant (indexed, prepared, parallel) is faster. Usage:
 //
 //	go test -run '^$' -bench . -benchmem . > bench.txt
 //	go run ./cmd/benchjson -o BENCH_PR2.json bench.txt
+//
+// -agg median collapses duplicate benchmark names — several `-count`
+// runs, or concatenated bench.txt files — into one entry per name by
+// taking the per-field median. The bench-gate CI job runs its subset
+// three times and aggregates this way so one noisy run on a shared
+// runner cannot fake (or mask) a regression.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -99,6 +107,54 @@ var pairRules = []struct {
 	{"map-vs-postings", "MapSets", "PostingLists"},
 	{"cold-vs-cached", "Cold", "Cached"},
 	{"perrow-vs-streaming", "PerRowLoader", "StreamingPipeline"},
+	{"nosynopsis-vs-synopsis", "SynopsisOff", "SynopsisOn"},
+}
+
+// median of one numeric field across a group of same-name benchmarks.
+func median(group []Benchmark, field func(Benchmark) float64) float64 {
+	vals := make([]float64, len(group))
+	for i, b := range group {
+		vals[i] = field(b)
+	}
+	sort.Float64s(vals)
+	if n := len(vals); n%2 == 1 {
+		return vals[n/2]
+	} else {
+		return (vals[n/2-1] + vals[n/2]) / 2
+	}
+}
+
+// aggregate collapses duplicate benchmark names into one entry per name.
+// Mode "none" keeps every parsed line; "median" takes the per-field
+// median in first-appearance order.
+func aggregate(benches []Benchmark, mode string) ([]Benchmark, error) {
+	switch mode {
+	case "none":
+		return benches, nil
+	case "median":
+	default:
+		return nil, fmt.Errorf("unknown -agg mode %q (want none or median)", mode)
+	}
+	var order []string
+	groups := make(map[string][]Benchmark)
+	for _, b := range benches {
+		if _, ok := groups[b.Name]; !ok {
+			order = append(order, b.Name)
+		}
+		groups[b.Name] = append(groups[b.Name], b)
+	}
+	out := make([]Benchmark, 0, len(order))
+	for _, name := range order {
+		g := groups[name]
+		out = append(out, Benchmark{
+			Name:        name,
+			Iterations:  int64(median(g, func(b Benchmark) float64 { return float64(b.Iterations) })),
+			NsPerOp:     median(g, func(b Benchmark) float64 { return b.NsPerOp }),
+			BytesPerOp:  median(g, func(b Benchmark) float64 { return b.BytesPerOp }),
+			AllocsPerOp: int64(median(g, func(b Benchmark) float64 { return float64(b.AllocsPerOp) })),
+		})
+	}
+	return out, nil
 }
 
 func pairs(benches []Benchmark) []Pair {
@@ -134,6 +190,7 @@ func pairs(benches []Benchmark) []Pair {
 func run(args []string, stdin io.Reader) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	outPath := fs.String("o", "BENCH_PR2.json", "output JSON path (- for stdout)")
+	agg := fs.String("agg", "none", "duplicate-name aggregation: none keeps every line, median collapses repeated runs")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -158,6 +215,10 @@ func run(args []string, stdin io.Reader) error {
 	}
 	if len(benches) == 0 {
 		return fmt.Errorf("no benchmark lines found in input")
+	}
+	benches, err := aggregate(benches, *agg)
+	if err != nil {
+		return err
 	}
 	report := Report{Benchmarks: benches, Pairs: pairs(benches)}
 	data, err := json.MarshalIndent(report, "", "  ")

@@ -93,6 +93,80 @@ func TestPairsColdLoad(t *testing.T) {
 	}
 }
 
+// TestPairsSynopsis: the path-synopsis pair rule relates the NoSynopsis
+// baseline to the short-circuiting variant.
+func TestPairsSynopsis(t *testing.T) {
+	in := strings.NewReader(
+		"BenchmarkSynopsisShortCircuit/SynopsisOff-8   500   90000 ns/op\n" +
+			"BenchmarkSynopsisShortCircuit/SynopsisOn-8    500   45000 ns/op\n")
+	benches, err := parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := pairs(benches)
+	if len(ps) != 1 {
+		t.Fatalf("want one pair, got %+v", ps)
+	}
+	p := ps[0]
+	if p.Kind != "nosynopsis-vs-synopsis" || p.Ratio < 1.9 || p.Ratio > 2.1 {
+		t.Errorf("synopsis pair wrong: %+v", p)
+	}
+}
+
+// TestAggregateMedian: -agg median collapses repeated runs per name,
+// resists one noisy outlier, and preserves first-appearance order so
+// pairing still works downstream.
+func TestAggregateMedian(t *testing.T) {
+	in := strings.NewReader(
+		"BenchmarkX/SynopsisOff-8   100   1000 ns/op   64 B/op   2 allocs/op\n" +
+			"BenchmarkX/SynopsisOn-8    100    500 ns/op   32 B/op   1 allocs/op\n" +
+			"BenchmarkX/SynopsisOff-8   100   9000 ns/op   64 B/op   2 allocs/op\n" + // noisy outlier
+			"BenchmarkX/SynopsisOn-8    100    510 ns/op   32 B/op   1 allocs/op\n" +
+			"BenchmarkX/SynopsisOff-8   100   1100 ns/op   64 B/op   2 allocs/op\n" +
+			"BenchmarkX/SynopsisOn-8    100    490 ns/op   32 B/op   1 allocs/op\n")
+	benches, err := parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := aggregate(benches, "median")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agg) != 2 {
+		t.Fatalf("want 2 aggregated benchmarks, got %+v", agg)
+	}
+	if agg[0].Name != "BenchmarkX/SynopsisOff" || agg[0].NsPerOp != 1100 {
+		t.Errorf("median must shrug off the 9000ns outlier: %+v", agg[0])
+	}
+	if agg[1].Name != "BenchmarkX/SynopsisOn" || agg[1].NsPerOp != 500 {
+		t.Errorf("odd-count median wrong: %+v", agg[1])
+	}
+	if agg[0].BytesPerOp != 64 || agg[0].AllocsPerOp != 2 {
+		t.Errorf("benchmem medians wrong: %+v", agg[0])
+	}
+	ps := pairs(agg)
+	if len(ps) != 1 || ps[0].Ratio < 2.1 || ps[0].Ratio > 2.3 {
+		t.Errorf("pairing over aggregated medians wrong: %+v", ps)
+	}
+
+	// Even-count groups take the midpoint of the middle two.
+	even, err := aggregate(benches[:4], "median")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if even[0].NsPerOp != 5000 {
+		t.Errorf("even-count median = %v, want 5000", even[0].NsPerOp)
+	}
+
+	if _, err := aggregate(benches, "mean"); err == nil {
+		t.Error("unknown -agg mode must error")
+	}
+	same, err := aggregate(benches, "none")
+	if err != nil || len(same) != len(benches) {
+		t.Errorf("none must keep every line: %v %d", err, len(same))
+	}
+}
+
 // TestRunEmitsEmptyPairsArray: a report with no pairable benchmarks must
 // still be valid JSON with "pairs": [], not null, so downstream tooling
 // can index into it unconditionally.

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestReportEmitsBenchjsonShape: the -json artifact must decode as a
+// cmd/benchjson Report (benchmarks + pairs) so cmd/benchdiff can diff
+// two load-test runs, with latency percentiles and shed rate carried as
+// pseudo-benchmarks.
+func TestReportEmitsBenchjsonShape(t *testing.T) {
+	results := make([]result, 0, 100)
+	for i := 0; i < 100; i++ {
+		r := result{status: http.StatusOK, latency: time.Duration(i+1) * time.Millisecond}
+		if i < 10 { // 10% shed
+			r.status = http.StatusTooManyRequests
+		}
+		results = append(results, r)
+	}
+	jsonOut := filepath.Join(t.TempDir(), "load.json")
+	var out strings.Builder
+	if err := report(results, 2*time.Second, jsonOut, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(jsonOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		ShedRate   float64 `json:"shed_rate"`
+		Benchmarks []struct {
+			Name    string  `json:"name"`
+			NsPerOp float64 `json:"ns_per_op"`
+		} `json:"benchmarks"`
+		Pairs []struct{} `json:"pairs"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("artifact not valid JSON: %v\n%s", err, data)
+	}
+	if !strings.Contains(string(data), `"pairs": []`) {
+		t.Errorf("pairs must marshal as [], not null:\n%s", data)
+	}
+
+	byName := map[string]float64{}
+	for _, b := range rep.Benchmarks {
+		byName[b.Name] = b.NsPerOp
+	}
+	// p50 over 1..100ms is the 49th index (benchdiff-ready nanoseconds).
+	if got := byName["ServerLoad/latency_p50"]; got != 50*1e6 {
+		t.Errorf("latency_p50 = %v ns, want %v", got, 50*1e6)
+	}
+	if got := byName["ServerLoad/latency_max"]; got != 100*1e6 {
+		t.Errorf("latency_max = %v ns, want %v", got, 100*1e6)
+	}
+	// 100 requests in 2s = 2e7 ns per request.
+	if got := byName["ServerLoad/ns_per_request"]; got < 1.9e7 || got > 2.1e7 {
+		t.Errorf("ns_per_request = %v, want ~2e7", got)
+	}
+	if got := byName["ServerLoad/shed_rate_pct"]; got != 10 {
+		t.Errorf("shed_rate_pct = %v, want 10", got)
+	}
+	if rep.ShedRate != 0.10 {
+		t.Errorf("shed_rate = %v, want 0.10", rep.ShedRate)
+	}
+	for _, want := range []string{"shed rate:", "latency ms:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("human report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestReportTransportErrorsFail: requests that never resolved to a
+// response must fail the run — that is the outcome admission control
+// exists to prevent — while still writing the artifact first.
+func TestReportTransportErrorsFail(t *testing.T) {
+	results := []result{
+		{status: http.StatusOK, latency: time.Millisecond},
+		{err: os.ErrDeadlineExceeded, latency: time.Second},
+	}
+	jsonOut := filepath.Join(t.TempDir(), "load.json")
+	var out strings.Builder
+	err := report(results, time.Second, jsonOut, &out)
+	if err == nil || !strings.Contains(err.Error(), "transport layer") {
+		t.Fatalf("want transport-layer failure, got %v", err)
+	}
+	if _, statErr := os.Stat(jsonOut); statErr != nil {
+		t.Errorf("artifact must be written before the error returns: %v", statErr)
+	}
+}

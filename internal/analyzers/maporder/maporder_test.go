@@ -10,3 +10,11 @@ import (
 func TestMaporder(t *testing.T) {
 	analysistest.Run(t, "testdata", maporder.Analyzer, "maporderfix")
 }
+
+// TestMaporderSynopsisPaths pins the enumeration shape the path synopsis
+// depends on: append-under-range with a subsequent sort (the real
+// Paths() implementation) is clean, the same code minus the sort is a
+// finding.
+func TestMaporderSynopsisPaths(t *testing.T) {
+	analysistest.Run(t, "testdata", maporder.Analyzer, "synopsispaths")
+}

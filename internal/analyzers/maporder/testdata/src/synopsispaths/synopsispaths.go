@@ -1,0 +1,56 @@
+// Package synopsispaths pins the maporder contract the path synopsis
+// relies on: internal/synopsis.Paths() enumerates a map of distinct
+// paths into a user-visible listing, so the append-then-sort shape it
+// uses must stay clean, and dropping the sort must be flagged. The
+// fixture mirrors the real code's types (entry counts keyed by an
+// encoded path) rather than importing it, so the analyzer contract is
+// pinned even if the package moves.
+package synopsispaths
+
+import "sort"
+
+type entry struct {
+	count int64
+	docs  int64
+}
+
+type pathStat struct {
+	Path  string
+	Count int64
+	Docs  int64
+}
+
+// enumerateSorted is the shape internal/synopsis.Paths() uses: collect
+// under the map range, sort after — deterministic output, no finding.
+func enumerateSorted(byKey map[string]*entry) []pathStat {
+	out := make([]pathStat, 0, len(byKey))
+	for key, e := range byKey {
+		out = append(out, pathStat{Path: key, Count: e.count, Docs: e.docs})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// enumerateUnsorted is the regression this fixture exists to catch: the
+// same enumeration with the sort dropped leaks map order to callers.
+func enumerateUnsorted(byKey map[string]*entry) []pathStat {
+	var out []pathStat
+	for key, e := range byKey { // want "map range appends to out without a subsequent sort"
+		out = append(out, pathStat{Path: key, Count: e.count, Docs: e.docs})
+	}
+	return out
+}
+
+// tally aggregates counts without ordered output — pure aggregation
+// stays clean, matching the synopsis Match() path.
+func tally(byKey map[string]*entry) (nodes, docs int64) {
+	for _, e := range byKey {
+		nodes += e.count
+		docs += e.docs
+	}
+	return nodes, docs
+}
+
+var _ = enumerateSorted
+var _ = enumerateUnsorted
+var _ = tally

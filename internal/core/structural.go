@@ -1,0 +1,86 @@
+package core
+
+import (
+	"strings"
+
+	"github.com/xqdb/xqdb/internal/pattern"
+	"github.com/xqdb/xqdb/internal/xdm"
+	"github.com/xqdb/xqdb/internal/xquery"
+)
+
+// StructuralQuery describes a query whose answer depends only on which
+// rooted label paths exist and how often — fn:count or fn:exists over a
+// predicate-free path from a collection call. Such queries are answerable
+// from a path synopsis without touching a single document.
+type StructuralQuery struct {
+	// Collection is the lowercased "table.column" the path ranges over.
+	Collection string
+	// Pattern is the query path lowered to XMLPATTERN form.
+	Pattern *pattern.Pattern
+	// Count distinguishes fn:count (node count) from fn:exists (boolean).
+	Count bool
+}
+
+// StructuralOnly reports whether the module is a structural-only query:
+// its whole body is fn:count(...) or fn:exists(...) over a path that
+// starts at db2-fn:xmlcolumn / fn:collection and navigates with
+// predicate-free axis steps the pattern grammar admits. The synopsis
+// counts every node by its rooted label path — the same population the
+// XMLPATTERN walk sees — so the lowered pattern's match total is the
+// exact fn:count answer.
+func StructuralOnly(m *xquery.Module) (*StructuralQuery, bool) {
+	fc, ok := m.Body.(*xquery.FunctionCall)
+	if !ok || fc.Space != "fn" || len(fc.Args) != 1 {
+		return nil, false
+	}
+	count := fc.Local == "count"
+	if !count && fc.Local != "exists" {
+		return nil, false
+	}
+	pe, ok := fc.Args[0].(*xquery.PathExpr)
+	if !ok || pe.Rooted || len(pe.Steps) == 0 {
+		return nil, false
+	}
+	coll, ok := structuralCollection(pe.Start)
+	if !ok {
+		return nil, false
+	}
+	steps := make([]pattern.Step, 0, len(pe.Steps))
+	for _, s := range pe.Steps {
+		if len(s.Predicates) > 0 {
+			// A predicate can inspect values; the synopsis only knows
+			// structure.
+			return nil, false
+		}
+		ps, ok := convertStep(s)
+		if !ok {
+			return nil, false // parent or filter steps leave the pattern grammar
+		}
+		steps = append(steps, ps)
+	}
+	p, err := pattern.FromSteps(steps)
+	if err != nil {
+		return nil, false
+	}
+	return &StructuralQuery{Collection: coll, Pattern: p, Count: count}, true
+}
+
+// structuralCollection recognizes the collection call a structural path
+// must start from: db2-fn:xmlcolumn('T.C') or fn:collection('T.C') with a
+// string literal argument.
+func structuralCollection(e xquery.Expr) (string, bool) {
+	fc, ok := e.(*xquery.FunctionCall)
+	if !ok || len(fc.Args) != 1 {
+		return "", false
+	}
+	isXMLColumn := fc.Space == "db2-fn" && fc.Local == "xmlcolumn"
+	isCollection := fc.Space == "fn" && fc.Local == "collection"
+	if !isXMLColumn && !isCollection {
+		return "", false
+	}
+	lit, ok := fc.Args[0].(*xquery.Literal)
+	if !ok || lit.Value.T != xdm.String {
+		return "", false
+	}
+	return strings.ToLower(lit.Value.S), true
+}

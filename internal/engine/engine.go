@@ -9,6 +9,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -87,9 +88,30 @@ type Stats struct {
 	// PlanCache reports how the plan was obtained: "hit" or "miss" for
 	// prepared execution, "bypass" when the cache was not consulted.
 	PlanCache string
+	// Estimates records each probe's synopsis-derived selectivity
+	// estimate, in the ranked order the plan holds them.
+	Estimates []ProbeEstimate
+	// SynopsisSkips counts probes short-circuited this execution because
+	// their pattern matches no path in the column's synopsis.
+	SynopsisSkips int
+	// SynopsisAnswered marks a structural-only query answered entirely
+	// from the path synopsis, without touching documents or indexes.
+	SynopsisAnswered bool
 	// Trace holds timed execution spans when ExecOptions.Trace is set;
 	// nil otherwise.
 	Trace *Trace
+}
+
+// ProbeEstimate is one probe's synopsis-derived selectivity estimate.
+type ProbeEstimate struct {
+	// Label is the probe's IndexesUsed description.
+	Label string
+	// Docs and Nodes estimate how many documents and nodes the probe's
+	// pattern reaches; -1 = unknown (no synopsis for the column).
+	Docs  int64
+	Nodes int64
+	// Skipped marks a probe short-circuited by the synopsis.
+	Skipped bool
 }
 
 // probePlan is one planned index probe — a template: everything here
@@ -105,6 +127,17 @@ type probePlan struct {
 	forRow int // FROM index; -1 = collection-level
 	coll   string
 	occ    int
+	// est and estNodes are the synopsis selectivity estimates for the
+	// probe's pattern (documents and nodes); -1 = unknown. Estimates
+	// rank probe order — they never change what a probe returns.
+	est      int64
+	estNodes int64
+	// skip marks a probe whose pattern matches no synopsis path: no
+	// stored document can satisfy it, so execution short-circuits to the
+	// empty document set without touching the index. Sound because the
+	// catalog version — and with it every cached plan — moves whenever a
+	// column's path set changes.
+	skip bool
 }
 
 // semiJoinSpec names the SQL column whose distinct values a semi-join
@@ -182,7 +215,8 @@ func (e *Engine) planProbes(a *core.Analysis) ([]probePlan, []predDecision, erro
 					// value of the SQL column the comparison references.
 					if pl, ok := e.buildSemiJoinPlan(p, xi, tab); ok {
 						plans = append(plans, pl)
-						d.chosen, d.chosenLabel = vi, pl.label
+						e.annotateProbe(&plans[len(plans)-1])
+						d.chosen, d.chosenLabel = vi, plans[len(plans)-1].label
 					} else {
 						d.note = "semi-join not plannable: join table or column not found"
 					}
@@ -201,13 +235,72 @@ func (e *Engine) planProbes(a *core.Analysis) ([]probePlan, []predDecision, erro
 					label: fmt.Sprintf("%s(%s)", xi.Name, label),
 					table: tab, forRow: p.FromIndex, coll: p.Collection, occ: p.Occurrence,
 				})
+				e.annotateProbe(&plans[len(plans)-1])
 				d.chosen, d.chosenLabel = vi, plans[len(plans)-1].label
 				break
 			}
 		}
 		decisions = append(decisions, d)
 	}
+	rankProbes(plans)
 	return plans, decisions, nil
+}
+
+// annotateProbe attaches the column synopsis's statistics to a freshly
+// planned probe: selectivity estimates, the short-circuit mark when the
+// pattern matches no existing path, and — for semi-joins against large
+// join tables — the probe direction decision.
+func (e *Engine) annotateProbe(pl *probePlan) {
+	pl.est, pl.estNodes = -1, -1
+	dot := strings.IndexByte(pl.coll, '.')
+	if dot < 0 {
+		return
+	}
+	syn := pl.table.Synopsis(pl.coll[dot+1:])
+	nodes, docs := syn.Match(pl.probe.QueryPattern)
+	if nodes < 0 {
+		return
+	}
+	pl.estNodes, pl.est = nodes, docs
+	if nodes == 0 {
+		// No stored document contains the pattern, so the probe cannot
+		// produce anything. Definition-1 pre-filters only need a superset
+		// of the matching documents per occurrence — here the empty set
+		// is exact.
+		pl.skip = true
+		return
+	}
+	if pl.semi != nil {
+		// Semi-join direction: probing once per distinct join value wins
+		// when the value set is small, but past the value cap the probe
+		// used to degrade to "no filter". With an estimate in hand, flip
+		// direction instead: one structural probe over the pattern still
+		// pre-filters to the documents containing it.
+		if joinTab, err := e.Catalog.Table(pl.semi.table); err == nil && joinTab.Len() > defaultSemiJoinCap {
+			idx, _, _ := strings.Cut(pl.label, "(")
+			pl.label = fmt.Sprintf("%s(structural %s; direction flipped: %s.%s exceeds %d values)",
+				idx, pl.probe.QueryPattern, pl.semi.table, pl.semi.column, defaultSemiJoinCap)
+			pl.semi = nil
+		}
+	}
+}
+
+// rankProbes orders probes by estimated selectivity, cheapest first with
+// unknown estimates last. The sort is stable, and safe by construction:
+// probe results merge by intersection within a binding occurrence and
+// union across occurrences — both commutative — so ranking changes probe
+// order and nothing else. The equivalence property tests pin that.
+func rankProbes(plans []probePlan) {
+	sort.SliceStable(plans, func(i, j int) bool {
+		ei, ej := plans[i].est, plans[j].est
+		switch {
+		case ei < 0:
+			return false
+		case ej < 0:
+			return true
+		}
+		return ei < ej
+	})
 }
 
 // indexCompat adapts the storage index type to the analyzer's view.
@@ -380,6 +473,9 @@ type probeOutcome struct {
 	// does not cast): the occurrence stays unprobed and poisons its
 	// collection below — a full scan, never a wrong answer.
 	ok bool
+	// skipped marks a probe the synopsis short-circuited: ok with an
+	// empty document set, zero index work.
+	skipped bool
 	// err is set only for guard violations and worker panics; the merge
 	// phase aborts the query with it.
 	err error
@@ -389,6 +485,19 @@ type probeOutcome struct {
 // runProbe executes one probe plan to completion.
 func (e *Engine) runProbe(g *guard.Guard, pl probePlan, o ExecOptions, t0 time.Time) probeOutcome {
 	out := probeOutcome{label: pl.label, t0: t0}
+	if pl.skip && !o.NoSynopsis {
+		// Short-circuit: the pattern matches no stored path, so the empty
+		// set is this probe's exact answer. The guard still gets its say —
+		// a canceled query must abort even when every probe is free.
+		if err := g.Check(); err != nil {
+			out.err = err
+			return out
+		}
+		out.ok = true
+		out.skipped = true
+		out.label += " [skipped: no matching path in synopsis]"
+		return out
+	}
 	if pl.semi != nil {
 		// Semi-join: union of one equality probe per distinct value of
 		// the join column, gathered now — the values are data.
@@ -522,6 +631,12 @@ func (e *Engine) runProbes(g *guard.Guard, plans []probePlan, a *core.Analysis, 
 		stats.Trace.add("probe", fmt.Sprintf("%s: %d keys, %d docs", r.label, r.visited, len(r.docs)), r.t0)
 		stats.IndexesUsed = append(stats.IndexesUsed, r.label)
 		pl := plans[i]
+		if r.skipped {
+			stats.SynopsisSkips++
+		}
+		stats.Estimates = append(stats.Estimates, ProbeEstimate{
+			Label: r.label, Docs: pl.est, Nodes: pl.estNodes, Skipped: r.skipped,
+		})
 		if pl.forRow >= 0 {
 			// SQL row-level predicates on the same FROM item all
 			// constrain the same document: intersect.

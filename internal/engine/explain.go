@@ -46,8 +46,25 @@ func (e *Engine) renderPlan(p *plan, cache string) string {
 			fmt.Fprintf(&b, "warning (Tip %d — %s): %s\n", w.Tip, core.TipTitle(w.Tip), w.Message)
 		}
 	}
+	if p.structural != nil {
+		kind := "exists"
+		if p.structural.Count {
+			kind = "count"
+		}
+		fmt.Fprintf(&b, "structural-only: %s of %s over %s answered from the path synopsis (no documents touched)\n",
+			kind, p.structural.Pattern, p.structural.Collection)
+	}
 	for _, pl := range p.probes {
-		fmt.Fprintf(&b, "probe %s: probe cache: %s\n", pl.label, probeCacheState(pl))
+		switch {
+		case pl.skip:
+			fmt.Fprintf(&b, "probe %s: skipped — no matching path in synopsis (est=0 docs), probe cache: %s\n",
+				pl.label, probeCacheState(pl))
+		case pl.est >= 0:
+			fmt.Fprintf(&b, "probe %s: est=%d docs (%d nodes), probe cache: %s\n",
+				pl.label, pl.est, pl.estNodes, probeCacheState(pl))
+		default:
+			fmt.Fprintf(&b, "probe %s: est=unknown, probe cache: %s\n", pl.label, probeCacheState(pl))
+		}
 	}
 	indexes := "off"
 	if p.useIndexes {

@@ -16,6 +16,7 @@ type instruments struct {
 	probes, keys                           *metrics.Counter
 	docsTotal, docsScanned, rowsScanned    *metrics.Counter
 	parallelQueries, parallelShards        *metrics.Counter
+	synSkips, synAnswered                  *metrics.Counter
 	latency                                *metrics.Histogram
 }
 
@@ -31,6 +32,8 @@ func (in *instruments) init(reg *metrics.Registry) {
 	in.rowsScanned = reg.Counter("sql.rows_scanned")
 	in.parallelQueries = reg.Counter("exec.parallel_queries")
 	in.parallelShards = reg.Counter("exec.parallel_shards")
+	in.synSkips = reg.Counter("synopsis.shortcircuits")
+	in.synAnswered = reg.Counter("synopsis.structural_answers")
 	in.latency = reg.Histogram("query.latency")
 }
 
@@ -75,6 +78,10 @@ func (e *Engine) record(lang Lang, start time.Time, stats *Stats, err *error) {
 	in.docsTotal.Add(int64(stats.DocsTotal))
 	in.docsScanned.Add(int64(stats.DocsScanned))
 	in.rowsScanned.Add(int64(stats.RowsScanned))
+	in.synSkips.Add(int64(stats.SynopsisSkips))
+	if stats.SynopsisAnswered {
+		in.synAnswered.Inc()
+	}
 	if stats.ParallelShards > 1 {
 		in.parallelQueries.Inc()
 		in.parallelShards.Add(int64(stats.ParallelShards))

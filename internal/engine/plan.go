@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -48,6 +49,12 @@ type ExecOptions struct {
 	// read nor populated) — the uncached baseline for benchmarks and
 	// determinism tests.
 	NoProbeCache bool
+	// NoSynopsis disables the path-synopsis execution paths: probes the
+	// planner marked as short-circuited run against the index anyway,
+	// and structural-only queries evaluate normally. The no-synopsis
+	// baseline for benchmarks and equivalence tests. (Probe ranking is a
+	// plan-time property and is unaffected — it never changes results.)
+	NoSynopsis bool
 }
 
 // plan is a prepared execution plan — everything derivable from the query
@@ -69,6 +76,12 @@ type plan struct {
 	// decisions records the planner's per-predicate reasoning (candidate
 	// verdicts, chosen index, skip notes) for EXPLAIN.
 	decisions []predDecision
+
+	// structural, when non-nil, marks a query answerable from the path
+	// synopsis alone (fn:count/fn:exists over a predicate-free path);
+	// execution consults the live synopsis and falls back to normal
+	// evaluation when it has no answer.
+	structural *core.StructuralQuery
 
 	// explain marks a SQL EXPLAIN wrapper: execution renders the plan
 	// report instead of running the statement.
@@ -225,6 +238,9 @@ func (e *Engine) buildPlan(query string, lang Lang, useIndexes bool) (*plan, err
 			if err != nil {
 				return nil, err
 			}
+			if sq, ok := core.StructuralOnly(m); ok {
+				p.structural = sq
+			}
 		}
 	case LangSQL:
 		stmt, err := sqlxml.Parse(query)
@@ -292,6 +308,14 @@ func newStats(o ExecOptions) *Stats {
 
 func (e *Engine) execXQueryPlan(p *plan, o ExecOptions, stats *Stats) (xdm.Sequence, *Stats, error) {
 	g := o.Guard
+	if p.structural != nil && !o.NoSynopsis {
+		if seq, ok := e.answerStructural(p.structural, stats); ok {
+			if err := g.Check(); err != nil {
+				return nil, nil, err
+			}
+			return seq, stats, nil
+		}
+	}
 	resolver := xquery.CollectionResolver(e.Catalog)
 	if p.analysis != nil {
 		collSets, _, err := e.runProbes(g, p.probes, p.analysis, o, stats)
@@ -316,6 +340,40 @@ func (e *Engine) execXQueryPlan(p *plan, o ExecOptions, stats *Stats) (xdm.Seque
 		return nil, nil, err
 	}
 	return seq, stats, nil
+}
+
+// answerStructural answers a structural-only query from the column's
+// live path synopsis: fn:count is the exact number of nodes whose rooted
+// path matches the pattern, fn:exists is that count's sign. ok=false —
+// unknown collection, no synopsis on the column — falls through to
+// normal evaluation, which surfaces its ordinary errors.
+func (e *Engine) answerStructural(sq *core.StructuralQuery, stats *Stats) (xdm.Sequence, bool) {
+	dot := strings.IndexByte(sq.Collection, '.')
+	if dot < 0 {
+		return nil, false
+	}
+	tab, err := e.Catalog.Table(sq.Collection[:dot])
+	if err != nil {
+		return nil, false
+	}
+	syn := tab.Synopsis(sq.Collection[dot+1:])
+	t0 := stats.Trace.now()
+	nodes, _ := syn.Match(sq.Pattern)
+	if nodes < 0 {
+		return nil, false
+	}
+	kind := "exists"
+	if sq.Count {
+		kind = "count"
+	}
+	label := fmt.Sprintf("synopsis(%s %s over %s)", kind, sq.Pattern, sq.Collection)
+	stats.IndexesUsed = append(stats.IndexesUsed, label)
+	stats.Trace.add("probe", fmt.Sprintf("%s: %d nodes", label, nodes), t0)
+	stats.SynopsisAnswered = true
+	if sq.Count {
+		return xdm.Sequence{xdm.NewInteger(nodes)}, true
+	}
+	return xdm.Sequence{xdm.NewBoolean(nodes > 0)}, true
 }
 
 // minParallelDocs is the smallest collection worth sharding; below it the

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/xqdb/xqdb/internal/guard"
+	"github.com/xqdb/xqdb/internal/synopsis"
 	"github.com/xqdb/xqdb/internal/xmlindex"
 )
 
@@ -30,10 +31,16 @@ func (t *Table) ReserveIDs(n int) uint32 {
 // non-nil, is consulted periodically through the index builds and row
 // walk so a guard can abort long appends.
 //
+// syn maps a column index to the synopsis batches the load's workers
+// accumulated for that column (see synopsis.Batch); XML columns absent
+// from the map fall back to per-document AddDoc during commit. Synopsis
+// maintenance is infallible and happens in phase B only, so a failed
+// load leaves the summaries untouched.
+//
 // Rows must carry ids from ReserveIDs and cells shaped for this table;
 // appended rows take the order given, after any rows concurrent Inserts
 // committed first.
-func (t *Table) BulkAppend(rows []Row, runs map[*xmlindex.Index][][][]byte, check func(done int) error) error {
+func (t *Table) BulkAppend(rows []Row, runs map[*xmlindex.Index][][][]byte, syn map[int][]*synopsis.Batch, check func(done int) error) error {
 	if err := guard.Fault("storage.bulkappend:" + t.Name); err != nil {
 		return fmt.Errorf("bulk append into %s: %w", t.Name, err)
 	}
@@ -128,6 +135,34 @@ func (t *Table) BulkAppend(rows []Row, runs map[*xmlindex.Index][][][]byte, chec
 		for _, rel := range t.relIndexes {
 			rel.insert(rows[ri])
 		}
+	}
+	pathSetChanged := false
+	for ci := range t.Columns {
+		s := t.syn(ci)
+		if s == nil {
+			continue
+		}
+		if batches, ok := syn[ci]; ok {
+			for _, b := range batches {
+				if s.Merge(b) {
+					pathSetChanged = true
+				}
+			}
+			continue
+		}
+		//xqvet:unbounded-ok phase B must run to completion; aborting here would leave rows ahead of synopses
+		for ri := range rows {
+			cell := rows[ri].Cells[ci]
+			if cell.Null || cell.Doc == nil {
+				continue
+			}
+			if s.AddDoc(cell.Doc) {
+				pathSetChanged = true
+			}
+		}
+	}
+	if pathSetChanged {
+		t.bumpVersion()
 	}
 	return nil
 }

@@ -50,7 +50,7 @@ func TestBulkAppendMatchesInsert(t *testing.T) {
 	insertOrder(t, tab, 1, `<order><lineitem price="7"/></order>`)
 
 	rows, runs := bulkRows(t, tab, 20, xi)
-	if err := tab.BulkAppend(rows, runs, nil); err != nil {
+	if err := tab.BulkAppend(rows, runs, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if tab.Len() != 21 {
@@ -92,7 +92,7 @@ func TestBulkAppendAtomicRollback(t *testing.T) {
 	rows, runs := bulkRows(t, tab, 5, xi)
 	// Wrong shape on the last row: phase A must reject the whole batch.
 	rows[4].Cells = rows[4].Cells[:1]
-	if err := tab.BulkAppend(rows, runs, nil); err == nil {
+	if err := tab.BulkAppend(rows, runs, nil, nil); err == nil {
 		t.Fatal("short row accepted")
 	}
 	if tab.Len() != 1 {
@@ -105,7 +105,7 @@ func TestBulkAppendAtomicRollback(t *testing.T) {
 	// A duplicate row id is likewise rejected up front.
 	rows2, runs2 := bulkRows(t, tab, 2, xi)
 	rows2[1].ID = 1
-	if err := tab.BulkAppend(rows2, runs2, nil); err == nil || !strings.Contains(err.Error(), "row id") {
+	if err := tab.BulkAppend(rows2, runs2, nil, nil); err == nil || !strings.Contains(err.Error(), "row id") {
 		t.Fatalf("duplicate id: err = %v", err)
 	}
 	if tab.Len() != 1 || xi.Index.Stats().Entries != 1 {
@@ -122,7 +122,7 @@ func TestBulkAppendMidLoadIndex(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := tab.BulkAppend(rows, runs, nil); err != nil {
+	if err := tab.BulkAppend(rows, runs, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if got := late.Index.Stats().Entries; got != 4 {
@@ -132,7 +132,7 @@ func TestBulkAppendMidLoadIndex(t *testing.T) {
 	// Failure after some per-row inserts unwinds them.
 	rows2, runs2 := bulkRows(t, tab, 3)
 	rows2[2].Cells = rows2[2].Cells[:1]
-	if err := tab.BulkAppend(rows2, runs2, nil); err == nil {
+	if err := tab.BulkAppend(rows2, runs2, nil, nil); err == nil {
 		t.Fatal("short row accepted")
 	}
 	if got := late.Index.Stats().Entries; got != 4 {
@@ -150,7 +150,7 @@ func TestBulkAppendCheckAborts(t *testing.T) {
 	}
 	rows, runs := bulkRows(t, tab, 6, xi)
 	boom := errors.New("canceled")
-	err = tab.BulkAppend(rows, runs, func(int) error { return boom })
+	err = tab.BulkAppend(rows, runs, nil, func(int) error { return boom })
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want the check's error", err)
 	}
@@ -167,7 +167,7 @@ func TestBulkAppendMaintainsRelIndexes(t *testing.T) {
 		t.Fatal(err)
 	}
 	rows, runs := bulkRows(t, tab, 3)
-	if err := tab.BulkAppend(rows, runs, nil); err != nil {
+	if err := tab.BulkAppend(rows, runs, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	ids, err := ri.Lookup(xdm.NewInteger(2))

@@ -18,6 +18,7 @@ import (
 	"github.com/xqdb/xqdb/internal/metrics"
 	"github.com/xqdb/xqdb/internal/pattern"
 	"github.com/xqdb/xqdb/internal/postings"
+	"github.com/xqdb/xqdb/internal/synopsis"
 	"github.com/xqdb/xqdb/internal/xdm"
 	"github.com/xqdb/xqdb/internal/xmlindex"
 	"github.com/xqdb/xqdb/internal/xmlparse"
@@ -104,6 +105,11 @@ type Table struct {
 	xmlIndexes []*XMLIndex
 	relIndexes []*RelIndex
 
+	// syns holds one path synopsis per column (nil for non-XML columns),
+	// parallel to Columns and immutable after CreateTable — only the
+	// synopses' contents change, under their own locks.
+	syns []*synopsis.Synopsis
+
 	// catVersion points at the owning catalog's schema version counter;
 	// index DDL on this table bumps it. Nil for tables created outside a
 	// catalog (tests).
@@ -146,9 +152,15 @@ type Catalog struct {
 	tables map[string]*Table
 	// version counts schema changes: CREATE/DROP TABLE and CREATE/DROP
 	// INDEX on any table of this catalog. Cached query plans embed the
-	// version they were built against and are invalidated when it moves;
-	// data changes (insert/delete) do not bump it — plans hold live table
-	// and index objects, not data snapshots.
+	// version they were built against and are invalidated when it moves.
+	// Data changes (insert/delete) do not bump it — plans hold live table
+	// and index objects, not data snapshots — with one exception: a
+	// change to a column's path *set* (a new distinct path appearing, or
+	// the last node of a path disappearing) bumps it, because cached
+	// plans embed synopsis-driven probe short-circuits that are only
+	// sound against the path set they were decided on. Count-only
+	// changes leave cached selectivity estimates stale, which can only
+	// reorder probes, never change results.
 	version atomic.Uint64
 	// metrics, when set via SetMetrics, instruments indexes created
 	// through this catalog.
@@ -210,6 +222,15 @@ func (c *Catalog) CreateTable(name string, cols []Column) (*Table, error) {
 	}
 	t := &Table{Name: strings.ToLower(name), Columns: cols, byID: map[uint32]int{}, nextID: 1,
 		catVersion: &c.version, metrics: c.metrics, probeCacheCap: c.probeCacheCap}
+	t.syns = make([]*synopsis.Synopsis, len(cols))
+	for i, col := range cols {
+		if col.Type == XML {
+			t.syns[i] = synopsis.New()
+			if c.metrics != nil {
+				t.syns[i].Instrument(c.metrics.Gauge("synopsis.paths"))
+			}
+		}
+	}
 	c.tables[key] = t
 	c.version.Add(1)
 	return t, nil
@@ -320,6 +341,27 @@ func (c *Catalog) CollectionFiltered(name string, allowed postings.List) ([]*xdm
 	return docs, nil
 }
 
+// Synopsis returns the path summary of an XML column, nil when the
+// column does not exist, is not XML-typed, or the table was built
+// outside a catalog. The synopsis is safe to read concurrently with
+// table mutation; its counts always reflect committed documents.
+func (t *Table) Synopsis(column string) *synopsis.Synopsis {
+	ci, err := t.ColumnIndex(column)
+	if err != nil || ci >= len(t.syns) {
+		return nil
+	}
+	return t.syns[ci]
+}
+
+// syn returns the column's synopsis or nil; safe for tables built
+// without CreateTable (tests), where syns is nil.
+func (t *Table) syn(ci int) *synopsis.Synopsis {
+	if ci >= len(t.syns) {
+		return nil
+	}
+	return t.syns[ci]
+}
+
 // ColumnIndex resolves a column name to its position.
 func (t *Table) ColumnIndex(name string) (int, error) {
 	for i, c := range t.Columns {
@@ -373,6 +415,22 @@ func (t *Table) Insert(cells []Cell) (uint32, error) {
 	t.rows = append(t.rows, row)
 	for _, ri := range t.relIndexes {
 		ri.insert(row)
+	}
+	// Synopsis maintenance is infallible, so it runs after the row has
+	// landed. A new distinct path invalidates cached plans (their skip
+	// decisions assumed it did not exist); count-only growth does not.
+	pathSetChanged := false
+	for i := range row.Cells {
+		cell := row.Cells[i]
+		if cell.Null || cell.Doc == nil {
+			continue
+		}
+		if t.syn(i).AddDoc(cell.Doc) {
+			pathSetChanged = true
+		}
+	}
+	if pathSetChanged {
+		t.bumpVersion()
 	}
 	return id, nil
 }
@@ -432,6 +490,21 @@ func (t *Table) Delete(id uint32) error {
 	delete(t.byID, id)
 	for i := pos; i < len(t.rows); i++ {
 		t.byID[t.rows[i].ID] = i
+	}
+	// Removing the last occurrence of a path shrinks the path set: plans
+	// that ranked or kept probes for it must be rebuilt.
+	pathSetChanged := false
+	for i := range row.Cells {
+		cell := row.Cells[i]
+		if cell.Null || cell.Doc == nil {
+			continue
+		}
+		if t.syn(i).RemoveDoc(cell.Doc) {
+			pathSetChanged = true
+		}
+	}
+	if pathSetChanged {
+		t.bumpVersion()
 	}
 	return nil
 }

@@ -9,7 +9,9 @@ import (
 
 // The plan cache keys its staleness check on Catalog.Version: every DDL
 // statement must bump it, and plain data changes must not (cached plans
-// hold live table and index objects, so data flows through unchanged).
+// hold live table and index objects, so data flows through unchanged) —
+// except when an insert or delete changes a column's synopsis path set,
+// which invalidates cached skip decisions and so must bump.
 func TestCatalogVersionBumpsOnDDLOnly(t *testing.T) {
 	c := NewCatalog()
 	v := c.Version()
@@ -32,7 +34,10 @@ func TestCatalogVersionBumpsOnDDLOnly(t *testing.T) {
 	step("CreateTable", true)
 
 	id := insertOrder(t, tab, 1, `<order><lineitem price="150"/></order>`)
-	step("Insert", false)
+	step("Insert with new paths", true)
+
+	id2 := insertOrder(t, tab, 2, `<order><lineitem price="90"/></order>`)
+	step("Insert with known paths", false)
 
 	if _, err := tab.CreateXMLIndex("li_price", "orddoc", "//lineitem/@price", xmlindex.Double); err != nil {
 		t.Fatal(err)
@@ -47,7 +52,12 @@ func TestCatalogVersionBumpsOnDDLOnly(t *testing.T) {
 	if err := tab.Delete(id); err != nil {
 		t.Fatal(err)
 	}
-	step("Delete", false)
+	step("Delete leaving paths populated", false)
+
+	if err := tab.Delete(id2); err != nil {
+		t.Fatal(err)
+	}
+	step("Delete emptying the path set", true)
 
 	if !tab.DropIndex("li_price") {
 		t.Fatal("DropIndex li_price: not found")

@@ -92,6 +92,13 @@ type QueryOptions struct {
 	// query (neither consulted nor populated). Useful for benchmarking
 	// the uncached path; results are identical either way.
 	NoProbeCache bool
+	// NoSynopsis disables path-synopsis short-circuits for this query:
+	// probes whose patterns match no stored path run against the index
+	// anyway, and structural-only queries (fn:count/fn:exists of a
+	// path) evaluate over the documents instead of being answered from
+	// the synopsis. The baseline for benchmarks and equivalence tests;
+	// results are identical either way.
+	NoSynopsis bool
 	// SlowThreshold enables the slow-query hook: a query whose wall-clock
 	// time reaches the threshold increments the "queries.slow" metric and,
 	// when OnSlow is set, invokes it. 0 disables.
@@ -163,6 +170,7 @@ func (db *DB) engineOptions(opts QueryOptions, prepared bool) engine.ExecOptions
 		Trace:             opts.Trace || (opts.SlowThreshold > 0 && opts.OnSlow != nil),
 		SemiJoinMaxValues: opts.SemiJoinMaxValues,
 		NoProbeCache:      opts.NoProbeCache,
+		NoSynopsis:        opts.NoSynopsis,
 	}
 }
 

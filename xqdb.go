@@ -26,6 +26,7 @@ import (
 	"github.com/xqdb/xqdb/internal/ingest"
 	"github.com/xqdb/xqdb/internal/sqlxml"
 	"github.com/xqdb/xqdb/internal/storage"
+	"github.com/xqdb/xqdb/internal/synopsis"
 	"github.com/xqdb/xqdb/internal/xdm"
 	"github.com/xqdb/xqdb/internal/xmlparse"
 	"github.com/xqdb/xqdb/internal/xmlschema"
@@ -295,6 +296,29 @@ func (db *DB) LoadXMLDirOpts(table, dir string, opts LoadOptions) (int, error) {
 		return 0, fmt.Errorf("LoadXMLDir %s: %w", dir, err)
 	}
 	return n, nil
+}
+
+// PathStat is one distinct rooted path of a column's synopsis, with its
+// node and document counts. See SynopsisPaths.
+type PathStat = synopsis.PathStat
+
+// SynopsisPaths enumerates the path synopsis of an XML column — every
+// distinct rooted label path stored in the column, with how many nodes
+// carry it and how many documents contain it — sorted by path. The
+// synopsis is maintained incrementally by loads, inserts, and deletes;
+// the planner uses it to skip impossible probes, rank probe order by
+// selectivity, and answer structural-only queries without touching
+// documents.
+func (db *DB) SynopsisPaths(table, column string) ([]PathStat, error) {
+	tab, err := db.eng.Catalog.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	syn := tab.Synopsis(column)
+	if syn == nil {
+		return nil, fmt.Errorf("SynopsisPaths: %s.%s is not an XML column", table, column)
+	}
+	return syn.Paths(), nil
 }
 
 // InsertValidated parses document XML, validates it against the schema
