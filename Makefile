@@ -47,12 +47,13 @@ bench: build
 	$(GO) run ./cmd/benchjson -o $(BENCHOUT) bench.out
 
 # bench-gate: the small fixed subset CI *gates* on (the bench-gate job),
-# unlike the full non-gating sweep above. Three runs of two stable pairs
-# — the synopsis short-circuit and the probe-pipeline combine — are
-# collapsed to a per-benchmark median by `benchjson -agg median`; the CI
-# job then diffs BENCH_GATE.json against the previous run's artifact
-# with `benchdiff -fail-over 25`.
-GATEBENCH ?= SynopsisShortCircuit|ProbePipeline_Combine
+# unlike the full non-gating sweep above. Three runs of four stable pairs
+# — the synopsis short-circuit, the probe-pipeline combine, the
+# index-only answer, and the seeded re-evaluation — are collapsed to a
+# per-benchmark median by `benchjson -agg median`; the CI job then diffs
+# BENCH_GATE.json against the previous run's artifact with
+# `benchdiff -fail-over 25`.
+GATEBENCH ?= SynopsisShortCircuit|ProbePipeline_Combine|IndexOnly_|SeededEval_
 GATECOUNT ?= 3
 GATETIME ?= 200x
 

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/xqdb/xqdb/internal/postings"
@@ -533,6 +534,82 @@ func BenchmarkSynopsisShortCircuit(b *testing.B) {
 	b.Run("SynopsisOn", func(b *testing.B) {
 		run(b, QueryOptions{NoProbeCache: true})
 	})
+}
+
+// --- node-level postings: index-only answers and seeded re-evaluation ---
+
+// Both variants pay the full range scan every iteration (NoProbeCache);
+// the pair isolates what node granularity saves. DocGranular runs the
+// probe as a document pre-filter and then evaluates the count over the
+// surviving documents; NodeGranular answers fn:count straight from the
+// decoded node references without touching a document.
+func BenchmarkIndexOnly_DocGranular(b *testing.B) {
+	benchIndexOnly(b, QueryOptions{NoIndexOnly: true, NoProbeCache: true})
+}
+
+func BenchmarkIndexOnly_NodeGranular(b *testing.B) {
+	benchIndexOnly(b, QueryOptions{NoProbeCache: true})
+}
+
+func benchIndexOnly(b *testing.B, opts QueryOptions) {
+	b.Helper()
+	db := benchDB(b)
+	db.UseIndexes = true
+	stmt, err := db.PrepareXQuery(`fn:count(db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem/@price[. > 100])`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := stmt.ExecOpts(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// FullWalk pre-filters documents and then re-evaluates the predicate
+// over every candidate node in each survivor; Seeded decodes the matched
+// ordinals during the same probe and prunes the operand path to the hit
+// nodes and their ancestors. The corpus is built so predicate
+// re-evaluation dominates — wide documents (80 lineitems) where only 2
+// match — which is exactly the case document granularity cannot help:
+// every document survives the pre-filter.
+func BenchmarkSeededEval_FullWalk(b *testing.B) {
+	benchSeededEval(b, QueryOptions{NoNodeSeeds: true, NoProbeCache: true})
+}
+
+func BenchmarkSeededEval_Seeded(b *testing.B) {
+	benchSeededEval(b, QueryOptions{NoProbeCache: true})
+}
+
+func benchSeededEval(b *testing.B, opts QueryOptions) {
+	b.Helper()
+	db := Open()
+	db.MustExecSQL(`create table wide (ordid integer, doc xml)`)
+	var sb strings.Builder
+	for i := 0; i < 150; i++ {
+		sb.Reset()
+		fmt.Fprintf(&sb, `<order id="%d">`, i)
+		for j := 0; j < 80; j++ {
+			fmt.Fprintf(&sb, `<lineitem price="%d"/>`, j)
+		}
+		sb.WriteString(`</order>`)
+		db.MustExecSQL(fmt.Sprintf(`insert into wide values (%d, '%s')`, i, sb.String()))
+	}
+	db.MustExecSQL(`create index w_price on wide(doc) using xmlpattern '//lineitem/@price' as double`)
+	db.UseIndexes = true
+	stmt, err := db.PrepareXQuery(`for $i in db2-fn:xmlcolumn('WIDE.DOC')//order[lineitem/@price > 77] return $i/@id`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := stmt.ExecOpts(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // --- substrate micro-benchmarks ---

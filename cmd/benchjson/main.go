@@ -108,6 +108,8 @@ var pairRules = []struct {
 	{"cold-vs-cached", "Cold", "Cached"},
 	{"perrow-vs-streaming", "PerRowLoader", "StreamingPipeline"},
 	{"nosynopsis-vs-synopsis", "SynopsisOff", "SynopsisOn"},
+	{"docgranular-vs-nodegranular", "DocGranular", "NodeGranular"},
+	{"fullwalk-vs-seeded", "FullWalk", "Seeded"},
 }
 
 // median of one numeric field across a group of same-name benchmarks.

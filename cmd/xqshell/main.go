@@ -213,6 +213,15 @@ func runStatementCtx(w io.Writer, db *xqdb.DB, ctx context.Context, stmt string,
 		if stats.PlanCache != "" {
 			fmt.Fprintf(w, "; plan cache: %s", stats.PlanCache)
 		}
+		if stats.IndexOnlyAnswered {
+			fmt.Fprintf(w, "; index-only")
+		}
+		if stats.NodesDecoded > 0 {
+			fmt.Fprintf(w, "; nodes decoded %d", stats.NodesDecoded)
+		}
+		if stats.NodesSeeded > 0 {
+			fmt.Fprintf(w, "; nodes seeded %d", stats.NodesSeeded)
+		}
 		fmt.Fprintln(w)
 	}
 	if opts.trace && stats != nil && stats.Trace != nil {

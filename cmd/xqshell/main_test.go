@@ -46,6 +46,27 @@ func TestRunStatementExplainAndTrace(t *testing.T) {
 	}
 }
 
+func TestStatsLineShowsNodeGranularity(t *testing.T) {
+	db := xqdb.Open()
+	db.UseIndexes = true
+	var out strings.Builder
+	runStatementTo(&out, db, `create table t (a integer, d xml)`, shellOpts{})
+	runStatementTo(&out, db, `insert into t values (1, '<x><y p="7"/><y p="1"/></x>')`, shellOpts{})
+	runStatementTo(&out, db, `create index yp on t(d) using xmlpattern '//y/@p' as double`, shellOpts{})
+
+	out.Reset()
+	runStatementTo(&out, db, `fn:count(db2-fn:xmlcolumn("T.D")//y/@p[. > 5])`, shellOpts{stats: true})
+	if got := out.String(); !strings.Contains(got, "index-only") || !strings.Contains(got, "nodes decoded 1") {
+		t.Errorf("stats line missing index-only markers:\n%s", got)
+	}
+
+	out.Reset()
+	runStatementTo(&out, db, `for $i in db2-fn:xmlcolumn("T.D")//x[y/@p > 5] return $i`, shellOpts{stats: true})
+	if got := out.String(); !strings.Contains(got, "nodes seeded 1") {
+		t.Errorf("stats line missing the seeded-node count:\n%s", got)
+	}
+}
+
 func TestMetaCommands(t *testing.T) {
 	db := xqdb.Open()
 	db.MustExecSQL(`create table t (a integer, d xml)`)

@@ -24,8 +24,9 @@ const (
 // Analyzer is the guardloop check.
 var Analyzer = &analysis.Analyzer{
 	Name: "guardloop",
-	Doc: "flags loops over B+Tree leaf chains, posting lists (postings.List), " +
-		"or storage rows ([]storage.Row) whose body never consults the query " +
+	Doc: "flags loops over B+Tree leaf chains, posting lists (postings.List " +
+		"or postings.NodeList), or storage rows ([]storage.Row) whose body " +
+		"never consults the query " +
 		"guard (Guard.Step/Check/Items or a check-every-N callback); annotate " +
 		"deliberately unguarded loops with //xqvet:unbounded-ok <reason>",
 	Run: run,
@@ -69,6 +70,8 @@ func rangeSubject(pass *analysis.Pass, loop *ast.RangeStmt) string {
 	switch {
 	case typeutil.IsNamed(tv.Type, postingsPath, "List"):
 		return "a posting list (postings.List)"
+	case typeutil.IsNamed(tv.Type, postingsPath, "NodeList"):
+		return "a node posting list (postings.NodeList)"
 	case typeutil.SliceOfNamed(tv.Type, storagePath, "Row"):
 		return "storage rows ([]storage.Row)"
 	}

@@ -60,6 +60,30 @@ func walkChainChecked(g *guard.Guard, n *node) (int, error) {
 	return total, nil
 }
 
+// decodeUnguarded mirrors the ordinal-decode loop shape of the
+// node-granularity probe path: per-entry doc/ordinal unpacking over a
+// postings.NodeList.
+func decodeUnguarded(nl postings.NodeList) (uint32, uint32) {
+	var docs, ords uint32
+	for _, ref := range nl { // want "node posting list .* does not consult the guard"
+		docs += postings.NodeDoc(ref)
+		ords += postings.NodeOrd(ref)
+	}
+	return docs, ords
+}
+
+func decodeGuarded(g *guard.Guard, nl postings.NodeList) (uint32, uint32, error) {
+	var docs, ords uint32
+	for _, ref := range nl {
+		if err := g.Step(); err != nil {
+			return 0, 0, err
+		}
+		docs += postings.NodeDoc(ref)
+		ords += postings.NodeOrd(ref)
+	}
+	return docs, ords, nil
+}
+
 func sumAnnotated(l postings.List) uint32 {
 	var total uint32
 	//xqvet:unbounded-ok fixture: deliberately unbounded kernel

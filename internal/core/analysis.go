@@ -20,6 +20,7 @@ import (
 	"github.com/xqdb/xqdb/internal/pattern"
 	"github.com/xqdb/xqdb/internal/xdm"
 	"github.com/xqdb/xqdb/internal/xmlindex"
+	"github.com/xqdb/xqdb/internal/xquery"
 )
 
 // CompType is the compile-time comparison type of a predicate.
@@ -99,6 +100,19 @@ type Predicate struct {
 	// Between links this predicate to its partner bound when a between
 	// pair was detected (index into Analysis.Predicates), else -1.
 	Between int
+	// SeedPath is the compared operand's own path AST when index hits
+	// may seed its re-evaluation: a general comparison against a
+	// constant whose operand is a plain downward path with no step
+	// predicates. Pruning such a path to index-matched nodes (and
+	// their ancestors) is sound because a general comparison is
+	// existential and every pruned node contributes false — positional
+	// or filter predicates would break that, so they disqualify.
+	SeedPath *xquery.PathExpr
+	// SeedSingle marks a SeedPath that is a single named-attribute
+	// step relative to the predicate context: at most one compared
+	// node per context node, so conjunctive probes over the same
+	// occurrence and pattern may intersect at node granularity.
+	SeedSingle bool
 	// Source is a human-readable rendering for reports.
 	Source string
 }

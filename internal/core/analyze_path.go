@@ -383,7 +383,11 @@ func (an *analyzer) extractComparison(c *xquery.Comparison, base pathInfo, e env
 			an.a.warnf(9, "the comparison applies to content of the constructed <%s> element; write the predicate on the base data before construction so indexes can be used (§3.6)", info.consName.Local)
 			return side{}
 		}
-		return side{path: info, isPath: info.known && info.collection != ""}
+		s := side{path: info, isPath: info.known && info.collection != ""}
+		if s.isPath {
+			s.seedPath, s.seedSingle = seedableOperand(ex)
+		}
+		return s
 	}
 	l, r := resolve(c.Left), resolve(c.Right)
 	op := c.Op
@@ -417,6 +421,10 @@ func (an *analyzer) extractComparison(c *xquery.Comparison, base pathInfo, e env
 			SingletonItem: c.Kind == xquery.ValueComp || info.contextSelf || info.lastStepIsAttribute(),
 			Between:       -1,
 		}
+		if c.Kind == xquery.GeneralComp && otherSide.hasValue {
+			p.SeedPath = pathSide.seedPath
+			p.SeedSingle = pathSide.seedSingle
+		}
 		p.Source = p.Describe()
 		an.a.Predicates = append(an.a.Predicates, p)
 	}
@@ -437,6 +445,55 @@ func (an *analyzer) extractComparison(c *xquery.Comparison, base pathInfo, e env
 	}
 }
 
+// seedableOperand decides whether a comparison operand is a path whose
+// re-evaluation index hits may seed. The operand (possibly under
+// fn:data) must be a non-rooted PathExpr whose own steps are all
+// predicate-free downward axis steps: positional or filter predicates
+// observe sequence positions, which pruning would shift, and casts
+// observe cardinality, which pruning would change. The second result
+// marks the single named-attribute form (at most one node per context).
+func seedableOperand(ex xquery.Expr) (*xquery.PathExpr, bool) {
+	if fc, ok := ex.(*xquery.FunctionCall); ok && fc.Space == "fn" && fc.Local == "data" && len(fc.Args) == 1 {
+		ex = fc.Args[0]
+	}
+	pe, ok := ex.(*xquery.PathExpr)
+	if !ok || pe.Rooted || len(pe.Steps) == 0 {
+		return nil, false
+	}
+	steps := pe.Steps
+	if steps[0].Axis == xquery.AxisNone {
+		// A leading `.` filter step (the ./a form) just names the
+		// context; any other filter step is not prunable navigation.
+		if _, isCtx := steps[0].Filter.(*xquery.ContextItem); !isCtx {
+			return nil, false
+		}
+		steps = steps[1:]
+	}
+	if len(steps) == 0 {
+		return nil, false
+	}
+	moving := 0
+	lastAttr := false
+	for _, s := range steps {
+		if len(s.Predicates) > 0 {
+			return nil, false
+		}
+		if _, ok := convertStep(s); !ok {
+			return nil, false
+		}
+		if s.Axis == xquery.AxisSelf {
+			continue
+		}
+		moving++
+		lastAttr = s.Axis == xquery.AxisAttribute && s.Test.Kind == xquery.NameTest
+	}
+	if moving == 0 {
+		return nil, false
+	}
+	single := pe.Start == nil && moving == 1 && lastAttr
+	return pe, single
+}
+
 // side is one resolved comparison operand.
 type side struct {
 	path     pathInfo
@@ -449,6 +506,10 @@ type side struct {
 	// variable operand (for index semi-joins).
 	joinTable  string
 	joinColumn string
+	// seedPath/seedSingle carry the seed metadata of a path operand
+	// (see Predicate.SeedPath).
+	seedPath   *xquery.PathExpr
+	seedSingle bool
 }
 
 // comparisonType derives the compile-time comparison type (§3.1): the

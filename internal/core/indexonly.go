@@ -1,0 +1,166 @@
+package core
+
+import (
+	"github.com/xqdb/xqdb/internal/pattern"
+	"github.com/xqdb/xqdb/internal/xdm"
+	"github.com/xqdb/xqdb/internal/xquery"
+)
+
+// IndexOnlyQuery describes a query whose answer depends only on which
+// nodes an eligible value index matches — fn:count or fn:exists over a
+// collection path whose single predicate is a general comparison against
+// a constant. A node-granularity probe then yields the answer without
+// touching a single document, the value-predicate twin of
+// StructuralQuery.
+type IndexOnlyQuery struct {
+	// Collection is the lowercased "table.column" the path ranges over.
+	Collection string
+	// Pattern is the full path to the compared node in XMLPATTERN form:
+	// the outer steps, plus the predicate's relative path when the
+	// comparison is not against the context item.
+	Pattern *pattern.Pattern
+	// Op, Value and CompType describe the comparison, ready for probe
+	// planning.
+	Op       xdm.CompareOp
+	Value    xdm.Value
+	CompType CompType
+	// Count distinguishes fn:count (node count) from fn:exists
+	// (boolean). Count additionally requires the compared node to be
+	// the counted node (the [. op c] form), so that index matches and
+	// counted matches are the same population.
+	Count bool
+}
+
+// IndexOnly reports whether the module is an index-only candidate: its
+// whole body is fn:count(...) or fn:exists(...) over a path starting at
+// db2-fn:xmlcolumn / fn:collection, where every step is a predicate-free
+// axis step except the last, which carries exactly one predicate — a
+// general comparison of the context item (count, exists) or of a plain
+// relative downward path (exists only) against a typed constant.
+//
+// The recognizer establishes shape only. Soundness — "the index's match
+// set is exactly the comparison's hit set" — additionally requires the
+// engine-side gates: an eligible index (Definition 1), a pattern
+// equivalent to the query path over the stored population, and no
+// schema-annotated documents, because a general comparison over untyped
+// values skips non-castable nodes exactly like the tolerant cast the
+// index applied at insert (§3.1); typed values can instead raise errors
+// the index never recorded.
+func IndexOnly(m *xquery.Module) (*IndexOnlyQuery, bool) {
+	fc, ok := m.Body.(*xquery.FunctionCall)
+	if !ok || fc.Space != "fn" || len(fc.Args) != 1 {
+		return nil, false
+	}
+	count := fc.Local == "count"
+	if !count && fc.Local != "exists" {
+		return nil, false
+	}
+	pe, ok := fc.Args[0].(*xquery.PathExpr)
+	if !ok || pe.Rooted || len(pe.Steps) == 0 {
+		return nil, false
+	}
+	coll, ok := structuralCollection(pe.Start)
+	if !ok {
+		return nil, false
+	}
+	steps := make([]pattern.Step, 0, len(pe.Steps))
+	var comp *xquery.Comparison
+	for i, s := range pe.Steps {
+		if len(s.Predicates) > 0 {
+			if i != len(pe.Steps)-1 || len(s.Predicates) != 1 {
+				return nil, false
+			}
+			comp, ok = s.Predicates[0].(*xquery.Comparison)
+			if !ok || comp.Kind != xquery.GeneralComp {
+				return nil, false
+			}
+		}
+		ps, ok := convertStep(s)
+		if !ok {
+			return nil, false
+		}
+		steps = append(steps, ps)
+	}
+	if comp == nil {
+		return nil, false // predicate-free paths are StructuralOnly's job
+	}
+
+	// Normalize to operand-op-constant.
+	operand, op := comp.Left, comp.Op
+	val, valType, ok := literalOperand(comp.Right)
+	if !ok {
+		val, valType, ok = literalOperand(comp.Left)
+		if !ok {
+			return nil, false
+		}
+		operand, op = comp.Right, mirrorOp(op)
+	}
+	if valType == CompUnknown {
+		return nil, false
+	}
+
+	switch x := operand.(type) {
+	case *xquery.ContextItem:
+		// [. op c]: the compared node is the counted node itself.
+	case *xquery.FunctionCall:
+		if x.Space != "fn" || x.Local != "data" || len(x.Args) != 1 {
+			return nil, false
+		}
+		if _, ok := x.Args[0].(*xquery.ContextItem); !ok {
+			return nil, false
+		}
+	case *xquery.PathExpr:
+		// [rel/path op c]: index matches count compared nodes, not
+		// counted nodes, so only the existential form stays exact.
+		if count {
+			return nil, false
+		}
+		rel, _ := seedableOperand(x)
+		if rel == nil || rel.Start != nil {
+			return nil, false
+		}
+		relSteps := rel.Steps
+		if relSteps[0].Axis == xquery.AxisNone {
+			relSteps = relSteps[1:]
+		}
+		for _, s := range relSteps {
+			ps, ok := convertStep(s)
+			if !ok {
+				return nil, false
+			}
+			steps = append(steps, ps)
+		}
+	default:
+		return nil, false
+	}
+
+	p, err := pattern.FromSteps(steps)
+	if err != nil {
+		return nil, false
+	}
+	return &IndexOnlyQuery{
+		Collection: coll,
+		Pattern:    p,
+		Op:         op,
+		Value:      val,
+		CompType:   valType,
+		Count:      count,
+	}, true
+}
+
+// Predicate builds the Definition-1 predicate form of the query, for
+// CheckIndex eligibility screening against candidate indexes.
+func (q *IndexOnlyQuery) Predicate() Predicate {
+	v := q.Value
+	return Predicate{
+		Collection: q.Collection,
+		FromIndex:  -1,
+		Steps:      q.Pattern.Steps,
+		Pattern:    q.Pattern,
+		Op:         q.Op,
+		Value:      &v,
+		CompType:   q.CompType,
+		Filtering:  true,
+		Between:    -1,
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"github.com/xqdb/xqdb/internal/storage"
 	"github.com/xqdb/xqdb/internal/xdm"
 	"github.com/xqdb/xqdb/internal/xmlindex"
+	"github.com/xqdb/xqdb/internal/xquery"
 )
 
 // Engine is one database instance.
@@ -97,6 +98,16 @@ type Stats struct {
 	// SynopsisAnswered marks a structural-only query answered entirely
 	// from the path synopsis, without touching documents or indexes.
 	SynopsisAnswered bool
+	// IndexOnlyAnswered marks a value-predicate fn:count/fn:exists
+	// answered entirely from a node-granularity index probe, without
+	// touching documents.
+	IndexOnlyAnswered bool
+	// NodesDecoded totals the node references node-granularity probes
+	// decoded this execution (index-only answers and seed probes).
+	NodesDecoded int
+	// NodesSeeded totals the index-matched nodes installed as
+	// navigation seeds for probe-guided re-evaluation.
+	NodesSeeded int
 	// Trace holds timed execution spans when ExecOptions.Trace is set;
 	// nil otherwise.
 	Trace *Trace
@@ -138,6 +149,16 @@ type probePlan struct {
 	// catalog version — and with it every cached plan — moves whenever a
 	// column's path set changes.
 	skip bool
+	// seeds lists the compared-operand paths this probe's hits may seed
+	// (the predicate's SeedPath, plus its between partner's). Non-empty
+	// seeds upgrade the probe to node granularity unless
+	// ExecOptions.NoNodeSeeds falls it back to the document level.
+	seeds []*xquery.PathExpr
+	// seedSingle marks a probe whose compared path yields at most one
+	// node per context (single named-attribute step): conjunctive
+	// probes of one occurrence and pattern may then intersect at node
+	// granularity.
+	seedSingle bool
 }
 
 // semiJoinSpec names the SQL column whose distinct values a semi-join
@@ -230,11 +251,25 @@ func (e *Engine) planProbes(a *core.Analysis) ([]probePlan, []predDecision, erro
 				if partner >= 0 {
 					consumed[partner] = true
 				}
-				plans = append(plans, probePlan{
+				pl := probePlan{
 					index: xi.Index, probe: *probe,
 					label: fmt.Sprintf("%s(%s)", xi.Name, label),
 					table: tab, forRow: p.FromIndex, coll: p.Collection, occ: p.Occurrence,
-				})
+				}
+				if p.FromIndex < 0 && p.Value != nil && p.SeedPath != nil {
+					// Node-granularity candidate: the probe's hits seed the
+					// compared path's re-evaluation (and the between
+					// partner's — a merged range is exact for both bounds of
+					// the provably singleton item).
+					pl.seeds = append(pl.seeds, p.SeedPath)
+					pl.seedSingle = p.SeedSingle
+					if partner >= 0 {
+						if q := a.Predicates[partner]; q.SeedPath != nil {
+							pl.seeds = append(pl.seeds, q.SeedPath)
+						}
+					}
+				}
+				plans = append(plans, pl)
 				e.annotateProbe(&plans[len(plans)-1])
 				d.chosen, d.chosenLabel = vi, plans[len(plans)-1].label
 				break
@@ -464,7 +499,10 @@ func opRange(op xdm.CompareOp, v xdm.Value) (xmlindex.Range, bool) {
 // Stats (probe counts, IndexesUsed order, trace spans, the violation
 // that aborts the query) stay deterministic regardless of scheduling.
 type probeOutcome struct {
-	docs    postings.List
+	docs postings.List
+	// nodes carries the node-granularity result when the probe ran for
+	// a seeded predicate; docs is then its document projection.
+	nodes   postings.NodeList
 	label   string
 	probes  int
 	visited int
@@ -537,6 +575,27 @@ func (e *Engine) runProbe(g *guard.Guard, pl probePlan, o ExecOptions, t0 time.T
 		out.label = fmt.Sprintf("%s, %d values)", strings.TrimSuffix(pl.label, ")"), len(values))
 		out.cached = allCached
 		out.ok = true
+	} else if len(pl.seeds) > 0 && !o.NoNodeSeeds {
+		// Node granularity: the same scan also decodes ordinals, so the
+		// hits can seed re-evaluation. The document projection keeps the
+		// Definition-1 pre-filter identical to the doc-granular probe.
+		probe := pl.probe
+		probe.Guard = g
+		probe.NoCache = o.NoProbeCache
+		nodes, visited, cached, err := pl.index.NodeList(probe)
+		out.probes = 1
+		out.visited = visited
+		if err != nil {
+			if _, isViolation := guard.AsViolation(err); isViolation {
+				out.err = err
+			}
+			return out
+		}
+		out.nodes = nodes
+		out.docs = nodes.Docs()
+		out.label += fmt.Sprintf(" [node-granular: %d nodes]", len(nodes))
+		out.cached = cached
+		out.ok = true
 	} else {
 		probe := pl.probe
 		probe.Guard = g
@@ -582,7 +641,7 @@ func (e *Engine) runProbeSafe(g *guard.Guard, pl probePlan, o ExecOptions, t0 ti
 // binding must survive even if another binding's predicate rejects it).
 // A collection with an occurrence that has no probe cannot be
 // pre-filtered at all.
-func (e *Engine) runProbes(g *guard.Guard, plans []probePlan, a *core.Analysis, o ExecOptions, stats *Stats) (map[string]postings.List, map[int]postings.List, error) {
+func (e *Engine) runProbes(g *guard.Guard, plans []probePlan, a *core.Analysis, o ExecOptions, stats *Stats) (map[string]postings.List, map[int]postings.List, xquery.Seeds, error) {
 	type occKey struct {
 		coll string
 		occ  int
@@ -619,20 +678,28 @@ func (e *Engine) runProbes(g *guard.Guard, plans []probePlan, a *core.Analysis, 
 	// Merge serially in plan order.
 	occSets := map[occKey]postings.List{}
 	rowSets := map[int]postings.List{}
-	for i, r := range outcomes {
+	nodeOcc := map[occKey][]int{} // outcome indices that carry node hits
+	for i := range outcomes {
+		r := &outcomes[i]
 		stats.Probes += r.probes
 		stats.KeysVisited += r.visited
 		if r.err != nil {
-			return nil, nil, r.err
+			return nil, nil, nil, r.err
 		}
 		if !r.ok {
 			continue
+		}
+		if r.nodes != nil {
+			stats.NodesDecoded += len(r.nodes)
 		}
 		stats.Trace.add("probe", fmt.Sprintf("%s: %d keys, %d docs", r.label, r.visited, len(r.docs)), r.t0)
 		stats.IndexesUsed = append(stats.IndexesUsed, r.label)
 		pl := plans[i]
 		if r.skipped {
 			stats.SynopsisSkips++
+		}
+		if r.nodes != nil && pl.forRow < 0 {
+			nodeOcc[occKey{pl.coll, pl.occ}] = append(nodeOcc[occKey{pl.coll, pl.occ}], i)
 		}
 		stats.Estimates = append(stats.Estimates, ProbeEstimate{
 			Label: r.label, Docs: pl.est, Nodes: pl.estNodes, Skipped: r.skipped,
@@ -651,6 +718,54 @@ func (e *Engine) runProbes(g *guard.Guard, plans []probePlan, a *core.Analysis, 
 				occSets[k] = postings.Intersect(cur, r.docs)
 			} else {
 				occSets[k] = r.docs
+			}
+		}
+	}
+
+	// Seed construction: each node-granular outcome's hits become the
+	// evaluator seed of its compared path(s). When every node probe of
+	// one occurrence constrains the same pattern through a singleton
+	// compared path, the hit lists intersect at node granularity — a
+	// per-document refinement the doc-level intersection cannot see —
+	// and the document pre-filter tightens to the intersection's
+	// projection.
+	var seeds xquery.Seeds
+	for k, idxs := range nodeOcc {
+		if len(idxs) > 1 {
+			same := plans[idxs[0]].seedSingle
+			for _, i := range idxs[1:] {
+				if !plans[i].seedSingle ||
+					plans[i].probe.QueryPattern.String() != plans[idxs[0]].probe.QueryPattern.String() {
+					same = false
+					break
+				}
+			}
+			if same {
+				inter := outcomes[idxs[0]].nodes
+				for _, i := range idxs[1:] {
+					inter = postings.IntersectNodes(inter, outcomes[i].nodes)
+				}
+				for _, i := range idxs {
+					outcomes[i].nodes = inter
+				}
+				occSets[k] = postings.Intersect(occSets[k], inter.Docs())
+			}
+		}
+		for _, i := range idxs {
+			pl := plans[i]
+			seed, err := e.buildSeed(g, pl.table, pl.coll, outcomes[i].nodes)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			if seed == nil {
+				continue
+			}
+			stats.NodesSeeded += len(outcomes[i].nodes)
+			if seeds == nil {
+				seeds = xquery.Seeds{}
+			}
+			for _, pe := range pl.seeds {
+				seeds[pe] = seed
 			}
 		}
 	}
@@ -684,7 +799,7 @@ func (e *Engine) runProbes(g *guard.Guard, plans []probePlan, a *core.Analysis, 
 			collSets[k.coll] = set
 		}
 	}
-	return collSets, rowSets, nil
+	return collSets, rowSets, seeds, nil
 }
 
 // applyRelProbes installs relational-index row filters for SQL equality

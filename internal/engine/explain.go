@@ -54,16 +54,28 @@ func (e *Engine) renderPlan(p *plan, cache string) string {
 		fmt.Fprintf(&b, "structural-only: %s of %s over %s answered from the path synopsis (no documents touched)\n",
 			kind, p.structural.Pattern, p.structural.Collection)
 	}
+	if p.indexOnly != nil {
+		fmt.Fprintf(&b, "index-only: %s over %s answered at node granularity (no documents touched)\n",
+			p.indexOnly.label, p.indexOnly.q.Collection)
+	}
 	for _, pl := range p.probes {
+		seeded := ""
+		if n := len(pl.seeds); n > 0 {
+			if n == 1 {
+				seeded = ", node-granular (seeds 1 path operand)"
+			} else {
+				seeded = fmt.Sprintf(", node-granular (seeds %d path operands)", n)
+			}
+		}
 		switch {
 		case pl.skip:
 			fmt.Fprintf(&b, "probe %s: skipped — no matching path in synopsis (est=0 docs), probe cache: %s\n",
 				pl.label, probeCacheState(pl))
 		case pl.est >= 0:
-			fmt.Fprintf(&b, "probe %s: est=%d docs (%d nodes), probe cache: %s\n",
-				pl.label, pl.est, pl.estNodes, probeCacheState(pl))
+			fmt.Fprintf(&b, "probe %s: est=%d docs (%d nodes)%s, probe cache: %s\n",
+				pl.label, pl.est, pl.estNodes, seeded, probeCacheState(pl))
 		default:
-			fmt.Fprintf(&b, "probe %s: est=unknown, probe cache: %s\n", pl.label, probeCacheState(pl))
+			fmt.Fprintf(&b, "probe %s: est=unknown%s, probe cache: %s\n", pl.label, seeded, probeCacheState(pl))
 		}
 	}
 	indexes := "off"
@@ -88,6 +100,14 @@ func (e *Engine) renderPlan(p *plan, cache string) string {
 func probeCacheState(pl probePlan) string {
 	if pl.semi != nil {
 		return "per-value (semi-join values probed at execution)"
+	}
+	// A seeded plan executes at node granularity, so its cached result
+	// lives under the node-granularity key.
+	if len(pl.seeds) > 0 {
+		if pl.index.NodeListCached(pl.probe) {
+			return "hit"
+		}
+		return "cold"
 	}
 	if pl.index.ProbeCached(pl.probe) {
 		return "hit"

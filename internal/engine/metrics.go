@@ -17,6 +17,7 @@ type instruments struct {
 	docsTotal, docsScanned, rowsScanned    *metrics.Counter
 	parallelQueries, parallelShards        *metrics.Counter
 	synSkips, synAnswered                  *metrics.Counter
+	indexOnly, nodesSeeded, nodesDecoded   *metrics.Counter
 	latency                                *metrics.Histogram
 }
 
@@ -34,6 +35,9 @@ func (in *instruments) init(reg *metrics.Registry) {
 	in.parallelShards = reg.Counter("exec.parallel_shards")
 	in.synSkips = reg.Counter("synopsis.shortcircuits")
 	in.synAnswered = reg.Counter("synopsis.structural_answers")
+	in.indexOnly = reg.Counter("engine.index_only_answers")
+	in.nodesSeeded = reg.Counter("engine.nodes_seeded")
+	in.nodesDecoded = reg.Counter("engine.nodes_decoded")
 	in.latency = reg.Histogram("query.latency")
 }
 
@@ -82,6 +86,11 @@ func (e *Engine) record(lang Lang, start time.Time, stats *Stats, err *error) {
 	if stats.SynopsisAnswered {
 		in.synAnswered.Inc()
 	}
+	if stats.IndexOnlyAnswered {
+		in.indexOnly.Inc()
+	}
+	in.nodesSeeded.Add(int64(stats.NodesSeeded))
+	in.nodesDecoded.Add(int64(stats.NodesDecoded))
 	if stats.ParallelShards > 1 {
 		in.parallelQueries.Inc()
 		in.parallelShards.Add(int64(stats.ParallelShards))

@@ -55,6 +55,15 @@ type ExecOptions struct {
 	// baseline for benchmarks and equivalence tests. (Probe ranking is a
 	// plan-time property and is unaffected — it never changes results.)
 	NoSynopsis bool
+	// NoIndexOnly disables index-only answers: fn:count/fn:exists over
+	// a value predicate evaluates normally even when a node-granularity
+	// probe could answer it. The doc-granular baseline for benchmarks
+	// and equivalence tests.
+	NoIndexOnly bool
+	// NoNodeSeeds disables probe-guided re-evaluation: probes run at
+	// document granularity only and the evaluator walks every candidate
+	// node instead of jumping to index hits. The full-walk baseline.
+	NoNodeSeeds bool
 }
 
 // plan is a prepared execution plan — everything derivable from the query
@@ -82,6 +91,12 @@ type plan struct {
 	// execution consults the live synopsis and falls back to normal
 	// evaluation when it has no answer.
 	structural *core.StructuralQuery
+
+	// indexOnly, when non-nil, marks a query answerable from one
+	// node-granularity index probe (fn:count/fn:exists over a value
+	// predicate); execution probes the index and falls back to normal
+	// evaluation when the exactness gates fail.
+	indexOnly *indexOnlySpec
 
 	// explain marks a SQL EXPLAIN wrapper: execution renders the plan
 	// report instead of running the statement.
@@ -240,6 +255,8 @@ func (e *Engine) buildPlan(query string, lang Lang, useIndexes bool) (*plan, err
 			}
 			if sq, ok := core.StructuralOnly(m); ok {
 				p.structural = sq
+			} else if iq, ok := core.IndexOnly(m); ok {
+				p.indexOnly = e.planIndexOnly(iq)
 			}
 		}
 	case LangSQL:
@@ -316,12 +333,26 @@ func (e *Engine) execXQueryPlan(p *plan, o ExecOptions, stats *Stats) (xdm.Seque
 			return seq, stats, nil
 		}
 	}
-	resolver := xquery.CollectionResolver(e.Catalog)
-	if p.analysis != nil {
-		collSets, _, err := e.runProbes(g, p.probes, p.analysis, o, stats)
+	if p.indexOnly != nil && !o.NoIndexOnly {
+		seq, ok, err := e.answerIndexOnly(p.indexOnly, g, o, stats)
 		if err != nil {
 			return nil, nil, err
 		}
+		if ok {
+			if err := g.Check(); err != nil {
+				return nil, nil, err
+			}
+			return seq, stats, nil
+		}
+	}
+	resolver := xquery.CollectionResolver(e.Catalog)
+	var seeds xquery.Seeds
+	if p.analysis != nil {
+		collSets, _, probeSeeds, err := e.runProbes(g, p.probes, p.analysis, o, stats)
+		if err != nil {
+			return nil, nil, err
+		}
+		seeds = probeSeeds
 		if len(collSets) > 0 {
 			resolver = &filteredResolver{cat: e.Catalog, allowed: collSets}
 		}
@@ -331,7 +362,7 @@ func (e *Engine) execXQueryPlan(p *plan, o ExecOptions, stats *Stats) (xdm.Seque
 		return nil, nil, err
 	}
 	t0 := stats.Trace.now()
-	seq, err := e.evalXQuery(p, resolver, g, parallelism(o.Parallelism), stats)
+	seq, err := e.evalXQuery(p, resolver, g, parallelism(o.Parallelism), seeds, stats)
 	stats.Trace.add("eval", fmt.Sprintf("%d items, shards=%d", len(seq), stats.ParallelShards), t0)
 	if err != nil {
 		return nil, nil, err
@@ -383,13 +414,13 @@ var minParallelDocs = 32
 // evalXQuery evaluates a planned XQuery, partitioning the collection
 // across a worker pool when the plan is partitionable and the runtime
 // preconditions hold; otherwise it evaluates serially.
-func (e *Engine) evalXQuery(p *plan, resolver xquery.CollectionResolver, g *guard.Guard, par int, stats *Stats) (xdm.Sequence, error) {
+func (e *Engine) evalXQuery(p *plan, resolver xquery.CollectionResolver, g *guard.Guard, par int, seeds xquery.Seeds, stats *Stats) (xdm.Sequence, error) {
 	if par > 1 && p.partColl != "" {
-		if seq, ok, err := evalPartitioned(p, resolver, g, par, stats); ok {
+		if seq, ok, err := evalPartitioned(p, resolver, g, par, seeds, stats); ok {
 			return seq, err
 		}
 	}
-	return xquery.EvalGuarded(p.xq, nil, resolver, g)
+	return xquery.EvalGuardedSeeded(p.xq, nil, resolver, g, seeds)
 }
 
 // treeOrdered reports whether the documents carry strictly increasing
@@ -409,7 +440,7 @@ func treeOrdered(docs []*xdm.Node) bool {
 // shards and evaluates the full query once per shard, concatenating the
 // results in shard order — byte-identical to the serial result. ok=false
 // means a runtime precondition failed and the caller must run serially.
-func evalPartitioned(p *plan, resolver xquery.CollectionResolver, g *guard.Guard, par int, stats *Stats) (xdm.Sequence, bool, error) {
+func evalPartitioned(p *plan, resolver xquery.CollectionResolver, g *guard.Guard, par int, seeds xquery.Seeds, stats *Stats) (xdm.Sequence, bool, error) {
 	docs, err := resolver.Collection(p.partColl)
 	if err != nil {
 		// Let serial evaluation surface the resolution error with its
@@ -440,7 +471,7 @@ func evalPartitioned(p *plan, resolver xquery.CollectionResolver, g *guard.Guard
 				}
 			}()
 			sub := &xquery.ShardResolver{Name: p.partColl, Docs: chunk, Next: resolver}
-			outs[i], errs[i] = xquery.EvalGuarded(p.xq, nil, sub, g)
+			outs[i], errs[i] = xquery.EvalGuardedSeeded(p.xq, nil, sub, g, seeds)
 		}(i, docs[lo:hi])
 	}
 	wg.Wait()
@@ -492,7 +523,10 @@ func (e *Engine) execSQLPlan(p *plan, o ExecOptions, stats *Stats) (*sqlxml.Resu
 	pf := sqlxml.Prefilter{}
 	coll := xquery.CollectionResolver(e.Catalog)
 	if p.analysis != nil {
-		collSets, rowSets, err := e.runProbes(g, p.probes, p.analysis, o, stats)
+		// SQL execution routes through the sqlxml executor, which has no
+		// seed channel; runProbes plans no node-granularity probes for
+		// row-level predicates, so the seed set is empty here.
+		collSets, rowSets, _, err := e.runProbes(g, p.probes, p.analysis, o, stats)
 		if err != nil {
 			return nil, nil, err
 		}

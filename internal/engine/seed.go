@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/xqdb/xqdb/internal/guard"
+	"github.com/xqdb/xqdb/internal/postings"
+	"github.com/xqdb/xqdb/internal/storage"
+	"github.com/xqdb/xqdb/internal/xdm"
+	"github.com/xqdb/xqdb/internal/xquery"
+)
+
+// buildSeed converts one probe's node hits into evaluator seed sets:
+// per stored document, the hit ordinals plus their ancestor closure,
+// keyed by the document tree's id. A document the table no longer holds
+// contributes nothing — its tree is gone from the collection too, so
+// pruning it is consistent with the document pre-filter. nil (without
+// error) means the column cannot be resolved and seeding is skipped.
+func (e *Engine) buildSeed(g *guard.Guard, tab *storage.Table, coll string, nodes postings.NodeList) (*xquery.PathSeed, error) {
+	dot := strings.IndexByte(coll, '.')
+	if dot < 0 {
+		return nil, nil
+	}
+	ci, err := tab.ColumnIndex(coll[dot+1:])
+	if err != nil {
+		return nil, nil
+	}
+	seed := &xquery.PathSeed{Hits: map[uint64][]uint32{}, Live: map[uint64][]uint32{}}
+	for i := 0; i < len(nodes); {
+		doc := postings.NodeDoc(nodes[i])
+		j := i
+		for j < len(nodes) && postings.NodeDoc(nodes[j]) == doc {
+			j++
+		}
+		if err := g.Step(); err != nil {
+			return nil, err
+		}
+		row, ok := tab.RowByID(doc)
+		if ok {
+			cell := row.Cells[ci]
+			if !cell.Null && cell.Doc != nil {
+				hits := make([]uint32, j-i)
+				for k := i; k < j; k++ {
+					hits[k-i] = postings.NodeOrd(nodes[k])
+				}
+				live, err := ancestorClosure(g, cell.Doc, hits)
+				if err != nil {
+					return nil, err
+				}
+				seed.Hits[cell.Doc.TreeID] = hits
+				seed.Live[cell.Doc.TreeID] = live
+			}
+		}
+		i = j
+	}
+	return seed, nil
+}
+
+// ancestorClosure returns the sorted ordinals of the hits together with
+// every ancestor on their root paths. Each hit is located by preorder
+// descent: ordinals are preorder positions (attributes directly after
+// their owner, before its children), so at each level the child whose
+// ordinal is the largest one <= the target contains the target.
+func ancestorClosure(g *guard.Guard, root *xdm.Node, hits []uint32) ([]uint32, error) {
+	out := make([]uint32, 0, 2*len(hits))
+	for _, h := range hits {
+		if err := g.Step(); err != nil {
+			return nil, err
+		}
+		n := root
+		//xqvet:unbounded-ok descent depth is bounded by the document height; the per-hit guard step above meters the walk
+		for n != nil {
+			out = append(out, n.Ordinal)
+			if n.Ordinal == h {
+				break
+			}
+			n = childToward(n, h)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return dedupOrdinals(out), nil
+}
+
+// dedupOrdinals compacts a sorted ordinal slice in place. Root paths of
+// nearby hits share ancestors, so duplicates are the common case.
+func dedupOrdinals(s []uint32) []uint32 {
+	w := 0
+	for i, o := range s {
+		if i == 0 || o != s[w-1] {
+			s[w] = o
+			w++
+		}
+	}
+	return s[:w]
+}
+
+// childToward returns the child of n whose subtree holds preorder
+// ordinal h — the last child with Ordinal <= h — or n's attribute with
+// that ordinal (attributes precede the first child in preorder). nil
+// means h is not under n; the caller's chain simply ends, which can
+// only under-prune, never over-prune.
+func childToward(n *xdm.Node, h uint32) *xdm.Node {
+	kids := n.Children
+	idx := sort.Search(len(kids), func(i int) bool { return kids[i].Ordinal > h }) - 1
+	if idx < 0 {
+		for _, a := range n.Attrs {
+			if a.Ordinal == h {
+				return a
+			}
+		}
+		return nil
+	}
+	return kids[idx]
+}

@@ -1,0 +1,272 @@
+package postings
+
+import "slices"
+
+// NodeList is a sorted set of node references: each element packs a
+// document id in the high 32 bits and the node's preorder ordinal in the
+// low 32 bits, so plain uint64 order is (docID, ordinal) order and one
+// list interleaves per-document runs in document-id order. Like List,
+// elements are strictly ascending with no duplicates, the zero value
+// (nil) is empty, and lists are immutable by convention.
+//
+// The kernels below are index-driven rather than range loops: they are
+// bounded in-memory set operations whose callers guard per probe, the
+// same discipline the List kernels follow.
+type NodeList []uint64
+
+// PackNode packs a (docID, ordinal) pair into its NodeList element.
+func PackNode(doc, ord uint32) uint64 { return uint64(doc)<<32 | uint64(ord) }
+
+// NodeDoc returns the document id of a packed node reference.
+func NodeDoc(ref uint64) uint32 { return uint32(ref >> 32) }
+
+// NodeOrd returns the preorder ordinal of a packed node reference.
+func NodeOrd(ref uint64) uint32 { return uint32(ref) }
+
+// NodesFromRuns builds a NodeList from a concatenation of strictly
+// ascending runs — the shape a composite-key B+Tree scan emits: within
+// each (value, path) key run the (docID, ordinal) suffix ascends, and
+// restarts at run boundaries. A single-run input is returned as-is with
+// no copy; two runs take one linear merge; more take a full sort. The
+// input slice is taken over and must not be reused by the caller;
+// adjacent elements must not be equal.
+func NodesFromRuns(refs []uint64) NodeList {
+	if len(refs) == 0 {
+		return NodeList{}
+	}
+	split := 0 // start of the second run, if any
+	for i := 1; i < len(refs); i++ {
+		if refs[i] < refs[i-1] {
+			if split > 0 { // three or more runs: sort wins
+				slices.Sort(refs)
+				return dedupNodes(refs)
+			}
+			split = i
+		}
+	}
+	if split == 0 {
+		return NodeList(refs)
+	}
+	return unionNodes2(refs[:split], refs[split:])
+}
+
+// dedupNodes removes adjacent duplicates in place (input already sorted).
+func dedupNodes(refs []uint64) NodeList {
+	w := 1
+	for i := 1; i < len(refs); i++ {
+		if refs[i] != refs[w-1] {
+			refs[w] = refs[i]
+			w++
+		}
+	}
+	return NodeList(refs[:w])
+}
+
+// Contains reports whether ref is in the list (binary search).
+func (l NodeList) Contains(ref uint64) bool {
+	i := l.lowerBound(0, len(l), ref)
+	return i < len(l) && l[i] == ref
+}
+
+// lowerBound returns the smallest index in [lo, hi) whose element is
+// >= ref, or hi when none is.
+func (l NodeList) lowerBound(lo, hi int, ref uint64) int {
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if l[mid] < ref {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// gallopNodes returns the smallest index i >= from with l[i] >= ref,
+// probing exponentially from the cursor and binary-searching the final
+// window — the NodeList twin of gallop.
+func gallopNodes(l NodeList, from int, ref uint64) int {
+	n := len(l)
+	if from >= n || l[from] >= ref {
+		return from
+	}
+	lo, step := from, 1
+	hi := from + 1
+	for hi < n && l[hi] < ref {
+		lo = hi
+		step <<= 1
+		hi = from + step
+	}
+	if hi > n {
+		hi = n
+	}
+	return l.lowerBound(lo+1, hi, ref)
+}
+
+// IntersectNodes returns the node references present in both lists. The
+// smaller list drives, galloping through the larger one.
+func IntersectNodes(a, b NodeList) NodeList {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return NodeList{}
+	}
+	out := make(NodeList, 0, len(a))
+	j := 0
+	for i := 0; i < len(a); i++ {
+		j = gallopNodes(b, j, a[i])
+		if j >= len(b) {
+			break
+		}
+		if b[j] == a[i] {
+			out = append(out, a[i])
+			j++
+		}
+	}
+	return out
+}
+
+// nodeCursor is one input list's head inside the union merge heap.
+type nodeCursor struct {
+	val uint64
+	li  int // index into the live-list slice
+	pos int // position of val within that list
+}
+
+// UnionNodes returns the sorted union of the given lists via a k-way
+// merge over a binary min-heap of cursors, emitting stretches up to the
+// next-smallest head so a run costs one siftDown instead of one per
+// element — the NodeList twin of Union.
+func UnionNodes(lists ...NodeList) NodeList {
+	live := make([]NodeList, 0, len(lists))
+	total := 0
+	for i := 0; i < len(lists); i++ {
+		if len(lists[i]) > 0 {
+			live = append(live, lists[i])
+			total += len(lists[i])
+		}
+	}
+	switch len(live) {
+	case 0:
+		return NodeList{}
+	case 1:
+		return live[0]
+	case 2:
+		return unionNodes2(live[0], live[1])
+	}
+	h := make([]nodeCursor, len(live))
+	for i := 0; i < len(live); i++ {
+		h[i] = nodeCursor{val: live[i][0], li: i}
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDownNodes(h, i)
+	}
+	out := make(NodeList, 0, total)
+	for len(h) > 0 {
+		c := h[0]
+		l := live[c.li]
+		limit := ^uint64(0)
+		if len(h) > 1 {
+			limit = h[1].val
+			if len(h) > 2 && h[2].val < limit {
+				limit = h[2].val
+			}
+		}
+		pos := c.pos
+		for {
+			v := l[pos]
+			if v > limit {
+				break
+			}
+			if n := len(out); n == 0 || out[n-1] != v {
+				out = append(out, v)
+			}
+			pos++
+			if pos == len(l) {
+				break
+			}
+		}
+		if pos < len(l) {
+			h[0].pos = pos
+			h[0].val = l[pos]
+		} else {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		}
+		if len(h) > 0 {
+			siftDownNodes(h, 0)
+		}
+	}
+	return out
+}
+
+// siftDownNodes restores the min-heap property below index i.
+func siftDownNodes(h []nodeCursor, i int) {
+	for {
+		min := i
+		if l := 2*i + 1; l < len(h) && h[l].val < h[min].val {
+			min = l
+		}
+		if r := 2*i + 2; r < len(h) && h[r].val < h[min].val {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+// unionNodes2 merges two sorted lists linearly.
+func unionNodes2(a, b NodeList) NodeList {
+	out := make(NodeList, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// Docs projects the node list to its distinct document ids, preserving
+// order. The doc-granular view of a node-granular probe result.
+func (l NodeList) Docs() List {
+	out := make(List, 0, min(len(l), 64))
+	for i := 0; i < len(l); i++ {
+		d := NodeDoc(l[i])
+		if n := len(out); n == 0 || out[n-1] != d {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// DocOrdinals returns the ordinals of the nodes belonging to one
+// document, as a sorted ordinal list. Binary search bounds the
+// document's contiguous run; the copy is what lets callers treat the
+// result as an independent sorted uint32 set.
+func (l NodeList) DocOrdinals(doc uint32) List {
+	lo := l.lowerBound(0, len(l), PackNode(doc, 0))
+	hi := l.lowerBound(lo, len(l), PackNode(doc+1, 0))
+	if lo == hi {
+		return List{}
+	}
+	out := make(List, hi-lo)
+	for i := lo; i < hi; i++ {
+		out[i-lo] = NodeOrd(l[i])
+	}
+	return out
+}

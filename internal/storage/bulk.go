@@ -135,6 +135,12 @@ func (t *Table) BulkAppend(rows []Row, runs map[*xmlindex.Index][][][]byte, syn 
 		for _, rel := range t.relIndexes {
 			rel.insert(rows[ri])
 		}
+		for ci := range rows[ri].Cells {
+			cell := rows[ri].Cells[ci]
+			if !cell.Null && cell.Doc != nil && cell.Doc.TypeAnn.Valid {
+				t.bumpAnnotated(ci, 1)
+			}
+		}
 	}
 	pathSetChanged := false
 	for ci := range t.Columns {

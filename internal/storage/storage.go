@@ -110,6 +110,13 @@ type Table struct {
 	// synopses' contents change, under their own locks.
 	syns []*synopsis.Synopsis
 
+	// annotated counts stored documents per column whose root carries a
+	// schema-validation stamp (grown on demand, guarded by mu). Typed
+	// values can raise comparison errors the tolerant index never
+	// recorded, so one annotated document disables index-only answers
+	// for the whole column.
+	annotated []int
+
 	// catVersion points at the owning catalog's schema version counter;
 	// index DDL on this table bumps it. Nil for tables created outside a
 	// catalog (tests).
@@ -428,6 +435,9 @@ func (t *Table) Insert(cells []Cell) (uint32, error) {
 		if t.syn(i).AddDoc(cell.Doc) {
 			pathSetChanged = true
 		}
+		if cell.Doc.TypeAnn.Valid {
+			t.bumpAnnotated(i, 1)
+		}
 	}
 	if pathSetChanged {
 		t.bumpVersion()
@@ -502,11 +512,35 @@ func (t *Table) Delete(id uint32) error {
 		if t.syn(i).RemoveDoc(cell.Doc) {
 			pathSetChanged = true
 		}
+		if cell.Doc.TypeAnn.Valid {
+			t.bumpAnnotated(i, -1)
+		}
 	}
 	if pathSetChanged {
 		t.bumpVersion()
 	}
 	return nil
+}
+
+// bumpAnnotated adjusts the annotated-document count of column ci.
+// Callers hold t.mu.
+func (t *Table) bumpAnnotated(ci, delta int) {
+	for len(t.annotated) <= ci {
+		t.annotated = append(t.annotated, 0)
+	}
+	t.annotated[ci] += delta
+}
+
+// HasAnnotatedDocs reports whether any stored document of the column
+// carries schema type annotations (InsertValidated / validated ingest).
+func (t *Table) HasAnnotatedDocs(column string) bool {
+	ci, err := t.ColumnIndex(column)
+	if err != nil {
+		return false
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return ci < len(t.annotated) && t.annotated[ci] > 0
 }
 
 // Rows snapshots all rows in insertion order.

@@ -247,19 +247,24 @@ func TestProbeCacheConfiguredCapacity(t *testing.T) {
 }
 
 // Distinct bounds must never collide to one cache key: the key uses
-// length-prefixed bound encodings plus the query-pattern source.
+// the result granularity, length-prefixed bound encodings, and the
+// query-pattern source.
 func TestProbeKeyDistinguishesBounds(t *testing.T) {
 	keys := map[string]bool{
-		probeKey([]byte{1, 2}, []byte{3}, nil):                     true,
-		probeKey([]byte{1}, []byte{2, 3}, nil):                     true,
-		probeKey([]byte{1, 2, 3}, nil, nil):                        true,
-		probeKey(nil, []byte{1, 2, 3}, nil):                        true,
-		probeKey(nil, nil, nil):                                    true,
-		probeKey(nil, nil, pattern.MustParse("//lineitem/@price")): true,
-		probeKey(nil, nil, pattern.MustParse("/order/lineitem")):   true,
+		probeKey(granDocs, []byte{1, 2}, []byte{3}, nil):                     true,
+		probeKey(granDocs, []byte{1}, []byte{2, 3}, nil):                     true,
+		probeKey(granDocs, []byte{1, 2, 3}, nil, nil):                        true,
+		probeKey(granDocs, nil, []byte{1, 2, 3}, nil):                        true,
+		probeKey(granDocs, nil, nil, nil):                                    true,
+		probeKey(granDocs, nil, nil, pattern.MustParse("//lineitem/@price")): true,
+		probeKey(granDocs, nil, nil, pattern.MustParse("/order/lineitem")):   true,
+		// A node-granularity probe over identical bounds+pattern gets its
+		// own entry.
+		probeKey(granNodes, nil, nil, pattern.MustParse("/order/lineitem")): true,
+		probeKey(granNodes, nil, nil, nil):                                  true,
 	}
-	if len(keys) != 7 {
-		t.Fatalf("probe keys collided: %d distinct of 7", len(keys))
+	if len(keys) != 9 {
+		t.Fatalf("probe keys collided: %d distinct of 9", len(keys))
 	}
 }
 
@@ -282,5 +287,141 @@ func TestCachedListSurvivesCombination(t *testing.T) {
 	}
 	if !cached || len(again) != 2 || again[0] != 1 || again[1] != 2 {
 		t.Fatalf("cached list corrupted: %v (cached=%v)", again, cached)
+	}
+}
+
+// NodeList decodes the matched entries' (docID, ordinal) pairs during
+// the same leaf walk DocList uses: the doc projection of the node list
+// must equal the DocList result on every probe shape, and the ordinals
+// must identify exactly the entries ScanStats reports.
+func TestNodeListMatchesScanEntries(t *testing.T) {
+	ix := liPrice(t)
+	insert(t, ix, 3, `<order><lineitem price="150"/><lineitem price="90"/></order>`)
+	insert(t, ix, 1, `<order><lineitem price="110"/><lineitem price="120"/></order>`)
+	insert(t, ix, 2, `<order><lineitem price="50"/></order>`)
+	insert(t, ix, 7, `<order><other price="150"/></order>`)
+
+	probes := []Probe{
+		{Range: Range{Lo: dbl(100), LoInc: false}},
+		{Range: Range{Lo: dbl(40), LoInc: true, Hi: dbl(115), HiInc: true}},
+		{Range: Equality(xdm.NewDouble(150))},
+		{},
+		{Range: Range{Lo: dbl(100)}, QueryPattern: pattern.MustParse("/order/lineitem/@price")},
+	}
+	for i, p := range probes {
+		p.NoCache = true
+		entries, _, err := ix.ScanStats(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[uint64]bool{}
+		for _, e := range entries {
+			want[postings.PackNode(e.DocID, e.NodeID)] = true
+		}
+		nodes, _, cached, err := ix.NodeList(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cached {
+			t.Fatalf("probe %d: NoCache NodeList reported a cache hit", i)
+		}
+		if len(nodes) != len(want) {
+			t.Fatalf("probe %d: %d node refs, want %d", i, len(nodes), len(want))
+		}
+		for _, r := range nodes {
+			if !want[r] {
+				t.Fatalf("probe %d: node ref (%d,%d) not among scan entries", i, postings.NodeDoc(r), postings.NodeOrd(r))
+			}
+		}
+		docs, _, _, err := ix.DocList(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proj := nodes.Docs()
+		if len(proj) != len(docs) {
+			t.Fatalf("probe %d: doc projection %v != DocList %v", i, proj, docs)
+		}
+		for j := range docs {
+			if proj[j] != docs[j] {
+				t.Fatalf("probe %d: doc projection %v != DocList %v", i, proj, docs)
+			}
+		}
+	}
+}
+
+// Regression for the granularity cache key: a NodeList probe and a
+// DocList probe over the same bounds+pattern must occupy distinct cache
+// entries — neither may be served the other's result — and the
+// node-entry gauge must track stores and evictions.
+func TestProbeCacheGranularityNoCollision(t *testing.T) {
+	ix := liPrice(t)
+	reg := metrics.NewRegistry()
+	ix.Instrument(reg)
+	insert(t, ix, 1, `<order><lineitem price="150"/></order>`)
+	insert(t, ix, 2, `<order><lineitem price="120"/><lineitem price="80"/></order>`)
+
+	p := Probe{Range: Range{Lo: dbl(100), LoInc: false}}
+	docs, _, _, err := ix.DocList(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 2 {
+		t.Fatalf("DocList = %v, want 2 docs", docs)
+	}
+	// The node probe after the doc probe must MISS (not be served the
+	// doc-granularity entry) and store its own entry.
+	nodes, visited, cached, err := ix.NodeList(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached || visited == 0 {
+		t.Fatalf("NodeList after DocList must scan, got cached=%v visited=%d", cached, visited)
+	}
+	if len(nodes) != 2 {
+		t.Fatalf("NodeList = %v, want 2 node refs", nodes)
+	}
+	if got := reg.Snapshot().Gauges["probecache.node_entries"]; got != 1 {
+		t.Fatalf("probecache.node_entries = %d, want 1", got)
+	}
+	// Both granularities now hit, each its own entry.
+	if !ix.ProbeCached(p) || !ix.NodeListCached(p) {
+		t.Fatal("both granularities must be cached")
+	}
+	if _, _, cached, _ := ix.DocList(p); !cached {
+		t.Fatal("DocList must still hit its own entry")
+	}
+	if _, _, cached, _ := ix.NodeList(p); !cached {
+		t.Fatal("NodeList must hit its own entry")
+	}
+	// Shrinking the cache to one slot evicts the colder entry; the node
+	// gauge must follow whichever granularity was dropped.
+	ix.SetProbeCacheCapacity(1)
+	snap := reg.Snapshot()
+	if snap.Gauges["probecache.entries"] != 1 {
+		t.Fatalf("probecache.entries = %d after shrink, want 1", snap.Gauges["probecache.entries"])
+	}
+	if ix.NodeListCached(p) {
+		// The node entry survived: it must be the one counted.
+		if snap.Gauges["probecache.node_entries"] != 1 {
+			t.Fatalf("node entry survived but gauge = %d", snap.Gauges["probecache.node_entries"])
+		}
+	} else if snap.Gauges["probecache.node_entries"] != 0 {
+		t.Fatalf("node entry evicted but gauge = %d", snap.Gauges["probecache.node_entries"])
+	}
+	// An entry-set change invalidates node entries like doc entries.
+	ix.SetProbeCacheCapacity(0)
+	if _, _, _, err := ix.NodeList(p); err != nil {
+		t.Fatal(err)
+	}
+	insert(t, ix, 3, `<order><lineitem price="130"/></order>`)
+	if ix.NodeListCached(p) {
+		t.Fatal("node entry must report stale after an entry-set change")
+	}
+	after, _, cached, err := ix.NodeList(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached || len(after) != 3 {
+		t.Fatalf("post-insert NodeList = %v (cached=%v), want 3 refs rescanned", after, cached)
 	}
 }

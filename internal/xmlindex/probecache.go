@@ -29,13 +29,19 @@ type probeCache struct {
 	// Registry instruments shared across the indexes of one engine;
 	// nil-safe when the index lives outside an engine.
 	hits, misses, invalidations, evictions *metrics.Counter
-	entries                                *metrics.Gauge
+	entries, nodeEntries                   *metrics.Gauge
 }
 
+// probeCacheEntry holds one probe result at one granularity: a document
+// list (docs) or a node list (nodes), never both. The granularity is
+// part of the cache key, so a DocList probe and a NodeList probe over
+// the same bounds and pattern occupy distinct entries.
 type probeCacheEntry struct {
 	key     string
 	version uint64
 	docs    postings.List
+	nodes   postings.NodeList
+	node    bool
 }
 
 func newProbeCache() *probeCache {
@@ -68,12 +74,13 @@ func (c *probeCache) instrument(reg *metrics.Registry) {
 	c.invalidations = reg.Counter("probecache.invalidations")
 	c.evictions = reg.Counter("probecache.evictions")
 	c.entries = reg.Gauge("probecache.entries")
+	c.nodeEntries = reg.Gauge("probecache.node_entries")
 }
 
-// get returns the cached document list for key if it was computed
-// against the given index version; a stale entry is dropped and counted
-// as an invalidation.
-func (c *probeCache) get(key string, version uint64) (postings.List, bool) {
+// lookup returns the live entry for key if it was computed against the
+// given index version; a stale entry is dropped and counted as an
+// invalidation.
+func (c *probeCache) lookup(key string, version uint64) (*probeCacheEntry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
@@ -87,28 +94,67 @@ func (c *probeCache) get(key string, version uint64) (postings.List, bool) {
 		delete(c.items, key)
 		c.invalidations.Inc()
 		c.misses.Inc()
-		c.entries.Add(-1)
+		c.dropGauges(ent)
 		return nil, false
 	}
 	c.order.MoveToFront(el)
 	c.hits.Inc()
+	return ent, true
+}
+
+// get returns the cached document list for a doc-granularity key.
+func (c *probeCache) get(key string, version uint64) (postings.List, bool) {
+	ent, ok := c.lookup(key, version)
+	if !ok {
+		return nil, false
+	}
 	return ent.docs, true
 }
 
-// put stores a probe result, evicting the least recently used entry past
-// capacity.
+// getNodes returns the cached node list for a node-granularity key.
+func (c *probeCache) getNodes(key string, version uint64) (postings.NodeList, bool) {
+	ent, ok := c.lookup(key, version)
+	if !ok {
+		return nil, false
+	}
+	return ent.nodes, true
+}
+
+// put stores a doc-granularity probe result, evicting the least recently
+// used entry past capacity.
 func (c *probeCache) put(key string, version uint64, docs postings.List) {
+	c.store(&probeCacheEntry{key: key, version: version, docs: docs})
+}
+
+// putNodes stores a node-granularity probe result.
+func (c *probeCache) putNodes(key string, version uint64, nodes postings.NodeList) {
+	c.store(&probeCacheEntry{key: key, version: version, nodes: nodes, node: true})
+}
+
+func (c *probeCache) store(ent *probeCacheEntry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		ent := el.Value.(*probeCacheEntry)
-		ent.version, ent.docs = version, docs
+	if el, ok := c.items[ent.key]; ok {
+		old := el.Value.(*probeCacheEntry)
+		old.version, old.docs, old.nodes = ent.version, ent.docs, ent.nodes
 		c.order.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.order.PushFront(&probeCacheEntry{key: key, version: version, docs: docs})
+	c.items[ent.key] = c.order.PushFront(ent)
 	c.entries.Add(1)
+	if ent.node {
+		c.nodeEntries.Add(1)
+	}
 	c.evictLocked()
+}
+
+// dropGauges decrements the entry gauges for one removed entry. Callers
+// hold c.mu.
+func (c *probeCache) dropGauges(ent *probeCacheEntry) {
+	c.entries.Add(-1)
+	if ent.node {
+		c.nodeEntries.Add(-1)
+	}
 }
 
 // evictLocked drops least-recently-used entries until the cache fits its
@@ -117,9 +163,10 @@ func (c *probeCache) evictLocked() {
 	for len(c.items) > c.capacity {
 		el := c.order.Back()
 		c.order.Remove(el)
-		delete(c.items, el.Value.(*probeCacheEntry).key)
+		ent := el.Value.(*probeCacheEntry)
+		delete(c.items, ent.key)
 		c.evictions.Inc()
-		c.entries.Add(-1)
+		c.dropGauges(ent)
 	}
 }
 
@@ -139,11 +186,20 @@ func (c *probeCache) len() int {
 	return len(c.items)
 }
 
-// probeKey builds the cache key for a probe: the encoded B+Tree bounds
-// (length-prefixed, so binary bounds cannot collide across the
-// separator) plus the query-pattern source.
-func probeKey(lo, hi []byte, pat *pattern.Pattern) string {
-	b := make([]byte, 0, len(lo)+len(hi)+16)
+// Result granularities a probe key distinguishes. The granularity byte
+// leads the key so a NodeList probe and a DocList probe over identical
+// bounds and pattern can never collide on one cache entry.
+const (
+	granDocs  byte = 'd'
+	granNodes byte = 'n'
+)
+
+// probeKey builds the cache key for a probe: the result granularity,
+// the encoded B+Tree bounds (length-prefixed, so binary bounds cannot
+// collide across the separator), and the query-pattern source.
+func probeKey(gran byte, lo, hi []byte, pat *pattern.Pattern) string {
+	b := make([]byte, 0, len(lo)+len(hi)+17)
+	b = append(b, gran)
 	b = appendLenPrefixed(b, lo)
 	b = appendLenPrefixed(b, hi)
 	if pat != nil {

@@ -106,6 +106,7 @@ type Index struct {
 	// freshly bulk-built tree when it replaces the current one.
 	mProbes    *metrics.Counter
 	mKeys      *metrics.Counter
+	mNodes     *metrics.Counter
 	mEntries   *metrics.Gauge
 	mTreeScans *metrics.Counter
 	mTreeKeys  *metrics.Counter
@@ -122,6 +123,7 @@ func (ix *Index) Instrument(reg *metrics.Registry) {
 	}
 	ix.mProbes = reg.Counter("xmlindex.probes")
 	ix.mKeys = reg.Counter("xmlindex.keys_visited")
+	ix.mNodes = reg.Counter("xmlindex.nodes_decoded")
 	ix.mEntries = reg.Gauge("xmlindex.entries")
 	ix.cache.instrument(reg)
 	ix.mTreeScans = reg.Counter("btree.scans")
@@ -496,7 +498,7 @@ func (ix *Index) DocList(p Probe) (postings.List, int, bool, error) {
 	version := ix.version.Load()
 	var key string
 	if !p.NoCache {
-		key = probeKey(lo, hi, p.QueryPattern)
+		key = probeKey(granDocs, lo, hi, p.QueryPattern)
 		if docs, ok := ix.cache.get(key, version); ok {
 			return docs, 0, true, nil
 		}
@@ -524,17 +526,116 @@ func (ix *Index) DocList(p Probe) (postings.List, int, bool, error) {
 	return docs, visited, false, nil
 }
 
-// ProbeCached reports whether the probe's result is currently served
-// from the cache (the EXPLAIN "probe cache" line). It records no cache
-// traffic and does not disturb the LRU order.
+// nodeCollector is the btree.Visitor behind NodeList: it streams packed
+// (docID, ordinal) references straight off the B+Tree leaf walk. Keys
+// are ordered [value][pathID][docID][nodeID], so within one (value,
+// path) run the packed suffixes arrive strictly ascending — one
+// run-merge at the end handles the restarts across values and paths.
+type nodeCollector struct {
+	ix       *Index
+	pat      *pattern.Pattern
+	g        *guard.Guard
+	verdicts map[uint32]bool //xqvet:docset-ok pathID → pattern verdict, not a doc set
+	nodes    []uint64
+}
+
+func (c *nodeCollector) Visit(key, _ []byte) bool {
+	pathID, docID, nodeID := c.ix.decodeSuffix(key)
+	if c.pat != nil {
+		v, ok := c.verdicts[pathID]
+		if !ok {
+			v = c.pat.Match(c.ix.paths.paths[pathID])
+			c.verdicts[pathID] = v
+		}
+		if !v {
+			return true
+		}
+	}
+	c.nodes = append(c.nodes, postings.PackNode(docID, nodeID))
+	return true
+}
+
+func (c *nodeCollector) Check(int) error { return c.g.Check() }
+
+// NodeList runs a probe at node granularity: every matching index entry
+// contributes its packed (docID, ordinal) reference, so the caller knows
+// not just which documents hold a hit but exactly which nodes matched.
+// Returns the sorted node list, the visited-key count, and whether the
+// result came from the probe cache (visited is 0 on a hit). Cached under
+// a granularity-tagged key, so node and doc results over the same bounds
+// and pattern never collide. The returned list is shared with the cache
+// and must not be mutated.
+func (ix *Index) NodeList(p Probe) (postings.NodeList, int, bool, error) {
+	if err := guard.Fault("xmlindex.scan:" + ix.Name); err != nil {
+		return nil, 0, false, fmt.Errorf("index %s: %w", ix.Name, err)
+	}
+	if err := p.Guard.Check(); err != nil {
+		return nil, 0, false, err
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ix.probes.Add(1)
+	ix.mProbes.Inc()
+
+	lo, hi, empty, err := ix.bounds(p.Range)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if empty {
+		return postings.NodeList{}, 0, false, nil
+	}
+	version := ix.version.Load()
+	var key string
+	if !p.NoCache {
+		key = probeKey(granNodes, lo, hi, p.QueryPattern)
+		if nodes, ok := ix.cache.getNodes(key, version); ok {
+			return nodes, 0, true, nil
+		}
+	}
+	c := nodeCollector{ix: ix, pat: p.QueryPattern, g: p.Guard}
+	if p.QueryPattern != nil {
+		c.verdicts = map[uint32]bool{} //xqvet:docset-ok pathID verdict cache, see the field
+	}
+	visited, err := ix.tree.ScanVisit(lo, hi, &c)
+	ix.keysVisited.Add(int64(visited))
+	ix.mKeys.Add(int64(visited))
+	if err != nil {
+		return nil, visited, false, err
+	}
+	ix.mNodes.Add(int64(len(c.nodes)))
+	// Each (value, path) key run emits strictly ascending packed refs —
+	// a node is indexed once per (value, path), so within a run there are
+	// no duplicates and NodesFromRuns merges the run restarts.
+	nodes := postings.NodesFromRuns(c.nodes)
+	if !p.NoCache {
+		// Version and scan both ran under the index read lock, so no
+		// insert or delete can have interleaved: the cached list is
+		// exactly the entry set at this version.
+		ix.cache.putNodes(key, version, nodes)
+	}
+	return nodes, visited, false, nil
+}
+
+// ProbeCached reports whether the probe's doc-granularity result is
+// currently served from the cache (the EXPLAIN "probe cache" line). It
+// records no cache traffic and does not disturb the LRU order.
 func (ix *Index) ProbeCached(p Probe) bool {
+	return ix.probeCached(granDocs, p)
+}
+
+// NodeListCached is ProbeCached for the node-granularity entry.
+func (ix *Index) NodeListCached(p Probe) bool {
+	return ix.probeCached(granNodes, p)
+}
+
+func (ix *Index) probeCached(gran byte, p Probe) bool {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	lo, hi, empty, err := ix.bounds(p.Range)
 	if err != nil || empty {
 		return false
 	}
-	return ix.cache.peek(probeKey(lo, hi, p.QueryPattern), ix.version.Load())
+	return ix.cache.peek(probeKey(gran, lo, hi, p.QueryPattern), ix.version.Load())
 }
 
 // bounds converts a value range to B+Tree key bounds. empty reports a

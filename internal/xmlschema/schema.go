@@ -71,6 +71,12 @@ func (s *Schema) Validate(doc *xdm.Node) error {
 		}
 		n.TypeAnn = xdm.TypeAnnotation{Valid: true, T: decl.Type, IsList: decl.IsList}
 	})
+	if firstErr == nil {
+		// Stamp the root so storage can tell annotated documents apart
+		// in O(1): typed values change comparison semantics, which
+		// gates the engine's index-only answers.
+		doc.TypeAnn.Valid = true
+	}
 	return firstErr
 }
 

@@ -28,6 +28,9 @@ type evalCtx struct {
 	env  *env
 	coll CollectionResolver
 	g    *guard.Guard // nil = unguarded
+	// seeds holds index-derived hit sets for seeded operand paths
+	// (see Seeds); nil for unseeded evaluations.
+	seeds Seeds
 }
 
 type env struct {

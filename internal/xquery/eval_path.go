@@ -57,10 +57,20 @@ func evalPath(p *PathExpr, ctx evalCtx) (xdm.Sequence, error) {
 		input = xdm.Sequence{ctx.item}
 	}
 
-	for _, step := range steps {
+	// A seeded path prunes its navigation to the index-derived hit
+	// sets: intermediate steps keep only nodes leading to a hit, the
+	// final step only the hits themselves.
+	var seed *PathSeed
+	if len(ctx.seeds) > 0 {
+		seed = ctx.seeds[p]
+	}
+	for si, step := range steps {
 		out, err := evalStep(step, input, ctx)
 		if err != nil {
 			return nil, err
+		}
+		if seed != nil && step.Axis != AxisNone {
+			out = seed.filter(out, si == len(steps)-1)
 		}
 		input = out
 	}

@@ -1,0 +1,97 @@
+package xquery
+
+import (
+	"slices"
+	"strings"
+	"testing"
+
+	"github.com/xqdb/xqdb/internal/xdm"
+	"github.com/xqdb/xqdb/internal/xmlparse"
+)
+
+// seedFor builds a PathSeed for the given nodes: the nodes are the hits,
+// their ancestor chains the live set.
+func seedFor(nodes ...*xdm.Node) *PathSeed {
+	s := &PathSeed{Hits: map[uint64][]uint32{}, Live: map[uint64][]uint32{}}
+	for _, n := range nodes {
+		s.Hits[n.TreeID] = append(s.Hits[n.TreeID], n.Ordinal)
+		for a := n; a != nil; a = a.Parent {
+			if !slices.Contains(s.Live[a.TreeID], a.Ordinal) {
+				s.Live[a.TreeID] = append(s.Live[a.TreeID], a.Ordinal)
+			}
+		}
+	}
+	for _, m := range []map[uint64][]uint32{s.Hits, s.Live} {
+		for k := range m {
+			slices.Sort(m[k])
+		}
+	}
+	return s
+}
+
+// attrsNamed collects attribute nodes with the given name whose string
+// value is in want.
+func attrsNamed(doc *xdm.Node, name string, want ...string) []*xdm.Node {
+	var out []*xdm.Node
+	doc.DescendAll(func(n *xdm.Node) {
+		if n.Kind == xdm.AttributeNode && n.Name.Local == name && slices.Contains(want, n.StringValue()) {
+			out = append(out, n)
+		}
+	})
+	return out
+}
+
+func TestSeededPathPrunesToHits(t *testing.T) {
+	doc, err := xmlparse.Parse(`<r><item p="5" id="a"/><item p="20" id="b"/><item p="30" id="c"/></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mapColl{"T.C": {doc}}
+	const q = `for $i in db2-fn:xmlcolumn('T.C')//item where $i/@p > 10 return data($i/@id)`
+	m, err := Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate the compared operand $i/@p in the AST, the Seeds key.
+	fl := m.Body.(*FLWOR)
+	cmp := fl.Where.(*Comparison)
+	operand := cmp.Left.(*PathExpr)
+
+	eval := func(seeds Seeds) string {
+		seq, err := EvalGuardedSeeded(m, nil, c, nil, seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts := make([]string, len(seq))
+		for i, it := range seq {
+			parts[i] = it.(xdm.Value).Lexical()
+		}
+		return strings.Join(parts, ",")
+	}
+
+	if got := eval(nil); got != "b,c" {
+		t.Fatalf("unseeded = %q, want b,c", got)
+	}
+	// A complete seed (the @p attributes of items b and c, exactly the
+	// nodes an index probe for p > 10 matches) changes nothing.
+	full := seedFor(attrsNamed(doc, "p", "20", "30")...)
+	if got := eval(Seeds{operand: full}); got != "b,c" {
+		t.Fatalf("seeded = %q, want b,c", got)
+	}
+	// A deliberately partial seed shows the pruning is really applied:
+	// item c's @p is no longer reachable.
+	part := seedFor(attrsNamed(doc, "p", "20")...)
+	if got := eval(Seeds{operand: part}); got != "b" {
+		t.Fatalf("partially seeded = %q, want b", got)
+	}
+	// An empty seed prunes everything.
+	empty := &PathSeed{Hits: map[uint64][]uint32{}, Live: map[uint64][]uint32{}}
+	if got := eval(Seeds{operand: empty}); got != "" {
+		t.Fatalf("empty seed = %q, want empty", got)
+	}
+	// Seeds keyed by a different path leave this one alone.
+	other := &PathExpr{}
+	if got := eval(Seeds{other: empty}); got != "b,c" {
+		t.Fatalf("foreign seed = %q, want b,c", got)
+	}
+}

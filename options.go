@@ -99,6 +99,17 @@ type QueryOptions struct {
 	// the synopsis. The baseline for benchmarks and equivalence tests;
 	// results are identical either way.
 	NoSynopsis bool
+	// NoIndexOnly disables index-only answers for this query:
+	// fn:count/fn:exists over a value predicate evaluates over the
+	// documents instead of being answered from a node-granularity index
+	// probe. The baseline for benchmarks and equivalence tests; results
+	// are identical either way.
+	NoIndexOnly bool
+	// NoNodeSeeds disables probe-guided re-evaluation for this query:
+	// value probes run at document granularity and the evaluator walks
+	// every surviving document in full instead of jumping to the matched
+	// nodes and their ancestors. Results are identical either way.
+	NoNodeSeeds bool
 	// SlowThreshold enables the slow-query hook: a query whose wall-clock
 	// time reaches the threshold increments the "queries.slow" metric and,
 	// when OnSlow is set, invokes it. 0 disables.
@@ -171,6 +182,8 @@ func (db *DB) engineOptions(opts QueryOptions, prepared bool) engine.ExecOptions
 		SemiJoinMaxValues: opts.SemiJoinMaxValues,
 		NoProbeCache:      opts.NoProbeCache,
 		NoSynopsis:        opts.NoSynopsis,
+		NoIndexOnly:       opts.NoIndexOnly,
+		NoNodeSeeds:       opts.NoNodeSeeds,
 	}
 }
 
