@@ -94,9 +94,23 @@ type Predicate struct {
 	Filtering bool
 	Reason    string
 	// SingletonItem is true when the compared item is provably at most
-	// one per context node (attribute step, self/data() form, or value
-	// comparison), enabling between detection.
+	// one per evaluation of the predicate's conjunction scope: a value
+	// comparison (singleton or dynamic error, so exact under the
+	// error-freedom convention), the self/data() form, or a single
+	// named-attribute operand step. It enables between detection.
 	SingletonItem bool
+	// Scope identifies the conjunction scope the comparison is a direct
+	// conjunct of: one bracket's predicate expression, one where clause,
+	// one quantifier satisfies-clause. Two comparisons are evaluated
+	// against the same context instantiation — so "the same node must
+	// satisfy both" reasoning applies — only when they share a scope.
+	// 0 means none: the predicate must not merge with any other.
+	Scope int
+	// PlainOperand is true when the compared operand is the context item
+	// or a predicate-free downward path: re-evaluating it twice within
+	// one scope provably yields the same sequence, which between merging
+	// and node-granular intersection both rely on.
+	PlainOperand bool
 	// Between links this predicate to its partner bound when a between
 	// pair was detected (index into Analysis.Predicates), else -1.
 	Between int

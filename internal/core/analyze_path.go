@@ -26,17 +26,6 @@ type pathInfo struct {
 	contextSelf bool
 }
 
-func (pi pathInfo) lastStepIsAttribute() bool {
-	for i := len(pi.steps) - 1; i >= 0; i-- {
-		s := pi.steps[i]
-		if s.Axis == pattern.Self {
-			continue
-		}
-		return s.Axis == pattern.Attribute
-	}
-	return false
-}
-
 // convertStep lowers an xquery axis step to a pattern step.
 func convertStep(s xquery.Step) (pattern.Step, bool) {
 	var ax pattern.Axis
@@ -199,11 +188,14 @@ func (an *analyzer) tip8ChildOfConstructed(info pathInfo, s xquery.Step) {
 }
 
 // analyzeStepPredicates analyzes the predicate list of one step, with the
-// step's pathInfo as comparison base, and pairs up between bounds.
+// step's pathInfo as comparison base, and pairs up between bounds. Each
+// bracket opens its own conjunction scope: two brackets of one chain
+// filter the same step but a positional predicate may sit between them,
+// and the merge rules must not see across it.
 func (an *analyzer) analyzeStepPredicates(base pathInfo, preds []xquery.Expr, e env, ctx walkCtx) {
 	for _, pred := range preds {
 		before := len(an.a.Predicates)
-		an.walkPredicateExpr(pred, base, e, ctx)
+		an.walkPredicateExpr(pred, base, e, an.inScope(ctx))
 		an.pairBetween(before)
 	}
 }
@@ -415,10 +407,17 @@ func (an *analyzer) extractComparison(c *xquery.Comparison, base pathInfo, e env
 			JoinTable:     otherSide.joinTable,
 			JoinColumn:    otherSide.joinColumn,
 			ValueComp:     c.Kind == xquery.ValueComp,
-			CompType:      compType,
-			Filtering:     ctx.filtering,
-			Reason:        ctx.reason,
-			SingletonItem: c.Kind == xquery.ValueComp || info.contextSelf || info.lastStepIsAttribute(),
+			CompType:  compType,
+			Filtering: ctx.filtering,
+			Reason:    ctx.reason,
+			// Singleton must hold relative to the conjunction scope's
+			// context, so a multi-step attribute path (lineitem/@price —
+			// one node per lineitem, many per scope context) does not
+			// qualify; only the seedSingle form (one named-attribute
+			// step) proves at most one node per scope evaluation.
+			SingletonItem: c.Kind == xquery.ValueComp || info.contextSelf || pathSide.seedSingle,
+			Scope:         ctx.scope,
+			PlainOperand:  info.contextSelf || pathSide.seedPath != nil,
 			Between:       -1,
 		}
 		if c.Kind == xquery.GeneralComp && otherSide.hasValue {
@@ -589,16 +588,29 @@ func mirrorOp(op xdm.CompareOp) xdm.CompareOp {
 }
 
 // pairBetween links pairs of candidates recorded since index `from` that
-// form a single-range "between" (§3.10): same path, one lower and one
-// upper bound, and a provably singleton item.
+// form a single-range "between" (§3.10): one lower and one upper bound
+// over the same provably singleton item. "Same item" is earned, not
+// assumed: both comparisons must be direct conjuncts of one conjunction
+// scope (the same bracket or where clause — two brackets over the same
+// pattern at different sites are existentially independent, and a
+// document can satisfy each bound with a different node), must compare
+// plain re-evaluable operands with identical steps on the same binding
+// occurrence, and each must be singleton per scope evaluation.
 func (an *analyzer) pairBetween(from int) {
 	preds := an.a.Predicates
 	for i := from; i < len(preds); i++ {
-		if preds[i].Between >= 0 || preds[i].Value == nil || !preds[i].SingletonItem {
+		if preds[i].Between >= 0 || preds[i].Value == nil ||
+			!preds[i].SingletonItem || !preds[i].PlainOperand || preds[i].Scope == 0 {
 			continue
 		}
 		for j := i + 1; j < len(preds); j++ {
-			if preds[j].Between >= 0 || preds[j].Value == nil || !preds[j].SingletonItem {
+			if preds[j].Between >= 0 || preds[j].Value == nil ||
+				!preds[j].SingletonItem || !preds[j].PlainOperand {
+				continue
+			}
+			if preds[i].Scope != preds[j].Scope ||
+				preds[i].Occurrence != preds[j].Occurrence ||
+				preds[i].FromIndex != preds[j].FromIndex {
 				continue
 			}
 			if preds[i].Collection != preds[j].Collection ||

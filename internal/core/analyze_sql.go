@@ -66,9 +66,29 @@ func AnalyzeSQL(stmt sqlxml.Statement, cat *storage.Catalog) (*Analysis, error) 
 
 func merge(dst, src *Analysis) {
 	base := len(dst.Predicates)
+	// Scope and occurrence identifiers are issued per analyzer run, so
+	// predicates from separately analyzed XQuery modules must be shifted
+	// past the ones already merged: a collision would let the engine
+	// intersect — or between-merge — conditions from independent
+	// expressions.
+	occBase, scopeBase := 0, 0
+	for _, p := range dst.Predicates {
+		if p.Occurrence > occBase {
+			occBase = p.Occurrence
+		}
+		if p.Scope > scopeBase {
+			scopeBase = p.Scope
+		}
+	}
 	for _, p := range src.Predicates {
 		if p.Between >= 0 {
 			p.Between += base
+		}
+		if p.Occurrence > 0 {
+			p.Occurrence += occBase
+		}
+		if p.Scope > 0 {
+			p.Scope += scopeBase
 		}
 		dst.Predicates = append(dst.Predicates, p)
 	}

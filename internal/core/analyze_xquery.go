@@ -56,6 +56,8 @@ type analyzer struct {
 	ctxBase pathInfo
 	// occCounter issues binding-occurrence identifiers.
 	occCounter int
+	// scopeCounter issues conjunction-scope identifiers (Predicate.Scope).
+	scopeCounter int
 }
 
 func (an *analyzer) nextOcc() int {
@@ -63,9 +65,29 @@ func (an *analyzer) nextOcc() int {
 	return an.occCounter
 }
 
+func (an *analyzer) nextScope() int {
+	an.scopeCounter++
+	return an.scopeCounter
+}
+
 type walkCtx struct {
 	filtering bool
 	reason    string // why not filtering
+	// scope is the conjunction scope comparisons recorded under this
+	// context belong to (see Predicate.Scope); 0 outside any scope. A
+	// fresh scope is opened per bracket, where clause, if condition, and
+	// satisfies clause — `and` chains inherit it, everything else drops
+	// it.
+	scope int
+}
+
+// inScope returns ctx with a freshly allocated conjunction scope: the
+// expression about to be walked is one boolean condition evaluated
+// against a single context instantiation, so its direct conjuncts may
+// merge with each other but with nothing outside it.
+func (an *analyzer) inScope(ctx walkCtx) walkCtx {
+	ctx.scope = an.nextScope()
+	return ctx
 }
 
 type env map[string]varInfo
@@ -182,16 +204,16 @@ func (an *analyzer) walk(ex xquery.Expr, e env, ctx walkCtx) {
 			}
 		}
 	case *xquery.IfExpr:
-		an.walkPredicateExpr(x.Cond, pathInfo{}, e, ctx)
+		an.walkPredicateExpr(x.Cond, pathInfo{}, e, an.inScope(ctx))
 		an.walk(x.Then, e, walkCtx{filtering: false, reason: "conditional branch"})
 		an.walk(x.Else, e, walkCtx{filtering: false, reason: "conditional branch"})
 	case *xquery.Comparison:
 		// A bare comparison returns a boolean — it never eliminates
 		// anything by emptiness (the Query 9 XMLExists pitfall is
 		// handled by the SQL analyzer, which sets ctx accordingly).
-		an.walkPredicateExpr(x, pathInfo{}, e, ctx)
+		an.walkPredicateExpr(x, pathInfo{}, e, an.inScope(ctx))
 	case *xquery.BinaryExpr:
-		an.walkPredicateExpr(x, pathInfo{}, e, ctx)
+		an.walkPredicateExpr(x, pathInfo{}, e, an.inScope(ctx))
 	case *xquery.Quantified:
 		an.walkQuantified(x, e, ctx)
 	case *xquery.CastExpr:
@@ -239,7 +261,7 @@ func (an *analyzer) walkFLWOR(f *xquery.FLWOR, e env, ctx walkCtx) {
 		// The where clause eliminates binding tuples: comparisons there
 		// filter, and any let variable it tests in an empty-eliminating
 		// way has its binding predicates upgraded.
-		an.walkPredicateExpr(f.Where, pathInfo{}, e, ctx)
+		an.walkPredicateExpr(f.Where, pathInfo{}, e, an.inScope(ctx))
 		for _, name := range emptyEliminatedVars(f.Where) {
 			if preds, ok := letVars[name]; ok {
 				for _, pi := range preds {
@@ -369,5 +391,5 @@ func (an *analyzer) walkQuantified(q *xquery.Quantified, e env, ctx walkCtx) {
 	if q.Every {
 		sctx = walkCtx{filtering: false, reason: "an 'every' quantifier is satisfied by empty sequences"}
 	}
-	an.walkPredicateExpr(q.Satisfies, pathInfo{}, inner, sctx)
+	an.walkPredicateExpr(q.Satisfies, pathInfo{}, inner, an.inScope(sctx))
 }

@@ -155,10 +155,14 @@ type probePlan struct {
 	// ExecOptions.NoNodeSeeds falls it back to the document level.
 	seeds []*xquery.PathExpr
 	// seedSingle marks a probe whose compared path yields at most one
-	// node per context (single named-attribute step): conjunctive
-	// probes of one occurrence and pattern may then intersect at node
-	// granularity.
+	// node per context (single named-attribute step); seedScope is the
+	// predicate's conjunction scope (core.Predicate.Scope). Probes of
+	// one scope, pattern, and singleton operand may intersect at node
+	// granularity — only then must a single node satisfy every
+	// comparison. Across scopes the conjuncts are existentially
+	// independent and their hits must stay separate.
 	seedSingle bool
+	seedScope  int
 }
 
 // semiJoinSpec names the SQL column whose distinct values a semi-join
@@ -263,6 +267,7 @@ func (e *Engine) planProbes(a *core.Analysis) ([]probePlan, []predDecision, erro
 					// the provably singleton item).
 					pl.seeds = append(pl.seeds, p.SeedPath)
 					pl.seedSingle = p.SeedSingle
+					pl.seedScope = p.Scope
 					if partner >= 0 {
 						if q := a.Predicates[partner]; q.SeedPath != nil {
 							pl.seeds = append(pl.seeds, q.SeedPath)
@@ -575,7 +580,7 @@ func (e *Engine) runProbe(g *guard.Guard, pl probePlan, o ExecOptions, t0 time.T
 		out.label = fmt.Sprintf("%s, %d values)", strings.TrimSuffix(pl.label, ")"), len(values))
 		out.cached = allCached
 		out.ok = true
-	} else if len(pl.seeds) > 0 && !o.NoNodeSeeds {
+	} else if len(pl.seeds) > 0 && !o.NoNodeSeeds && !e.annotatedColumn(pl) {
 		// Node granularity: the same scan also decodes ordinals, so the
 		// hits can seed re-evaluation. The document projection keeps the
 		// Definition-1 pre-filter identical to the doc-granular probe.
@@ -622,6 +627,18 @@ func (e *Engine) runProbe(g *guard.Guard, pl probePlan, o ExecOptions, t0 time.T
 	return out
 }
 
+// annotatedColumn reports whether the probed column currently stores any
+// schema-annotated document. Such a document can make the evaluated
+// comparison raise a dynamic error the tolerant index never recorded;
+// pruning the operand walk to index hits would silently suppress it, so
+// node-granular probes fall back to document granularity — the same gate
+// answerIndexOnly applies, checked per execution because it is a
+// property of the data, not the schema version.
+func (e *Engine) annotatedColumn(pl probePlan) bool {
+	dot := strings.IndexByte(pl.coll, '.')
+	return dot >= 0 && pl.table.HasAnnotatedDocs(pl.coll[dot+1:])
+}
+
 // runProbeSafe is runProbe with panic containment: the probe workers run
 // off the query goroutine, where the boundary recoverPanic cannot reach.
 func (e *Engine) runProbeSafe(g *guard.Guard, pl probePlan, o ExecOptions, t0 time.Time) (out probeOutcome) {
@@ -645,6 +662,10 @@ func (e *Engine) runProbes(g *guard.Guard, plans []probePlan, a *core.Analysis, 
 	type occKey struct {
 		coll string
 		occ  int
+	}
+	type scopePat struct {
+		scope   int
+		pattern string
 	}
 	outcomes := make([]probeOutcome, len(plans))
 	if par := parallelism(o.Parallelism); par > 1 && len(plans) > 1 {
@@ -723,33 +744,39 @@ func (e *Engine) runProbes(g *guard.Guard, plans []probePlan, a *core.Analysis, 
 	}
 
 	// Seed construction: each node-granular outcome's hits become the
-	// evaluator seed of its compared path(s). When every node probe of
-	// one occurrence constrains the same pattern through a singleton
-	// compared path, the hit lists intersect at node granularity — a
-	// per-document refinement the doc-level intersection cannot see —
-	// and the document pre-filter tightens to the intersection's
-	// projection.
+	// evaluator seed of its compared path(s). When several node probes
+	// are direct conjuncts of ONE conjunction scope (the same bracket or
+	// where clause) over the same pattern through a singleton compared
+	// path, one node must satisfy every comparison: the hit lists
+	// intersect at node granularity — a per-document refinement the
+	// doc-level intersection cannot see — and the document pre-filter
+	// tightens to the intersection's projection. Probes from different
+	// scopes never intersect, even over the same occurrence and pattern:
+	// the conjuncts are existentially independent (a document may
+	// satisfy each with a different node), and a positional predicate
+	// between two brackets observes the intermediate sequence, which
+	// intersection-pruned seeds would reshape.
 	var seeds xquery.Seeds
 	for k, idxs := range nodeOcc {
-		if len(idxs) > 1 {
-			same := plans[idxs[0]].seedSingle
-			for _, i := range idxs[1:] {
-				if !plans[i].seedSingle ||
-					plans[i].probe.QueryPattern.String() != plans[idxs[0]].probe.QueryPattern.String() {
-					same = false
-					break
-				}
+		byScope := map[scopePat][]int{}
+		for _, i := range idxs {
+			if pl := plans[i]; pl.seedScope > 0 && pl.seedSingle {
+				key := scopePat{pl.seedScope, pl.probe.QueryPattern.String()}
+				byScope[key] = append(byScope[key], i)
 			}
-			if same {
-				inter := outcomes[idxs[0]].nodes
-				for _, i := range idxs[1:] {
-					inter = postings.IntersectNodes(inter, outcomes[i].nodes)
-				}
-				for _, i := range idxs {
-					outcomes[i].nodes = inter
-				}
-				occSets[k] = postings.Intersect(occSets[k], inter.Docs())
+		}
+		for _, group := range byScope {
+			if len(group) < 2 {
+				continue
 			}
+			inter := outcomes[group[0]].nodes
+			for _, i := range group[1:] {
+				inter = postings.IntersectNodes(inter, outcomes[i].nodes)
+			}
+			for _, i := range group {
+				outcomes[i].nodes = inter
+			}
+			occSets[k] = postings.Intersect(occSets[k], inter.Docs())
 		}
 		for _, i := range idxs {
 			pl := plans[i]

@@ -24,6 +24,16 @@ func TestNodeGranularEquivalenceProperty(t *testing.T) {
 			i, 10+i%300, 5+i%97))
 	}
 	mustSQL(t, e, `CREATE INDEX el_price ON elord(orddoc) USING XMLPATTERN '//price' AS double`)
+	// Several lineitems per order: a document can satisfy two brackets
+	// through different nodes, and positional predicates observe the
+	// intermediate sequence.
+	mustSQL(t, e, `create table mlord (ordid integer, orddoc XML)`)
+	for i := 0; i < 60; i++ {
+		mustSQL(t, e, fmt.Sprintf(
+			`insert into mlord values (%d, '<order><lineitem price="%d"/><lineitem price="%d"/><lineitem price="%d"/></order>')`,
+			i, i%13, (i*5)%13, (i*7)%13))
+	}
+	mustSQL(t, e, `CREATE INDEX ml_price ON mlord(orddoc) USING XMLPATTERN '//lineitem/@price' AS double`)
 
 	queries := []string{
 		// Seeded single-probe re-evaluation.
@@ -39,6 +49,15 @@ func TestNodeGranularEquivalenceProperty(t *testing.T) {
 		`fn:exists(db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem[@price > 100000])`,
 		// Mixed: seeded value predicate under a where with a second probe.
 		`for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order where $i/lineitem/@price > 100 and $i/custid = 3 return $i/lineitem/product/id`,
+		// Positional predicate interleaved between two comparisons on the
+		// same step: each bracket is its own conjunction scope, so the
+		// probes must seed their own hits, never their intersection.
+		`db2-fn:xmlcolumn('MLORD.ORDDOC')//order/lineitem[@price > 1][1][@price < 5]`,
+		`db2-fn:xmlcolumn('MLORD.ORDDOC')//order/lineitem[@price > 1][last()][@price < 9]`,
+		// Same pattern probed from two independent sites: existentially
+		// independent, no intersection at node or document granularity.
+		`for $d in db2-fn:xmlcolumn('MLORD.ORDDOC')/order where $d/lineitem[@price > 5] return $d/lineitem[@price < 3]`,
+		`for $d in db2-fn:xmlcolumn('MLORD.ORDDOC')/order where $d/lineitem[@price > 5] and $d/lineitem[@price < 3] return $d`,
 	}
 	for _, q := range queries {
 		full, _, err := e.ExecXQuery(q, false)
