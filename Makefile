@@ -18,7 +18,8 @@ test: build
 
 # vet runs the stock toolchain vet plus xqvet, the project's own
 # analyzer suite (guard discipline, posting-list doc sets, atomics,
-# lock escapes, map-order determinism).
+# lock escapes, map-order determinism, exhaustive stats merging,
+# cache-key completeness, lock-order acyclicity, knob-matrix coverage).
 vet:
 	$(GO) vet ./...
 	$(GO) run ./cmd/xqvet ./...

@@ -206,23 +206,10 @@ func runStatementCtx(w io.Writer, db *xqdb.DB, ctx context.Context, stmt string,
 		fmt.Fprintf(w, "row %d: %s\n", i+1, strings.Join(row, " | "))
 	}
 	if opts.stats && stats != nil {
-		fmt.Fprintf(w, "-- %d rows", res.Len())
-		if len(stats.IndexesUsed) > 0 {
-			fmt.Fprintf(w, "; indexes: %s; docs %d/%d", strings.Join(stats.IndexesUsed, ", "), stats.DocsScanned, stats.DocsTotal)
-		}
-		if stats.PlanCache != "" {
-			fmt.Fprintf(w, "; plan cache: %s", stats.PlanCache)
-		}
-		if stats.IndexOnlyAnswered {
-			fmt.Fprintf(w, "; index-only")
-		}
-		if stats.NodesDecoded > 0 {
-			fmt.Fprintf(w, "; nodes decoded %d", stats.NodesDecoded)
-		}
-		if stats.NodesSeeded > 0 {
-			fmt.Fprintf(w, "; nodes seeded %d", stats.NodesSeeded)
-		}
-		fmt.Fprintln(w)
+		// The stats digest itself lives with the engine (Stats.Summary)
+		// so every field added to Stats surfaces here automatically —
+		// the statsmerge analyzer holds the renderer to that.
+		fmt.Fprintf(w, "-- %d rows%s\n", res.Len(), stats.Summary())
 	}
 	if opts.trace && stats != nil && stats.Trace != nil {
 		for _, s := range stats.Trace.Spans {

@@ -3,9 +3,12 @@
 // project invariants a human reviewer used to enforce by checklist —
 // guard checks inside scan loops, posting lists instead of ad-hoc doc
 // sets, atomics never mixed with plain access, no callbacks or sends
-// under a held lock, no map-ordered user-visible output.
+// under a held lock, no map-ordered user-visible output, exhaustive
+// stats merging, complete cache keys, an acyclic lock order, and a full
+// equivalence knob matrix.
 //
 //	xqvet ./...          # analyze packages (exit 1 on findings)
+//	xqvet -json ./...    # findings + per-analyzer timings as JSON
 //	xqvet -codes         # list the analyzers and what each enforces
 //
 // Findings print as file:line:col: [code] message. A finding is
@@ -15,11 +18,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"time"
 
 	"github.com/xqdb/xqdb/internal/analyzers"
 	"github.com/xqdb/xqdb/internal/analyzers/analysis"
@@ -30,12 +35,36 @@ func main() {
 	os.Exit(run(".", os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// finding is one diagnostic, in the JSON shape CI surfaces.
+type finding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// timing is one analyzer's wall-clock total across all packages.
+type timing struct {
+	Analyzer string  `json:"analyzer"`
+	Millis   float64 `json:"ms"`
+}
+
+// report is the -json document: findings sorted by position then code,
+// timings in analyzer order.
+type report struct {
+	Packages int       `json:"packages"`
+	Findings []finding `json:"findings"`
+	Timings  []timing  `json:"timings"`
+}
+
 // run is the testable entry point: dir is the working directory for
 // package loading (the integration test points it at a fixture module).
 func run(dir string, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("xqvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	codes := fs.Bool("codes", false, "list the analyzers and exit")
+	asJSON := fs.Bool("json", false, "emit findings and per-analyzer timings as JSON")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -56,12 +85,8 @@ func run(dir string, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	type finding struct {
-		pos  string
-		code string
-		msg  string
-	}
 	var findings []finding
+	elapsed := map[string]time.Duration{}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers.All {
 			pass := &analysis.Pass{
@@ -69,26 +94,53 @@ func run(dir string, args []string, stdout, stderr io.Writer) int {
 				Pkg: pkg.Types, TypesInfo: pkg.TypesInfo,
 			}
 			pass.Report = func(d analysis.Diagnostic) {
+				p := pkg.Fset.Position(d.Pos)
 				findings = append(findings, finding{
-					pos:  pkg.Fset.Position(d.Pos).String(),
-					code: a.Name,
-					msg:  d.Message,
+					File: p.Filename, Line: p.Line, Col: p.Column,
+					Code: a.Name, Message: d.Message,
 				})
 			}
-			if err := a.Run(pass); err != nil {
+			start := time.Now()
+			err := a.Run(pass)
+			elapsed[a.Name] += time.Since(start)
+			if err != nil {
 				fmt.Fprintf(stderr, "xqvet: %s: %s: %v\n", a.Name, pkg.PkgPath, err)
 				return 2
 			}
 		}
 	}
 	sort.Slice(findings, func(i, j int) bool {
-		if findings[i].pos != findings[j].pos {
-			return findings[i].pos < findings[j].pos
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
 		}
-		return findings[i].code < findings[j].code
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Code < b.Code
 	})
-	for _, f := range findings {
-		fmt.Fprintf(stdout, "%s: [%s] %s\n", f.pos, f.code, f.msg)
+
+	if *asJSON {
+		rep := report{Packages: len(pkgs), Findings: findings}
+		for _, a := range analyzers.All {
+			rep.Timings = append(rep.Timings, timing{
+				Analyzer: a.Name,
+				Millis:   float64(elapsed[a.Name].Microseconds()) / 1000,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(stderr, "xqvet:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Code, f.Message)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "xqvet: %d finding(s)\n", len(findings))

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"reflect"
 	"regexp"
 	"sort"
@@ -11,6 +12,12 @@ import (
 
 // codeRe extracts the diagnostic code of one `pos: [code] msg` line.
 var codeRe = regexp.MustCompile(`(?m)^\S+: \[(\w+)\]`)
+
+// allCodes is every analyzer in the suite, in diagnostic-code order.
+var allCodes = []string{
+	"atomicfield", "cachekey", "docset", "guardloop", "knobmatrix",
+	"lockescape", "lockorder", "maporder", "statsmerge",
+}
 
 // The quarantined badmod fixture plants exactly one violation per
 // analyzer; xqvet pointed at it must exit 1 and report exactly those
@@ -26,12 +33,65 @@ func TestBadModuleOneViolationPerAnalyzer(t *testing.T) {
 		got = append(got, m[1])
 	}
 	sort.Strings(got)
-	want := []string{"atomicfield", "docset", "guardloop", "lockescape", "maporder"}
-	if !reflect.DeepEqual(got, want) {
-		t.Fatalf("diagnostic codes = %v, want %v\noutput:\n%s", got, want, stdout.String())
+	if !reflect.DeepEqual(got, allCodes) {
+		t.Fatalf("diagnostic codes = %v, want %v\noutput:\n%s", got, allCodes, stdout.String())
 	}
-	if !strings.Contains(stderr.String(), "5 finding(s)") {
+	if !strings.Contains(stderr.String(), "9 finding(s)") {
 		t.Fatalf("stderr summary missing: %s", stderr.String())
+	}
+	// The statsmerge regression shape specifically: the deliberately
+	// unmerged synthetic counter is reported by name.
+	if !strings.Contains(stdout.String(), "execStats.rowsScanned is not referenced") {
+		t.Fatalf("statsmerge did not flag the unmerged counter:\n%s", stdout.String())
+	}
+}
+
+// -json must carry the same findings as the text mode, sorted, with a
+// per-analyzer timing entry for every analyzer in the suite.
+func TestJSONReport(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run("testdata/badmod", []string{"-json"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	var rep struct {
+		Packages int `json:"packages"`
+		Findings []struct {
+			File string `json:"file"`
+			Line int    `json:"line"`
+			Code string `json:"code"`
+		} `json:"findings"`
+		Timings []struct {
+			Analyzer string  `json:"analyzer"`
+			Millis   float64 `json:"ms"`
+		} `json:"timings"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, stdout.String())
+	}
+	if rep.Packages != 1 || len(rep.Findings) != len(allCodes) {
+		t.Fatalf("packages = %d, findings = %d, want 1 and %d", rep.Packages, len(rep.Findings), len(allCodes))
+	}
+	var got, timed []string
+	for _, f := range rep.Findings {
+		got = append(got, f.Code)
+		if f.File == "" || f.Line == 0 {
+			t.Fatalf("finding missing position: %+v", f)
+		}
+	}
+	sort.Strings(got)
+	if !reflect.DeepEqual(got, allCodes) {
+		t.Fatalf("JSON codes = %v, want %v", got, allCodes)
+	}
+	for _, tm := range rep.Timings {
+		timed = append(timed, tm.Analyzer)
+		if tm.Millis < 0 {
+			t.Fatalf("negative timing: %+v", tm)
+		}
+	}
+	sort.Strings(timed)
+	if !reflect.DeepEqual(timed, allCodes) {
+		t.Fatalf("JSON timings cover %v, want %v", timed, allCodes)
 	}
 }
 
@@ -42,7 +102,7 @@ func TestCodesFlagListsAllAnalyzers(t *testing.T) {
 	if code := run(".", []string{"-codes"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("-codes exit = %d, stderr: %s", code, stderr.String())
 	}
-	for _, name := range []string{"atomicfield", "docset", "guardloop", "lockescape", "maporder"} {
+	for _, name := range allCodes {
 		if !strings.Contains(stdout.String(), name) {
 			t.Fatalf("-codes output missing %s:\n%s", name, stdout.String())
 		}
@@ -57,5 +117,19 @@ func TestCleanPackageExitsZero(t *testing.T) {
 	}
 	if stdout.Len() != 0 {
 		t.Fatalf("clean run printed findings:\n%s", stdout.String())
+	}
+}
+
+// The whole repository — internal packages AND the cmd/... mains — must
+// stay xqvet-clean: every true positive the suite ever found is either
+// fixed or carries an inline //xqvet:<code>-ok justification.
+func TestWholeRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks every package")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run("../..", nil, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d over the repository\nstdout: %s\nstderr: %s",
+			code, stdout.String(), stderr.String())
 	}
 }

@@ -5,6 +5,7 @@
 package badmod
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -65,4 +66,66 @@ func labels(set map[string]bool) []string {
 		out = append(out, name)
 	}
 	return out
+}
+
+// statsmerge: a counter added to the struct but not to its merge — the
+// parallel shard fold drops it silently.
+type execStats struct {
+	probes      int
+	rowsScanned int
+}
+
+func (s *execStats) merge(o *execStats) {
+	s.probes += o.probes
+}
+
+// Summary renders both fields; only the merge is incomplete.
+func (s *execStats) Summary() string {
+	return fmt.Sprintf("probes=%d rows=%d", s.probes, s.rowsScanned)
+}
+
+// cachekey: the derivation covers the pattern but ignores the limit,
+// so two scans differing only in limit share a cache entry.
+type resultCache struct {
+	items map[string]int
+}
+
+func (c *resultCache) get(k string) (int, bool) {
+	v, ok := c.items[k]
+	return v, ok
+}
+
+func scanKey(pat string) string { return "scan:" + pat }
+
+func cachedScan(c *resultCache, pat string, limit int) int {
+	k := scanKey(pat)
+	v, _ := c.get(k)
+	if v > limit {
+		return limit
+	}
+	return v
+}
+
+// lockorder: a helper re-acquires the mutex its caller already holds.
+type gate struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (g *gate) bump() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+func (g *gate) double() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.bump()
+}
+
+// knobmatrix: a boolean knob with no equivalence matrix anywhere (the
+// module has no tests at all).
+type scanOptions struct {
+	skipVerify bool
 }

@@ -8,17 +8,25 @@ package analyzers
 import (
 	"github.com/xqdb/xqdb/internal/analyzers/analysis"
 	"github.com/xqdb/xqdb/internal/analyzers/atomicfield"
+	"github.com/xqdb/xqdb/internal/analyzers/cachekey"
 	"github.com/xqdb/xqdb/internal/analyzers/docset"
 	"github.com/xqdb/xqdb/internal/analyzers/guardloop"
+	"github.com/xqdb/xqdb/internal/analyzers/knobmatrix"
 	"github.com/xqdb/xqdb/internal/analyzers/lockescape"
+	"github.com/xqdb/xqdb/internal/analyzers/lockorder"
 	"github.com/xqdb/xqdb/internal/analyzers/maporder"
+	"github.com/xqdb/xqdb/internal/analyzers/statsmerge"
 )
 
 // All lists every analyzer xqvet runs, in diagnostic-code order.
 var All = []*analysis.Analyzer{
 	atomicfield.Analyzer,
+	cachekey.Analyzer,
 	docset.Analyzer,
 	guardloop.Analyzer,
+	knobmatrix.Analyzer,
 	lockescape.Analyzer,
+	lockorder.Analyzer,
 	maporder.Analyzer,
+	statsmerge.Analyzer,
 }

@@ -1,0 +1,321 @@
+// Package cachekey enforces cache-key completeness: wherever a function
+// stores into or reads from a *Cache-typed value, the key it passes must
+// be built by a *Key-named derivation (a call to a function whose name
+// ends in Key, or a composite literal of a *Key-named struct), and that
+// derivation must mention every input of the enclosing function — each
+// field of every by-value struct parameter and every scalar parameter.
+//
+// The bug class is key collision by omission: PR 9 had to prefix the
+// probe-cache key with a granularity byte precisely because doc- and
+// node-granularity probes over the same bounds and pattern collided on a
+// bounds+pattern key, replaying a doc list where a node list was wanted.
+// A key that silently ignores one input reproduces that bug for
+// whichever pair of calls differ only in the ignored input.
+//
+// Inputs that genuinely cannot affect the cached value — a cancellation
+// guard, a cache-bypass flag — carry `//xqvet:cachekey-ok <reason>` on
+// the field declaration or derivation line.
+package cachekey
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/xqdb/xqdb/internal/analyzers/analysis"
+	"github.com/xqdb/xqdb/internal/analyzers/typeutil"
+)
+
+// Analyzer is the cachekey check.
+var Analyzer = &analysis.Analyzer{
+	Name: "cachekey",
+	Doc: "keys passed to *Cache-typed values must come from a *Key derivation " +
+		"(a *Key function call or *Key struct literal) that mentions every " +
+		"field of each by-value struct parameter and every scalar parameter " +
+		"of the enclosing function, so two cached values differing in an " +
+		"ignored input cannot collide; annotate //xqvet:cachekey-ok <reason> " +
+		"on inputs that provably never affect the cached value",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:      pass,
+		seenField: map[token.Pos]bool{},
+		seenParam: map[string]bool{},
+		seenRaw:   map[token.Pos]bool{},
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			c.checkFunc(fn)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// seenField dedupes field diagnostics by declaration position: several
+	// functions deriving keys from the same struct flag each omitted field
+	// once, where the annotation lives.
+	seenField map[token.Pos]bool
+	seenParam map[string]bool
+	seenRaw   map[token.Pos]bool
+}
+
+// checkFunc analyzes one function: finds the cache-key derivations its
+// cache calls consume and verifies each derivation covers the function's
+// inputs.
+func (c *checker) checkFunc(fn *ast.FuncDecl) {
+	info := c.pass.TypesInfo
+	params := paramVars(info, fn)
+	sources := localSources(info, fn.Body)
+
+	derivs := map[token.Pos]ast.Expr{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		recv := typeutil.Deref(info.TypeOf(sel.X))
+		named, ok := recv.(*types.Named)
+		if !ok || !strings.HasSuffix(strings.ToLower(named.Obj().Name()), "cache") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if d := c.resolveDerivation(named, sel.Sel.Name, arg, params, sources); d != nil {
+				derivs[d.Pos()] = d
+			}
+		}
+		return true
+	})
+	for _, d := range derivs {
+		c.checkCoverage(fn, d, params, sources)
+	}
+}
+
+// resolveDerivation maps one cache-call argument to the *Key derivation
+// expression it came from, reporting an ad-hoc string key when there is
+// none. Arguments that are parameters of the enclosing function are the
+// cache's own plumbing — their provenance is checked in the callers that
+// built them.
+func (c *checker) resolveDerivation(cache *types.Named, method string, arg ast.Expr, params map[*types.Var]bool, sources map[*types.Var][]ast.Expr) ast.Expr {
+	info := c.pass.TypesInfo
+	if isKeyShaped(info, arg) {
+		return arg
+	}
+	if id, ok := arg.(*ast.Ident); ok {
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok {
+			return nil
+		}
+		if params[v] {
+			return nil
+		}
+		for _, src := range sources[v] {
+			if isKeyShaped(info, src) {
+				return src
+			}
+		}
+	}
+	if basic, ok := info.TypeOf(arg).Underlying().(*types.Basic); ok && basic.Kind() == types.String {
+		if !c.seenRaw[arg.Pos()] {
+			c.seenRaw[arg.Pos()] = true
+			c.pass.Reportf(arg.Pos(),
+				"cache key passed to (*%s).%s is not built by a *Key function or *Key literal: ad-hoc keys drift from the cached value's inputs — derive it from a *Key helper, or annotate //xqvet:cachekey-ok <reason>",
+				cache.Obj().Name(), method)
+		}
+	}
+	return nil
+}
+
+// isKeyShaped reports whether expr is a key derivation: a call to a
+// function named *Key, or a composite literal of a *Key-named type.
+func isKeyShaped(info *types.Info, expr ast.Expr) bool {
+	switch e := expr.(type) {
+	case *ast.CallExpr:
+		name := typeutil.CalleeName(e)
+		return strings.HasSuffix(name, "Key") || strings.HasSuffix(name, "key")
+	case *ast.CompositeLit:
+		named, ok := typeutil.Deref(info.TypeOf(e)).(*types.Named)
+		if !ok {
+			return false
+		}
+		name := named.Obj().Name()
+		return strings.HasSuffix(name, "Key") || strings.HasSuffix(name, "key")
+	}
+	return false
+}
+
+// checkCoverage verifies one derivation mentions every input of fn:
+// every field of each by-value struct parameter and every scalar
+// parameter. Pointer, slice, map, func, channel, and interface
+// parameters are sinks or plumbing, not key inputs.
+func (c *checker) checkCoverage(fn *ast.FuncDecl, deriv ast.Expr, params map[*types.Var]bool, sources map[*types.Var][]ast.Expr) {
+	info := c.pass.TypesInfo
+	covered := map[types.Object]bool{}
+	collectTokens(info, deriv, params, sources, covered, map[*types.Var]bool{})
+
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			p, ok := info.Defs[name].(*types.Var)
+			if !ok || name.Name == "_" {
+				continue
+			}
+			switch t := p.Type().Underlying().(type) {
+			case *types.Struct:
+				if covered[p] {
+					continue // the whole value reached the key
+				}
+				structName := p.Type().String()
+				if named, ok := p.Type().(*types.Named); ok {
+					structName = named.Obj().Name()
+				}
+				for i := 0; i < t.NumFields(); i++ {
+					fd := t.Field(i)
+					if covered[fd] {
+						continue
+					}
+					pos := deriv.Pos()
+					if fd.Pos().IsValid() && fd.Pkg() == c.pass.Pkg {
+						pos = fd.Pos()
+					}
+					if c.seenField[pos] {
+						continue
+					}
+					c.seenField[pos] = true
+					c.pass.Reportf(pos,
+						"field %s.%s does not reach the cache key derived from it: two cached values differing only in this field collide — include it in the *Key derivation, or annotate //xqvet:cachekey-ok <reason>",
+						structName, fd.Name())
+				}
+			case *types.Basic:
+				if t.Kind() == types.Invalid || covered[p] {
+					continue
+				}
+				key := c.pass.Fset.Position(deriv.Pos()).String() + "/" + p.Name()
+				if c.seenParam[key] {
+					continue
+				}
+				c.seenParam[key] = true
+				c.pass.Reportf(deriv.Pos(),
+					"parameter %s of %s does not reach the cache key built here: a value cached under this key is replayed for calls that differ in it — include it in the key, or annotate //xqvet:cachekey-ok <reason>",
+					p.Name(), fn.Name.Name)
+			}
+		}
+	}
+}
+
+// collectTokens walks a derivation expression and records which function
+// inputs it mentions: parameters (an unqualified mention of a struct
+// parameter covers all its fields), struct-parameter fields via p.F
+// selectors, and — one hop — the inputs feeding any local variable used
+// in the derivation, so `lo, hi, _, _ := bounds(p.Range)` credits Range.
+func collectTokens(info *types.Info, expr ast.Expr, params map[*types.Var]bool, sources map[*types.Var][]ast.Expr, covered map[types.Object]bool, visiting map[*types.Var]bool) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok {
+				if v, ok := info.Uses[id].(*types.Var); ok && params[v] {
+					if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+						covered[s.Obj()] = true
+						return false // the field is the input, not the whole parameter
+					}
+				}
+			}
+			return true
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		if params[v] {
+			covered[v] = true
+			if st, ok := v.Type().Underlying().(*types.Struct); ok {
+				for i := 0; i < st.NumFields(); i++ {
+					covered[st.Field(i)] = true
+				}
+			}
+			return true
+		}
+		if visiting[v] {
+			return true
+		}
+		visiting[v] = true
+		for _, src := range sources[v] {
+			collectTokens(info, src, params, sources, covered, visiting)
+		}
+		return true
+	})
+}
+
+// paramVars collects the named parameter objects of fn.
+func paramVars(info *types.Info, fn *ast.FuncDecl) map[*types.Var]bool {
+	params := map[*types.Var]bool{}
+	if fn.Type.Params == nil {
+		return params
+	}
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			if v, ok := info.Defs[name].(*types.Var); ok && name.Name != "_" {
+				params[v] = true
+			}
+		}
+	}
+	return params
+}
+
+// localSources records, for every local variable in body, the right-hand
+// expressions assigned to it — by short declaration, assignment, or var
+// declaration — so derivation arguments and coverage tokens can look one
+// hop through locals.
+func localSources(info *types.Info, body *ast.BlockStmt) map[*types.Var][]ast.Expr {
+	sources := map[*types.Var][]ast.Expr{}
+	record := func(lhs []ast.Expr, rhs []ast.Expr) {
+		for i, l := range lhs {
+			id, ok := l.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v, ok := info.Defs[id].(*types.Var)
+			if !ok {
+				v, ok = info.Uses[id].(*types.Var)
+			}
+			if !ok || v == nil {
+				continue
+			}
+			if len(rhs) == len(lhs) {
+				sources[v] = append(sources[v], rhs[i])
+			} else {
+				// Multi-value call: every variable inherits the whole RHS,
+				// crediting each result with all the call's inputs.
+				sources[v] = append(sources[v], rhs...)
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			record(st.Lhs, st.Rhs)
+		case *ast.ValueSpec:
+			lhs := make([]ast.Expr, len(st.Names))
+			for i, name := range st.Names {
+				lhs[i] = name
+			}
+			record(lhs, st.Values)
+		}
+		return true
+	})
+	return sources
+}

@@ -1,0 +1,16 @@
+package cachekey_test
+
+import (
+	"testing"
+
+	"github.com/xqdb/xqdb/internal/analyzers/analysistest"
+	"github.com/xqdb/xqdb/internal/analyzers/cachekey"
+)
+
+// TestCachekey pins the analyzer's contract: an omitted struct field is
+// flagged at its declaration, an omitted scalar parameter at the
+// derivation, an ad-hoc string key at the call site, and the annotated
+// display-only flag plus the whole-value derivation are clean.
+func TestCachekey(t *testing.T) {
+	analysistest.Run(t, "testdata", cachekey.Analyzer, "cachefix")
+}

@@ -1,0 +1,122 @@
+// Package knobmatrix enforces that every boolean knob on a *Options
+// struct appears in the package's equivalence property tests: some
+// Test*Equivalence* function must mention the field by name, or the knob
+// carries an explicit `//xqvet:knobmatrix-ok <reason>` annotation.
+//
+// The bug class is an optimization toggle that silently changes
+// results: the node-granularity PR's conjunction-scope unsoundness was
+// caught only because the equivalence matrix runs every knob combination
+// against the plain full scan — but the matrix itself was maintained by
+// hand, and knobs like Prepared and Trace were never in it. A knob the
+// matrix skips is a code path no equivalence property exercises.
+//
+// Test files are not part of the type-checked package the analyzers see
+// (the loader feeds non-test GoFiles), so this check parses the sibling
+// *_test.go files from the package directory, purely syntactically, and
+// looks for the field name as an identifier anywhere inside a function
+// whose name starts with Test and contains Equivalence. A package with
+// *Options bools and no equivalence test at all flags every knob — that
+// is the point: the matrix must exist.
+package knobmatrix
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/xqdb/xqdb/internal/analyzers/analysis"
+)
+
+// Analyzer is the knobmatrix check.
+var Analyzer = &analysis.Analyzer{
+	Name: "knobmatrix",
+	Doc: "every boolean field of a *Options struct must be mentioned inside a " +
+		"Test*Equivalence* function in the package's _test.go files: a knob " +
+		"outside the equivalence matrix toggles a code path no property test " +
+		"compares against the baseline; annotate //xqvet:knobmatrix-ok " +
+		"<reason> on knobs that cannot affect results",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if len(pass.Files) == 0 {
+		return nil
+	}
+	dir := filepath.Dir(pass.Fset.Position(pass.Files[0].Pos()).Filename)
+	mentioned := equivalenceIdents(dir)
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			spec, ok := n.(*ast.TypeSpec)
+			if !ok || !strings.HasSuffix(spec.Name.Name, "Options") {
+				return true
+			}
+			st, ok := spec.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					v, ok := pass.TypesInfo.Defs[name].(*types.Var)
+					if !ok || !isBool(v.Type()) {
+						continue
+					}
+					if mentioned[name.Name] {
+						continue
+					}
+					pass.Reportf(name.Pos(),
+						"knob %s.%s appears in no Test*Equivalence* function in this package's tests: a boolean knob outside the equivalence matrix can change query results unnoticed — add it to the knob matrix, or annotate //xqvet:knobmatrix-ok <reason>",
+						spec.Name.Name, name.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isBool(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsBoolean != 0
+}
+
+// equivalenceIdents parses the directory's _test.go files (syntax only —
+// test files are outside the type-checked package) and returns every
+// identifier appearing inside a Test*Equivalence* function.
+func equivalenceIdents(dir string) map[string]bool {
+	idents := map[string]bool{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return idents
+	}
+	fset := token.NewFileSet()
+	for _, entry := range entries {
+		if entry.IsDir() || !strings.HasSuffix(entry.Name(), "_test.go") {
+			continue
+		}
+		file, err := parser.ParseFile(fset, filepath.Join(dir, entry.Name()), nil, parser.SkipObjectResolution)
+		if err != nil {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !strings.HasPrefix(fn.Name.Name, "Test") || !strings.Contains(fn.Name.Name, "Equivalence") {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					idents[id.Name] = true
+				}
+				return true
+			})
+		}
+	}
+	return idents
+}

@@ -1,0 +1,16 @@
+package knobmatrix_test
+
+import (
+	"testing"
+
+	"github.com/xqdb/xqdb/internal/analyzers/analysistest"
+	"github.com/xqdb/xqdb/internal/analyzers/knobmatrix"
+)
+
+// TestKnobmatrix pins the analyzer's contract: a knob mentioned in the
+// sibling equivalence test is clean, a forgotten knob is a finding at
+// its declaration, a non-boolean option is ignored, and the annotated
+// logging-only flag suppresses.
+func TestKnobmatrix(t *testing.T) {
+	analysistest.Run(t, "testdata", knobmatrix.Analyzer, "knobfix")
+}

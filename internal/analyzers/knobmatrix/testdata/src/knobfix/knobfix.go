@@ -1,0 +1,27 @@
+// Package knobfix exercises the knobmatrix analyzer: a knob the
+// equivalence test mentions is clean, an unmentioned knob is a finding,
+// a non-boolean option is not a knob, and the annotated escape
+// suppresses.
+package knobfix
+
+// Options configures a run.
+type Options struct {
+	// Par is not boolean: parallelism never changes results here.
+	Par int
+	// Fast appears in the equivalence matrix in knobfix_test.go.
+	Fast bool
+	// Safe is a knob the matrix forgot.
+	Safe bool // want "knob Options.Safe appears in no Test.Equivalence. function"
+	//xqvet:knobmatrix-ok diagnostic flag: changes logging only, never the result
+	Verbose bool
+}
+
+func run(o Options) int {
+	if o.Fast {
+		return 1
+	}
+	if o.Safe || o.Verbose {
+		return 2
+	}
+	return o.Par
+}

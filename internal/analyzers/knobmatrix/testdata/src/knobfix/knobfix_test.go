@@ -1,0 +1,14 @@
+package knobfix
+
+import "testing"
+
+// TestKnobEquivalenceProperty is the knob matrix: Fast is exercised,
+// Safe deliberately is not.
+func TestKnobEquivalenceProperty(t *testing.T) {
+	base := run(Options{})
+	for _, fast := range []bool{false, true} {
+		if got := run(Options{Fast: fast, Par: 1}); got < 0 {
+			t.Fatalf("run(Fast=%v) = %d, base %d", fast, got, base)
+		}
+	}
+}

@@ -1,0 +1,397 @@
+// Package lockorder builds a static lock-acquisition graph over the
+// package's sync.Mutex/sync.RWMutex struct fields and reports every
+// edge that participates in a cycle — two locks acquired in both orders
+// somewhere in the package, or a lock re-acquired while already held
+// through a helper call.
+//
+// The bug class is latent deadlock: the probe cache's mutex nests under
+// the index read lock (PR 4), the ingestion tree swap runs under locks
+// (PR 7), and the admission gate added another mutex (PR 6) — the chaos
+// tests only catch an inconsistent order when the schedule actually
+// interleaves, while the graph catches it on every run.
+//
+// The analysis is a source-order approximation, not a path-sensitive
+// one: within each function body, Lock/RLock adds the mutex to the held
+// set, Unlock/RUnlock removes it, and a deferred unlock holds to the end
+// of the function. Calls to same-package functions propagate the
+// callee's transitive acquire set (computed to a fixpoint over the
+// package call graph) as edges from every held lock. Function literals
+// are analyzed as independent roots with nothing held — a goroutine
+// body does not run under its creator's locks.
+//
+// A deliberate both-order acquisition (e.g. a global order enforced by
+// address comparison) carries `//xqvet:lockorder-ok <reason>` on the
+// acquisition the analyzer flags.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"github.com/xqdb/xqdb/internal/analyzers/analysis"
+	"github.com/xqdb/xqdb/internal/analyzers/typeutil"
+)
+
+// Analyzer is the lockorder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "the static lock-acquisition graph over the package's mutex fields " +
+		"must be acyclic: two mutexes acquired in both orders, or a mutex " +
+		"re-acquired through a helper while held, deadlocks under the right " +
+		"schedule even if every test passes; annotate //xqvet:lockorder-ok " +
+		"<reason> where an out-of-graph invariant enforces a global order",
+	Run: run,
+}
+
+type edge struct{ from, to *types.Var }
+
+func run(pass *analysis.Pass) error {
+	labels := mutexLabels(pass)
+	if len(labels) == 0 {
+		return nil
+	}
+	funcs := map[*types.Func]*ast.FuncDecl{}
+	var decls []*ast.FuncDecl
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			decls = append(decls, fn)
+			if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+				funcs[obj] = fn
+			}
+		}
+	}
+
+	// Phase 1+2: transitive acquire set per function, to a fixpoint over
+	// the package call graph (handles recursion).
+	summaries := map[*ast.FuncDecl]map[*types.Var]bool{}
+	for _, fn := range decls {
+		summaries[fn] = directAcquires(pass, fn.Body, labels)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range decls {
+			sum := summaries[fn]
+			for _, callee := range callees(pass, fn.Body, funcs) {
+				for m := range summaries[callee] {
+					if !sum[m] {
+						sum[m] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Phase 3: simulate each body (and each function literal as its own
+	// root) recording held -> acquired edges at their first position.
+	edges := map[edge]token.Pos{}
+	for _, fn := range decls {
+		simulate(pass, fn.Body, labels, funcs, summaries, edges)
+	}
+
+	reportCycles(pass, labels, edges)
+	return nil
+}
+
+// mutexLabels maps every sync.Mutex/RWMutex struct field (and package-
+// level mutex variable) to its "Type.field" diagnostic label.
+func mutexLabels(pass *analysis.Pass) map[*types.Var]string {
+	labels := map[*types.Var]string{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			spec, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := spec.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					v, ok := pass.TypesInfo.Defs[name].(*types.Var)
+					if ok && typeutil.MutexType(typeutil.Deref(v.Type())) {
+						labels[v] = spec.Name.Name + "." + name.Name
+					}
+				}
+			}
+			return true
+		})
+	}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		if v, ok := scope.Lookup(name).(*types.Var); ok && typeutil.MutexType(typeutil.Deref(v.Type())) {
+			labels[v] = name
+		}
+	}
+	return labels
+}
+
+// lockCall classifies a call as an acquisition or release of a tracked
+// mutex, returning the mutex node.
+func lockCall(pass *analysis.Pass, call *ast.CallExpr, labels map[*types.Var]string) (m *types.Var, acquire, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+	default:
+		return nil, false, false
+	}
+	var obj types.Object
+	switch x := sel.X.(type) {
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[x.Sel]
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[x]
+	default:
+		return nil, false, false
+	}
+	v, isVar := obj.(*types.Var)
+	if !isVar {
+		return nil, false, false
+	}
+	if _, tracked := labels[v]; !tracked {
+		return nil, false, false
+	}
+	return v, acquire, true
+}
+
+// directAcquires collects every mutex the body locks directly, skipping
+// function literals (their bodies are separate roots).
+func directAcquires(pass *analysis.Pass, body *ast.BlockStmt, labels map[*types.Var]string) map[*types.Var]bool {
+	acquired := map[*types.Var]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if m, acquire, ok := lockCall(pass, call, labels); ok && acquire {
+				acquired[m] = true
+			}
+		}
+		return true
+	})
+	return acquired
+}
+
+// callees resolves the body's same-package call targets to their
+// declarations, skipping function literals.
+func callees(pass *analysis.Pass, body *ast.BlockStmt, funcs map[*types.Func]*ast.FuncDecl) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var obj types.Object
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			obj = pass.TypesInfo.Uses[fun]
+		case *ast.SelectorExpr:
+			obj = pass.TypesInfo.Uses[fun.Sel]
+		}
+		if f, ok := obj.(*types.Func); ok {
+			if decl, ok := funcs[f]; ok {
+				out = append(out, decl)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// simulate walks one body in source order maintaining the held set,
+// recording a held->acquired edge at every direct acquisition and, for
+// same-package calls, at every mutex the callee transitively acquires.
+// Deferred unlocks hold to the end of the function. Function literals
+// restart the simulation with nothing held.
+func simulate(pass *analysis.Pass, body *ast.BlockStmt, labels map[*types.Var]string, funcs map[*types.Func]*ast.FuncDecl, summaries map[*ast.FuncDecl]map[*types.Var]bool, edges map[edge]token.Pos) {
+	deferred := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferred[d.Call] = true
+		}
+		return true
+	})
+
+	var held []*types.Var
+	addEdge := func(to *types.Var, pos token.Pos) {
+		for _, from := range held {
+			e := edge{from: from, to: to}
+			if _, ok := edges[e]; !ok {
+				edges[e] = pos
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			simulate(pass, lit.Body, labels, funcs, summaries, edges)
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if m, acquire, ok := lockCall(pass, call, labels); ok {
+			if acquire {
+				addEdge(m, call.Pos())
+				held = append(held, m)
+			} else if !deferred[call] {
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i] == m {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+			}
+			return true
+		}
+		var obj types.Object
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			obj = pass.TypesInfo.Uses[fun]
+		case *ast.SelectorExpr:
+			obj = pass.TypesInfo.Uses[fun.Sel]
+		}
+		if f, ok := obj.(*types.Func); ok {
+			if decl, ok := funcs[f]; ok {
+				for m := range summaries[decl] {
+					addEdge(m, call.Pos())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// reportCycles finds strongly connected components of the acquisition
+// graph and reports, deterministically, every edge inside one —
+// including self-edges (a lock re-acquired while held).
+func reportCycles(pass *analysis.Pass, labels map[*types.Var]string, edges map[edge]token.Pos) {
+	adj := map[*types.Var][]*types.Var{}
+	for e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	scc := tarjan(adj)
+
+	var bad []edge
+	for e := range edges {
+		if e.from == e.to || (scc[e.from] != 0 && scc[e.from] == scc[e.to]) {
+			bad = append(bad, e)
+		}
+	}
+	sort.Slice(bad, func(i, j int) bool {
+		if labels[bad[i].from] != labels[bad[j].from] {
+			return labels[bad[i].from] < labels[bad[j].from]
+		}
+		return labels[bad[i].to] < labels[bad[j].to]
+	})
+	for _, e := range bad {
+		if e.from == e.to {
+			pass.Reportf(edges[e],
+				"%s is acquired while %s is already held: the second acquisition deadlocks (Mutex) or blocks behind a waiting writer (RWMutex) — restructure so the lock is taken once, or annotate //xqvet:lockorder-ok <reason>",
+				labels[e.to], labels[e.from])
+			continue
+		}
+		members := sccMembers(scc, scc[e.from], labels)
+		pass.Reportf(edges[e],
+			"%s is acquired while %s is held, closing an acquisition cycle {%s}: an inconsistent lock order deadlocks under the right schedule — pick one global order, or annotate //xqvet:lockorder-ok <reason>",
+			labels[e.to], labels[e.from], members)
+	}
+}
+
+func sccMembers(scc map[*types.Var]int, id int, labels map[*types.Var]string) string {
+	var names []string
+	for v, c := range scc {
+		if c == id {
+			names = append(names, labels[v])
+		}
+	}
+	sort.Strings(names)
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}
+
+// tarjan assigns each node a component id; ids are nonzero only for
+// components of size >= 2 (self-loops are handled separately).
+func tarjan(adj map[*types.Var][]*types.Var) map[*types.Var]int {
+	index := map[*types.Var]int{}
+	low := map[*types.Var]int{}
+	onStack := map[*types.Var]bool{}
+	comp := map[*types.Var]int{}
+	var stack []*types.Var
+	next, compID := 1, 1
+
+	var strongconnect func(v *types.Var)
+	strongconnect = func(v *types.Var) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if index[w] == 0 {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var members []*types.Var
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				members = append(members, w)
+				if w == v {
+					break
+				}
+			}
+			if len(members) >= 2 {
+				for _, w := range members {
+					comp[w] = compID
+				}
+				compID++
+			}
+		}
+	}
+	// Deterministic visit order is not required for correctness —
+	// component membership is order-independent — but keep it stable for
+	// reproducible ids.
+	var roots []*types.Var
+	for v := range adj {
+		roots = append(roots, v)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Pos() < roots[j].Pos() })
+	for _, v := range roots {
+		if index[v] == 0 {
+			strongconnect(v)
+		}
+	}
+	return comp
+}

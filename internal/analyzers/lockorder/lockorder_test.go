@@ -1,0 +1,16 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"github.com/xqdb/xqdb/internal/analyzers/analysistest"
+	"github.com/xqdb/xqdb/internal/analyzers/lockorder"
+)
+
+// TestLockorder pins the analyzer's contract: a both-order pair reports
+// both closing edges, a helper re-acquiring a held mutex reports a
+// self-edge, and a consistently ordered pair plus a goroutine-rooted
+// acquisition stay clean.
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer, "lockorderfix")
+}

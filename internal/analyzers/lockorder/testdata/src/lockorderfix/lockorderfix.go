@@ -1,0 +1,83 @@
+// Package lockorderfix exercises the lockorder analyzer: a both-order
+// mutex pair is a cycle (both edges reported), a helper re-acquiring a
+// held mutex is a self-edge, and a consistently ordered pair is clean.
+package lockorderfix
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+	n  int
+}
+
+type B struct {
+	mu sync.Mutex
+	n  int
+}
+
+type D struct {
+	mu sync.Mutex
+	n  int
+}
+
+// ab and ba acquire the A/B pair in opposite orders: the classic
+// deadlock shape.
+func ab(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want "B.mu is acquired while A.mu is held, closing an acquisition cycle"
+	b.n++
+	b.mu.Unlock()
+	a.n++
+}
+
+func ba(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock() // want "A.mu is acquired while B.mu is held, closing an acquisition cycle"
+	a.n++
+	a.mu.Unlock()
+	b.n++
+}
+
+type C struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *C) bump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// double re-acquires c.mu through bump while already holding it: a
+// guaranteed self-deadlock the simulation sees through the call graph.
+func (c *C) double() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bump() // want "C.mu is acquired while C.mu is already held"
+}
+
+// ordered nests D under A everywhere: one direction only, no cycle.
+func ordered(a *A, d *D) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	d.mu.Lock()
+	d.n++
+	d.mu.Unlock()
+	a.n++
+}
+
+// spawned shows a function literal is its own root: the goroutine body
+// does not run under the creator's lock, so no D->A edge arises.
+func spawned(a *A, d *D) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	go func() {
+		a.mu.Lock()
+		a.n++
+		a.mu.Unlock()
+	}()
+	d.n++
+}

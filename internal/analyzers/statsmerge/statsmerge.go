@@ -1,0 +1,164 @@
+// Package statsmerge enforces exhaustive stats merging and rendering:
+// for every struct that declares a shard/worker merge method — a method
+// named merge (or Merge) taking exactly one parameter of the receiver's
+// own type — every field of that struct must be referenced inside the
+// merge method AND inside at least one renderer in the same package.
+//
+// The bug class is additive drift: parallel execution collects a Stats
+// delta per worker and folds the deltas serially, so a field added to
+// the struct but not to the merge function ships silently zero under
+// parallelism (PR 8's SynopsisSkips and PR 9's NodesDecoded were each
+// hand-threaded through the probe merge loop and could have been
+// missed), and a field no renderer mentions is a counter nobody can
+// watch regress (the shell stats line had to be hand-extended for
+// every PR 8/9 counter). A renderer is any function or method in the
+// package whose name starts with Summary, Render, or String, or ends
+// with JSON.
+//
+// A field that is deliberately neither merged nor rendered (an internal
+// scratch field) carries `//xqvet:statsmerge-ok <reason>` on its
+// declaration line.
+package statsmerge
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/xqdb/xqdb/internal/analyzers/analysis"
+	"github.com/xqdb/xqdb/internal/analyzers/typeutil"
+)
+
+// Analyzer is the statsmerge check.
+var Analyzer = &analysis.Analyzer{
+	Name: "statsmerge",
+	Doc: "every field of a struct with a merge(o *T) method must be referenced " +
+		"in the merge method and in at least one renderer (Summary*/Render*/" +
+		"String*/*JSON) of the package, so new stats fields cannot ship " +
+		"unmerged under parallelism or invisible to users; annotate " +
+		"//xqvet:statsmerge-ok <reason> on deliberate exceptions",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	merges := map[*types.Named]*ast.FuncDecl{}
+	var renderers []*ast.FuncDecl
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if recv, ok := mergeReceiver(pass.TypesInfo, fn); ok {
+				merges[recv] = fn
+			}
+			if isRenderer(fn.Name.Name) {
+				renderers = append(renderers, fn)
+			}
+		}
+	}
+	if len(merges) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			spec, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := spec.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			named, ok := pass.TypesInfo.Defs[spec.Name].Type().(*types.Named)
+			if !ok {
+				return true
+			}
+			mergeFn, ok := merges[named]
+			if !ok {
+				return true
+			}
+			checkStruct(pass, spec.Name.Name, st, mergeFn, renderers)
+			return true
+		})
+	}
+	return nil
+}
+
+// mergeReceiver returns the receiver's named type when fn is a merge
+// method: named merge/Merge, one parameter, and that parameter's type is
+// the receiver's own base type (by value or pointer). Synopsis-style
+// Merge(batch) methods that fold a DIFFERENT type are not shard merges
+// and are not checked.
+func mergeReceiver(info *types.Info, fn *ast.FuncDecl) (*types.Named, bool) {
+	if fn.Recv == nil || len(fn.Recv.List) != 1 {
+		return nil, false
+	}
+	if fn.Name.Name != "merge" && fn.Name.Name != "Merge" {
+		return nil, false
+	}
+	if fn.Type.Params == nil || len(fn.Type.Params.List) != 1 || len(fn.Type.Params.List[0].Names) != 1 {
+		return nil, false
+	}
+	recv, ok := typeutil.Deref(info.TypeOf(fn.Recv.List[0].Type)).(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	param, ok := typeutil.Deref(info.TypeOf(fn.Type.Params.List[0].Type)).(*types.Named)
+	if !ok || param != recv {
+		return nil, false
+	}
+	return recv, true
+}
+
+// isRenderer reports whether a function name marks user-facing output
+// assembly: the Summary/Render/String family plus JSON marshalers.
+func isRenderer(name string) bool {
+	return strings.HasPrefix(name, "Summary") || strings.HasPrefix(name, "Render") ||
+		strings.HasPrefix(name, "String") || strings.HasSuffix(name, "JSON")
+}
+
+// checkStruct reports each field of the struct that the merge method or
+// every renderer fails to reference.
+func checkStruct(pass *analysis.Pass, typeName string, st *ast.StructType, mergeFn *ast.FuncDecl, renderers []*ast.FuncDecl) {
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			if !referencesField(pass.TypesInfo, mergeFn.Body, obj) {
+				pass.Reportf(name.Pos(),
+					"field %s.%s is not referenced in (%s).%s: a stats delta merged in parallel drops it silently — fold it in, or annotate //xqvet:statsmerge-ok <reason>",
+					typeName, name.Name, typeName, mergeFn.Name.Name)
+				continue
+			}
+			rendered := false
+			for _, r := range renderers {
+				if referencesField(pass.TypesInfo, r.Body, obj) {
+					rendered = true
+					break
+				}
+			}
+			if !rendered {
+				pass.Reportf(name.Pos(),
+					"field %s.%s is rendered by no Summary*/Render*/String*/*JSON function in this package: the counter is invisible to users — render it, or annotate //xqvet:statsmerge-ok <reason>",
+					typeName, name.Name)
+			}
+		}
+	}
+}
+
+// referencesField reports whether body mentions the field object — as a
+// selector (s.F), a composite-literal key (T{F: v}), or any other use
+// the type checker resolves to the field.
+func referencesField(info *types.Info, body *ast.BlockStmt, field *types.Var) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == field {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,16 @@
+package statsmerge_test
+
+import (
+	"testing"
+
+	"github.com/xqdb/xqdb/internal/analyzers/analysistest"
+	"github.com/xqdb/xqdb/internal/analyzers/statsmerge"
+)
+
+// TestStatsmerge pins the three behaviors the analyzer promises: a
+// deliberately-unmerged synthetic stats field is a finding, a merged but
+// never-rendered field is a finding, and the annotated scratch-field
+// escape plus the batch-shaped Merge(other type) are clean.
+func TestStatsmerge(t *testing.T) {
+	analysistest.Run(t, "testdata", statsmerge.Analyzer, "statsfix")
+}

@@ -1,0 +1,59 @@
+// Package statsfix exercises the statsmerge analyzer: a stats struct
+// whose merge method and renderer cover every field is clean; a field
+// missing from the merge, a field missing from every renderer, and the
+// annotated escape each behave as the analyzer promises.
+package statsfix
+
+import "fmt"
+
+// Stats is the well-formed case: every field is merged and rendered.
+type Stats struct {
+	Labels []string
+	Probes int
+	Shards int
+	Flag   bool
+	// NodesSeeded is the PR 9 regression shape: a counter added to the
+	// struct but deliberately left out of merge below.
+	NodesSeeded int // want "field Stats.NodesSeeded is not referenced in .Stats..merge"
+	// Unrendered is merged but appears in no renderer.
+	Unrendered int // want "field Stats.Unrendered is rendered by no"
+	//xqvet:statsmerge-ok scratch accumulator, folded into Probes before rendering
+	scratch int
+}
+
+func (s *Stats) merge(o *Stats) {
+	s.Labels = append(s.Labels, o.Labels...)
+	s.Probes += o.Probes
+	if o.Shards > s.Shards {
+		s.Shards = o.Shards
+	}
+	s.Flag = s.Flag || o.Flag
+	s.Unrendered += o.Unrendered
+}
+
+// Summary renders the digest line.
+func (s *Stats) Summary() string {
+	return fmt.Sprintf("%v probes=%d shards=%d flag=%v", s.Labels, s.Probes, s.Shards, s.Flag)
+}
+
+// result has a Merge whose parameter is a different type — the
+// synopsis-batch shape — and must not be treated as a shard merge.
+type result struct {
+	count int
+}
+
+type batch struct {
+	n int
+}
+
+func (r *result) Merge(b *batch) {
+	r.count += b.n
+}
+
+func use() {
+	var s Stats
+	s.merge(&Stats{scratch: 1})
+	var r result
+	r.Merge(&batch{n: 2})
+	_ = s.Summary()
+}

@@ -397,19 +397,19 @@ func (an *analyzer) extractComparison(c *xquery.Comparison, base pathInfo, e env
 			valPtr = &v
 		}
 		p := Predicate{
-			Collection:    info.collection,
-			FromIndex:     info.fromIndex,
-			Occurrence:    info.occurrence,
-			Steps:         info.steps,
-			Pattern:       pat,
-			Op:            op,
-			Value:         valPtr,
-			JoinTable:     otherSide.joinTable,
-			JoinColumn:    otherSide.joinColumn,
-			ValueComp:     c.Kind == xquery.ValueComp,
-			CompType:  compType,
-			Filtering: ctx.filtering,
-			Reason:    ctx.reason,
+			Collection: info.collection,
+			FromIndex:  info.fromIndex,
+			Occurrence: info.occurrence,
+			Steps:      info.steps,
+			Pattern:    pat,
+			Op:         op,
+			Value:      valPtr,
+			JoinTable:  otherSide.joinTable,
+			JoinColumn: otherSide.joinColumn,
+			ValueComp:  c.Kind == xquery.ValueComp,
+			CompType:   compType,
+			Filtering:  ctx.filtering,
+			Reason:     ctx.reason,
 			// Singleton must hold relative to the conjunction scope's
 			// context, so a multi-step attribute path (lineitem/@price —
 			// one node per lineitem, many per scope context) does not

@@ -523,6 +523,10 @@ type probeOutcome struct {
 	// phase aborts the query with it.
 	err error
 	t0  time.Time
+	// stats is this outcome's Stats delta, built on the worker by
+	// statsDelta and folded into the query's Stats by the serial merge
+	// loop via (*Stats).merge.
+	stats Stats
 }
 
 // runProbe executes one probe plan to completion.
@@ -647,6 +651,7 @@ func (e *Engine) runProbeSafe(g *guard.Guard, pl probePlan, o ExecOptions, t0 ti
 			out = probeOutcome{label: pl.label, t0: t0,
 				err: &guard.Violation{Kind: guard.Internal, Msg: fmt.Sprintf("panic: %v", r)}}
 		}
+		out.stats = pl.statsDelta(&out)
 	}()
 	return e.runProbe(g, pl, o, t0)
 }
@@ -702,29 +707,18 @@ func (e *Engine) runProbes(g *guard.Guard, plans []probePlan, a *core.Analysis, 
 	nodeOcc := map[occKey][]int{} // outcome indices that carry node hits
 	for i := range outcomes {
 		r := &outcomes[i]
-		stats.Probes += r.probes
-		stats.KeysVisited += r.visited
+		stats.merge(&r.stats)
 		if r.err != nil {
 			return nil, nil, nil, r.err
 		}
 		if !r.ok {
 			continue
 		}
-		if r.nodes != nil {
-			stats.NodesDecoded += len(r.nodes)
-		}
 		stats.Trace.add("probe", fmt.Sprintf("%s: %d keys, %d docs", r.label, r.visited, len(r.docs)), r.t0)
-		stats.IndexesUsed = append(stats.IndexesUsed, r.label)
 		pl := plans[i]
-		if r.skipped {
-			stats.SynopsisSkips++
-		}
 		if r.nodes != nil && pl.forRow < 0 {
 			nodeOcc[occKey{pl.coll, pl.occ}] = append(nodeOcc[occKey{pl.coll, pl.occ}], i)
 		}
-		stats.Estimates = append(stats.Estimates, ProbeEstimate{
-			Label: r.label, Docs: pl.est, Nodes: pl.estNodes, Skipped: r.skipped,
-		})
 		if pl.forRow >= 0 {
 			// SQL row-level predicates on the same FROM item all
 			// constrain the same document: intersect.

@@ -65,7 +65,11 @@ func TestNodeGranularEquivalenceProperty(t *testing.T) {
 			t.Fatalf("%s full scan: %v", q, err)
 		}
 		want := xdm.SerializeSequence(full)
-		for mask := 0; mask < 16; mask++ {
+		// Every ExecOptions boolean knob is in the mask — the knobmatrix
+		// analyzer enforces that. Prepared and Trace must be equivalence-
+		// preserving too: a cached plan and a traced run may take distinct
+		// code paths but never distinct results.
+		for mask := 0; mask < 64; mask++ {
 			for _, par := range []int{1, 4} {
 				o := ExecOptions{
 					UseIndexes:   true,
@@ -73,6 +77,8 @@ func TestNodeGranularEquivalenceProperty(t *testing.T) {
 					NoNodeSeeds:  mask&2 != 0,
 					NoSynopsis:   mask&4 != 0,
 					NoProbeCache: mask&8 != 0,
+					Prepared:     mask&16 != 0,
+					Trace:        mask&32 != 0,
 					Parallelism:  par,
 				}
 				seq, _, err := e.ExecXQueryOpts(q, o)

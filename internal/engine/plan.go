@@ -218,6 +218,7 @@ func (e *Engine) planFor(query string, lang Lang, useIndexes, prepared bool, sta
 		stats.PlanCache = "bypass"
 		return e.buildPlan(query, lang, useIndexes)
 	}
+	//xqvet:cachekey-ok prepared only selects cache bypass above; the built plan does not depend on it
 	k := planKey{query: query, lang: lang, useIndexes: useIndexes}
 	if p := e.plans.get(k, e.Catalog.Version()); p != nil {
 		stats.PlanCache = "hit"
@@ -549,7 +550,8 @@ func (e *Engine) execSQLPlan(p *plan, o ExecOptions, stats *Stats) (*sqlxml.Resu
 		return nil, nil, err
 	}
 	stats.Trace.add("scan", fmt.Sprintf("%d rows, shards=%d", res.RowsScanned, res.ParallelShards), t0)
-	stats.RowsScanned = res.RowsScanned
-	stats.ParallelShards = res.ParallelShards
+	// The executor's shard gather already combined per-worker counts;
+	// fold its totals through the one canonical merge point.
+	stats.merge(&Stats{RowsScanned: res.RowsScanned, ParallelShards: res.ParallelShards})
 	return res, stats, nil
 }

@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// merge folds one delta — a probe worker's outcome, a shard's share of
+// the work, or the SQL executor's scan totals — into s. It is THE
+// combining point for Stats: parallel paths fill a private Stats and the
+// serial merge loop folds them in deterministic (plan or shard) order,
+// so a field missed here ships uncounted exactly the way PR 8's
+// SynopsisSkips and PR 9's NodesDecoded almost did. The statsmerge
+// analyzer enforces that every Stats field is handled below; when you
+// add a field, decide its merge semantics here (sum, append, max, or
+// latest-wins) in the same commit.
+func (s *Stats) merge(o *Stats) {
+	// Ordered slices append: deltas arrive in plan order.
+	s.IndexesUsed = append(s.IndexesUsed, o.IndexesUsed...)
+	s.Estimates = append(s.Estimates, o.Estimates...)
+	// Work counters sum.
+	s.Probes += o.Probes
+	s.KeysVisited += o.KeysVisited
+	s.DocsTotal += o.DocsTotal
+	s.DocsScanned += o.DocsScanned
+	s.RowsScanned += o.RowsScanned
+	s.SynopsisSkips += o.SynopsisSkips
+	s.NodesDecoded += o.NodesDecoded
+	s.NodesSeeded += o.NodesSeeded
+	// Shard width is a high-water mark, not a sum: nested parallel
+	// stages report the widest fan-out.
+	if o.ParallelShards > s.ParallelShards {
+		s.ParallelShards = o.ParallelShards
+	}
+	// Latest non-empty state wins: one plan lookup per execution.
+	if o.PlanCache != "" {
+		s.PlanCache = o.PlanCache
+	}
+	// Flags or.
+	s.SynopsisAnswered = s.SynopsisAnswered || o.SynopsisAnswered
+	s.IndexOnlyAnswered = s.IndexOnlyAnswered || o.IndexOnlyAnswered
+	// Spans concatenate onto the parent trace (nil-safe both ways).
+	if o.Trace != nil {
+		if s.Trace == nil {
+			s.Trace = o.Trace
+		} else {
+			s.Trace.absorb(o.Trace)
+		}
+	}
+}
+
+// Summary renders the one-line, human-facing digest of the execution —
+// the line xqshell prints after each statement. Every Stats field is
+// visible here (or in the span dump Trace.Render provides), enforced by
+// the statsmerge analyzer: a counter that renders nowhere is a counter
+// nobody can see regress.
+func (s *Stats) Summary() string {
+	var b strings.Builder
+	if len(s.IndexesUsed) > 0 {
+		fmt.Fprintf(&b, "; indexes: %s; docs %d/%d", strings.Join(s.IndexesUsed, ", "), s.DocsScanned, s.DocsTotal)
+	}
+	if s.Probes > 0 {
+		fmt.Fprintf(&b, "; probes %d (%d keys)", s.Probes, s.KeysVisited)
+	}
+	if s.RowsScanned > 0 {
+		fmt.Fprintf(&b, "; rows scanned %d", s.RowsScanned)
+	}
+	if s.ParallelShards > 1 {
+		fmt.Fprintf(&b, "; shards %d", s.ParallelShards)
+	}
+	if s.PlanCache != "" {
+		fmt.Fprintf(&b, "; plan cache: %s", s.PlanCache)
+	}
+	if n := len(s.Estimates); n > 0 {
+		fmt.Fprintf(&b, "; estimates %d", n)
+	}
+	if s.SynopsisSkips > 0 {
+		fmt.Fprintf(&b, "; synopsis skips %d", s.SynopsisSkips)
+	}
+	if s.SynopsisAnswered {
+		b.WriteString("; synopsis-answered")
+	}
+	if s.IndexOnlyAnswered {
+		b.WriteString("; index-only")
+	}
+	if s.NodesDecoded > 0 {
+		fmt.Fprintf(&b, "; nodes decoded %d", s.NodesDecoded)
+	}
+	if s.NodesSeeded > 0 {
+		fmt.Fprintf(&b, "; nodes seeded %d", s.NodesSeeded)
+	}
+	if s.Trace != nil && len(s.Trace.Spans) > 0 {
+		fmt.Fprintf(&b, "; trace %d spans", len(s.Trace.Spans))
+	}
+	return b.String()
+}
+
+// statsDelta builds the Stats contribution of one probe outcome. It runs
+// on the probe worker, so the serial merge loop only folds ready-made
+// deltas — label order, estimate order, and counter totals stay
+// deterministic regardless of worker scheduling.
+func (pl probePlan) statsDelta(r *probeOutcome) Stats {
+	// Probe and key counts record even for failed or non-probeable
+	// outcomes: the index work that ran before the error is real work.
+	s := Stats{Probes: r.probes, KeysVisited: r.visited}
+	if r.err != nil || !r.ok {
+		return s
+	}
+	s.IndexesUsed = []string{r.label}
+	if r.nodes != nil {
+		s.NodesDecoded = len(r.nodes)
+	}
+	if r.skipped {
+		s.SynopsisSkips = 1
+	}
+	s.Estimates = []ProbeEstimate{{Label: r.label, Docs: pl.est, Nodes: pl.estNodes, Skipped: r.skipped}}
+	return s
+}

@@ -55,6 +55,20 @@ func (t *Trace) add(name, note string, start time.Time) {
 	t.mu.Unlock()
 }
 
+// absorb appends another trace's spans (the spans a parallel stage
+// recorded against its own trace) onto t in their recorded order.
+func (t *Trace) absorb(o *Trace) {
+	if t == nil || o == nil {
+		return
+	}
+	o.mu.Lock()
+	spans := o.Spans
+	o.mu.Unlock()
+	t.mu.Lock()
+	t.Spans = append(t.Spans, spans...)
+	t.mu.Unlock()
+}
+
 // Render formats the trace as one line per span:
 //
 //	plan     +12µs      347µs  cache=miss

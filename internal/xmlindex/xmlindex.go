@@ -369,9 +369,11 @@ type Probe struct {
 	QueryPattern *pattern.Pattern
 	// Guard, when non-nil, is checked periodically during the B+Tree
 	// scan so canceled or timed-out queries abort mid-probe.
+	//xqvet:cachekey-ok cancellation only: the guard aborts a scan, it never changes a completed scan's result
 	Guard *guard.Guard
 	// NoCache bypasses the probe-result cache entirely (neither read nor
 	// populated) — the uncached baseline for benchmarks and tests.
+	//xqvet:cachekey-ok bypass flag: when set the cache is neither read nor written, so no entry exists to collide
 	NoCache bool
 }
 
